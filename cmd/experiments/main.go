@@ -1,0 +1,108 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation from the simulation and models in this repository.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig1,fig2,fig4,fig10,tbl3,tbl4,tbl5,sec21,sec22,sec23,sec25
+//	experiments -quick        # smaller workloads for a fast pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"minions/testbed"
+)
+
+func main() {
+	runList := flag.String("run", "all", "comma-separated experiment ids")
+	quick := flag.Bool("quick", false, "scale workloads down for a fast pass")
+	flag.Parse()
+
+	sel := map[string]bool{}
+	for _, id := range strings.Split(*runList, ",") {
+		sel[strings.TrimSpace(id)] = true
+	}
+	all := sel["all"]
+	want := func(id string) bool { return all || sel[id] }
+	failed := false
+	section := func(id string, fn func() (string, error)) {
+		if !want(id) {
+			return
+		}
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed = true
+			return
+		}
+		fmt.Printf("==== %s ====\n%s\n", id, out)
+	}
+
+	simSecs := testbed.Time(8) * testbed.Second
+	benchPkts := 400_000
+	if *quick {
+		simSecs = 3 * testbed.Second
+		benchPkts = 100_000
+	}
+
+	section("sec21", func() (string, error) { return testbed.Sec21Table(), nil })
+	section("fig1", func() (string, error) {
+		r, err := testbed.RunFig1(testbed.Fig1Config{Duration: simSecs / 4})
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	})
+	section("fig2", func() (string, error) {
+		r, err := testbed.RunFig2(simSecs, 1)
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	})
+	section("sec22", func() (string, error) {
+		counts := []int{3, 30, 99}
+		if *quick {
+			counts = []int{3, 30}
+		}
+		rows, err := testbed.RunSec22(counts, simSecs/2, 1)
+		if err != nil {
+			return "", err
+		}
+		return testbed.Sec22Table(rows), nil
+	})
+	section("sec23", func() (string, error) {
+		r, err := testbed.RunSec23()
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	})
+	section("fig4", func() (string, error) {
+		r, err := testbed.RunFig4(simSecs/2, 1)
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	})
+	section("sec25", func() (string, error) {
+		r, err := testbed.RunSec25()
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	})
+	if want("tbl3") || want("tbl4") {
+		fmt.Printf("==== tbl3+tbl4 ====\n%s\n", testbed.HardwareTables())
+	}
+	section("fig10", func() (string, error) { return testbed.RunFig10(benchPkts) })
+	section("tbl5", func() (string, error) { return testbed.RunTable5(benchPkts) })
+
+	if failed {
+		os.Exit(1)
+	}
+}

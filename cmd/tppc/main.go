@@ -1,0 +1,89 @@
+// Command tppc is the TPP compiler: it assembles the paper's pseudo-assembly
+// into wire-format TPP sections and disassembles them back.
+//
+// Usage:
+//
+//	tppc [-d] [-x] [file]
+//
+// Reads assembly from file (or stdin) and writes the encoded section as hex
+// to stdout. With -d, reads hex from file/stdin and disassembles. With -x,
+// also dumps the decoded header and memory words.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"minions/tpp"
+)
+
+func main() {
+	disasm := flag.Bool("d", false, "disassemble hex input instead of assembling")
+	explain := flag.Bool("x", false, "dump header fields and memory words")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	data, err := io.ReadAll(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *disasm {
+		raw, err := hex.DecodeString(strings.Join(strings.Fields(string(data)), ""))
+		if err != nil {
+			fatal(fmt.Errorf("bad hex input: %w", err))
+		}
+		prog, err := tpp.Decode(raw)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(tpp.Disassemble(prog))
+		if *explain {
+			dump(tpp.Section(raw))
+		}
+		return
+	}
+
+	prog, err := tpp.Assemble(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	sec, err := prog.Encode()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(hex.EncodeToString(sec))
+	if *explain {
+		dump(sec)
+	}
+}
+
+func dump(s tpp.Section) {
+	fmt.Fprintf(os.Stderr, "mode=%s insns=%d memwords=%d hop/sp=%d perhop=%d appid=%d flags=%#02x len=%dB\n",
+		s.Mode(), s.InsnCount(), s.MemWords(), s.HopOrSP(), s.PerHopWords(), s.AppID(), uint8(s.Flags()), s.Len())
+	for i := 0; i < s.InsnCount(); i++ {
+		fmt.Fprintf(os.Stderr, "  %d: %s\n", i, s.Insn(i))
+	}
+	for w := 0; w < s.MemWords(); w++ {
+		if v := s.Word(w); v != 0 {
+			fmt.Fprintf(os.Stderr, "  mem[%d] = %#x\n", w, v)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tppc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command tppdump decodes Ethernet frames along the Figure 7a parse graph
+// (transparent ethertype 0x6666 and standalone UDP dport 0x6666 TPPs) and
+// pretty-prints any TPP it finds — a tcpdump for tiny packet programs.
+//
+// Usage:
+//
+//	tppdump [file]
+//
+// Input is whitespace-separated hex frames, one per line, from file or
+// stdin.
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"minions/tpp"
+)
+
+func main() {
+	flag.Parse()
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.Join(strings.Fields(sc.Text()), "")
+		if line == "" {
+			continue
+		}
+		raw, err := hex.DecodeString(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "line %d: bad hex: %v\n", lineNo, err)
+			continue
+		}
+		frame, err := tpp.ParseFrame(raw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "line %d: %v\n", lineNo, err)
+			continue
+		}
+		fmt.Printf("frame %d: %s -> %s kind=%v", lineNo, frame.Eth.Src, frame.Eth.Dst, frame.Kind)
+		if frame.HasIP {
+			fmt.Printf(" ip %v->%v", frame.IP.Src, frame.IP.Dst)
+		}
+		if frame.HasUDP {
+			fmt.Printf(" udp %d->%d", frame.UDP.SrcPort, frame.UDP.DstPort)
+		}
+		fmt.Println()
+		if frame.TPP == nil {
+			continue
+		}
+		s := frame.TPP
+		fmt.Printf("  tpp: mode=%s insns=%d mem=%dw hop/sp=%d appid=%d checksum-ok=%v\n",
+			s.Mode(), s.InsnCount(), s.MemWords(), s.HopOrSP(), s.AppID(), s.VerifyChecksum())
+		for i := 0; i < s.InsnCount(); i++ {
+			fmt.Printf("    %s\n", s.Insn(i))
+		}
+		if s.Mode() == tpp.AddrHop {
+			for _, hv := range s.HopViews() {
+				fmt.Printf("    hop %d: %v\n", hv.Hop, hv.Words)
+			}
+		} else if sp := s.HopOrSP(); sp > 0 {
+			words := make([]uint32, sp)
+			for i := 0; i < sp; i++ {
+				words[i] = s.Word(i)
+			}
+			fmt.Printf("    stack[0:%d] = %v\n", sp, words)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tppdump:", err)
+	os.Exit(1)
+}

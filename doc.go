@@ -1,0 +1,18 @@
+// Package minions is a from-scratch Go reproduction of "Millions of Little
+// Minions: Using Packets for Low Latency Network Programming and Visibility"
+// (Jeyakumar, Alizadeh, Geng, Kim, Mazières — SIGCOMM 2014).
+//
+// The public API lives in two packages:
+//
+//   - minions/tpp — the tiny packet program wire format, instruction set,
+//     assembler and execution engine;
+//   - minions/testbed — simulated TPP-capable networks, the end-host stack,
+//     the paper's four applications (RCP*, CONGA*, NetSight, OpenSketch
+//     refactorings) and one runner per table/figure of the evaluation.
+//
+// The benchmarks in bench_test.go regenerate every table and figure; run
+//
+//	go test -bench=. -benchmem
+//
+// or use cmd/experiments for paper-style table output.
+package minions

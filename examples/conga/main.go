@@ -1,0 +1,19 @@
+// CONGA* load balancing (§2.4, Figure 4): congestion-aware flowlet routing
+// from TPP link-utilization probes meets both demands and lowers the peak
+// fabric utilization, while static ECMP saturates one path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minions/testbed"
+)
+
+func main() {
+	res, err := testbed.RunFig4(4*testbed.Second, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table())
+}

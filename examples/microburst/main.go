@@ -1,0 +1,27 @@
+// Micro-burst detection (§2.1, Figure 1): instrument every packet of an
+// all-to-all workload on a dumbbell network and print the queue-occupancy
+// CDF and fractiles that per-packet visibility makes possible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minions/testbed"
+)
+
+func main() {
+	res, err := testbed.RunFig1(testbed.Fig1Config{
+		Hosts:    6,
+		RateMbps: 100,
+		MsgBytes: 10_000,
+		Load:     0.30,
+		Duration: 2 * testbed.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table())
+	fmt.Println("\nThe CDF shows queues empty at most packet arrivals yet")
+	fmt.Println("occasionally deep — exactly the bursts a poller would miss.")
+}

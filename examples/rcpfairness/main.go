@@ -1,0 +1,19 @@
+// RCP* fairness (§2.2, Figure 2): three flows on two bottleneck links reach
+// max-min or proportional-fair allocations depending only on how end-hosts
+// aggregate the per-link rates the TPPs collect — the network never changes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minions/testbed"
+)
+
+func main() {
+	res, err := testbed.RunFig2(8*testbed.Second, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table())
+}

@@ -1,0 +1,19 @@
+// Distributed measurement (§2.5): end-hosts hash in software, TPPs supply
+// the routing context, and a central monitor ORs the per-link bitmap
+// sketches — OpenSketch functionality with no sketch hardware in switches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minions/testbed"
+)
+
+func main() {
+	res, err := testbed.RunSec25()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table())
+}

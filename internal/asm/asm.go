@@ -1,0 +1,586 @@
+// Package asm assembles the paper's pseudo-assembly language into TPP wire
+// programs and disassembles them back. The syntax follows the paper's
+// examples verbatim:
+//
+//	PUSH [Queue:QueueOccupancy]
+//	LOAD [Switch:SwitchID], [Packet:Hop[1]]
+//	STORE [Link:AppSpecific_1], [Packet:Hop[2]]
+//	CSTORE [Link:AppSpecific_0], [Packet:Hop[0]], [Packet:Hop[1]]
+//	CEXEC [Switch:SwitchID], [Packet:Hop[0]]
+//	LOAD [[Packet:Hop[1]]], [Packet:Hop[1]]     (indirect, §8)
+//
+// Directives configure the program header:
+//
+//	.mode stack|hop      addressing mode (default stack, or hop when any
+//	                     Hop[] operand appears)
+//	.hops N              hops to preallocate memory for (default 5)
+//	.perhop N            words per hop (hop mode; default inferred)
+//	.mem N               total packet-memory words (default inferred)
+//	.appid N             wire application handle
+//	.flags reflect,dropnotify
+//	.word V              append an initial packet-memory word (repeatable),
+//	                     the paper's "PacketMemory:" block
+//
+// Comments run from '#' or ';' to end of line. The paper's inline
+// "(* ... *)" comments are also accepted.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"minions/internal/core"
+	"minions/internal/mem"
+)
+
+// DefaultHops is the memory preallocation when .hops is not given; §2.1:
+// "the maximum number of hops is small within a datacenter (typically 5-7)".
+const DefaultHops = 5
+
+// Error wraps an assembly error with its 1-based source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Assemble parses a TPP program from source text.
+func Assemble(src string) (*core.Program, error) {
+	// Join the paper's backslash line continuations before splitting.
+	src = strings.ReplaceAll(src, "\\\r\n", " ")
+	src = strings.ReplaceAll(src, "\\\n", " ")
+	p := &core.Program{Mode: core.AddrStack}
+	var (
+		modeSet   bool
+		hops      = DefaultHops
+		perHopSet bool
+		memSet    bool
+		sawHopOp  bool
+		pushSlots int // next hop-relative slot for PUSH/POP in hop mode
+		maxHopOff = -1
+		maxAbsOff = -1
+	)
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComments(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Tolerate the paper's trailing continuation backslashes.
+		line = strings.TrimSuffix(line, "\\")
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		ln := lineNo + 1
+
+		if strings.HasPrefix(line, ".") {
+			if err := directive(p, line, ln, &modeSet, &hops, &perHopSet, &memSet); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if strings.EqualFold(line, "PacketMemory:") {
+			continue // cosmetic block header from the paper's listings
+		}
+
+		in, usedHop, err := parseInsn(line, ln, &pushSlots)
+		if err != nil {
+			return nil, err
+		}
+		if usedHop {
+			sawHopOp = true
+		}
+		switch {
+		case usedHop && int(in.A) > maxHopOff:
+			maxHopOff = int(in.A)
+		case !usedHop && in.Op != core.OpPUSH && in.Op != core.OpPOP &&
+			in.Op != core.OpNOP && in.Op != core.OpHALT && int(in.A) > maxAbsOff:
+			maxAbsOff = int(in.A)
+		}
+		if usedHop && int(in.B) > maxHopOff {
+			maxHopOff = int(in.B)
+		}
+		p.Insns = append(p.Insns, in)
+		if len(p.Insns) > core.MaxInsns {
+			return nil, errf(ln, "more than %d instructions (the line-rate bound of §3)", core.MaxInsns)
+		}
+	}
+	if len(p.Insns) == 0 {
+		return nil, errf(0, "no instructions")
+	}
+
+	// Infer the addressing mode: any Hop[] operand forces hop mode.
+	if !modeSet && sawHopOp {
+		p.Mode = core.AddrHop
+	}
+	if p.Mode == core.AddrStack && sawHopOp {
+		return nil, errf(0, "Hop[] operands require .mode hop")
+	}
+
+	// Size the packet memory (§3.3.2: "the end-host must preallocate enough
+	// space in the TPP to hold per-hop data structures").
+	pushes := 0
+	for _, in := range p.Insns {
+		if in.Op == core.OpPUSH {
+			pushes++
+		}
+	}
+	if p.Mode == core.AddrHop {
+		if !perHopSet {
+			need := maxHopOff + 1
+			if pushSlots > need {
+				need = pushSlots
+			}
+			if need <= 0 {
+				need = 1
+			}
+			p.PerHopWords = need
+		}
+		if !memSet {
+			p.MemWords = p.PerHopWords * hops
+		}
+	} else if !memSet {
+		words := pushes * hops
+		if maxAbsOff+1 > words {
+			words = maxAbsOff + 1
+		}
+		if len(p.InitMem) > words {
+			words = len(p.InitMem)
+		}
+		if words == 0 {
+			words = 1
+		}
+		p.MemWords = words
+	}
+	if p.MemWords > core.MaxMemWords {
+		return nil, errf(0, "packet memory of %d words exceeds the maximum %d", p.MemWords, core.MaxMemWords)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return p, nil
+}
+
+// MustAssemble panics on error; for compile-time-constant programs.
+func MustAssemble(src string) *core.Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComments(line string) string {
+	// '#' and ';' start a comment only at line start or after whitespace, so
+	// the Vendor#0 / Link#3 index syntax survives.
+	for _, marker := range []string{"#", ";", "//"} {
+		for from := 0; ; {
+			i := strings.Index(line[from:], marker)
+			if i < 0 {
+				break
+			}
+			i += from
+			if i == 0 || line[i-1] == ' ' || line[i-1] == '\t' {
+				line = line[:i]
+				break
+			}
+			from = i + len(marker)
+		}
+	}
+	// The paper's listings use (* ... *) inline comments.
+	for {
+		start := strings.Index(line, "(*")
+		if start < 0 {
+			break
+		}
+		end := strings.Index(line[start:], "*)")
+		if end < 0 {
+			line = line[:start]
+			break
+		}
+		line = line[:start] + line[start+end+2:]
+	}
+	return line
+}
+
+func directive(p *core.Program, line string, ln int, modeSet *bool, hops *int, perHopSet, memSet *bool) error {
+	fields := strings.Fields(line)
+	name := strings.ToLower(fields[0])
+	arg := ""
+	if len(fields) > 1 {
+		arg = fields[1]
+	}
+	num := func() (int, error) {
+		v, err := strconv.ParseInt(arg, 0, 32)
+		if err != nil {
+			return 0, errf(ln, "%s: bad number %q", name, arg)
+		}
+		return int(v), nil
+	}
+	switch name {
+	case ".mode":
+		switch strings.ToLower(arg) {
+		case "stack":
+			p.Mode = core.AddrStack
+		case "hop":
+			p.Mode = core.AddrHop
+		default:
+			return errf(ln, ".mode wants stack or hop, got %q", arg)
+		}
+		*modeSet = true
+	case ".hops":
+		v, err := num()
+		if err != nil {
+			return err
+		}
+		if v < 1 || v > 64 {
+			return errf(ln, ".hops %d out of range", v)
+		}
+		*hops = v
+	case ".perhop":
+		v, err := num()
+		if err != nil {
+			return err
+		}
+		p.PerHopWords = v
+		*perHopSet = true
+	case ".mem":
+		v, err := num()
+		if err != nil {
+			return err
+		}
+		p.MemWords = v
+		*memSet = true
+	case ".appid":
+		v, err := num()
+		if err != nil {
+			return err
+		}
+		p.AppID = uint16(v)
+	case ".flags":
+		for _, f := range strings.Split(strings.ToLower(arg), ",") {
+			switch strings.TrimSpace(f) {
+			case "reflect":
+				p.Flags |= core.FlagReflect
+			case "dropnotify":
+				p.Flags |= core.FlagDropNotify
+			case "":
+			default:
+				return errf(ln, "unknown flag %q", f)
+			}
+		}
+	case ".word":
+		for _, w := range fields[1:] {
+			v, err := strconv.ParseUint(w, 0, 32)
+			if err != nil {
+				return errf(ln, ".word: bad value %q", w)
+			}
+			p.InitMem = append(p.InitMem, uint32(v))
+		}
+	default:
+		return errf(ln, "unknown directive %q", name)
+	}
+	return nil
+}
+
+// parseInsn parses one instruction line. usedHop reports whether any operand
+// used Hop[] addressing.
+func parseInsn(line string, ln int, pushSlots *int) (core.Instruction, bool, error) {
+	var in core.Instruction
+	op, rest, _ := strings.Cut(line, " ")
+	operands, err := splitOperands(rest, ln)
+	if err != nil {
+		return in, false, err
+	}
+	usedHop := false
+
+	parsePacketOp := func(s string) (uint8, error) {
+		off, hop, err := packetOffset(s, ln)
+		if err != nil {
+			return 0, err
+		}
+		if hop {
+			usedHop = true
+		}
+		return off, nil
+	}
+
+	indirect := false
+	switchAddr := func(s string) (mem.Addr, error) {
+		if strings.HasPrefix(s, "[[") && strings.HasSuffix(s, "]]") {
+			// Indirect: the switch address comes from packet memory (§8).
+			// Strip one bracket layer: [[Packet:Hop[1]]] -> [Packet:Hop[1]].
+			indirect = true
+			off, err := parsePacketOp(s[1 : len(s)-1])
+			if err != nil {
+				return 0, err
+			}
+			in.B = off
+			return 0, nil
+		}
+		name := strings.TrimSuffix(strings.TrimPrefix(s, "["), "]")
+		a, err := mem.Resolve(name)
+		if err != nil {
+			return 0, errf(ln, "%v", err)
+		}
+		return a, nil
+	}
+
+	need := func(n int) error {
+		if len(operands) != n {
+			return errf(ln, "%s wants %d operand(s), got %d", op, n, len(operands))
+		}
+		return nil
+	}
+
+	switch strings.ToUpper(op) {
+	case "NOP":
+		in.Op = core.OpNOP
+	case "HALT":
+		in.Op = core.OpHALT
+	case "PUSH", "POP":
+		if err := need(1); err != nil {
+			return in, false, err
+		}
+		a, err := switchAddr(operands[0])
+		if err != nil {
+			return in, false, err
+		}
+		if strings.ToUpper(op) == "PUSH" {
+			in.Op = core.OpPUSH
+		} else {
+			in.Op = core.OpPOP
+		}
+		in.Addr = a
+		// Preassign a hop-relative slot so the same program also executes
+		// under hop addressing (§3.5 serialization).
+		in.A = uint8(*pushSlots)
+		*pushSlots++
+	case "LOAD":
+		if err := need(2); err != nil {
+			return in, false, err
+		}
+		a, err := switchAddr(operands[0])
+		if err != nil {
+			return in, false, err
+		}
+		off, err := parsePacketOp(operands[1])
+		if err != nil {
+			return in, false, err
+		}
+		if indirect {
+			in.Op = core.OpLOADI
+		} else {
+			in.Op = core.OpLOAD
+		}
+		in.Addr = a
+		in.A = off
+	case "LOADI":
+		if err := need(2); err != nil {
+			return in, false, err
+		}
+		dst, err := parsePacketOp(operands[0])
+		if err != nil {
+			return in, false, err
+		}
+		src, err := parsePacketOp(operands[1])
+		if err != nil {
+			return in, false, err
+		}
+		in.Op = core.OpLOADI
+		in.A = dst
+		in.B = src
+	case "STORE":
+		if err := need(2); err != nil {
+			return in, false, err
+		}
+		a, err := switchAddr(operands[0])
+		if err != nil {
+			return in, false, err
+		}
+		off, err := parsePacketOp(operands[1])
+		if err != nil {
+			return in, false, err
+		}
+		in.Op = core.OpSTORE
+		in.Addr = a
+		in.A = off
+	case "CSTORE":
+		if err := need(3); err != nil {
+			return in, false, err
+		}
+		a, err := switchAddr(operands[0])
+		if err != nil {
+			return in, false, err
+		}
+		oldOff, err := parsePacketOp(operands[1])
+		if err != nil {
+			return in, false, err
+		}
+		newOff, err := parsePacketOp(operands[2])
+		if err != nil {
+			return in, false, err
+		}
+		in.Op = core.OpCSTORE
+		in.Addr = a
+		in.A = oldOff
+		in.B = newOff
+	case "CEXEC":
+		if len(operands) != 2 && len(operands) != 3 {
+			return in, false, errf(ln, "CEXEC wants 2 or 3 operands, got %d", len(operands))
+		}
+		a, err := switchAddr(operands[0])
+		if err != nil {
+			return in, false, err
+		}
+		valOff, err := parsePacketOp(operands[1])
+		if err != nil {
+			return in, false, err
+		}
+		in.Op = core.OpCEXEC
+		in.Addr = a
+		in.A = valOff
+		in.B = valOff // B==A means full mask
+		if len(operands) == 3 {
+			maskOff, err := parsePacketOp(operands[2])
+			if err != nil {
+				return in, false, err
+			}
+			in.B = maskOff
+		}
+	default:
+		return in, false, errf(ln, "unknown mnemonic %q", op)
+	}
+	return in, usedHop, nil
+}
+
+// splitOperands splits "a, b, c" respecting brackets.
+func splitOperands(s string, ln int) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth < 0 {
+				return nil, errf(ln, "unbalanced brackets")
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, errf(ln, "unbalanced brackets")
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out, nil
+}
+
+// packetOffset parses a packet-memory operand: [Packet:Hop[3]] (hop
+// relative), [Packet:3] (absolute), or the paper's [Packet:hop[0]] casing.
+func packetOffset(s string, ln int) (off uint8, hopRel bool, err error) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(s, "["), "]")
+	ns, rest, found := strings.Cut(inner, ":")
+	if !found || (ns != "Packet" && ns != "PacketMemory") {
+		return 0, false, errf(ln, "expected [Packet:...] operand, got %q", s)
+	}
+	rest = strings.TrimSpace(rest)
+	lower := strings.ToLower(rest)
+	if strings.HasPrefix(lower, "hop[") {
+		numStr := strings.TrimSuffix(rest[len("hop["):], "]")
+		v, perr := strconv.Atoi(strings.TrimSpace(numStr))
+		if perr != nil || v < 0 || v > core.MaxOperand {
+			return 0, false, errf(ln, "bad hop offset %q", rest)
+		}
+		return uint8(v), true, nil
+	}
+	v, perr := strconv.Atoi(rest)
+	if perr != nil || v < 0 || v > core.MaxOperand {
+		return 0, false, errf(ln, "bad packet offset %q", rest)
+	}
+	return uint8(v), false, nil
+}
+
+// Disassemble renders a program back to assembler text that Assemble accepts.
+func Disassemble(p *core.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".mode %s\n", p.Mode)
+	if p.Mode == core.AddrHop {
+		fmt.Fprintf(&b, ".perhop %d\n", p.PerHopWords)
+	}
+	fmt.Fprintf(&b, ".mem %d\n", p.MemWords)
+	if p.AppID != 0 {
+		fmt.Fprintf(&b, ".appid %d\n", p.AppID)
+	}
+	if p.Flags != 0 {
+		var fs []string
+		if p.Flags&core.FlagReflect != 0 {
+			fs = append(fs, "reflect")
+		}
+		if p.Flags&core.FlagDropNotify != 0 {
+			fs = append(fs, "dropnotify")
+		}
+		if len(fs) > 0 {
+			fmt.Fprintf(&b, ".flags %s\n", strings.Join(fs, ","))
+		}
+	}
+	pkt := func(off uint8) string {
+		if p.Mode == core.AddrHop {
+			return fmt.Sprintf("[Packet:Hop[%d]]", off)
+		}
+		return fmt.Sprintf("[Packet:%d]", off)
+	}
+	for _, in := range p.Insns {
+		switch in.Op {
+		case core.OpNOP:
+			b.WriteString("NOP\n")
+		case core.OpHALT:
+			b.WriteString("HALT\n")
+		case core.OpPUSH, core.OpPOP:
+			fmt.Fprintf(&b, "%s [%s]\n", in.Op, in.Addr)
+		case core.OpLOAD:
+			fmt.Fprintf(&b, "LOAD [%s], %s\n", in.Addr, pkt(in.A))
+		case core.OpLOADI:
+			fmt.Fprintf(&b, "LOADI %s, %s\n", pkt(in.A), pkt(in.B))
+		case core.OpSTORE:
+			fmt.Fprintf(&b, "STORE [%s], %s\n", in.Addr, pkt(in.A))
+		case core.OpCSTORE:
+			fmt.Fprintf(&b, "CSTORE [%s], %s, %s\n", in.Addr, pkt(in.A), pkt(in.B))
+		case core.OpCEXEC:
+			if in.A == in.B {
+				fmt.Fprintf(&b, "CEXEC [%s], %s\n", in.Addr, pkt(in.A))
+			} else {
+				fmt.Fprintf(&b, "CEXEC [%s], %s, %s\n", in.Addr, pkt(in.A), pkt(in.B))
+			}
+		}
+	}
+	// Trim trailing zero words: decoded programs carry the full (mostly
+	// zero) packet memory, which is implied by .mem.
+	initMem := p.InitMem
+	for len(initMem) > 0 && initMem[len(initMem)-1] == 0 {
+		initMem = initMem[:len(initMem)-1]
+	}
+	for _, w := range initMem {
+		fmt.Fprintf(&b, ".word 0x%x\n", w)
+	}
+	return b.String()
+}

@@ -1,0 +1,326 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"minions/internal/core"
+	"minions/internal/mem"
+)
+
+// The paper's example programs, §2.1-§2.5 and §8, must all assemble.
+
+func TestAssembleMicroburst(t *testing.T) {
+	// §2.1: three PUSHes collecting switch ID, port and queue size.
+	p, err := Assemble(`
+		PUSH [Switch:SwitchID]
+		PUSH [PacketMetadata:OutputPort]
+		PUSH [Queue:QueueOccupancy]
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insns) != 3 {
+		t.Fatalf("got %d instructions", len(p.Insns))
+	}
+	if p.Mode != core.AddrStack {
+		t.Errorf("mode = %v", p.Mode)
+	}
+	// Default sizing: 3 words x 5 hops.
+	if p.MemWords != 15 {
+		t.Errorf("MemWords = %d, want 15", p.MemWords)
+	}
+	if p.Insns[2].Addr != mem.MustResolve("Queue:QueueOccupancy") {
+		t.Errorf("queue addr = %v", p.Insns[2].Addr)
+	}
+}
+
+func TestAssembleRCPCollect(t *testing.T) {
+	// §2.2 phase 1.
+	p, err := Assemble(`
+		PUSH [Switch:SwitchID]
+		PUSH [Link:QueueSize]
+		PUSH [Link:RX-Utilization]
+		PUSH [Link:AppSpecific_0]   # Version number
+		PUSH [Link:AppSpecific_1]   # Rfair
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insns) != 5 {
+		t.Fatalf("got %d instructions", len(p.Insns))
+	}
+	if p.MemWords != 25 {
+		t.Errorf("MemWords = %d, want 25", p.MemWords)
+	}
+}
+
+func TestAssembleRCPUpdate(t *testing.T) {
+	// §2.2 phase 3, with the paper's line continuation and PacketMemory
+	// block syntax.
+	p, err := Assemble(`
+		CSTORE [Link:AppSpecific_0], \
+			[Packet:Hop[0]], [Packet:Hop[1]]
+		STORE [Link:AppSpecific_1], [Packet:Hop[2]]
+		PacketMemory:
+		.word 1 2 150
+		.word 1 2 170
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != core.AddrHop {
+		t.Fatalf("Hop[] operands must force hop mode, got %v", p.Mode)
+	}
+	if p.PerHopWords != 3 {
+		t.Errorf("PerHopWords = %d, want 3", p.PerHopWords)
+	}
+	if p.Insns[0].Op != core.OpCSTORE || p.Insns[0].A != 0 || p.Insns[0].B != 1 {
+		t.Errorf("CSTORE parsed as %+v", p.Insns[0])
+	}
+	if p.Insns[1].Op != core.OpSTORE || p.Insns[1].A != 2 {
+		t.Errorf("STORE parsed as %+v", p.Insns[1])
+	}
+	if len(p.InitMem) != 6 || p.InitMem[2] != 150 || p.InitMem[5] != 170 {
+		t.Errorf("InitMem = %v", p.InitMem)
+	}
+}
+
+func TestAssembleNetSight(t *testing.T) {
+	// §2.3: packet-history collection.
+	p, err := Assemble(`
+		.hops 10
+		PUSH [Switch:ID]
+		PUSH [PacketMetadata:MatchedEntryID]
+		PUSH [PacketMetadata:InputPort]
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MemWords != 30 {
+		t.Errorf("MemWords = %d, want 30", p.MemWords)
+	}
+}
+
+func TestAssembleCONGA(t *testing.T) {
+	// §2.4: link utilization probes.
+	p, err := Assemble(`
+		PUSH [Link:ID]
+		PUSH [Link:TX-Utilization]
+		PUSH [Link:TX-Bytes]
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Insns[1].Addr; got != mem.DynOutLinkBase+mem.LinkTXUtil {
+		t.Errorf("TX-Utilization = %v", got)
+	}
+}
+
+func TestAssembleOpenSketch(t *testing.T) {
+	// §2.5: routing context for the bitmap sketch.
+	if _, err := Assemble(`
+		PUSH [Switch:ID]
+		PUSH [PacketMetadata:OutputPort]
+	`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleVendorIndirection(t *testing.T) {
+	// §8: CEXEC on vendor ID plus an indirect load whose target address is
+	// carried in per-hop packet memory.
+	p, err := Assemble(`
+		.mode hop
+		CEXEC [Switch:VendorID], [Packet:Hop[0]]
+		LOAD [[Packet:Hop[1]]], [Packet:Hop[1]]
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insns[0].Op != core.OpCEXEC || p.Insns[0].A != p.Insns[0].B {
+		t.Errorf("CEXEC: %+v", p.Insns[0])
+	}
+	if p.Insns[1].Op != core.OpLOADI || p.Insns[1].A != 1 || p.Insns[1].B != 1 {
+		t.Errorf("indirect LOAD: %+v", p.Insns[1])
+	}
+}
+
+func TestAssembleCEXECWithMask(t *testing.T) {
+	p, err := Assemble(`
+		.mode stack
+		.mem 3
+		CEXEC [Switch:VendorID], [Packet:0], [Packet:1]
+		PUSH [Switch:SwitchID]
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insns[0].A != 0 || p.Insns[0].B != 1 {
+		t.Errorf("masked CEXEC: %+v", p.Insns[0])
+	}
+}
+
+func TestAssembleTargetedExecution(t *testing.T) {
+	// §4.4 "Targeted execution": wrap a TPP with CEXEC on switch ID.
+	p, err := Assemble(`
+		.mode hop
+		.perhop 4
+		.word 0x2A 0 0 0
+		CEXEC [Switch:SwitchID], [Packet:Hop[0]]
+		LOAD [Link:TX-Utilization], [Packet:Hop[1]]
+		LOAD [Link:Queued-Bytes], [Packet:Hop[2]]
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PerHopWords != 4 || p.InitMem[0] != 0x2A {
+		t.Errorf("%+v", p)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":                 "",
+		"unknown mnemonic":      "FROB [Switch:SwitchID]",
+		"unknown register":      "PUSH [Switch:Bogus]",
+		"too many instructions": strings.Repeat("PUSH [Switch:SwitchID]\n", 6),
+		"missing operand":       "LOAD [Switch:SwitchID]",
+		"bad directive":         ".frobnicate 3",
+		"bad mode":              ".mode diagonal\nPUSH [Switch:SwitchID]",
+		"hop op in stack mode":  ".mode stack\nLOAD [Switch:SwitchID], [Packet:Hop[0]]",
+		"bad packet operand":    "LOAD [Switch:SwitchID], [Bogus:3]",
+		"unbalanced brackets":   "PUSH [Switch:SwitchID",
+		"cstore operand count":  "CSTORE [Link:AppSpecific_0], [Packet:0]",
+		"bad hop index":         ".mode hop\nLOAD [Switch:SwitchID], [Packet:Hop[x]]",
+		"mem too large":         ".hops 64\nPUSH [Switch:SwitchID]\nPUSH [Switch:SwitchID]\nPUSH [Switch:SwitchID]",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: assembled without error", name)
+		}
+	}
+}
+
+func TestAssembleLineNumbersInErrors(t *testing.T) {
+	_, err := Assemble("PUSH [Switch:SwitchID]\nFROB x\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	ae, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Line != 2 {
+		t.Errorf("error line = %d, want 2", ae.Line)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	srcs := []string{
+		`
+		PUSH [Switch:SwitchID]
+		PUSH [Queue:QueueOccupancy]
+		`,
+		`
+		CSTORE [Link:AppSpecific_0], [Packet:Hop[0]], [Packet:Hop[1]]
+		STORE [Link:AppSpecific_1], [Packet:Hop[2]]
+		.word 5 6 150
+		`,
+		`
+		.mode stack
+		.mem 4
+		.appid 77
+		.flags reflect,dropnotify
+		CEXEC [Switch:SwitchID], [Packet:0]
+		LOAD [Link:TX-Utilization], [Packet:1]
+		HALT
+		`,
+	}
+	for i, src := range srcs {
+		p1, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("src %d: %v", i, err)
+		}
+		text := Disassemble(p1)
+		p2, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("src %d: reassemble %q: %v", i, text, err)
+		}
+		s1, err := p1.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := p2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(s1) != string(s2) {
+			t.Errorf("src %d: round trip changed encoding\noriginal:\n%s\nreassembled:\n%s", i, src, text)
+		}
+	}
+}
+
+func TestAssembledProgramExecutes(t *testing.T) {
+	// End-to-end: assemble the micro-burst TPP, execute over 2 hops.
+	p := MustAssemble(`
+		PUSH [Switch:SwitchID]
+		PUSH [Queue:QueueOccupancy]
+	`)
+	s, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hop := 0; hop < 2; hop++ {
+		res := core.Exec(s, &core.Env{Mem: core.MapMemory{
+			mem.SwSwitchID:                          uint32(hop + 1),
+			mem.MustResolve("Queue:QueueOccupancy"): uint32(hop * 5),
+		}})
+		if res.Halted {
+			t.Fatalf("hop %d: %+v", hop, res)
+		}
+	}
+	views := s.StackView(2)
+	if len(views) != 2 || views[1].Words[0] != 2 || views[1].Words[1] != 5 {
+		t.Fatalf("views = %+v", views)
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	p, err := Assemble(`
+		# hash comment
+		; semicolon comment
+		// slash comment
+		PUSH [Switch:SwitchID]  # trailing
+		PUSH [Link:QueueSize]   (* paper style *)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insns) != 2 {
+		t.Fatalf("got %d instructions", len(p.Insns))
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble("BOGUS")
+}
+
+func TestExplicitMemDirective(t *testing.T) {
+	p, err := Assemble(`
+		.mem 40
+		.hops 3
+		PUSH [Switch:SwitchID]
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MemWords != 40 {
+		t.Errorf("MemWords = %d", p.MemWords)
+	}
+}

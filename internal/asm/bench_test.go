@@ -1,0 +1,34 @@
+package asm
+
+import "testing"
+
+// BenchmarkAssemble measures compiling the RCP* update program — assembler
+// throughput matters for control planes that generate TPPs per decision.
+func BenchmarkAssemble(b *testing.B) {
+	src := `
+		CSTORE [Link:AppSpecific_0], [Packet:Hop[0]], [Packet:Hop[1]]
+		STORE [Link:AppSpecific_1], [Packet:Hop[2]]
+		.word 1 2 150 1 2 170
+	`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDisassemble measures the reverse direction.
+func BenchmarkDisassemble(b *testing.B) {
+	p := MustAssemble(`
+		PUSH [Switch:SwitchID]
+		PUSH [Link:QueueSize]
+		PUSH [Link:RX-Utilization]
+		PUSH [Link:AppSpecific_0]
+		PUSH [Link:AppSpecific_1]
+	`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Disassemble(p)
+	}
+}

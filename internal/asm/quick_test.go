@@ -1,0 +1,127 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+
+	"minions/internal/core"
+	"minions/internal/mem"
+)
+
+// randomProgram builds a valid random program: the generator for the
+// property tests below.
+func randomProgram(rng *rand.Rand) *core.Program {
+	readable := []mem.Addr{
+		mem.SwSwitchID, mem.SwVersion, mem.SwClockLo,
+		mem.MustResolve("Link:QueueSize"),
+		mem.MustResolve("Link:TX-Utilization"),
+		mem.MustResolve("Queue:QueueOccupancy"),
+		mem.MustResolve("PacketMetadata:InputPort"),
+		mem.MustResolve("Link:AppSpecific_0"),
+		mem.MustResolve("Link:AppSpecific_1"),
+	}
+	hopMode := rng.Intn(2) == 0
+	per := 1 + rng.Intn(4)
+	hops := 1 + rng.Intn(6)
+	p := &core.Program{
+		AppID: uint16(rng.Uint32()),
+		Flags: core.Flags(rng.Intn(4)),
+	}
+	if hopMode {
+		p.Mode = core.AddrHop
+		p.PerHopWords = per
+		p.MemWords = per * hops
+	} else {
+		p.Mode = core.AddrStack
+		p.MemWords = 1 + rng.Intn(40)
+	}
+	nInsns := 1 + rng.Intn(core.MaxInsns)
+	pushSlots := 0 // the assembler numbers PUSH slots in PUSH order
+	for i := 0; i < nInsns; i++ {
+		addr := readable[rng.Intn(len(readable))]
+		var in core.Instruction
+		limit := p.MemWords
+		if hopMode {
+			limit = per
+		}
+		off := uint8(rng.Intn(limit))
+		op := rng.Intn(5)
+		if op == 0 && pushSlots >= limit {
+			op = 1 // no room for another hop-mode PUSH slot
+		}
+		switch op {
+		case 0:
+			in = core.Instruction{Op: core.OpPUSH, A: uint8(pushSlots), Addr: addr}
+			pushSlots++
+		case 1:
+			in = core.Instruction{Op: core.OpLOAD, A: off, Addr: addr}
+		case 2:
+			in = core.Instruction{Op: core.OpSTORE, A: off, Addr: addr}
+		case 3:
+			in = core.Instruction{Op: core.OpCSTORE, A: off, B: uint8(rng.Intn(limit)), Addr: addr}
+		default:
+			in = core.Instruction{Op: core.OpCEXEC, A: off, B: off, Addr: addr}
+		}
+		p.Insns = append(p.Insns, in)
+	}
+	n := rng.Intn(p.MemWords + 1)
+	for i := 0; i < n; i++ {
+		p.InitMem = append(p.InitMem, rng.Uint32())
+	}
+	return p
+}
+
+// TestDisassembleAssembleRandomPrograms: for any valid program, Disassemble
+// produces text that Assemble maps back to the identical wire encoding.
+func TestDisassembleAssembleRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		p1 := randomProgram(rng)
+		if err := p1.Validate(); err != nil {
+			t.Fatalf("iteration %d: generator produced invalid program: %v", i, err)
+		}
+		text := Disassemble(p1)
+		p2, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("iteration %d: reassembly failed: %v\n%s", i, err, text)
+		}
+		p2.AppID = p1.AppID // .appid renders in decimal; equality via encode
+		s1, err1 := p1.Encode()
+		s2, err2 := p2.Encode()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("iteration %d: encode: %v %v", i, err1, err2)
+		}
+		if string(s1) != string(s2) {
+			t.Fatalf("iteration %d: wire encodings differ\noriginal:\n%s\nreassembled:\n%s",
+				i, Disassemble(p1), Disassemble(p2))
+		}
+	}
+}
+
+// TestRandomProgramsExecuteGracefully: no valid program may panic or loop
+// when executed against arbitrary (even empty) switch memory.
+func TestRandomProgramsExecuteGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	memories := []core.SwitchMemory{
+		core.MapMemory{},
+		core.MapMemory{mem.SwSwitchID: 1},
+		core.MemFunc{
+			ReadFn:  func(a mem.Addr) (uint32, bool) { return uint32(a), true },
+			WriteFn: func(a mem.Addr, v uint32) bool { return a >= mem.DynOutLinkBase },
+		},
+	}
+	for i := 0; i < 300; i++ {
+		p := randomProgram(rng)
+		s, err := p.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := memories[i%len(memories)]
+		for hop := 0; hop < 8; hop++ {
+			res := core.Exec(s, &core.Env{Mem: m})
+			if res.Executed+res.Skipped > core.MaxInsns {
+				t.Fatalf("iteration %d: impossible instruction count %+v", i, res)
+			}
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package conga implements CONGA*, the §2.4 end-host refactoring of CONGA's
+// congestion-aware load balancing. The network provides only two things:
+// multipath routes selectable by a packet header tag, and the TPP interface.
+// End-hosts send per-path probe TPPs
+//
+//	PUSH [Link:ID]
+//	PUSH [Link:TX-Utilization]
+//	PUSH [Link:TX-Bytes]
+//
+// every millisecond, build a table Path i -> congestion metric m_i (max or
+// sum of link utilization — deferred to deploy time, as the paper stresses),
+// and steer each flowlet onto the least congested path by setting the tag.
+// The ECMP baseline is the same network with no balancer: switches hash
+// flows statically.
+package conga
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"minions/internal/core"
+	"minions/internal/host"
+	"minions/internal/link"
+	"minions/internal/mem"
+	"minions/internal/sim"
+)
+
+// Aggregation folds per-link congestion into a path metric.
+type Aggregation int
+
+const (
+	// AggMax mirrors CONGA's hardware choice (overflow-safe in switches).
+	AggMax Aggregation = iota
+	// AggSum is "closer to optimal" per the CONGA authors — affordable
+	// here because end-hosts do the aggregation (§2.4).
+	AggSum
+)
+
+// Config tunes a balancer.
+type Config struct {
+	ProbePeriod sim.Time    // per-path probe interval (paper: 1 ms)
+	FlowletGap  sim.Time    // idle gap that opens a new flowlet (500 us)
+	Agg         Aggregation // metric aggregation
+	CandTags    int         // path tags explored during discovery (default 8)
+	Hops        int         // TPP memory budget in hops (default 4)
+	// Hysteresis (permille of utilization) a better path must win by before
+	// a flowlet moves; prevents oscillation on equalized paths.
+	Hysteresis float64
+	// MoveInterval rate-limits path changes to one flowlet per interval so
+	// stale metrics cannot stampede every flowlet at once (default
+	// ProbePeriod).
+	MoveInterval sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbePeriod == 0 {
+		c.ProbePeriod = sim.Millisecond
+	}
+	if c.FlowletGap == 0 {
+		c.FlowletGap = 500 * sim.Microsecond
+	}
+	if c.CandTags == 0 {
+		c.CandTags = 8
+	}
+	if c.Hops == 0 {
+		c.Hops = 4
+	}
+	if c.Hysteresis == 0 {
+		c.Hysteresis = 200
+	}
+	if c.MoveInterval == 0 {
+		c.MoveInterval = 5 * c.ProbePeriod
+	}
+	return c
+}
+
+// pathInfo is one distinct network path toward the destination.
+type pathInfo struct {
+	sig    string // concatenated link IDs
+	tag    uint16 // representative tag steering onto this path
+	metric float64
+	seen   sim.Time
+}
+
+// Balancer performs CONGA* load balancing from one host toward one
+// destination. Attach it to flows via Tagger.
+type Balancer struct {
+	h    *host.Host
+	app  *host.App
+	dst  link.NodeID
+	cfg  Config
+	prog *core.Program
+
+	paths   map[string]*pathInfo
+	byTag   map[uint16]*pathInfo
+	flowlet map[link.FlowKey]*flowletState
+
+	running  bool
+	lastMove sim.Time
+	anyMove  bool
+	// ProbesSent and ProbeBytes account the balancing overhead.
+	ProbesSent uint64
+	ProbeBytes uint64
+	// Moves counts flowlet path changes.
+	Moves uint64
+}
+
+type flowletState struct {
+	tag  uint16
+	last sim.Time
+}
+
+// probeProgram is the §2.4 probe TPP.
+func probeProgram(hops int) *core.Program {
+	return &core.Program{
+		Mode:        core.AddrHop,
+		PerHopWords: 3,
+		MemWords:    3 * hops,
+		Insns: []core.Instruction{
+			{Op: core.OpLOAD, A: 0, Addr: mem.DynOutLinkBase + mem.LinkID},
+			{Op: core.OpLOAD, A: 1, Addr: mem.DynOutLinkBase + mem.LinkTXUtil},
+			{Op: core.OpLOAD, A: 2, Addr: mem.DynOutLinkBase + mem.LinkTXBytes},
+		},
+	}
+}
+
+// NewBalancer creates a balancer for traffic from h to dst.
+func NewBalancer(h *host.Host, app *host.App, dst link.NodeID, cfg Config) *Balancer {
+	cfg = cfg.withDefaults()
+	return &Balancer{
+		h: h, app: app, dst: dst, cfg: cfg,
+		prog:    probeProgram(cfg.Hops),
+		paths:   make(map[string]*pathInfo),
+		byTag:   make(map[uint16]*pathInfo),
+		flowlet: make(map[link.FlowKey]*flowletState),
+	}
+}
+
+// Start launches path discovery and the periodic probe loop.
+func (b *Balancer) Start() {
+	b.running = true
+	// Discovery: probe every candidate tag once; distinct link-ID
+	// signatures identify distinct paths ("the header of the echoed TPP
+	// also contains the path ID"). Tag 0 means "untagged" and is skipped.
+	for tag := 1; tag <= b.cfg.CandTags; tag++ {
+		b.probe(uint16(tag))
+	}
+	b.loop()
+}
+
+// Stop halts probing.
+func (b *Balancer) Stop() { b.running = false }
+
+func (b *Balancer) loop() {
+	if !b.running {
+		return
+	}
+	// Steady state: probe one representative tag per distinct path.
+	for _, p := range b.sortedPaths() {
+		b.probe(p.tag)
+	}
+	b.h.Engine().After(b.cfg.ProbePeriod, b.loop)
+}
+
+func (b *Balancer) probe(tag uint16) {
+	clone := *b.prog
+	err := b.h.ExecuteTPP(b.app, &clone, b.dst, host.ExecOpts{
+		Timeout:     5 * b.cfg.ProbePeriod,
+		MaxAttempts: 1,
+		PathTag:     tag,
+	}, func(view core.Section, err error) {
+		if err == nil {
+			b.onProbe(tag, view)
+		}
+	})
+	if err == nil {
+		b.ProbesSent++
+		b.ProbeBytes += uint64(42 + b.prog.WireLen())
+	}
+}
+
+// onProbe folds one echoed probe into the path table.
+func (b *Balancer) onProbe(tag uint16, view core.Section) {
+	hops := view.HopViews()
+	if len(hops) == 0 {
+		return
+	}
+	var sigB strings.Builder
+	metric := 0.0
+	for i, hv := range hops {
+		sigB.WriteString(strconv.Itoa(int(hv.Words[0])))
+		sigB.WriteByte('-')
+		util := float64(hv.Words[1])
+		// Skip the final host-facing hop when summing: CONGA balances the
+		// switch-switch fabric hops (§2.4).
+		if i == len(hops)-1 && len(hops) > 1 {
+			continue
+		}
+		switch b.cfg.Agg {
+		case AggMax:
+			if util > metric {
+				metric = util
+			}
+		case AggSum:
+			metric += util
+		}
+	}
+	sig := sigB.String()
+	p := b.paths[sig]
+	if p == nil {
+		p = &pathInfo{sig: sig, tag: tag}
+		b.paths[sig] = p
+		b.byTag[tag] = p
+	}
+	p.metric = metric
+	p.seen = b.h.Engine().Now()
+}
+
+// sortedPaths returns paths in stable (signature) order.
+func (b *Balancer) sortedPaths() []*pathInfo {
+	out := make([]*pathInfo, 0, len(b.paths))
+	for _, p := range b.paths {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].sig < out[j].sig })
+	return out
+}
+
+// NumPaths returns the number of distinct paths discovered.
+func (b *Balancer) NumPaths() int { return len(b.paths) }
+
+// bestTag picks the representative tag of the least congested path.
+func (b *Balancer) bestTag() (uint16, bool) {
+	var best *pathInfo
+	for _, p := range b.sortedPaths() {
+		if best == nil || p.metric < best.metric {
+			best = p
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	return best.tag, true
+}
+
+// maybeMove applies the flowlet re-selection policy: move only to a path
+// that beats the current one by the hysteresis margin, and at most one
+// flowlet per MoveInterval (stale metrics otherwise stampede every flowlet
+// onto the same path at once).
+func (b *Balancer) maybeMove(st *flowletState, now sim.Time) {
+	if b.anyMove && now-b.lastMove < b.cfg.MoveInterval {
+		return
+	}
+	cur, ok := b.byTag[st.tag]
+	if !ok {
+		if tag, found := b.bestTag(); found {
+			st.tag = tag
+		}
+		return
+	}
+	var best *pathInfo
+	for _, p := range b.sortedPaths() {
+		if best == nil || p.metric < best.metric {
+			best = p
+		}
+	}
+	if best == nil || best == cur {
+		return
+	}
+	if best.metric < cur.metric-b.cfg.Hysteresis {
+		st.tag = best.tag
+		b.Moves++
+		b.lastMove = now
+		b.anyMove = true
+	}
+}
+
+// Tagger returns the per-packet callback implementing flowlet switching:
+// install it as the flow's Tagger. A new flowlet opens when the flow has
+// been idle longer than FlowletGap; it is pinned to the currently least
+// congested path.
+func (b *Balancer) Tagger() func(p *link.Packet) {
+	return func(p *link.Packet) {
+		now := b.h.Engine().Now()
+		st := b.flowlet[p.Flow]
+		if st == nil {
+			st = &flowletState{}
+			b.flowlet[p.Flow] = st
+			if tag, ok := b.bestTag(); ok {
+				st.tag = tag
+			}
+		} else if now-st.last > b.cfg.FlowletGap {
+			b.maybeMove(st, now)
+		}
+		st.last = now
+		p.PathTag = st.tag
+	}
+}

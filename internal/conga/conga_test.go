@@ -1,0 +1,173 @@
+package conga_test
+
+import (
+	"testing"
+
+	"minions/internal/conga"
+	"minions/internal/link"
+	"minions/internal/sim"
+	"minions/internal/topo"
+	"minions/internal/transport"
+)
+
+// figure4 runs the §2.4 experiment: demands 50 Mb/s (L0->L2, single path)
+// and 120 Mb/s (L1->L2, two paths), with or without CONGA*. It returns the
+// achieved throughputs in Mb/s and the maximum fabric-link utilization in
+// permille.
+func figure4(t *testing.T, useConga bool, agg conga.Aggregation) (thr0, thr1, maxUtil float64) {
+	t.Helper()
+	n := topo.New(9)
+	hosts, _, _ := topo.Conga(n, 100)
+	h0, h1, h2 := hosts[0], hosts[1], hosts[2]
+
+	sink0 := transport.NewSink(h2, 7100, link.ProtoUDP)
+	sink1 := transport.NewSink(h2, 7200, link.ProtoUDP)
+
+	// Demand 50: one flow. Demand 120: eight 15 Mb/s subflows.
+	f0 := transport.NewUDPFlow(h0, h2.ID(), 7100, 7100, 1500)
+	f0.SetRateBps(50_000_000)
+	var subs []*transport.UDPFlow
+	for i := 0; i < 8; i++ {
+		f := transport.NewUDPFlow(h1, h2.ID(), uint16(7200+i), 7200, 1500)
+		f.SetRateBps(15_000_000)
+		subs = append(subs, f)
+	}
+
+	if useConga {
+		app := n.CP.RegisterApp("conga")
+		b := conga.NewBalancer(h1, app, h2.ID(), conga.Config{Agg: agg})
+		b.Start()
+		tagger := b.Tagger()
+		for _, f := range subs {
+			f.Tagger = tagger
+		}
+		defer b.Stop()
+	}
+
+	f0.Start()
+	for _, f := range subs {
+		f.Start()
+	}
+
+	const secs = 3
+	warm := sim.Time(secs-1) * sim.Second
+	n.Eng.RunUntil(warm)
+	b0, b1 := sink0.Bytes, sink1.Bytes
+
+	// Sample fabric utilization during the steady window.
+	maxPm := uint32(0)
+	for i := 0; i < 10; i++ {
+		n.Eng.RunUntil(warm + sim.Time(i+1)*100*sim.Millisecond)
+		for _, l := range n.Links() {
+			if l.RateMbps() != 100 {
+				continue // fabric links only
+			}
+			if pm := l.UtilPermille(); pm > maxPm {
+				maxPm = pm
+			}
+		}
+	}
+	f0.Stop()
+	for _, f := range subs {
+		f.Stop()
+	}
+	toMbps := func(d uint64) float64 { return float64(d) * 8 / float64(1) / 1e6 }
+	return toMbps(sink0.Bytes - b0), toMbps(sink1.Bytes - b1), float64(maxPm)
+}
+
+func TestECMPBaselineCongests(t *testing.T) {
+	thr0, thr1, maxUtil := figure4(t, false, conga.AggSum)
+	total := thr0 + thr1
+	// ECMP: the static hash overloads the S0 path; demand 170 is not met
+	// and some fabric link saturates (paper: 45+115=160, max util 100%).
+	if total > 168 {
+		t.Errorf("ECMP met full demand (%.1f Mb/s) — congestion model broken", total)
+	}
+	if maxUtil < 950 {
+		t.Errorf("ECMP max util = %.0f permille, expected saturation", maxUtil)
+	}
+	if thr0 > 51 {
+		t.Errorf("thr0 = %.1f exceeds demand", thr0)
+	}
+}
+
+func TestCongaMeetsDemandsAndLowersUtil(t *testing.T) {
+	thr0e, thr1e, utilE := figure4(t, false, conga.AggMax)
+	thr0c, thr1c, utilC := figure4(t, true, conga.AggMax)
+
+	// Paper's table: CONGA* achieves ~50 and ~115-120 with max util ~85%.
+	if thr0c < 45 {
+		t.Errorf("CONGA* flow0 = %.1f Mb/s, want ~50", thr0c)
+	}
+	if thr1c < 105 {
+		t.Errorf("CONGA* flow1 = %.1f Mb/s, want ~115", thr1c)
+	}
+	if thr0c+thr1c <= thr0e+thr1e {
+		t.Errorf("CONGA* total %.1f <= ECMP total %.1f", thr0c+thr1c, thr0e+thr1e)
+	}
+	if utilC >= utilE {
+		t.Errorf("CONGA* max util %.0f >= ECMP %.0f", utilC, utilE)
+	}
+	_ = thr0e
+}
+
+func TestCongaDiscoversBothPaths(t *testing.T) {
+	n := topo.New(9)
+	hosts, _, _ := topo.Conga(n, 100)
+	app := n.CP.RegisterApp("conga")
+	b := conga.NewBalancer(hosts[1], app, hosts[2].ID(), conga.Config{})
+	b.Start()
+	n.Eng.RunUntil(100 * sim.Millisecond)
+	b.Stop()
+	if b.NumPaths() != 2 {
+		t.Errorf("discovered %d paths, want 2 (via S0 and S1)", b.NumPaths())
+	}
+}
+
+func TestProbeOverheadSmall(t *testing.T) {
+	// §2.4: "the overhead introduced by TPP packets was minimal (<1% of
+	// the total traffic)".
+	thr0, thr1, _ := figure4(t, true, conga.AggSum)
+	n := topo.New(9)
+	hosts, _, _ := topo.Conga(n, 100)
+	app := n.CP.RegisterApp("conga")
+	b := conga.NewBalancer(hosts[1], app, hosts[2].ID(), conga.Config{})
+	b.Start()
+	n.Eng.RunUntil(sim.Second)
+	b.Stop()
+	probeMbps := float64(b.ProbeBytes) * 8 / 1e6
+	totalMbps := thr0 + thr1
+	if frac := probeMbps / totalMbps; frac > 0.02 {
+		t.Errorf("probe overhead %.2f%% of traffic, want ~<1%%", frac*100)
+	}
+}
+
+func TestAggregationModes(t *testing.T) {
+	// Both aggregations must rebalance; sum is at least as good in total.
+	_, thr1Max, _ := figure4(t, true, conga.AggMax)
+	_, thr1Sum, _ := figure4(t, true, conga.AggSum)
+	if thr1Max < 100 || thr1Sum < 100 {
+		t.Errorf("aggregation modes underperform: max=%.1f sum=%.1f", thr1Max, thr1Sum)
+	}
+}
+
+func TestFlowletStickinessUnderGap(t *testing.T) {
+	n := topo.New(9)
+	hosts, _, _ := topo.Conga(n, 100)
+	app := n.CP.RegisterApp("conga")
+	b := conga.NewBalancer(hosts[1], app, hosts[2].ID(), conga.Config{
+		FlowletGap: sim.Second, // enormous gap: the flow must never move
+	})
+	b.Start()
+	f := transport.NewUDPFlow(hosts[1], hosts[2].ID(), 7300, 7300, 1500)
+	f.SetRateBps(20_000_000)
+	f.Tagger = b.Tagger()
+	transport.NewSink(hosts[2], 7300, link.ProtoUDP)
+	f.Start()
+	n.Eng.RunUntil(2 * sim.Second)
+	f.Stop()
+	b.Stop()
+	if b.Moves != 0 {
+		t.Errorf("flow moved %d times despite 1 s flowlet gap", b.Moves)
+	}
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+
+	"minions/internal/mem"
+)
+
+// SwitchMemory is the view of switch state a TCPU executes against. The
+// implementation (a real pipeline stage in internal/device) resolves dynamic
+// window addresses against the packet currently being forwarded, which is
+// what gives TPPs the paper's "packet-consistent" semantics: reads return
+// the same values the forwarding logic used for this very packet.
+//
+// Read reports ok=false when the address does not exist on this platform;
+// per §3.3 the instruction is then simply not executed ("fails gracefully").
+// Write reports ok=false when the address is absent or read-only.
+type SwitchMemory interface {
+	Read(a mem.Addr) (v uint32, ok bool)
+	Write(a mem.Addr, v uint32) (ok bool)
+}
+
+// Env carries per-hop execution context. AllowWrite implements the switch
+// side of §4.3: the administrator may disable write instructions entirely or
+// per address range; a nil AllowWrite permits all writes the memory accepts.
+type Env struct {
+	Mem        SwitchMemory
+	AllowWrite func(a mem.Addr) bool
+}
+
+// HaltReason says why execution stopped before the last instruction.
+type HaltReason uint8
+
+const (
+	HaltNone            HaltReason = iota
+	HaltCStoreFailed               // CSTORE condition did not hold
+	HaltCExecFailed                // CEXEC masked comparison did not hold
+	HaltInstruction                // explicit HALT opcode
+	HaltBadSection                 // structurally invalid TPP
+	HaltMemoryExhausted            // stack pointer ran off packet memory
+)
+
+// String names the halt reason.
+func (h HaltReason) String() string {
+	switch h {
+	case HaltNone:
+		return "none"
+	case HaltCStoreFailed:
+		return "cstore-failed"
+	case HaltCExecFailed:
+		return "cexec-failed"
+	case HaltInstruction:
+		return "halt-instruction"
+	case HaltBadSection:
+		return "bad-section"
+	case HaltMemoryExhausted:
+		return "memory-exhausted"
+	}
+	return fmt.Sprintf("halt(%d)", uint8(h))
+}
+
+// Result summarizes one hop's execution.
+type Result struct {
+	Executed int // instructions that took effect
+	Skipped  int // instructions skipped for absent/denied memory
+	Halted   bool
+	Reason   HaltReason
+}
+
+// Exec runs every instruction of the TPP section against env, patching the
+// section's packet memory and header in place, and advances the hop counter
+// (hop mode). It implements the execution model of §3.2-3.3:
+//
+//   - packet-memory effects appear in TPP instruction order;
+//   - an instruction addressing switch memory that does not exist is not
+//     executed, but the TPP as a whole continues (graceful failure);
+//   - a failed CSTORE or CEXEC halts all subsequent instructions;
+//   - CSTORE always writes the observed switch value back into operand A, so
+//     the end-host can infer success (§3.3.3);
+//   - writes denied by policy count as failures for CSTORE and skips for
+//     STORE/POP.
+func Exec(s Section, env *Env) Result {
+	if err := s.Validate(); err != nil {
+		return Result{Halted: true, Reason: HaltBadSection}
+	}
+	var res Result
+	mode := s.Mode()
+	memWords := s.MemWords()
+	hop := s.HopOrSP() // hop number (hop mode) or stack pointer (stack mode)
+	perHop := s.PerHopWords()
+
+	// effOff maps an instruction operand to an absolute packet-memory word.
+	effOff := func(op uint8) (int, bool) {
+		w := int(op)
+		if mode == AddrHop {
+			w = hop*perHop + w
+		}
+		return w, w < memWords
+	}
+	writeOK := func(a mem.Addr) bool {
+		return env.AllowWrite == nil || env.AllowWrite(a)
+	}
+
+loop:
+	for i := 0; i < s.InsnCount(); i++ {
+		in := s.Insn(i)
+		switch in.Op {
+		case OpNOP:
+			res.Executed++
+
+		case OpHALT:
+			res.Executed++
+			res.Halted = true
+			res.Reason = HaltInstruction
+			break loop
+
+		case OpLOAD:
+			w, inRange := effOff(in.A)
+			v, ok := env.Mem.Read(in.Addr)
+			if !ok || !inRange {
+				res.Skipped++
+				continue
+			}
+			s.SetWord(w, v)
+			res.Executed++
+
+		case OpLOADI:
+			src, srcOK := effOff(in.B)
+			dst, dstOK := effOff(in.A)
+			if !srcOK || !dstOK {
+				res.Skipped++
+				continue
+			}
+			ind := mem.Addr(s.Word(src) & 0xFFFF)
+			v, ok := env.Mem.Read(ind)
+			if !ok {
+				res.Skipped++
+				continue
+			}
+			s.SetWord(dst, v)
+			res.Executed++
+
+		case OpSTORE:
+			w, inRange := effOff(in.A)
+			if !inRange || !writeOK(in.Addr) {
+				res.Skipped++
+				continue
+			}
+			if !env.Mem.Write(in.Addr, s.Word(w)) {
+				res.Skipped++
+				continue
+			}
+			res.Executed++
+
+		case OpPUSH:
+			var w int
+			var inRange bool
+			if mode == AddrStack {
+				w, inRange = hop, hop < memWords
+			} else {
+				w, inRange = effOff(in.A)
+			}
+			if !inRange {
+				res.Halted = true
+				res.Reason = HaltMemoryExhausted
+				break loop
+			}
+			v, ok := env.Mem.Read(in.Addr)
+			if !ok {
+				res.Skipped++
+				continue
+			}
+			s.SetWord(w, v)
+			if mode == AddrStack {
+				hop++
+			}
+			res.Executed++
+
+		case OpPOP:
+			var w int
+			var inRange bool
+			if mode == AddrStack {
+				w, inRange = hop-1, hop > 0
+			} else {
+				w, inRange = effOff(in.A)
+			}
+			if !inRange {
+				res.Halted = true
+				res.Reason = HaltMemoryExhausted
+				break loop
+			}
+			if !writeOK(in.Addr) || !env.Mem.Write(in.Addr, s.Word(w)) {
+				res.Skipped++
+				continue
+			}
+			if mode == AddrStack {
+				hop--
+			}
+			res.Executed++
+
+		case OpCSTORE:
+			// CSTORE dst, old(A), new(B): §3.3.3 pseudo-code, verbatim.
+			oldW, okA := effOff(in.A)
+			newW, okB := effOff(in.B)
+			if !okA || !okB {
+				res.Skipped++
+				res.Halted = true
+				res.Reason = HaltCStoreFailed
+				break loop
+			}
+			cur, ok := env.Mem.Read(in.Addr)
+			if !ok {
+				res.Skipped++
+				res.Halted = true
+				res.Reason = HaltCStoreFailed
+				break loop
+			}
+			succeeded := false
+			if cur == s.Word(oldW) && writeOK(in.Addr) {
+				if env.Mem.Write(in.Addr, s.Word(newW)) {
+					cur = s.Word(newW)
+					succeeded = true
+				}
+			}
+			// "value at Packet:hop[Pre] = value at X" — always.
+			s.SetWord(oldW, cur)
+			res.Executed++
+			if !succeeded {
+				res.Halted = true
+				res.Reason = HaltCStoreFailed
+				break loop
+			}
+
+		case OpCEXEC:
+			// Halt unless (switch[Addr] & mask) == expected.
+			valW, okA := effOff(in.A)
+			if !okA {
+				res.Skipped++
+				res.Halted = true
+				res.Reason = HaltCExecFailed
+				break loop
+			}
+			mask := ^uint32(0)
+			if in.B != in.A {
+				if mw, okB := effOff(in.B); okB {
+					mask = s.Word(mw)
+				}
+			}
+			sw, ok := env.Mem.Read(in.Addr)
+			if !ok || sw&mask != s.Word(valW) {
+				res.Executed++
+				res.Halted = true
+				res.Reason = HaltCExecFailed
+				break loop
+			}
+			res.Executed++
+
+		default:
+			// Undefined opcode: fail gracefully, skip.
+			res.Skipped++
+		}
+	}
+
+	if mode == AddrHop {
+		hop = s.HopOrSP() + 1 // one hop consumed, regardless of halts
+	}
+	s.SetHopOrSP(hop)
+	return res
+}
+
+// MemFunc adapts read/write closures into a SwitchMemory, handy in tests and
+// for hosts that expose a synthetic address space.
+type MemFunc struct {
+	ReadFn  func(a mem.Addr) (uint32, bool)
+	WriteFn func(a mem.Addr, v uint32) bool
+}
+
+// Read implements SwitchMemory.
+func (m MemFunc) Read(a mem.Addr) (uint32, bool) {
+	if m.ReadFn == nil {
+		return 0, false
+	}
+	return m.ReadFn(a)
+}
+
+// Write implements SwitchMemory.
+func (m MemFunc) Write(a mem.Addr, v uint32) bool {
+	if m.WriteFn == nil {
+		return false
+	}
+	return m.WriteFn(a, v)
+}
+
+// MapMemory is a SwitchMemory backed by a plain map, for tests and examples.
+type MapMemory map[mem.Addr]uint32
+
+// Read implements SwitchMemory.
+func (m MapMemory) Read(a mem.Addr) (uint32, bool) {
+	v, ok := m[a]
+	return v, ok
+}
+
+// Write implements SwitchMemory; only pre-existing addresses are writable,
+// mirroring a fixed hardware register file.
+func (m MapMemory) Write(a mem.Addr, v uint32) bool {
+	if _, ok := m[a]; !ok {
+		return false
+	}
+	m[a] = v
+	return true
+}

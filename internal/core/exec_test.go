@@ -1,0 +1,522 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"minions/internal/mem"
+)
+
+// microburstTPP is the §2.1 program: PUSH switch ID, output port, queue size.
+func microburstTPP(t *testing.T) Section {
+	t.Helper()
+	p := &Program{
+		Insns: []Instruction{
+			{Op: OpPUSH, Addr: mem.MustResolve("Switch:SwitchID")},
+			{Op: OpPUSH, Addr: mem.MustResolve("PacketMetadata:OutputPort")},
+			{Op: OpPUSH, Addr: mem.MustResolve("Queue:QueueOccupancy")},
+		},
+		Mode:     AddrStack,
+		MemWords: 15, // 5 hops x 3 words
+	}
+	s, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func hopMem(id, port, qocc uint32) MapMemory {
+	return MapMemory{
+		mem.MustResolve("Switch:SwitchID"):           id,
+		mem.MustResolve("PacketMetadata:OutputPort"): port,
+		mem.MustResolve("Queue:QueueOccupancy"):      qocc,
+		mem.MustResolve("Link:AppSpecific_0"):        0,
+		mem.MustResolve("Link:AppSpecific_1"):        0,
+	}
+}
+
+func TestExecMicroburstAcrossHops(t *testing.T) {
+	s := microburstTPP(t)
+	// Figure 1a: as the packet traverses hops, SP advances and snapshots
+	// accumulate in order.
+	for hop := 0; hop < 5; hop++ {
+		res := Exec(s, &Env{Mem: hopMem(uint32(hop+1), uint32(hop*2), uint32(hop*3))})
+		if res.Halted || res.Executed != 3 {
+			t.Fatalf("hop %d: %+v", hop, res)
+		}
+		if s.HopOrSP() != (hop+1)*3 {
+			t.Fatalf("hop %d: SP=%d", hop, s.HopOrSP())
+		}
+	}
+	for hop := 0; hop < 5; hop++ {
+		if s.Word(hop*3) != uint32(hop+1) || s.Word(hop*3+1) != uint32(hop*2) || s.Word(hop*3+2) != uint32(hop*3) {
+			t.Errorf("hop %d snapshot: %d %d %d", hop, s.Word(hop*3), s.Word(hop*3+1), s.Word(hop*3+2))
+		}
+	}
+}
+
+func TestExecStackExhaustionHaltsGracefully(t *testing.T) {
+	s := microburstTPP(t) // 15 words = exactly 5 hops
+	for hop := 0; hop < 5; hop++ {
+		Exec(s, &Env{Mem: hopMem(1, 2, 3)})
+	}
+	res := Exec(s, &Env{Mem: hopMem(9, 9, 9)})
+	if !res.Halted || res.Reason != HaltMemoryExhausted {
+		t.Fatalf("6th hop should exhaust memory: %+v", res)
+	}
+	// Earlier snapshots must be intact.
+	if s.Word(0) != 1 || s.Word(14) != 3 {
+		t.Error("exhaustion corrupted earlier snapshots")
+	}
+}
+
+func TestExecGracefulSkipOnAbsentAddress(t *testing.T) {
+	// §3.3: "instructions are not executed if they access memory that
+	// doesn't exist. This ensures the TPP fails gracefully."
+	p := &Program{
+		Insns: []Instruction{
+			{Op: OpPUSH, Addr: 0x0FFF}, // absent
+			{Op: OpPUSH, Addr: mem.SwSwitchID},
+		},
+		Mode:     AddrStack,
+		MemWords: 4,
+	}
+	s, _ := p.Encode()
+	res := Exec(s, &Env{Mem: MapMemory{mem.SwSwitchID: 42}})
+	if res.Halted {
+		t.Fatal("absent address must not halt the TPP")
+	}
+	if res.Skipped != 1 || res.Executed != 1 {
+		t.Fatalf("got %+v", res)
+	}
+	// The switch ID lands at SP=0 because the skipped PUSH did not advance.
+	if s.Word(0) != 42 || s.HopOrSP() != 1 {
+		t.Errorf("word0=%d sp=%d", s.Word(0), s.HopOrSP())
+	}
+}
+
+func TestExecLoadStoreHopMode(t *testing.T) {
+	// The §3.5 serialized form: LOAD into hop-relative slots.
+	p := &Program{
+		Insns: []Instruction{
+			{Op: OpLOAD, A: 0, Addr: mem.SwSwitchID},
+			{Op: OpLOAD, A: 1, Addr: mem.MustResolve("PacketMetadata:InputPort")},
+			{Op: OpSTORE, A: 1, Addr: mem.MustResolve("Link:AppSpecific_0")},
+		},
+		Mode:        AddrHop,
+		PerHopWords: 2,
+		MemWords:    6,
+	}
+	s, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hop := 0; hop < 3; hop++ {
+		m := MapMemory{
+			mem.SwSwitchID: uint32(hop + 10),
+			mem.MustResolve("PacketMetadata:InputPort"): uint32(hop),
+			mem.MustResolve("Link:AppSpecific_0"):       0,
+		}
+		res := Exec(s, &Env{Mem: m})
+		if res.Halted || res.Executed != 3 {
+			t.Fatalf("hop %d: %+v", hop, res)
+		}
+		if got := m[mem.MustResolve("Link:AppSpecific_0")]; got != uint32(hop) {
+			t.Errorf("hop %d: STORE wrote %d", hop, got)
+		}
+		if s.HopOrSP() != hop+1 {
+			t.Errorf("hop counter = %d after hop %d", s.HopOrSP(), hop)
+		}
+	}
+	if s.Word(0) != 10 || s.Word(2) != 11 || s.Word(4) != 12 {
+		t.Errorf("hop-addressed switch IDs: %d %d %d", s.Word(0), s.Word(2), s.Word(4))
+	}
+}
+
+func TestExecCStoreSemantics(t *testing.T) {
+	// Phase 3 of RCP* (§2.2): CSTORE [X], [Packet:Hop[0]], [Packet:Hop[1]]
+	// succeeds only when X still holds the version the end-host saw.
+	target := mem.MustResolve("Link:AppSpecific_0")
+	build := func(old, new uint32) Section {
+		p := &Program{
+			Insns: []Instruction{
+				{Op: OpCSTORE, A: 0, B: 1, Addr: target},
+				{Op: OpLOAD, A: 2, Addr: mem.SwSwitchID}, // gated instruction
+			},
+			Mode:        AddrHop,
+			PerHopWords: 3,
+			MemWords:    3,
+			InitMem:     []uint32{old, new, 0},
+		}
+		s, err := p.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Success: memory holds "old".
+	m := MapMemory{target: 5, mem.SwSwitchID: 99}
+	s := build(5, 6)
+	res := Exec(s, &Env{Mem: m})
+	if res.Halted {
+		t.Fatalf("CSTORE should succeed: %+v", res)
+	}
+	if m[target] != 6 {
+		t.Errorf("switch word = %d, want 6", m[target])
+	}
+	// Success writes the new value back into operand A (§3.3.3: the
+	// end-host infers success by comparing).
+	if s.Word(0) != 6 {
+		t.Errorf("write-back word = %d, want 6", s.Word(0))
+	}
+	if s.Word(2) != 99 {
+		t.Error("gated instruction did not run after success")
+	}
+
+	// Failure: memory holds something else; subsequent insns are halted and
+	// the observed value is written back.
+	m = MapMemory{target: 7, mem.SwSwitchID: 99}
+	s = build(5, 6)
+	res = Exec(s, &Env{Mem: m})
+	if !res.Halted || res.Reason != HaltCStoreFailed {
+		t.Fatalf("CSTORE should fail: %+v", res)
+	}
+	if m[target] != 7 {
+		t.Errorf("failed CSTORE mutated memory: %d", m[target])
+	}
+	if s.Word(0) != 7 {
+		t.Errorf("observed value not written back: %d", s.Word(0))
+	}
+	if s.Word(2) != 0 {
+		t.Error("gated instruction ran after failed CSTORE")
+	}
+}
+
+func TestExecCStoreDeniedWrite(t *testing.T) {
+	target := mem.MustResolve("Link:AppSpecific_0")
+	p := &Program{
+		Insns:    []Instruction{{Op: OpCSTORE, A: 0, B: 1, Addr: target}},
+		Mode:     AddrStack,
+		MemWords: 2,
+		InitMem:  []uint32{5, 6},
+	}
+	s, _ := p.Encode()
+	m := MapMemory{target: 5}
+	res := Exec(s, &Env{Mem: m, AllowWrite: func(mem.Addr) bool { return false }})
+	if !res.Halted || res.Reason != HaltCStoreFailed {
+		t.Fatalf("denied CSTORE should halt: %+v", res)
+	}
+	if m[target] != 5 {
+		t.Error("denied CSTORE wrote anyway")
+	}
+}
+
+func TestExecCExec(t *testing.T) {
+	// §4.4 targeted execution: run the payload only on switch 3.
+	build := func() Section {
+		p := &Program{
+			Insns: []Instruction{
+				{Op: OpCEXEC, A: 0, B: 0, Addr: mem.SwSwitchID}, // B==A: full mask
+				{Op: OpLOAD, A: 1, Addr: mem.MustResolve("Link:TX-Utilization")},
+			},
+			Mode:     AddrStack,
+			MemWords: 2,
+			InitMem:  []uint32{3, 0},
+		}
+		s, err := p.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	util := mem.MustResolve("Link:TX-Utilization")
+
+	s := build()
+	res := Exec(s, &Env{Mem: MapMemory{mem.SwSwitchID: 2, util: 777}})
+	if !res.Halted || res.Reason != HaltCExecFailed {
+		t.Fatalf("CEXEC on wrong switch should halt: %+v", res)
+	}
+	if s.Word(1) != 0 {
+		t.Error("gated LOAD ran on wrong switch")
+	}
+
+	s = build()
+	res = Exec(s, &Env{Mem: MapMemory{mem.SwSwitchID: 3, util: 777}})
+	if res.Halted {
+		t.Fatalf("CEXEC on target switch halted: %+v", res)
+	}
+	if s.Word(1) != 777 {
+		t.Error("gated LOAD did not run on target switch")
+	}
+}
+
+func TestExecCExecMasked(t *testing.T) {
+	// CEXEC with an explicit mask word: match the top byte only.
+	p := &Program{
+		Insns: []Instruction{
+			{Op: OpCEXEC, A: 0, B: 1, Addr: mem.SwVendorID},
+			{Op: OpLOAD, A: 2, Addr: mem.SwSwitchID},
+		},
+		Mode:     AddrStack,
+		MemWords: 3,
+		InitMem:  []uint32{0xAB000000, 0xFF000000, 0},
+	}
+	s, _ := p.Encode()
+	res := Exec(s, &Env{Mem: MapMemory{mem.SwVendorID: 0xABCDEF12, mem.SwSwitchID: 5}})
+	if res.Halted {
+		t.Fatalf("masked CEXEC should match: %+v", res)
+	}
+	if s.Word(2) != 5 {
+		t.Error("gated LOAD skipped")
+	}
+}
+
+func TestExecPop(t *testing.T) {
+	target := mem.MustResolve("Link:AppSpecific_1")
+	p := &Program{
+		Insns: []Instruction{
+			{Op: OpPUSH, Addr: mem.SwSwitchID},
+			{Op: OpPOP, Addr: target},
+		},
+		Mode:     AddrStack,
+		MemWords: 4,
+	}
+	s, _ := p.Encode()
+	m := MapMemory{mem.SwSwitchID: 31, target: 0}
+	res := Exec(s, &Env{Mem: m})
+	if res.Executed != 2 {
+		t.Fatalf("%+v", res)
+	}
+	if m[target] != 31 {
+		t.Errorf("POP wrote %d", m[target])
+	}
+	if s.HopOrSP() != 0 {
+		t.Errorf("SP=%d after push+pop", s.HopOrSP())
+	}
+}
+
+func TestExecPopEmptyStackHalts(t *testing.T) {
+	p := &Program{
+		Insns:    []Instruction{{Op: OpPOP, Addr: mem.SwSwitchID}},
+		Mode:     AddrStack,
+		MemWords: 4,
+	}
+	s, _ := p.Encode()
+	res := Exec(s, &Env{Mem: MapMemory{mem.SwSwitchID: 1}})
+	if !res.Halted || res.Reason != HaltMemoryExhausted {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestExecHaltInstruction(t *testing.T) {
+	p := &Program{
+		Insns: []Instruction{
+			{Op: OpHALT},
+			{Op: OpPUSH, Addr: mem.SwSwitchID},
+		},
+		Mode:     AddrStack,
+		MemWords: 2,
+	}
+	s, _ := p.Encode()
+	res := Exec(s, &Env{Mem: MapMemory{mem.SwSwitchID: 1}})
+	if !res.Halted || res.Reason != HaltInstruction || s.HopOrSP() != 0 {
+		t.Fatalf("%+v sp=%d", res, s.HopOrSP())
+	}
+}
+
+func TestExecLoadIndirect(t *testing.T) {
+	// §8 heterogeneity: the packet carries a platform-specific address.
+	p := &Program{
+		Insns:       []Instruction{{Op: OpLOADI, A: 1, B: 1, Addr: 0}},
+		Mode:        AddrHop,
+		PerHopWords: 2,
+		MemWords:    4,
+		// hop0: [_, 0xF0A0] -> loads vendor register 0xF0A0 into word 1.
+		InitMem: []uint32{0, 0xF0A0, 0, 0xF0B0},
+	}
+	s, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	Exec(s, &Env{Mem: MapMemory{0xF0A0: 1234}})
+	if s.Word(1) != 1234 {
+		t.Errorf("indirect load got %d", s.Word(1))
+	}
+	// Second hop reads a different vendor address, per-hop data.
+	Exec(s, &Env{Mem: MapMemory{0xF0B0: 4321}})
+	if s.Word(3) != 4321 {
+		t.Errorf("indirect load hop2 got %d", s.Word(3))
+	}
+}
+
+func TestExecStoreDeniedByPolicy(t *testing.T) {
+	target := mem.MustResolve("Link:AppSpecific_0")
+	p := &Program{
+		Insns:    []Instruction{{Op: OpSTORE, A: 0, Addr: target}},
+		Mode:     AddrStack,
+		MemWords: 1,
+		InitMem:  []uint32{99},
+	}
+	s, _ := p.Encode()
+	m := MapMemory{target: 1}
+	res := Exec(s, &Env{Mem: m, AllowWrite: func(mem.Addr) bool { return false }})
+	if res.Skipped != 1 || m[target] != 1 {
+		t.Fatalf("denied STORE executed: %+v mem=%d", res, m[target])
+	}
+}
+
+func TestExecBadSection(t *testing.T) {
+	res := Exec(Section{0x10, 0}, &Env{Mem: MapMemory{}})
+	if !res.Halted || res.Reason != HaltBadSection {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestExecWriteSupersedesForwarding(t *testing.T) {
+	// §3.2: "writes by a TPP supersede those performed by forwarding logic".
+	// The MapMemory carries the forwarding logic's value; after a STORE the
+	// packet-visible value must be the TPP's.
+	target := mem.MustResolve("Link:AppSpecific_0")
+	p := &Program{
+		Insns: []Instruction{
+			{Op: OpSTORE, A: 0, Addr: target},
+			{Op: OpLOAD, A: 1, Addr: target},
+		},
+		Mode:     AddrStack,
+		MemWords: 2,
+		InitMem:  []uint32{555, 0},
+	}
+	s, _ := p.Encode()
+	m := MapMemory{target: 1}
+	Exec(s, &Env{Mem: m})
+	if s.Word(1) != 555 {
+		t.Errorf("read after write returned %d, want 555", s.Word(1))
+	}
+}
+
+// Property: executing the canonical PUSH program over N hops yields exactly
+// the per-hop values in order, for any N within memory bounds.
+func TestExecStackOrderQuick(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 20 {
+			vals = vals[:20]
+		}
+		p := &Program{
+			Insns:    []Instruction{{Op: OpPUSH, Addr: mem.SwSwitchID}},
+			Mode:     AddrStack,
+			MemWords: len(vals),
+		}
+		s, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			Exec(s, &Env{Mem: MapMemory{mem.SwSwitchID: v}})
+		}
+		for i, v := range vals {
+			if s.Word(i) != v {
+				return false
+			}
+		}
+		return s.HopOrSP() == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a stack-mode PUSH program and its §3.5 hop-mode serialization
+// (PUSHes converted to hop-relative LOADs) produce identical packet memory.
+func TestExecStackHopEquivalenceQuick(t *testing.T) {
+	addrs := []mem.Addr{
+		mem.SwSwitchID,
+		mem.MustResolve("PacketMetadata:OutputPort"),
+		mem.MustResolve("Queue:QueueOccupancy"),
+	}
+	f := func(seed int64, hops uint8) bool {
+		n := int(hops%5) + 1
+		stack := &Program{Mode: AddrStack, MemWords: n * len(addrs)}
+		hopP := &Program{Mode: AddrHop, PerHopWords: len(addrs), MemWords: n * len(addrs)}
+		for i, a := range addrs {
+			stack.Insns = append(stack.Insns, Instruction{Op: OpPUSH, Addr: a})
+			hopP.Insns = append(hopP.Insns, Instruction{Op: OpLOAD, A: uint8(i), Addr: a})
+		}
+		s1, err1 := stack.Encode()
+		s2, err2 := hopP.Encode()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for h := 0; h < n; h++ {
+			m := MapMemory{
+				addrs[0]: uint32(seed) + uint32(h),
+				addrs[1]: uint32(h * 3),
+				addrs[2]: uint32(h * 7),
+			}
+			Exec(s1, &Env{Mem: m})
+			Exec(s2, &Env{Mem: m})
+		}
+		for w := 0; w < n*len(addrs); w++ {
+			if s1.Word(w) != s2.Word(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkExecMicroburstTPP(b *testing.B) {
+	p := &Program{
+		Insns: []Instruction{
+			{Op: OpPUSH, Addr: mem.SwSwitchID},
+			{Op: OpPUSH, Addr: mem.MustResolve("PacketMetadata:OutputPort")},
+			{Op: OpPUSH, Addr: mem.MustResolve("Queue:QueueOccupancy")},
+		},
+		Mode:     AddrStack,
+		MemWords: 15,
+	}
+	s, err := p.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := hopMemBench()
+	env := &Env{Mem: m}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.SetHopOrSP(0)
+		Exec(s, env)
+	}
+}
+
+func hopMemBench() MapMemory {
+	return MapMemory{
+		mem.SwSwitchID: 1,
+		mem.MustResolve("PacketMetadata:OutputPort"): 2,
+		mem.MustResolve("Queue:QueueOccupancy"):      3,
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	p := &Program{
+		Insns:    []Instruction{{Op: OpPUSH, Addr: mem.SwSwitchID}},
+		Mode:     AddrStack,
+		MemWords: 10,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := p.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

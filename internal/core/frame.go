@@ -1,0 +1,245 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file implements the two parse graphs of Figure 7a. A TPP is carried
+// either
+//
+//	transparent: Ethernet(type=0x6666) | TPP | encapsulated payload
+//	standalone:  Ethernet(0x0800) | IPv4(proto=17) | UDP(dst=0x6666) | TPP
+//
+// The decoder is deliberately gopacket-shaped: fixed layer structs decoded
+// in place from a []byte with zero copies, plus serialization helpers that
+// build frames back up.
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String formats the address in canonical colon form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Well-known EtherTypes used by the parse graph.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeARP  = 0x0806
+)
+
+// Ethernet is the decoded L2 header.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+const ethernetLen = 14
+
+// IPv4 is the subset of the IP header the TPP stack needs.
+type IPv4 struct {
+	IHL      int // header length in bytes
+	TotalLen int
+	Protocol uint8
+	TTL      uint8
+	Src, Dst [4]byte
+}
+
+// IPProtoUDP is the IP protocol number for UDP.
+const IPProtoUDP = 17
+
+// UDP is the decoded transport header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           int
+}
+
+const udpLen = 8
+
+// FrameKind says which Figure 7a path a frame took.
+type FrameKind uint8
+
+const (
+	FrameNonTPP      FrameKind = iota // ordinary traffic
+	FrameTransparent                  // Ethernet-encapsulated TPP
+	FrameStandalone                   // UDP dport 0x6666 TPP
+)
+
+// String names the frame kind.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameTransparent:
+		return "transparent"
+	case FrameStandalone:
+		return "standalone"
+	}
+	return "non-tpp"
+}
+
+// Frame is a decoded Ethernet frame. TPP and Payload alias the input buffer.
+type Frame struct {
+	Kind    FrameKind
+	Eth     Ethernet
+	IP      IPv4 // valid when HasIP
+	UDP     UDP  // valid when HasUDP
+	HasIP   bool
+	HasUDP  bool
+	TPP     Section // nil when Kind == FrameNonTPP
+	Payload []byte  // bytes after the last decoded header
+}
+
+// Frame decode errors.
+var (
+	ErrFrameTooShort = errors.New("core: frame too short")
+	ErrBadIPHeader   = errors.New("core: bad IPv4 header")
+)
+
+// ParseFrame decodes a frame along the Figure 7a parse graph. The returned
+// Frame aliases data; callers that need to retain it must copy (gopacket's
+// NoCopy contract).
+func ParseFrame(data []byte) (Frame, error) {
+	var f Frame
+	if len(data) < ethernetLen {
+		return f, ErrFrameTooShort
+	}
+	copy(f.Eth.Dst[:], data[0:6])
+	copy(f.Eth.Src[:], data[6:12])
+	f.Eth.EtherType = binary.BigEndian.Uint16(data[12:14])
+	rest := data[ethernetLen:]
+
+	if f.Eth.EtherType == EtherTypeTPP {
+		s := Section(rest)
+		if err := s.Validate(); err != nil {
+			return f, fmt.Errorf("core: transparent TPP: %w", err)
+		}
+		f.Kind = FrameTransparent
+		f.TPP = s[:s.Len()]
+		f.Payload = rest[s.Len():]
+		return f, nil
+	}
+
+	if f.Eth.EtherType != EtherTypeIPv4 {
+		f.Kind = FrameNonTPP
+		f.Payload = rest
+		return f, nil
+	}
+	if len(rest) < 20 {
+		return f, ErrFrameTooShort
+	}
+	if rest[0]>>4 != 4 {
+		return f, ErrBadIPHeader
+	}
+	f.IP.IHL = int(rest[0]&0x0F) * 4
+	if f.IP.IHL < 20 || len(rest) < f.IP.IHL {
+		return f, ErrBadIPHeader
+	}
+	f.IP.TotalLen = int(binary.BigEndian.Uint16(rest[2:4]))
+	f.IP.TTL = rest[8]
+	f.IP.Protocol = rest[9]
+	copy(f.IP.Src[:], rest[12:16])
+	copy(f.IP.Dst[:], rest[16:20])
+	f.HasIP = true
+	rest = rest[f.IP.IHL:]
+
+	if f.IP.Protocol != IPProtoUDP {
+		f.Kind = FrameNonTPP
+		f.Payload = rest
+		return f, nil
+	}
+	if len(rest) < udpLen {
+		return f, ErrFrameTooShort
+	}
+	f.UDP.SrcPort = binary.BigEndian.Uint16(rest[0:2])
+	f.UDP.DstPort = binary.BigEndian.Uint16(rest[2:4])
+	f.UDP.Length = int(binary.BigEndian.Uint16(rest[4:6]))
+	f.HasUDP = true
+	rest = rest[udpLen:]
+
+	// Figure 7a: udp.dstport == 0x6666 selects the standalone TPP branch.
+	if f.UDP.DstPort != UDPPortTPP {
+		f.Kind = FrameNonTPP
+		f.Payload = rest
+		return f, nil
+	}
+	s := Section(rest)
+	if err := s.Validate(); err != nil {
+		return f, fmt.Errorf("core: standalone TPP: %w", err)
+	}
+	f.Kind = FrameStandalone
+	f.TPP = s[:s.Len()]
+	f.Payload = rest[s.Len():]
+	return f, nil
+}
+
+// BuildTransparent assembles Ethernet(0x6666)|TPP|payload. The TPP's
+// EncapProto field should already name the payload's original EtherType so
+// the receiving shim can restore the packet (§4.2 interposition).
+func BuildTransparent(dst, src MAC, tpp Section, payload []byte) []byte {
+	out := make([]byte, ethernetLen+len(tpp)+len(payload))
+	copy(out[0:6], dst[:])
+	copy(out[6:12], src[:])
+	binary.BigEndian.PutUint16(out[12:14], EtherTypeTPP)
+	copy(out[ethernetLen:], tpp)
+	copy(out[ethernetLen+len(tpp):], payload)
+	return out
+}
+
+// BuildStandalone assembles Ethernet|IPv4|UDP(dst 0x6666)|TPP, the shape the
+// TPP executor library uses for probe packets (§4.4).
+func BuildStandalone(dst, src MAC, srcIP, dstIP [4]byte, srcPort uint16, tpp Section) []byte {
+	udpTotal := udpLen + len(tpp)
+	ipTotal := 20 + udpTotal
+	out := make([]byte, ethernetLen+ipTotal)
+	copy(out[0:6], dst[:])
+	copy(out[6:12], src[:])
+	binary.BigEndian.PutUint16(out[12:14], EtherTypeIPv4)
+
+	ip := out[ethernetLen:]
+	ip[0] = 0x45
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipTotal))
+	ip[8] = 64 // TTL
+	ip[9] = IPProtoUDP
+	copy(ip[12:16], srcIP[:])
+	copy(ip[16:20], dstIP[:])
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip[:20]))
+
+	udp := ip[20:]
+	binary.BigEndian.PutUint16(udp[0:2], srcPort)
+	binary.BigEndian.PutUint16(udp[2:4], UDPPortTPP)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(udpTotal))
+	copy(udp[udpLen:], tpp)
+	return out
+}
+
+// ipChecksum computes the IPv4 header checksum with the checksum field
+// assumed zero in hdr.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// StripTPP rebuilds the original frame from a transparent-mode TPP frame,
+// restoring the encapsulated EtherType — what the receive-side shim does
+// before handing the packet to the network stack (§4.2).
+func StripTPP(f Frame) ([]byte, error) {
+	if f.Kind != FrameTransparent {
+		return nil, fmt.Errorf("core: StripTPP on %v frame", f.Kind)
+	}
+	out := make([]byte, ethernetLen+len(f.Payload))
+	copy(out[0:6], f.Eth.Dst[:])
+	copy(out[6:12], f.Eth.Src[:])
+	binary.BigEndian.PutUint16(out[12:14], f.TPP.EncapProto())
+	copy(out[ethernetLen:], f.Payload)
+	return out, nil
+}

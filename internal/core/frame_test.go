@@ -1,0 +1,225 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"minions/internal/mem"
+)
+
+func testTPP(t *testing.T) Section {
+	t.Helper()
+	p := &Program{
+		Insns:      []Instruction{{Op: OpPUSH, Addr: mem.SwSwitchID}},
+		Mode:       AddrStack,
+		MemWords:   5,
+		EncapProto: EtherTypeIPv4,
+	}
+	s, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var (
+	macA = MAC{0, 1, 2, 3, 4, 5}
+	macB = MAC{6, 7, 8, 9, 10, 11}
+)
+
+func TestParseTransparentFrame(t *testing.T) {
+	tpp := testTPP(t)
+	inner := []byte{0x45, 0x00, 0x00, 0x14} // start of an IP packet
+	frame := BuildTransparent(macB, macA, tpp, inner)
+
+	f, err := ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameTransparent {
+		t.Fatalf("kind = %v", f.Kind)
+	}
+	if f.Eth.Dst != macB || f.Eth.Src != macA || f.Eth.EtherType != EtherTypeTPP {
+		t.Errorf("ethernet header: %+v", f.Eth)
+	}
+	if !bytes.Equal(f.TPP, tpp) {
+		t.Error("TPP bytes mismatched")
+	}
+	if !bytes.Equal(f.Payload, inner) {
+		t.Error("payload mismatched")
+	}
+}
+
+func TestStripTPPRestoresOriginal(t *testing.T) {
+	tpp := testTPP(t)
+	// A minimal valid inner IPv4 packet (20-byte header, protocol ICMP).
+	inner := make([]byte, 20)
+	inner[0] = 0x45
+	inner[2], inner[3] = 0, 20
+	inner[8], inner[9] = 64, 1
+	frame := BuildTransparent(macB, macA, tpp, inner)
+	f, err := ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := StripTPP(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := ParseFrame(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Kind != FrameNonTPP || rf.Eth.EtherType != EtherTypeIPv4 {
+		t.Fatalf("restored frame: kind=%v type=%#04x", rf.Kind, rf.Eth.EtherType)
+	}
+	if !bytes.Equal(restored[ethernetLen:], inner) {
+		t.Error("restored payload differs")
+	}
+	if _, err := StripTPP(rf); err == nil {
+		t.Error("StripTPP on non-TPP frame should fail")
+	}
+}
+
+func TestParseStandaloneFrame(t *testing.T) {
+	tpp := testTPP(t)
+	srcIP := [4]byte{10, 0, 0, 1}
+	dstIP := [4]byte{10, 0, 0, 2}
+	frame := BuildStandalone(macB, macA, srcIP, dstIP, 40000, tpp)
+
+	f, err := ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameStandalone {
+		t.Fatalf("kind = %v", f.Kind)
+	}
+	if !f.HasIP || !f.HasUDP {
+		t.Fatal("missing IP/UDP layers")
+	}
+	if f.IP.Src != srcIP || f.IP.Dst != dstIP || f.IP.Protocol != IPProtoUDP {
+		t.Errorf("IP header: %+v", f.IP)
+	}
+	if f.UDP.SrcPort != 40000 || f.UDP.DstPort != UDPPortTPP {
+		t.Errorf("UDP header: %+v", f.UDP)
+	}
+	if !bytes.Equal(f.TPP, tpp) {
+		t.Error("TPP bytes mismatched")
+	}
+}
+
+func TestParseNonTPPUDP(t *testing.T) {
+	tpp := testTPP(t)
+	frame := BuildStandalone(macB, macA, [4]byte{1, 1, 1, 1}, [4]byte{2, 2, 2, 2}, 40000, tpp)
+	// Rewrite the UDP destination port: no longer a TPP frame (Fig 7a's
+	// udp.dstport != 0x6666 branch).
+	frame[ethernetLen+20+2] = 0x12
+	frame[ethernetLen+20+3] = 0x34
+	f, err := ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameNonTPP {
+		t.Fatalf("kind = %v", f.Kind)
+	}
+	if !f.HasUDP || f.UDP.DstPort != 0x1234 {
+		t.Errorf("UDP: %+v", f.UDP)
+	}
+}
+
+func TestParseARPFrame(t *testing.T) {
+	frame := make([]byte, 42)
+	copy(frame[0:6], macB[:])
+	copy(frame[6:12], macA[:])
+	frame[12] = 0x08
+	frame[13] = 0x06 // ARP
+	f, err := ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameNonTPP || f.HasIP {
+		t.Fatalf("%+v", f)
+	}
+}
+
+func TestParseFrameErrors(t *testing.T) {
+	if _, err := ParseFrame(make([]byte, 5)); err == nil {
+		t.Error("short frame accepted")
+	}
+	// Transparent frame with truncated TPP.
+	tpp := testTPP(t)
+	frame := BuildTransparent(macB, macA, tpp, nil)
+	if _, err := ParseFrame(frame[:ethernetLen+4]); err == nil {
+		t.Error("truncated TPP accepted")
+	}
+	// IPv4 with bad version nibble.
+	bad := make([]byte, ethernetLen+20)
+	copy(bad[0:6], macB[:])
+	binary := []byte{0x08, 0x00}
+	copy(bad[12:14], binary)
+	bad[ethernetLen] = 0x65 // version 6
+	if _, err := ParseFrame(bad); err == nil {
+		t.Error("bad IP version accepted")
+	}
+}
+
+func TestMACString(t *testing.T) {
+	if macA.String() != "00:01:02:03:04:05" {
+		t.Errorf("MAC string: %s", macA.String())
+	}
+}
+
+func TestFrameKindString(t *testing.T) {
+	if FrameTransparent.String() != "transparent" ||
+		FrameStandalone.String() != "standalone" ||
+		FrameNonTPP.String() != "non-tpp" {
+		t.Error("FrameKind strings wrong")
+	}
+}
+
+func TestExecOnParsedFrameInPlace(t *testing.T) {
+	// End-to-end within core: build a frame, parse it, execute the TPP
+	// through the frame's view, and confirm the frame's bytes changed in
+	// place (the no-grow/no-shrink property of Figure 1a).
+	tpp := testTPP(t)
+	frame := BuildTransparent(macB, macA, tpp, nil)
+	f, err := ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]byte(nil), frame...)
+	Exec(f.TPP, &Env{Mem: MapMemory{mem.SwSwitchID: 0xAB}})
+	if bytes.Equal(before, frame) {
+		t.Fatal("execution did not mutate the frame in place")
+	}
+	if len(before) != len(frame) {
+		t.Fatal("frame length changed")
+	}
+	f2, err := ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.TPP.Word(0) != 0xAB || f2.TPP.HopOrSP() != 1 {
+		t.Errorf("executed values not visible on re-parse: %d sp=%d", f2.TPP.Word(0), f2.TPP.HopOrSP())
+	}
+}
+
+func BenchmarkParseFrameTransparent(b *testing.B) {
+	p := &Program{
+		Insns:    []Instruction{{Op: OpPUSH, Addr: mem.SwSwitchID}},
+		Mode:     AddrStack,
+		MemWords: 10,
+	}
+	tpp, err := p.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := BuildTransparent(macB, macA, tpp, make([]byte, 1000))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseFrame(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

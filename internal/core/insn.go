@@ -1,0 +1,157 @@
+// Package core implements the tiny packet program (TPP) wire format and the
+// TCPU execution engine of §3 of the paper: a 12-byte header, at most five
+// 4-byte instructions, and a preallocated packet memory that instructions
+// copy switch state into (and out of). The format is fixed-layout so a switch
+// can execute a TPP by patching words in place, never growing or shrinking
+// the packet — exactly the property the paper's hardware design relies on.
+package core
+
+import (
+	"fmt"
+
+	"minions/internal/mem"
+)
+
+// Opcode is a TPP instruction opcode (Table 1 of the paper, plus NOP/HALT
+// and the indirect load used by the §8 device-heterogeneity scheme).
+type Opcode uint8
+
+const (
+	OpNOP    Opcode = 0 // do nothing
+	OpLOAD   Opcode = 1 // packet[A] = switch[Addr]
+	OpSTORE  Opcode = 2 // switch[Addr] = packet[A]
+	OpPUSH   Opcode = 3 // packet[SP++] = switch[Addr]
+	OpPOP    Opcode = 4 // switch[Addr] = packet[--SP]
+	OpCSTORE Opcode = 5 // atomic conditional store, halts program on failure
+	OpCEXEC  Opcode = 6 // conditional execute: halt unless masked match
+	OpHALT   Opcode = 7 // unconditionally stop executing this TPP
+	OpLOADI  Opcode = 8 // packet[A] = switch[packet[B] & 0xFFFF] (indirect)
+)
+
+// String returns the assembler mnemonic for the opcode.
+func (o Opcode) String() string {
+	switch o {
+	case OpNOP:
+		return "NOP"
+	case OpLOAD:
+		return "LOAD"
+	case OpSTORE:
+		return "STORE"
+	case OpPUSH:
+		return "PUSH"
+	case OpPOP:
+		return "POP"
+	case OpCSTORE:
+		return "CSTORE"
+	case OpCEXEC:
+		return "CEXEC"
+	case OpHALT:
+		return "HALT"
+	case OpLOADI:
+		return "LOADI"
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// Valid reports whether the opcode is defined.
+func (o Opcode) Valid() bool { return o <= OpLOADI }
+
+// Writes reports whether the opcode writes to switch memory. TPP-CP's static
+// analysis uses this to enforce the §4.3 write restrictions.
+func (o Opcode) Writes() bool { return o == OpSTORE || o == OpPOP || o == OpCSTORE }
+
+// Instruction is one decoded 32-bit TPP instruction word.
+//
+//	[31:28] opcode
+//	[27:22] operand A — packet-memory word offset
+//	[21:16] operand B — packet-memory word offset
+//	[15:0]  switch address
+//
+// Operand use per opcode:
+//
+//	LOAD/STORE: A = packet word (hop-relative in hop mode)
+//	PUSH/POP:   A = preassigned slot for hop-mode execution (§3.5)
+//	CSTORE:     A = "old" word, B = "new" word; observed value written to A
+//	CEXEC:      A = expected value word, B = mask word (B==A means mask ~0)
+//	LOADI:      A = destination word, B = word holding the indirect address
+type Instruction struct {
+	Op   Opcode
+	A, B uint8 // 6-bit packet-memory word offsets
+	Addr mem.Addr
+}
+
+// MaxOperand is the largest encodable packet-memory word offset.
+const MaxOperand = 1<<6 - 1
+
+// Encode packs the instruction into its 32-bit wire form.
+func (in Instruction) Encode() uint32 {
+	return uint32(in.Op&0xF)<<28 |
+		uint32(in.A&MaxOperand)<<22 |
+		uint32(in.B&MaxOperand)<<16 |
+		uint32(in.Addr)
+}
+
+// DecodeInsn unpacks a 32-bit instruction word.
+func DecodeInsn(w uint32) Instruction {
+	return Instruction{
+		Op:   Opcode(w >> 28),
+		A:    uint8(w>>22) & MaxOperand,
+		B:    uint8(w>>16) & MaxOperand,
+		Addr: mem.Addr(w),
+	}
+}
+
+// Check validates operand ranges against a packet memory of memWords words
+// in the given addressing mode.
+func (in Instruction) Check(mode AddrMode, memWords, perHop int) error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("core: invalid opcode %d", in.Op)
+	}
+	limit := memWords
+	if mode == AddrHop {
+		// Hop-relative operands must fit within one hop's slice.
+		limit = perHop
+	}
+	needsA := false
+	switch in.Op {
+	case OpLOAD, OpSTORE, OpLOADI:
+		needsA = true
+	case OpCSTORE:
+		needsA = true
+		if int(in.B) >= limit {
+			return fmt.Errorf("core: %v operand B=%d outside memory (%d words)", in.Op, in.B, limit)
+		}
+	case OpCEXEC:
+		needsA = true
+		if in.B != in.A && int(in.B) >= limit {
+			return fmt.Errorf("core: %v mask operand B=%d outside memory (%d words)", in.Op, in.B, limit)
+		}
+	}
+	if needsA && int(in.A) >= limit {
+		return fmt.Errorf("core: %v operand A=%d outside memory (%d words)", in.Op, in.A, limit)
+	}
+	return nil
+}
+
+// String disassembles the instruction using canonical mnemonics.
+func (in Instruction) String() string {
+	a := in.Addr.String()
+	switch in.Op {
+	case OpNOP, OpHALT:
+		return in.Op.String()
+	case OpPUSH, OpPOP:
+		return fmt.Sprintf("%s [%s]", in.Op, a)
+	case OpLOAD, OpSTORE:
+		return fmt.Sprintf("%s [%s], [Packet:%d]", in.Op, a, in.A)
+	case OpCSTORE:
+		return fmt.Sprintf("CSTORE [%s], [Packet:%d], [Packet:%d]", a, in.A, in.B)
+	case OpCEXEC:
+		if in.A == in.B {
+			return fmt.Sprintf("CEXEC [%s], [Packet:%d]", a, in.A)
+		}
+		return fmt.Sprintf("CEXEC [%s], [Packet:%d], [Packet:%d]", a, in.A, in.B)
+	case OpLOADI:
+		return fmt.Sprintf("LOADI [[Packet:%d]], [Packet:%d]", in.B, in.A)
+	}
+	return fmt.Sprintf("%s ?", in.Op)
+}

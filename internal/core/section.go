@@ -1,0 +1,347 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// AddrMode selects how instructions address packet memory (§3.3.2).
+type AddrMode uint8
+
+const (
+	// AddrStack manages memory with the header stack pointer; PUSH appends.
+	AddrStack AddrMode = 0
+	// AddrHop addresses word base*PerHopWords+offset, the paper's
+	// base:offset x86-style scheme; the hop number lives in the header.
+	AddrHop AddrMode = 1
+)
+
+// String names the mode for diagnostics.
+func (m AddrMode) String() string {
+	if m == AddrHop {
+		return "hop"
+	}
+	return "stack"
+}
+
+// Flags is the TPP header flag byte.
+type Flags uint8
+
+const (
+	// FlagReflect asks switches configured for reflection to bounce the TPP
+	// back toward its source (§4.4 "Reflective TPP").
+	FlagReflect Flags = 1 << iota
+	// FlagDropNotify asks switches to mirror the TPP to the drop collector
+	// instead of silently discarding it on queue overflow (§2.6).
+	FlagDropNotify
+	// FlagEchoed marks a standalone TPP that has been echoed back to the
+	// sender by the receiver's dataplane shim (§4.2).
+	FlagEchoed
+)
+
+// Wire-format constants.
+const (
+	Version      = 1
+	HeaderLen    = 12
+	InsnSize     = 4
+	WordSize     = 4
+	MaxInsns     = 5   // the paper's line-rate bound: at most 5 instructions
+	MaxMemWords  = 128 // bounded in practice by the MTU (§3.3)
+	EtherTypeTPP = 0x6666
+	UDPPortTPP   = 0x6666
+)
+
+// Section is a raw TPP section (header + instructions + packet memory) laid
+// out in a packet buffer. All accessors operate in place so a switch can
+// execute a TPP without allocating or reshaping the packet, in the spirit of
+// gopacket's DecodingLayer fast path.
+type Section []byte
+
+// Errors returned by Validate.
+var (
+	ErrTooShort    = errors.New("core: TPP section shorter than its header claims")
+	ErrBadVersion  = errors.New("core: unsupported TPP version")
+	ErrBadInsns    = errors.New("core: instruction count outside 1..5")
+	ErrBadMem      = errors.New("core: packet memory size out of range")
+	ErrBadChecksum = errors.New("core: TPP checksum mismatch")
+)
+
+// Validate checks structural invariants. It does not verify the checksum
+// (switches skip that on the fast path; end-hosts call VerifyChecksum).
+func (s Section) Validate() error {
+	if len(s) < HeaderLen {
+		return ErrTooShort
+	}
+	if s[0]>>4 != Version {
+		return ErrBadVersion
+	}
+	n := int(s[1])
+	if n < 1 || n > MaxInsns {
+		return ErrBadInsns
+	}
+	w := int(s[2])
+	if w > MaxMemWords {
+		return ErrBadMem
+	}
+	if len(s) < HeaderLen+n*InsnSize+w*WordSize {
+		return ErrTooShort
+	}
+	return nil
+}
+
+// Len returns the full byte length of the TPP section.
+func (s Section) Len() int {
+	return HeaderLen + s.InsnCount()*InsnSize + s.MemWords()*WordSize
+}
+
+// Mode returns the packet-memory addressing mode.
+func (s Section) Mode() AddrMode { return AddrMode(s[0] & 0x0F) }
+
+// InsnCount returns the number of instructions.
+func (s Section) InsnCount() int { return int(s[1]) }
+
+// MemWords returns the packet memory size in 32-bit words.
+func (s Section) MemWords() int { return int(s[2]) }
+
+// HopOrSP returns the raw hop/stack-pointer byte.
+func (s Section) HopOrSP() int { return int(s[3]) }
+
+// SetHopOrSP updates the hop/stack-pointer byte.
+func (s Section) SetHopOrSP(v int) { s[3] = uint8(v) }
+
+// PerHopWords returns the per-hop memory length in words (hop mode).
+func (s Section) PerHopWords() int { return int(s[4]) }
+
+// Flags returns the header flag byte.
+func (s Section) Flags() Flags { return Flags(s[5]) }
+
+// SetFlags updates the header flag byte.
+func (s Section) SetFlags(f Flags) { s[5] = uint8(f) }
+
+// AppID returns the wire application handle.
+func (s Section) AppID() uint16 { return binary.BigEndian.Uint16(s[6:8]) }
+
+// EncapProto returns the EtherType of an encapsulated payload (0 = none).
+func (s Section) EncapProto() uint16 { return binary.BigEndian.Uint16(s[8:10]) }
+
+// Insn decodes instruction i.
+func (s Section) Insn(i int) Instruction {
+	off := HeaderLen + i*InsnSize
+	return DecodeInsn(binary.BigEndian.Uint32(s[off : off+4]))
+}
+
+// memOff returns the byte offset of packet-memory word w.
+func (s Section) memOff(w int) int {
+	return HeaderLen + s.InsnCount()*InsnSize + w*WordSize
+}
+
+// Word reads packet-memory word w.
+func (s Section) Word(w int) uint32 {
+	off := s.memOff(w)
+	return binary.BigEndian.Uint32(s[off : off+4])
+}
+
+// SetWord writes packet-memory word w in place.
+func (s Section) SetWord(w int, v uint32) {
+	off := s.memOff(w)
+	binary.BigEndian.PutUint32(s[off:off+4], v)
+}
+
+// Memory returns the packet-memory region as a sub-slice (no copy).
+func (s Section) Memory() []byte {
+	start := HeaderLen + s.InsnCount()*InsnSize
+	return s[start : start+s.MemWords()*WordSize]
+}
+
+// Words copies the packet memory out as a word slice.
+func (s Section) Words() []uint32 {
+	out := make([]uint32, s.MemWords())
+	for i := range out {
+		out[i] = s.Word(i)
+	}
+	return out
+}
+
+// checksum computes the RFC 1071 Internet checksum over the header and
+// instructions with the checksum field treated as zero. Packet memory is
+// excluded: it mutates at every hop and switches must not pay to re-checksum
+// the whole section per hop.
+func (s Section) checksum() uint16 {
+	end := HeaderLen + s.InsnCount()*InsnSize
+	var sum uint32
+	for i := 0; i < end; i += 2 {
+		if i == 10 { // checksum field itself
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(s[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// UpdateChecksum recomputes and stores the header checksum.
+func (s Section) UpdateChecksum() {
+	binary.BigEndian.PutUint16(s[10:12], s.checksum())
+}
+
+// VerifyChecksum reports whether the stored checksum matches the contents.
+func (s Section) VerifyChecksum() bool {
+	return binary.BigEndian.Uint16(s[10:12]) == s.checksum()
+}
+
+// Clone returns an independent copy of the section.
+func (s Section) Clone() Section {
+	return append(Section(nil), s[:s.Len()]...)
+}
+
+// Program is the builder-side representation of a TPP.
+type Program struct {
+	Insns       []Instruction
+	Mode        AddrMode
+	PerHopWords int // hop mode: words reserved per hop
+	MemWords    int // total packet memory words
+	AppID       uint16
+	Flags       Flags
+	EncapProto  uint16
+	InitMem     []uint32 // initial packet-memory contents (may be shorter
+	// than MemWords; the rest is zero)
+	StartHop int // initial hop/SP value (normally 0)
+}
+
+// Validate checks the program against wire-format limits (§3.3: a TPP must
+// fit within an MTU, carry 1..5 instructions, and its operands must address
+// memory that exists).
+func (p *Program) Validate() error {
+	if len(p.Insns) == 0 || len(p.Insns) > MaxInsns {
+		return ErrBadInsns
+	}
+	if p.MemWords < 0 || p.MemWords > MaxMemWords {
+		return ErrBadMem
+	}
+	if len(p.InitMem) > p.MemWords {
+		return fmt.Errorf("core: %d initial words exceed %d-word memory", len(p.InitMem), p.MemWords)
+	}
+	if p.Mode == AddrHop && p.PerHopWords <= 0 {
+		return fmt.Errorf("core: hop mode requires PerHopWords > 0")
+	}
+	if p.Mode != AddrStack && p.Mode != AddrHop {
+		return fmt.Errorf("core: unknown addressing mode %d", p.Mode)
+	}
+	for i, in := range p.Insns {
+		if err := in.Check(p.Mode, p.MemWords, p.PerHopWords); err != nil {
+			return fmt.Errorf("core: instruction %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WireLen returns the encoded size in bytes.
+func (p *Program) WireLen() int {
+	return HeaderLen + len(p.Insns)*InsnSize + p.MemWords*WordSize
+}
+
+// Encode serializes the program into a fresh TPP section with a valid
+// checksum.
+func (p *Program) Encode() (Section, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := make(Section, p.WireLen())
+	s[0] = Version<<4 | uint8(p.Mode)&0x0F
+	s[1] = uint8(len(p.Insns))
+	s[2] = uint8(p.MemWords)
+	s[3] = uint8(p.StartHop)
+	s[4] = uint8(p.PerHopWords)
+	s[5] = uint8(p.Flags)
+	binary.BigEndian.PutUint16(s[6:8], p.AppID)
+	binary.BigEndian.PutUint16(s[8:10], p.EncapProto)
+	for i, in := range p.Insns {
+		off := HeaderLen + i*InsnSize
+		binary.BigEndian.PutUint32(s[off:off+4], in.Encode())
+	}
+	for i, w := range p.InitMem {
+		s.SetWord(i, w)
+	}
+	s.UpdateChecksum()
+	return s, nil
+}
+
+// Decode parses a TPP section back into a Program (copying packet memory).
+func Decode(b []byte) (*Program, error) {
+	s := Section(b)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.VerifyChecksum() {
+		return nil, ErrBadChecksum
+	}
+	p := &Program{
+		Mode:        s.Mode(),
+		PerHopWords: s.PerHopWords(),
+		MemWords:    s.MemWords(),
+		AppID:       s.AppID(),
+		Flags:       s.Flags(),
+		EncapProto:  s.EncapProto(),
+		StartHop:    s.HopOrSP(),
+		InitMem:     s.Words(),
+	}
+	for i := 0; i < s.InsnCount(); i++ {
+		p.Insns = append(p.Insns, s.Insn(i))
+	}
+	return p, nil
+}
+
+// HopView is a decoded per-hop slice of a fully executed hop-mode TPP, the
+// structure end-hosts use to interpret collected statistics (§2.1: "the
+// end-host knows exactly how to interpret values in the packet").
+type HopView struct {
+	Hop   int
+	Words []uint32
+}
+
+// HopViews splits a hop-mode section's memory into per-hop slices, one per
+// hop the TPP executed on.
+func (s Section) HopViews() []HopView {
+	if s.Mode() != AddrHop || s.PerHopWords() == 0 {
+		return nil
+	}
+	hops := s.HopOrSP()
+	per := s.PerHopWords()
+	max := s.MemWords() / per
+	if hops > max {
+		hops = max
+	}
+	out := make([]HopView, 0, hops)
+	for h := 0; h < hops; h++ {
+		words := make([]uint32, per)
+		for i := 0; i < per; i++ {
+			words[i] = s.Word(h*per + i)
+		}
+		out = append(out, HopView{Hop: h, Words: words})
+	}
+	return out
+}
+
+// StackView splits a stack-mode section's pushed words into per-hop groups
+// of size wordsPerHop (the number of PUSH instructions in the program).
+func (s Section) StackView(wordsPerHop int) []HopView {
+	if wordsPerHop <= 0 {
+		return nil
+	}
+	sp := s.HopOrSP()
+	if sp > s.MemWords() {
+		sp = s.MemWords()
+	}
+	out := make([]HopView, 0, sp/wordsPerHop)
+	for h := 0; (h+1)*wordsPerHop <= sp; h++ {
+		words := make([]uint32, wordsPerHop)
+		for i := 0; i < wordsPerHop; i++ {
+			words[i] = s.Word(h*wordsPerHop + i)
+		}
+		out = append(out, HopView{Hop: h, Words: words})
+	}
+	return out
+}

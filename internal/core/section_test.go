@@ -1,0 +1,319 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"minions/internal/mem"
+)
+
+func mustEncode(t *testing.T, p *Program) Section {
+	t.Helper()
+	s, err := p.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return s
+}
+
+func TestProgramEncodeDecodeRoundTrip(t *testing.T) {
+	p := &Program{
+		Insns: []Instruction{
+			{Op: OpPUSH, Addr: mem.MustResolve("Switch:SwitchID")},
+			{Op: OpPUSH, Addr: mem.MustResolve("PacketMetadata:OutputPort")},
+			{Op: OpPUSH, Addr: mem.MustResolve("Queue:QueueOccupancy")},
+		},
+		Mode:     AddrStack,
+		MemWords: 15,
+		AppID:    0xBEEF,
+		Flags:    FlagDropNotify,
+		InitMem:  []uint32{1, 2, 3},
+	}
+	s := mustEncode(t, p)
+	got, err := Decode(s)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.Insns, p.Insns) {
+		t.Errorf("instructions: got %v want %v", got.Insns, p.Insns)
+	}
+	if got.AppID != p.AppID || got.Flags != p.Flags || got.MemWords != p.MemWords {
+		t.Errorf("header fields mismatched: %+v vs %+v", got, p)
+	}
+	if got.InitMem[0] != 1 || got.InitMem[1] != 2 || got.InitMem[2] != 3 || got.InitMem[3] != 0 {
+		t.Errorf("memory: %v", got.InitMem)
+	}
+}
+
+func TestSectionHeaderAccessors(t *testing.T) {
+	p := &Program{
+		Insns:       []Instruction{{Op: OpLOAD, A: 1, Addr: 0x0001}},
+		Mode:        AddrHop,
+		PerHopWords: 3,
+		MemWords:    12,
+		AppID:       7,
+		EncapProto:  EtherTypeIPv4,
+		StartHop:    2,
+	}
+	s := mustEncode(t, p)
+	if s.Mode() != AddrHop || s.PerHopWords() != 3 || s.MemWords() != 12 {
+		t.Errorf("geometry accessors wrong: %v %v %v", s.Mode(), s.PerHopWords(), s.MemWords())
+	}
+	if s.HopOrSP() != 2 || s.AppID() != 7 || s.EncapProto() != EtherTypeIPv4 {
+		t.Errorf("field accessors wrong")
+	}
+	if s.Len() != HeaderLen+1*InsnSize+12*WordSize {
+		t.Errorf("Len = %d", s.Len())
+	}
+	s.SetHopOrSP(5)
+	if s.HopOrSP() != 5 {
+		t.Error("SetHopOrSP failed")
+	}
+	s.SetFlags(FlagReflect | FlagEchoed)
+	if s.Flags() != FlagReflect|FlagEchoed {
+		t.Error("SetFlags failed")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	p := &Program{
+		Insns:    []Instruction{{Op: OpPUSH, Addr: 0x0001}, {Op: OpPUSH, Addr: 0xB000}},
+		Mode:     AddrStack,
+		MemWords: 10,
+	}
+	s := mustEncode(t, p)
+	if !s.VerifyChecksum() {
+		t.Fatal("fresh section fails checksum")
+	}
+	// Corrupt an instruction: must be detected.
+	s[HeaderLen] ^= 0xFF
+	if s.VerifyChecksum() {
+		t.Error("corrupted instruction passed checksum")
+	}
+	s[HeaderLen] ^= 0xFF
+	// Mutating packet memory must NOT invalidate the checksum (switches
+	// patch memory per hop without re-checksumming).
+	s.SetWord(3, 0xDEADBEEF)
+	if !s.VerifyChecksum() {
+		t.Error("memory mutation broke header checksum")
+	}
+	// Decode enforces the checksum.
+	s[1] = 3 // grow instruction count without updating checksum
+	if _, err := Decode(s); err == nil {
+		t.Error("Decode accepted corrupted header")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Program
+	}{
+		{"no instructions", Program{Mode: AddrStack, MemWords: 4}},
+		{"too many instructions", Program{
+			Insns:    make([]Instruction, 6),
+			Mode:     AddrStack,
+			MemWords: 4,
+		}},
+		{"memory too large", Program{
+			Insns:    []Instruction{{Op: OpNOP}},
+			Mode:     AddrStack,
+			MemWords: MaxMemWords + 1,
+		}},
+		{"hop mode without per-hop size", Program{
+			Insns:    []Instruction{{Op: OpNOP}},
+			Mode:     AddrHop,
+			MemWords: 4,
+		}},
+		{"operand outside memory", Program{
+			Insns:    []Instruction{{Op: OpLOAD, A: 9, Addr: 1}},
+			Mode:     AddrStack,
+			MemWords: 4,
+		}},
+		{"hop operand outside per-hop slice", Program{
+			Insns:       []Instruction{{Op: OpLOAD, A: 3, Addr: 1}},
+			Mode:        AddrHop,
+			PerHopWords: 2,
+			MemWords:    12,
+		}},
+		{"init memory overflow", Program{
+			Insns:    []Instruction{{Op: OpNOP}},
+			Mode:     AddrStack,
+			MemWords: 2,
+			InitMem:  []uint32{1, 2, 3},
+		}},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); err == nil {
+			t.Errorf("%s: Validate unexpectedly passed", c.name)
+		}
+	}
+}
+
+func TestSectionValidateTruncation(t *testing.T) {
+	p := &Program{
+		Insns:    []Instruction{{Op: OpPUSH, Addr: 1}},
+		Mode:     AddrStack,
+		MemWords: 8,
+	}
+	s := mustEncode(t, p)
+	for cut := 0; cut < s.Len(); cut += 5 {
+		if err := Section(s[:cut]).Validate(); err == nil {
+			t.Errorf("truncated section of %d bytes validated", cut)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("full section: %v", err)
+	}
+}
+
+func TestInsnEncodeDecodeQuick(t *testing.T) {
+	f := func(op, a, b uint8, addr uint16) bool {
+		in := Instruction{
+			Op:   Opcode(op % 9),
+			A:    a & MaxOperand,
+			B:    b & MaxOperand,
+			Addr: mem.Addr(addr),
+		}
+		return DecodeInsn(in.Encode()) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProgramRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		n := 1 + rng.Intn(MaxInsns)
+		words := rng.Intn(MaxMemWords + 1)
+		p := &Program{
+			Mode:     AddrStack,
+			MemWords: words,
+			AppID:    uint16(rng.Uint32()),
+			Flags:    Flags(rng.Intn(8)),
+		}
+		for i := 0; i < n; i++ {
+			p.Insns = append(p.Insns, Instruction{
+				Op:   OpPUSH, // operands always valid
+				Addr: mem.Addr(rng.Uint32()),
+			})
+		}
+		for i := 0; i < words; i++ {
+			p.InitMem = append(p.InitMem, rng.Uint32())
+		}
+		s, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		q, err := Decode(s)
+		if err != nil {
+			return false
+		}
+		s2, err := q.Encode()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(s, s2)
+	}
+	for i := 0; i < 300; i++ {
+		if !f() {
+			t.Fatalf("round trip failed at iteration %d", i)
+		}
+	}
+}
+
+func TestHopViews(t *testing.T) {
+	p := &Program{
+		Insns: []Instruction{
+			{Op: OpLOAD, A: 0, Addr: mem.SwSwitchID},
+			{Op: OpLOAD, A: 1, Addr: mem.DynOutQueueBase + mem.QueueOccPackets},
+		},
+		Mode:        AddrHop,
+		PerHopWords: 2,
+		MemWords:    10,
+	}
+	s := mustEncode(t, p)
+	// Simulate three hops.
+	for hop := 0; hop < 3; hop++ {
+		env := &Env{Mem: MapMemory{
+			mem.SwSwitchID: uint32(100 + hop),
+			mem.DynOutQueueBase + mem.QueueOccPackets: uint32(7 * hop),
+		}}
+		Exec(s, env)
+	}
+	views := s.HopViews()
+	if len(views) != 3 {
+		t.Fatalf("got %d hop views, want 3", len(views))
+	}
+	for h, v := range views {
+		if v.Words[0] != uint32(100+h) || v.Words[1] != uint32(7*h) {
+			t.Errorf("hop %d: words %v", h, v.Words)
+		}
+	}
+}
+
+func TestStackView(t *testing.T) {
+	p := &Program{
+		Insns: []Instruction{
+			{Op: OpPUSH, Addr: mem.SwSwitchID},
+			{Op: OpPUSH, Addr: mem.DynOutQueueBase},
+		},
+		Mode:     AddrStack,
+		MemWords: 10,
+	}
+	s := mustEncode(t, p)
+	for hop := 0; hop < 4; hop++ {
+		env := &Env{Mem: MapMemory{
+			mem.SwSwitchID:      uint32(hop + 1),
+			mem.DynOutQueueBase: uint32(hop * 10),
+		}}
+		Exec(s, env)
+	}
+	views := s.StackView(2)
+	if len(views) != 4 {
+		t.Fatalf("got %d views, want 4", len(views))
+	}
+	for h, v := range views {
+		if v.Words[0] != uint32(h+1) || v.Words[1] != uint32(h*10) {
+			t.Errorf("hop %d: %v", h, v.Words)
+		}
+	}
+	if s.StackView(0) != nil {
+		t.Error("StackView(0) should be nil")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := &Program{
+		Insns:    []Instruction{{Op: OpPUSH, Addr: 1}},
+		Mode:     AddrStack,
+		MemWords: 4,
+	}
+	s := mustEncode(t, p)
+	c := s.Clone()
+	c.SetWord(0, 42)
+	if s.Word(0) == 42 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestInstructionStrings(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: OpPUSH, Addr: mem.MustResolve("Queue:QueueOccupancy")},
+			"PUSH [Queue:QueueOccupancy]"},
+		{Instruction{Op: OpNOP}, "NOP"},
+		{Instruction{Op: OpHALT}, "HALT"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package device
+
+import (
+	"testing"
+
+	"minions/internal/asm"
+	"minions/internal/link"
+	"minions/internal/sim"
+)
+
+// BenchmarkSwitchForwardPlain measures the per-packet cost of the full
+// ingress pipeline without a TPP.
+func BenchmarkSwitchForwardPlain(b *testing.B) {
+	eng := sim.New(1)
+	sw := New(eng, Config{ID: 1, NumPorts: 4, NodeID: 1001})
+	dst := &sink{eng: eng}
+	sw.AttachLink(1, link.New(eng, link.Config{RateBps: 1 << 40, QueueBytes: 1 << 30}, dst, 0), 1)
+	sw.AddRoute(200, 1)
+	p := &link.Packet{
+		Flow: link.FlowKey{Src: 100, Dst: 200, SrcPort: 7, DstPort: 8, Proto: 17},
+		Size: 1000,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.TTL = 64
+		sw.Receive(p, 0)
+		if eng.Pending() > 4096 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkSwitchForwardWithTPP adds the TCPU execution of the 3-PUSH
+// micro-burst program to every packet.
+func BenchmarkSwitchForwardWithTPP(b *testing.B) {
+	eng := sim.New(1)
+	sw := New(eng, Config{ID: 1, NumPorts: 4, NodeID: 1001})
+	dst := &sink{eng: eng}
+	sw.AttachLink(1, link.New(eng, link.Config{RateBps: 1 << 40, QueueBytes: 1 << 30}, dst, 0), 1)
+	sw.AddRoute(200, 1)
+	prog := asm.MustAssemble(`
+		PUSH [Switch:SwitchID]
+		PUSH [PacketMetadata:OutputPort]
+		PUSH [Queue:QueueOccupancy]
+	`)
+	s, err := prog.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &link.Packet{
+		Flow: link.FlowKey{Src: 100, Dst: 200, SrcPort: 7, DstPort: 8, Proto: 17},
+		Size: 1000,
+		TPP:  s,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.TTL = 64
+		p.TPP.SetHopOrSP(0)
+		sw.Receive(p, 0)
+		if eng.Pending() > 4096 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}

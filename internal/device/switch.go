@@ -1,0 +1,337 @@
+// Package device implements a TPP-capable switch: the abstract dataplane
+// pipeline of Figure 6 (parse → match-action routing with versioned tables →
+// output queues), the distributed TCPU of §3.5 executing TPPs against a
+// packet-consistent memory view, per-port/per-queue statistics blocks
+// (appendix Tables 6-8), write access control (§4.3), reflection and
+// targeted execution support (§4.4), drop notifications (§2.6), and in-band
+// route updates ("Fast network updates", §2.6).
+package device
+
+import (
+	"fmt"
+
+	"minions/internal/core"
+	"minions/internal/link"
+	"minions/internal/mem"
+	"minions/internal/sim"
+)
+
+// Port is one switch port: an optional egress link plus receive-side
+// counters and the software-managed AppSpecific registers of §2.2.
+type Port struct {
+	Out    *link.Link // egress; nil when nothing is attached
+	LinkID uint32     // network-unique link identifier ([Link:ID])
+
+	rxBytes   uint64
+	rxPackets uint64
+	appSpec   [8]uint32
+}
+
+// RxStats returns receive-side byte and packet counters.
+func (p *Port) RxStats() (bytes, packets uint64) { return p.rxBytes, p.rxPackets }
+
+// AppSpecific returns the current value of AppSpecific register i.
+func (p *Port) AppSpecific(i int) uint32 { return p.appSpec[i] }
+
+// SetAppSpecific sets AppSpecific register i (control-plane path).
+func (p *Port) SetAppSpecific(i int, v uint32) { p.appSpec[i] = v }
+
+// RouteEntry is one routing-table entry: a destination bound to an ECMP
+// group of output ports, with the per-entry statistics block of Table 6.
+type RouteEntry struct {
+	Dst   link.NodeID
+	Ports []int // ECMP group; selection hashes the flow key and path tag
+
+	id          uint32
+	insertClock sim.Time
+	matchPkts   uint64
+	matchBytes  uint64
+}
+
+// DropReason classifies switch-local packet drops.
+type DropReason uint8
+
+const (
+	DropNoRoute DropReason = iota
+	DropTTLExpired
+	DropQueueFull
+	DropNoLink
+)
+
+// String names the reason.
+func (d DropReason) String() string {
+	switch d {
+	case DropNoRoute:
+		return "no-route"
+	case DropTTLExpired:
+		return "ttl-expired"
+	case DropQueueFull:
+		return "queue-full"
+	case DropNoLink:
+		return "no-link"
+	}
+	return "unknown"
+}
+
+// Config configures a switch.
+type Config struct {
+	ID       uint32
+	VendorID uint32
+	NumPorts int
+	// NodeID is the switch's own address for targeted standalone TPPs
+	// (§4.4: "creates a UDP packet and sends it to the switch IP").
+	NodeID link.NodeID
+	// ReflectTPPs enables §4.4 reflective TPPs: a TPP with FlagReflect is
+	// executed and bounced straight back toward its source.
+	ReflectTPPs bool
+}
+
+// Switch is a TPP-capable switch.
+type Switch struct {
+	eng *sim.Engine
+	cfg Config
+
+	ports []Port
+
+	routes      map[link.NodeID]*RouteEntry
+	version     uint32 // forwarding-state generation ([Switch:Version])
+	nextEntryID uint32
+	lookupPkts  uint64
+	lookupBytes uint64
+	matchPkts   uint64
+	matchBytes  uint64
+
+	// vendorMem backs the platform-specific address space (§8), including
+	// the in-band route-update registers.
+	vendorMem map[mem.Addr]uint32
+	// pendingRouteDst holds the staged destination for an in-band route add.
+	pendingRouteDst uint32
+
+	// writePolicy, when set, gates TPP writes per wire application handle.
+	writePolicy func(appID uint16, a mem.Addr) bool
+	// denyAllWrites is the administrator kill switch of §4.3.
+	denyAllWrites bool
+
+	// OnDrop observes every locally dropped packet.
+	OnDrop func(p *link.Packet, reason DropReason)
+	// DropCollector, when set, receives clones of dropped TPP packets that
+	// set FlagDropNotify (§2.6 loss localization).
+	DropCollector func(p *link.Packet, reason DropReason)
+
+	drops map[DropReason]uint64
+}
+
+// New creates a switch with cfg.NumPorts unconnected ports.
+func New(eng *sim.Engine, cfg Config) *Switch {
+	if cfg.NumPorts <= 0 || cfg.NumPorts > mem.MaxPorts {
+		panic(fmt.Sprintf("device: invalid port count %d", cfg.NumPorts))
+	}
+	return &Switch{
+		eng:       eng,
+		cfg:       cfg,
+		ports:     make([]Port, cfg.NumPorts),
+		routes:    make(map[link.NodeID]*RouteEntry),
+		vendorMem: make(map[mem.Addr]uint32),
+		drops:     make(map[DropReason]uint64),
+	}
+}
+
+// ID returns the switch identifier.
+func (sw *Switch) ID() uint32 { return sw.cfg.ID }
+
+// NodeID returns the switch's own network address.
+func (sw *Switch) NodeID() link.NodeID { return sw.cfg.NodeID }
+
+// Port returns port i.
+func (sw *Switch) Port(i int) *Port { return &sw.ports[i] }
+
+// NumPorts returns the port count.
+func (sw *Switch) NumPorts() int { return len(sw.ports) }
+
+// AttachLink connects port i to an egress link.
+func (sw *Switch) AttachLink(i int, l *link.Link, linkID uint32) {
+	sw.ports[i].Out = l
+	sw.ports[i].LinkID = linkID
+	l.OnDrop = func(p *link.Packet) { sw.queueDrop(p) }
+}
+
+// Version returns the forwarding-state generation counter.
+func (sw *Switch) Version() uint32 { return sw.version }
+
+// Drops returns the drop counter for a reason.
+func (sw *Switch) Drops(r DropReason) uint64 { return sw.drops[r] }
+
+// AddRoute installs (or replaces) the route for dst, bumping the table
+// version — the counter NetSight-style applications read to detect
+// forwarding-state changes.
+func (sw *Switch) AddRoute(dst link.NodeID, ports ...int) {
+	for _, p := range ports {
+		if p < 0 || p >= len(sw.ports) {
+			panic(fmt.Sprintf("device: route port %d out of range", p))
+		}
+	}
+	sw.nextEntryID++
+	sw.routes[dst] = &RouteEntry{
+		Dst:         dst,
+		Ports:       ports,
+		id:          sw.nextEntryID,
+		insertClock: sw.eng.Now(),
+	}
+	sw.version++
+}
+
+// Route returns the routing entry for dst, if any.
+func (sw *Switch) Route(dst link.NodeID) *RouteEntry {
+	return sw.routes[dst]
+}
+
+// SetWritePolicy installs the per-application write filter used when TPPs
+// execute (§4.1's access-control table, enforced in the dataplane).
+func (sw *Switch) SetWritePolicy(f func(appID uint16, a mem.Addr) bool) {
+	sw.writePolicy = f
+}
+
+// SetDenyAllWrites toggles the §4.3 kill switch for STORE/CSTORE/POP.
+func (sw *Switch) SetDenyAllWrites(v bool) { sw.denyAllWrites = v }
+
+// SetVendorReg sets a platform-specific register (§8).
+func (sw *Switch) SetVendorReg(a mem.Addr, v uint32) {
+	sw.vendorMem[a] = v
+}
+
+// drop records a local drop and notifies observers.
+func (sw *Switch) drop(p *link.Packet, reason DropReason) {
+	sw.drops[reason]++
+	if sw.OnDrop != nil {
+		sw.OnDrop(p, reason)
+	}
+	sw.notifyDropCollector(p, reason)
+}
+
+// queueDrop handles output-queue (drop-tail) losses, which the link reports.
+func (sw *Switch) queueDrop(p *link.Packet) {
+	sw.drops[DropQueueFull]++
+	if sw.OnDrop != nil {
+		sw.OnDrop(p, DropQueueFull)
+	}
+	sw.notifyDropCollector(p, DropQueueFull)
+}
+
+func (sw *Switch) notifyDropCollector(p *link.Packet, reason DropReason) {
+	if sw.DropCollector == nil || p.TPP == nil || p.TPP.Flags()&core.FlagDropNotify == 0 {
+		return
+	}
+	// Mirror a truncated clone to the collector (§2.6: "we can overcome
+	// dropped packets by sending packets that will be dropped to a
+	// collector").
+	clone := *p
+	clone.TPP = p.TPP.Clone()
+	clone.Payload = nil
+	sw.DropCollector(&clone, reason)
+}
+
+// Receive implements link.Receiver: the full ingress pipeline of Figure 6.
+func (sw *Switch) Receive(p *link.Packet, inPort int) {
+	port := &sw.ports[inPort]
+	port.rxBytes += uint64(p.Size)
+	port.rxPackets++
+
+	if p.TTL == 0 {
+		sw.drop(p, DropTTLExpired)
+		return
+	}
+	p.TTL--
+
+	// §4.4 semantics for standalone TPPs addressed at this switch, and for
+	// reflect-flagged TPPs: execute here, then bounce back to the source.
+	bounce := false
+	if p.TPP != nil && p.TPP.Flags()&core.FlagEchoed == 0 {
+		if p.Flow.Dst == sw.cfg.NodeID {
+			bounce = true
+		} else if sw.cfg.ReflectTPPs && p.TPP.Flags()&core.FlagReflect != 0 {
+			bounce = true
+		}
+	}
+	if bounce {
+		p.Flow.Src, p.Flow.Dst = p.Flow.Dst, p.Flow.Src
+		p.Flow.SrcPort, p.Flow.DstPort = p.Flow.DstPort, p.Flow.SrcPort
+		if p.Flow.Src == 0 {
+			p.Flow.Src = sw.cfg.NodeID
+		}
+	}
+
+	// Match-action stage 0: the routing table.
+	sw.lookupPkts++
+	sw.lookupBytes += uint64(p.Size)
+	entry := sw.routes[p.Flow.Dst]
+	if entry == nil {
+		sw.drop(p, DropNoRoute)
+		return
+	}
+	sw.matchPkts++
+	sw.matchBytes += uint64(p.Size)
+	entry.matchPkts++
+	entry.matchBytes += uint64(p.Size)
+
+	outPort := entry.Ports[0]
+	if len(entry.Ports) > 1 {
+		// Tagged packets are steered by the tag alone so end-hosts can pick
+		// paths deterministically; untagged traffic gets per-flow ECMP.
+		if p.PathTag != 0 {
+			outPort = entry.Ports[int(link.TagHash(p.PathTag)%uint32(len(entry.Ports)))]
+		} else {
+			outPort = entry.Ports[int(p.Flow.Hash(0)%uint32(len(entry.Ports)))]
+		}
+	}
+
+	// The TCPU: execute the TPP with a packet-consistent view. The context
+	// carries the very values the forwarding logic just produced. Echoed
+	// TPPs are "fully executed" (§4.2) and ride back untouched.
+	if p.TPP != nil && p.TPP.Flags()&core.FlagEchoed == 0 {
+		ctx := pktContext{
+			pkt:      p,
+			inPort:   inPort,
+			outPort:  outPort,
+			entry:    entry,
+			altPorts: len(entry.Ports),
+		}
+		view := memView{sw: sw, ctx: &ctx}
+		appID := p.TPP.AppID()
+		env := core.Env{
+			Mem: &view,
+			AllowWrite: func(a mem.Addr) bool {
+				if sw.denyAllWrites {
+					return false
+				}
+				if sw.writePolicy != nil && !sw.writePolicy(appID, a) {
+					return false
+				}
+				return true
+			},
+		}
+		core.Exec(p.TPP, &env)
+		p.Hops++
+		// A TPP write to [PacketMetadata:OutputPort] supersedes the
+		// forwarding decision (§3.2: writes supersede forwarding logic).
+		outPort = ctx.outPort
+		if bounce {
+			p.TPP.SetFlags(p.TPP.Flags() | core.FlagEchoed)
+		}
+	}
+
+	if outPort < 0 || outPort >= len(sw.ports) || sw.ports[outPort].Out == nil {
+		sw.drop(p, DropNoLink)
+		return
+	}
+	sw.ports[outPort].Out.Enqueue(p)
+}
+
+// Vendor-space registers implementing §2.6 "Fast network updates": writing
+// a destination to RouteUpdateDst and then a port to RouteUpdatePort commits
+// a route in half an RTT as the TPP passes through.
+const (
+	RegRouteUpdateDst  mem.Addr = mem.VendorBase + 0
+	RegRouteUpdatePort mem.Addr = mem.VendorBase + 1
+	// VendorScratchBase and above is free scratch space for tests/demos.
+	VendorScratchBase mem.Addr = mem.VendorBase + 0x100
+)

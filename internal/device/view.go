@@ -1,0 +1,330 @@
+package device
+
+import (
+	"minions/internal/link"
+	"minions/internal/mem"
+)
+
+// pktContext is the per-packet metadata of appendix Tables 7-8: the values
+// the forwarding pipeline produced for the packet currently executing.
+type pktContext struct {
+	pkt      *link.Packet
+	inPort   int
+	outPort  int
+	entry    *RouteEntry
+	altPorts int
+}
+
+// memView implements core.SwitchMemory: the unified memory-mapped IO space
+// of §3.3.1, resolved against one switch and one packet. Reads return
+// (0,false) for addresses this platform does not implement, which makes the
+// executing TPP skip the instruction (graceful failure).
+type memView struct {
+	sw  *Switch
+	ctx *pktContext
+}
+
+// ClockHz is the simulated ASIC clock: 1 GHz, so cycles == nanoseconds.
+const ClockHz = 1_000_000_000
+
+// Read implements core.SwitchMemory.
+func (v *memView) Read(a mem.Addr) (uint32, bool) {
+	sw := v.sw
+	switch a.Space() {
+	case mem.NSSwitch:
+		switch a {
+		case mem.SwSwitchID:
+			return sw.cfg.ID, true
+		case mem.SwVersion:
+			return sw.version, true
+		case mem.SwClockLo:
+			return uint32(uint64(sw.eng.Now())), true
+		case mem.SwClockHi:
+			return uint32(uint64(sw.eng.Now()) >> 32), true
+		case mem.SwClockFreq:
+			return ClockHz, true
+		case mem.SwNumPorts:
+			return uint32(len(sw.ports)), true
+		case mem.SwVendorID:
+			return sw.cfg.VendorID, true
+		}
+		return 0, false
+
+	case mem.NSLink:
+		port, reg := a.LinkPort()
+		return v.readLinkReg(port, reg)
+
+	case mem.NSQueue:
+		port, queue, reg := a.QueuePort()
+		return v.readQueueReg(port, queue, reg)
+
+	case mem.NSStage:
+		stage, reg := a.StageIndex()
+		if stage != 0 {
+			return 0, false // only the routing stage exists on this platform
+		}
+		switch reg {
+		case mem.StageVersion:
+			return sw.version, true
+		case mem.StageRefCount:
+			return uint32(len(sw.routes)), true
+		case mem.StageLookupPkts:
+			return uint32(sw.lookupPkts), true
+		case mem.StageLookupBytes:
+			return uint32(sw.lookupBytes), true
+		case mem.StageMatchPkts:
+			return uint32(sw.matchPkts), true
+		case mem.StageMatchBytes:
+			return uint32(sw.matchBytes), true
+		}
+		return 0, false
+
+	case mem.NSFlowEntry:
+		stage, reg := a.StageIndex()
+		if stage != 0 || v.ctx.entry == nil {
+			return 0, false
+		}
+		e := v.ctx.entry
+		switch reg {
+		case mem.EntryID:
+			return e.id, true
+		case mem.EntryInsertClock:
+			return uint32(uint64(e.insertClock)), true
+		case mem.EntryMatchPkts:
+			return uint32(e.matchPkts), true
+		case mem.EntryMatchBytes:
+			return uint32(e.matchBytes), true
+		}
+		return 0, false
+
+	case mem.NSDynamic:
+		switch {
+		case a >= mem.DynPacketBase:
+			return v.readPacketReg(a - mem.DynPacketBase)
+		case a >= mem.DynInLinkBase:
+			return v.readLinkReg(v.ctx.inPort, a-mem.DynInLinkBase)
+		case a >= mem.DynOutLinkBase:
+			return v.readLinkReg(v.ctx.outPort, a-mem.DynOutLinkBase)
+		default:
+			return v.readQueueReg(v.ctx.outPort, 0, a-mem.DynOutQueueBase)
+		}
+
+	case mem.NSVendor:
+		val, ok := sw.vendorMem[a]
+		return val, ok
+	}
+	return 0, false
+}
+
+func (v *memView) readLinkReg(port int, reg mem.Addr) (uint32, bool) {
+	sw := v.sw
+	if port < 0 || port >= len(sw.ports) {
+		return 0, false
+	}
+	p := &sw.ports[port]
+	switch reg {
+	case mem.LinkID:
+		return p.LinkID, true
+	case mem.LinkRXBytes:
+		return uint32(p.rxBytes), true
+	case mem.LinkRXPackets:
+		return uint32(p.rxPackets), true
+	case mem.LinkStatus:
+		if p.Out != nil {
+			return 1, true
+		}
+		return 0, true
+	}
+	out := p.Out
+	if out == nil {
+		return 0, false
+	}
+	st := out.Stats()
+	switch reg {
+	case mem.LinkTXBytes:
+		return uint32(st.TxBytes), true
+	case mem.LinkTXPackets:
+		return uint32(st.TxPackets), true
+	case mem.LinkDropBytes:
+		return uint32(st.DropBytes), true
+	case mem.LinkDropPackets:
+		return uint32(st.DropPackets), true
+	case mem.LinkQueuedBytes:
+		return uint32(out.QueueLenBytes()), true
+	case mem.LinkQueuedPkts:
+		return uint32(out.QueueLenPackets()), true
+	case mem.LinkRXUtil:
+		// Offered (arrival) utilization of the egress link: what RCP's
+		// control law calls y(t). May exceed 1000 permille under overload.
+		return out.ArrivalUtilPermille(), true
+	case mem.LinkTXUtil:
+		return out.UtilPermille(), true
+	case mem.LinkCapacityMbps:
+		return out.RateMbps(), true
+	case mem.LinkQueueSize:
+		return uint32(out.QueueLenPackets()), true
+	}
+	if reg >= mem.LinkAppSpecific0 && reg <= mem.LinkAppSpecific7 {
+		return p.appSpec[reg-mem.LinkAppSpecific0], true
+	}
+	return 0, false
+}
+
+func (v *memView) readQueueReg(port, queue int, reg mem.Addr) (uint32, bool) {
+	sw := v.sw
+	// This platform implements one queue (0) per port, like the paper's
+	// NetFPGA prototype.
+	if port < 0 || port >= len(sw.ports) || queue != 0 {
+		return 0, false
+	}
+	out := sw.ports[port].Out
+	if out == nil {
+		return 0, false
+	}
+	st := out.Stats()
+	switch reg {
+	case mem.QueueOccPackets:
+		return uint32(out.QueueLenPackets()), true
+	case mem.QueueOccBytes:
+		return uint32(out.QueueLenBytes()), true
+	case mem.QueueTXBytes:
+		return uint32(st.TxBytes), true
+	case mem.QueueTXPackets:
+		return uint32(st.TxPackets), true
+	case mem.QueueDropBytes:
+		return uint32(st.DropBytes), true
+	case mem.QueueDropPackets:
+		return uint32(st.DropPackets), true
+	case mem.QueueSchedWeight:
+		return 1, true // FIFO: a single weight-1 class
+	case mem.QueueSchedQuantum:
+		return 1500, true
+	}
+	return 0, false
+}
+
+func (v *memView) readPacketReg(reg mem.Addr) (uint32, bool) {
+	ctx := v.ctx
+	switch reg {
+	case mem.PktInputPort:
+		return uint32(ctx.inPort), true
+	case mem.PktOutputPort:
+		return uint32(ctx.outPort), true
+	case mem.PktQueueID:
+		return 0, true
+	case mem.PktMatchedEntry:
+		if ctx.entry == nil {
+			return 0, false
+		}
+		return ctx.entry.id, true
+	case mem.PktHopCount:
+		return uint32(ctx.pkt.Hops), true
+	case mem.PktHashValue:
+		return ctx.pkt.Flow.Hash(ctx.pkt.PathTag), true
+	case mem.PktPathTag:
+		return uint32(ctx.pkt.PathTag), true
+	case mem.PktTTL:
+		return uint32(ctx.pkt.TTL), true
+	case mem.PktLenBytes:
+		return uint32(ctx.pkt.Size), true
+	case mem.PktArrivalLo:
+		return uint32(uint64(v.sw.eng.Now())), true
+	case mem.PktArrivalHi:
+		return uint32(uint64(v.sw.eng.Now()) >> 32), true
+	case mem.PktAltRoutes:
+		return uint32(ctx.altPorts), true
+	}
+	return 0, false
+}
+
+// Write implements core.SwitchMemory. Hardware-writable state: AppSpecific
+// registers (per egress port), the packet's output port and path tag
+// (Table 2: "others can be modified (e.g. packet's output port)"), and the
+// vendor space including the in-band route-update registers. Everything
+// else is read-only, as in a real ASIC.
+func (v *memView) Write(a mem.Addr, val uint32) bool {
+	sw := v.sw
+	switch a.Space() {
+	case mem.NSLink:
+		port, reg := a.LinkPort()
+		return v.writeLinkReg(port, reg, val)
+
+	case mem.NSDynamic:
+		switch {
+		case a >= mem.DynPacketBase:
+			return v.writePacketReg(a-mem.DynPacketBase, val)
+		case a >= mem.DynInLinkBase:
+			return v.writeLinkReg(v.ctx.inPort, a-mem.DynInLinkBase, val)
+		case a >= mem.DynOutLinkBase:
+			return v.writeLinkReg(v.ctx.outPort, a-mem.DynOutLinkBase, val)
+		default:
+			return false // queue configuration is control-plane only
+		}
+
+	case mem.NSVendor:
+		switch a {
+		case RegRouteUpdateDst:
+			sw.pendingRouteDst = val
+			sw.vendorMem[a] = val
+			return true
+		case RegRouteUpdatePort:
+			// Committing the staged route: §2.6's half-RTT route install.
+			if int(val) >= len(sw.ports) {
+				return false
+			}
+			sw.vendorMem[a] = val
+			sw.AddRoute(link.NodeID(sw.pendingRouteDst), int(val))
+			return true
+		}
+		if a >= VendorScratchBase {
+			sw.vendorMem[a] = val
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+func (v *memView) writeLinkReg(port int, reg mem.Addr, val uint32) bool {
+	if port < 0 || port >= len(v.sw.ports) {
+		return false
+	}
+	if reg >= mem.LinkAppSpecific0 && reg <= mem.LinkAppSpecific7 {
+		v.sw.ports[port].appSpec[reg-mem.LinkAppSpecific0] = val
+		return true
+	}
+	return false
+}
+
+func (v *memView) writePacketReg(reg mem.Addr, val uint32) bool {
+	switch reg {
+	case mem.PktOutputPort:
+		if int(val) >= len(v.sw.ports) {
+			return false
+		}
+		v.ctx.outPort = int(val)
+		return true
+	case mem.PktPathTag:
+		v.ctx.pkt.PathTag = uint16(val)
+		return true
+	case mem.PktTTL:
+		if val > 255 {
+			return false
+		}
+		v.ctx.pkt.TTL = uint8(val)
+		return true
+	}
+	return false
+}
+
+// ReadRegister exposes the switch's memory map to the control plane (and to
+// tests): it resolves an address without any packet context, so dynamic
+// windows are unavailable.
+func (sw *Switch) ReadRegister(a mem.Addr) (uint32, bool) {
+	ctx := pktContext{pkt: &link.Packet{}, inPort: -1, outPort: -1}
+	v := memView{sw: sw, ctx: &ctx}
+	if a.Space() == mem.NSDynamic {
+		return 0, false
+	}
+	return v.Read(a)
+}

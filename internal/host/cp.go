@@ -1,0 +1,145 @@
+package host
+
+import (
+	"fmt"
+	"sync"
+
+	"minions/internal/core"
+	"minions/internal/mem"
+)
+
+// App is a registered TPP application: the paper's 64-bit application ID
+// plus the compact wire handle carried in TPP headers.
+type App struct {
+	Name string
+	ID   uint64 // §4.1: "The value appid is a 64-bit number"
+	Wire uint16 // the on-wire handle (12-byte header budget)
+}
+
+// ControlPlane is TPP-CP (§4.1): "a central entity to keep track of running
+// TPP applications and manage switch memory". One instance is shared by all
+// hosts of a network; its policy is also pushed into every switch as the
+// dataplane write filter.
+type ControlPlane struct {
+	mu     sync.Mutex
+	apps   map[uint64]*App
+	byWire map[uint16]*App
+	nextID uint64
+	policy *mem.Policy
+	alloc  *mem.Allocator
+}
+
+// NewControlPlane returns an empty TPP-CP.
+func NewControlPlane() *ControlPlane {
+	return &ControlPlane{
+		apps:   make(map[uint64]*App),
+		byWire: make(map[uint16]*App),
+		policy: mem.NewPolicy(),
+		alloc:  mem.NewAllocator(),
+	}
+}
+
+// Policy exposes the access-control table (for inspection and test setup).
+func (cp *ControlPlane) Policy() *mem.Policy { return cp.policy }
+
+// RegisterApp creates an application identity.
+func (cp *ControlPlane) RegisterApp(name string) *App {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.nextID++
+	app := &App{Name: name, ID: cp.nextID<<16 | 0x5EED, Wire: uint16(cp.nextID)}
+	cp.apps[app.ID] = app
+	cp.byWire[app.Wire] = app
+	return app
+}
+
+// AllocLinkRegisters reserves n consecutive per-link AppSpecific registers
+// for the application network-wide (the way the paper's control plane
+// "allocates two memory addresses per link" for RCP) and grants read/write
+// on their dynamic-window addresses. It returns the first register index.
+func (cp *ControlPlane) AllocLinkRegisters(app *App, n int) (int, error) {
+	idx, err := cp.alloc.Alloc(app.ID, n)
+	if err != nil {
+		return 0, err
+	}
+	start := mem.DynOutLinkBase + mem.LinkAppSpecific0 + mem.Addr(idx)
+	cp.policy.Grant(mem.Segment{
+		AppID: app.ID,
+		Op:    mem.OpRead | mem.OpWrite,
+		Start: start,
+		End:   start + mem.Addr(n),
+	})
+	// Also grant the explicit per-port aliases so scatter-gather reads of
+	// specific ports pass validation.
+	for port := 0; port < mem.MaxPorts; port++ {
+		a := mem.LinkAddr(port, mem.LinkAppSpecific0+mem.Addr(idx))
+		cp.policy.Grant(mem.Segment{
+			AppID: app.ID,
+			Op:    mem.OpRead | mem.OpWrite,
+			Start: a,
+			End:   a + mem.Addr(n),
+		})
+	}
+	return idx, nil
+}
+
+// GrantWrite adds an explicit write grant for an address range.
+func (cp *ControlPlane) GrantWrite(app *App, start, end mem.Addr) {
+	cp.policy.Grant(mem.Segment{AppID: app.ID, Op: mem.OpRead | mem.OpWrite, Start: start, End: end})
+}
+
+// ReleaseApp frees every grant and register owned by the application.
+func (cp *ControlPlane) ReleaseApp(app *App) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.policy.Revoke(app.ID)
+	cp.alloc.Free(app.ID)
+	delete(cp.apps, app.ID)
+	delete(cp.byWire, app.Wire)
+}
+
+// ValidateProgram statically analyzes a TPP against the application's
+// grants (§4.1: "The TPPs are statically analyzed, to see if it accesses
+// memories outside the permitted address range; if so, the API call returns
+// a failure and the TPP is never installed").
+func (cp *ControlPlane) ValidateProgram(app *App, p *core.Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for i, in := range p.Insns {
+		if !in.Op.Writes() {
+			continue
+		}
+		if in.Op == core.OpLOADI {
+			continue
+		}
+		if !cp.policy.Allowed(app.ID, mem.OpWrite, in.Addr) {
+			return fmt.Errorf("host: instruction %d (%v) writes %v outside app %q's grants",
+				i, in.Op, in.Addr, app.Name)
+		}
+	}
+	return nil
+}
+
+// SwitchWritePolicy returns the dataplane-side write filter for switches:
+// given the wire app handle and target address, is the write permitted? This
+// is how TPP-CP "configures the dataplane to enforce access control
+// policies" (§4.1) — defense in depth behind the static analysis.
+func (cp *ControlPlane) SwitchWritePolicy() func(appID uint16, a mem.Addr) bool {
+	return func(appID uint16, a mem.Addr) bool {
+		cp.mu.Lock()
+		app, ok := cp.byWire[appID]
+		cp.mu.Unlock()
+		if !ok {
+			return false
+		}
+		return cp.policy.Allowed(app.ID, mem.OpWrite, a)
+	}
+}
+
+// App looks up a registered application by wire handle.
+func (cp *ControlPlane) App(wire uint16) *App {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.byWire[wire]
+}

@@ -1,0 +1,406 @@
+package host_test
+
+import (
+	"testing"
+
+	"minions/internal/asm"
+	"minions/internal/core"
+	"minions/internal/host"
+	"minions/internal/link"
+	"minions/internal/mem"
+	"minions/internal/sim"
+	"minions/internal/topo"
+)
+
+// twoHosts builds h1 - sw1 - sw2 - h2 at 1 Gb/s.
+func twoHosts(t *testing.T) (*topo.Network, *host.Host, *host.Host) {
+	t.Helper()
+	n := topo.New(1)
+	s1, s2 := n.AddSwitch(4), n.AddSwitch(4)
+	h1, h2 := n.AddHost(), n.AddHost()
+	cfg := topo.HostLink(1000)
+	n.Connect(h1, s1, cfg)
+	n.Connect(h2, s2, cfg)
+	n.Connect(s1, s2, cfg)
+	n.ComputeRoutes()
+	return n, h1, h2
+}
+
+func TestPiggybackStripAndAggregate(t *testing.T) {
+	n, h1, h2 := twoHosts(t)
+	app := n.CP.RegisterApp("microburst")
+	prog := asm.MustAssemble(`
+		PUSH [Switch:SwitchID]
+		PUSH [Queue:QueueOccupancy]
+	`)
+	if _, err := h1.AddTPP(app, host.FilterSpec{Proto: link.ProtoUDP}, prog, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var views []core.Section
+	h2.RegisterAggregator(app.Wire, func(p *link.Packet, view core.Section) {
+		views = append(views, view)
+	})
+	var delivered []*link.Packet
+	h2.Bind(8080, link.ProtoUDP, func(p *link.Packet) { delivered = append(delivered, p) })
+
+	p := h1.NewPacket(h2.ID(), 1234, 8080, link.ProtoUDP, 1000)
+	h1.Send(p)
+	n.Eng.Run()
+
+	if len(delivered) != 1 {
+		t.Fatalf("delivered %d packets", len(delivered))
+	}
+	if delivered[0].TPP != nil {
+		t.Error("TPP not stripped before transport delivery")
+	}
+	if delivered[0].Size != 1000 {
+		t.Errorf("size after strip = %d", delivered[0].Size)
+	}
+	if len(views) != 1 {
+		t.Fatalf("aggregator saw %d views", len(views))
+	}
+	hops := views[0].StackView(2)
+	if len(hops) != 2 || hops[0].Words[0] != 1 || hops[1].Words[0] != 2 {
+		t.Errorf("hop views: %+v", hops)
+	}
+	st := h1.Stats()
+	if st.TPPsAttached != 1 {
+		t.Errorf("attach count: %+v", st)
+	}
+}
+
+func TestSamplingFrequency(t *testing.T) {
+	n, h1, h2 := twoHosts(t)
+	app := n.CP.RegisterApp("sampler")
+	prog := asm.MustAssemble(`PUSH [Switch:SwitchID]`)
+	if _, err := h1.AddTPP(app, host.FilterSpec{Proto: link.ProtoUDP}, prog, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h1.Send(h1.NewPacket(h2.ID(), 1234, 8080, link.ProtoUDP, 500))
+	}
+	n.Eng.Run()
+	if got := h1.Stats().TPPsAttached; got != 10 {
+		t.Errorf("attached %d TPPs with 1-in-10 sampling of 100 packets", got)
+	}
+}
+
+func TestFilterPriorityFirstMatchOnly(t *testing.T) {
+	n, h1, h2 := twoHosts(t)
+	appA := n.CP.RegisterApp("a")
+	appB := n.CP.RegisterApp("b")
+	progA := asm.MustAssemble(`PUSH [Switch:SwitchID]`)
+	progB := asm.MustAssemble(`PUSH [Link:QueueSize]`)
+	// B has better (lower) priority; both match.
+	if _, err := h1.AddTPP(appA, host.FilterSpec{}, progA, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h1.AddTPP(appB, host.FilterSpec{}, progB, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	var gotApp uint16
+	h2.RegisterAggregator(appA.Wire, func(p *link.Packet, v core.Section) { gotApp = appA.Wire })
+	h2.RegisterAggregator(appB.Wire, func(p *link.Packet, v core.Section) { gotApp = appB.Wire })
+	h1.Send(h1.NewPacket(h2.ID(), 1, 2, link.ProtoUDP, 100))
+	n.Eng.Run()
+	if gotApp != appB.Wire {
+		t.Errorf("priority not honored: app %d won", gotApp)
+	}
+}
+
+func TestMTUGuard(t *testing.T) {
+	n, h1, h2 := twoHosts(t)
+	app := n.CP.RegisterApp("fat")
+	prog := asm.MustAssemble(`
+		.hops 10
+		PUSH [Switch:SwitchID]
+		PUSH [Link:QueueSize]
+	`) // 12 + 8 + 80 = 100 bytes
+	if _, err := h1.AddTPP(app, host.FilterSpec{}, prog, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := h1.NewPacket(h2.ID(), 1, 2, link.ProtoUDP, host.MTU-20) // no room
+	h1.Send(p)
+	n.Eng.Run()
+	st := h1.Stats()
+	if st.MTUSkips != 1 || st.TPPsAttached != 0 {
+		t.Errorf("MTU guard: %+v", st)
+	}
+}
+
+func TestWriteValidationRejectsUngrantedTPP(t *testing.T) {
+	n, h1, _ := twoHosts(t)
+	app := n.CP.RegisterApp("rogue")
+	prog := asm.MustAssemble(`
+		.hops 2
+		CSTORE [Link:AppSpecific_0], [Packet:Hop[0]], [Packet:Hop[1]]
+	`)
+	if _, err := h1.AddTPP(app, host.FilterSpec{}, prog, 1, 0); err == nil {
+		t.Fatal("write TPP installed without a grant")
+	}
+	// After a grant it installs.
+	if _, err := n.CP.AllocLinkRegisters(app, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h1.AddTPP(app, host.FilterSpec{}, prog, 1, 0); err != nil {
+		t.Fatalf("granted TPP rejected: %v", err)
+	}
+}
+
+func TestAllocLinkRegistersDistinctApps(t *testing.T) {
+	n, _, _ := twoHosts(t)
+	a := n.CP.RegisterApp("rcp")
+	b := n.CP.RegisterApp("other")
+	ia, err := n.CP.AllocLinkRegisters(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := n.CP.AllocLinkRegisters(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ia == ib {
+		t.Error("register collision between applications")
+	}
+}
+
+func TestExecutorReliableEcho(t *testing.T) {
+	n, h1, h2 := twoHosts(t)
+	app := n.CP.RegisterApp("probe")
+	prog := asm.MustAssemble(`
+		PUSH [Switch:SwitchID]
+		PUSH [Link:QueueSize]
+	`)
+	var got core.Section
+	err := h1.ExecuteTPP(app, prog, h2.ID(), host.ExecOpts{}, func(view core.Section, err error) {
+		if err != nil {
+			t.Errorf("execute: %v", err)
+			return
+		}
+		got = view
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Eng.Run()
+	if got == nil {
+		t.Fatal("no echo received")
+	}
+	hops := got.StackView(2)
+	if len(hops) != 2 || hops[0].Words[0] != 1 || hops[1].Words[0] != 2 {
+		t.Errorf("collected: %+v", hops)
+	}
+}
+
+func TestExecutorTargetsSwitch(t *testing.T) {
+	n, h1, _ := twoHosts(t)
+	app := n.CP.RegisterApp("probe")
+	prog := asm.MustAssemble(`PUSH [Switch:SwitchID]`)
+	sw2 := n.Switches[1]
+	var got core.Section
+	err := h1.ExecuteTPP(app, prog, sw2.NodeID(), host.ExecOpts{}, func(view core.Section, err error) {
+		if err != nil {
+			t.Errorf("execute: %v", err)
+			return
+		}
+		got = view
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Eng.Run()
+	if got == nil {
+		t.Fatal("no bounce received")
+	}
+	// Executed at sw1 (hop 1), bounced at sw2 (hop 2), not executed on the
+	// echoed way home.
+	if got.Word(0) != 1 || got.Word(1) != 2 {
+		t.Errorf("switch IDs: %d %d", got.Word(0), got.Word(1))
+	}
+	if got.HopOrSP() != 2 {
+		t.Errorf("SP = %d", got.HopOrSP())
+	}
+}
+
+func TestExecutorRetryOnLoss(t *testing.T) {
+	// Break the route from s2 back to h1 temporarily? Simpler: target a
+	// nonexistent node so every attempt is lost, and expect ErrTimeout
+	// after MaxAttempts.
+	n, h1, _ := twoHosts(t)
+	app := n.CP.RegisterApp("probe")
+	prog := asm.MustAssemble(`PUSH [Switch:SwitchID]`)
+	var gotErr error
+	calls := 0
+	err := h1.ExecuteTPP(app, prog, 999, host.ExecOpts{Timeout: sim.Millisecond, MaxAttempts: 3},
+		func(view core.Section, err error) {
+			calls++
+			gotErr = err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Eng.Run()
+	if calls != 1 || gotErr == nil {
+		t.Fatalf("calls=%d err=%v", calls, gotErr)
+	}
+	// The three attempts each consumed a transmit.
+	if got := h1.Stats().TxPackets; got != 3 {
+		t.Errorf("tx packets = %d, want 3 attempts", got)
+	}
+}
+
+func TestScatterGather(t *testing.T) {
+	n, h1, _ := twoHosts(t)
+	app := n.CP.RegisterApp("monitor")
+	prog := asm.MustAssemble(`PUSH [Switch:SwitchID]`)
+	targets := []link.NodeID{n.Switches[0].NodeID(), n.Switches[1].NodeID(), 999}
+	var results []host.GatherResult
+	err := h1.ScatterGather(app, prog, targets, host.ExecOpts{Timeout: sim.Millisecond, MaxAttempts: 2},
+		func(rs []host.GatherResult) { results = rs })
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Eng.Run()
+	if results == nil {
+		t.Fatal("scatter-gather never completed")
+	}
+	if results[0].Err != nil || results[1].Err != nil {
+		t.Errorf("reachable targets failed: %+v", results[:2])
+	}
+	if results[2].Err == nil {
+		t.Error("unreachable target succeeded")
+	}
+	// The bounced views carry each target switch's ID at its own hop.
+	if v := results[1].View; v == nil || v.Word(v.HopOrSP()-1) != 2 {
+		t.Errorf("switch 2 view wrong")
+	}
+}
+
+func TestStandaloneEchoFlagStopsReexecution(t *testing.T) {
+	n, h1, h2 := twoHosts(t)
+	app := n.CP.RegisterApp("probe")
+	prog := asm.MustAssemble(`PUSH [Switch:SwitchID]`)
+	var got core.Section
+	if err := h1.ExecuteTPP(app, prog, h2.ID(), host.ExecOpts{}, func(v core.Section, err error) { got = v }); err != nil {
+		t.Fatal(err)
+	}
+	n.Eng.Run()
+	if got == nil {
+		t.Fatal("no echo")
+	}
+	// Forward path is 2 switch hops; the echo path would add 2 more if the
+	// Echoed flag did not stop execution.
+	if got.HopOrSP() != 2 {
+		t.Errorf("SP = %d: echoed TPP re-executed on return", got.HopOrSP())
+	}
+}
+
+func TestTargetedProgramWrapping(t *testing.T) {
+	inner := asm.MustAssemble(`
+		.mode hop
+		.perhop 2
+		LOAD [Link:TX-Utilization], [Packet:Hop[0]]
+		LOAD [Link:Queued-Bytes], [Packet:Hop[1]]
+	`)
+	wrapped, err := host.TargetedProgram(inner, 42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wrapped.Insns) != 3 || wrapped.Insns[0].Op != core.OpCEXEC {
+		t.Fatalf("wrapped: %+v", wrapped.Insns)
+	}
+	if wrapped.PerHopWords != 3 {
+		t.Errorf("per-hop = %d", wrapped.PerHopWords)
+	}
+	// Word 0 of every hop holds the target ID.
+	for hop := 0; hop < 3; hop++ {
+		if wrapped.InitMem[hop*3] != 42 {
+			t.Errorf("hop %d guard word = %d", hop, wrapped.InitMem[hop*3])
+		}
+	}
+	// Operands shifted past the guard word.
+	if wrapped.Insns[1].A != 1 || wrapped.Insns[2].A != 2 {
+		t.Errorf("operand shift: %+v", wrapped.Insns[1:])
+	}
+	// Executing on a non-target switch leaves stats words zero.
+	s, err := wrapped.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Exec(s, &core.Env{Mem: core.MapMemory{0x0000: 7}})
+	if s.Word(1) != 0 {
+		t.Error("guard failed to stop execution on wrong switch")
+	}
+}
+
+func TestSplitCollectWindows(t *testing.T) {
+	addrs := []mem.Addr{
+		mem.SwSwitchID,
+		mem.MustResolve("Link:TX-Utilization"),
+		mem.MustResolve("Queue:QueueOccupancy"),
+	}
+	// 20 hops x 3 words = 60 words, budget 24 words -> windows of 8 hops.
+	progs, err := host.SplitCollect(addrs, 20, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 3 {
+		t.Fatalf("got %d programs, want 3", len(progs))
+	}
+	if progs[0].StartHop != 0 || progs[1].StartHop != 248 || progs[2].StartHop != 240 {
+		t.Errorf("start hops: %d %d %d", progs[0].StartHop, progs[1].StartHop, progs[2].StartHop)
+	}
+	if progs[2].MemWords != 4*3 { // final window covers hops 16..19
+		t.Errorf("last window words = %d", progs[2].MemWords)
+	}
+
+	// Execute all programs across a 20-hop path and merge.
+	var secs []core.Section
+	for _, p := range progs {
+		s, err := p.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		secs = append(secs, s)
+	}
+	for hop := 0; hop < 20; hop++ {
+		m := core.MapMemory{
+			addrs[0]: uint32(hop + 1),
+			addrs[1]: uint32(hop * 2),
+			addrs[2]: uint32(hop * 3),
+		}
+		for _, s := range secs {
+			core.Exec(s, &core.Env{Mem: m})
+		}
+	}
+	records := host.MergeCollected(progs, secs, 20)
+	if len(records) != 20 {
+		t.Fatalf("merged %d records", len(records))
+	}
+	for hop, rec := range records {
+		if rec[0] != uint32(hop+1) || rec[1] != uint32(hop*2) || rec[2] != uint32(hop*3) {
+			t.Errorf("hop %d: %v", hop, rec)
+		}
+	}
+}
+
+func TestSplitCollectSingleProgram(t *testing.T) {
+	progs, err := host.SplitCollect([]mem.Addr{mem.SwSwitchID}, 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 1 || progs[0].MemWords != 5 {
+		t.Fatalf("%d programs, words=%d", len(progs), progs[0].MemWords)
+	}
+}
+
+func TestSplitCollectErrors(t *testing.T) {
+	if _, err := host.SplitCollect(nil, 5, 50); err == nil {
+		t.Error("empty address list accepted")
+	}
+	six := make([]mem.Addr, 6)
+	if _, err := host.SplitCollect(six, 5, 50); err == nil {
+		t.Error("six statistics accepted (max 5 instructions)")
+	}
+}

@@ -1,0 +1,214 @@
+// Package hwmodel is the hardware feasibility model of §6.1: per-stage TCPU
+// latency on the NetFPGA prototype and on a 1 GHz merchant ASIC, the
+// worst-case pipeline cost and stall buffering it implies, the die-area
+// scaling argument derived from Bosshart et al.'s RMT data, and the NetFPGA
+// resource-utilization table. The paper's hardware evaluation is a small set
+// of measured constants plus arithmetic over them; this package encodes the
+// constants and performs the arithmetic, so Tables 3 and 4 and the derived
+// claims regenerate as model outputs.
+package hwmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"minions/internal/core"
+)
+
+// Platform selects the latency model.
+type Platform int
+
+const (
+	// NetFPGA is the paper's 160 MHz 4-port prototype.
+	NetFPGA Platform = iota
+	// ASIC is a commercial 1 GHz switching chip (per §6.1's designer
+	// communications: single-port SRAMs, 2-5 cycle accesses).
+	ASIC
+)
+
+// String names the platform.
+func (p Platform) String() string {
+	if p == ASIC {
+		return "ASIC"
+	}
+	return "NetFPGA"
+}
+
+// CycleCosts are per-task cycle counts (Table 3 rows).
+type CycleCosts struct {
+	Parse       int // "Parsing"
+	MemAccess   int // "Memory access" (per read or write)
+	CStoreExec  int // "Instr. Exec.: CSTORE" (excluding operand accesses)
+	OtherExec   int // "Instr. Exec.: (the rest)"
+	Rewrite     int // "Packet rewrite"
+	ClockGHz    float64
+	WorstPerOp  int // worst-case cycles for one load/store incl. memory
+	WorstCStore int // worst-case cycles for one CSTORE incl. memory
+}
+
+// Costs returns the Table 3 constants for a platform.
+func Costs(p Platform) CycleCosts {
+	switch p {
+	case NetFPGA:
+		// §6.1: block RAM read/write is 1 cycle; parsing, execution and
+		// rewrite each complete within a cycle; CSTORE takes 1 cycle to
+		// execute; measured total per-stage latency: exactly 2 cycles.
+		return CycleCosts{
+			Parse: 1, MemAccess: 1, CStoreExec: 1, OtherExec: 1, Rewrite: 1,
+			ClockGHz:    0.160,
+			WorstPerOp:  1 + 1, // access + execute
+			WorstCStore: 1 + 1 + 1,
+		}
+	default:
+		// §6.1: "1GHz ASIC chips in the market typically use single-port
+		// SRAMs ... 2-5 cycle latency for every operation": each
+		// load/store adds up to 5 cycles, a CSTORE up to 10 (read+write).
+		return CycleCosts{
+			Parse: 1, MemAccess: 5, CStoreExec: 10, OtherExec: 1, Rewrite: 1,
+			ClockGHz:    1.0,
+			WorstPerOp:  5,
+			WorstCStore: 10,
+		}
+	}
+}
+
+// InstructionCycles returns the worst-case added cycles for one instruction.
+func InstructionCycles(p Platform, op core.Opcode) int {
+	c := Costs(p)
+	switch op {
+	case core.OpCSTORE:
+		return c.WorstCStore
+	case core.OpNOP, core.OpHALT:
+		return 1
+	default:
+		return c.WorstPerOp
+	}
+}
+
+// WorstCaseTPPNanos returns the worst-case latency a TPP of n instructions
+// adds to the pipeline: §6.1's "in the worst case, if every instruction is a
+// CSTORE, a TPP can add a maximum of 50ns" for n = 5 on the ASIC.
+func WorstCaseTPPNanos(p Platform, n int) float64 {
+	if n > core.MaxInsns {
+		n = core.MaxInsns
+	}
+	c := Costs(p)
+	cycles := n * c.WorstCStore
+	return float64(cycles) / c.ClockGHz
+}
+
+// StallBufferBytes returns the buffering required to absorb the worst-case
+// TPP stall at an aggregate switching rate: §6.1's "50ns worth of buffering
+// (at 1Tb/s, this is 6.25kB for the entire switch)".
+func StallBufferBytes(stallNanos float64, aggregateBps float64) float64 {
+	return stallNanos * 1e-9 * aggregateBps / 8
+}
+
+// Table3 renders the per-stage latency summary like the paper's Table 3.
+func Table3() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-12s %s\n", "Task", "NetFPGA", "ASICs")
+	row := func(name string, fn func(CycleCosts) string) {
+		fmt.Fprintf(&b, "%-28s %-12s %s\n", name, fn(Costs(NetFPGA)), fn(Costs(ASIC)))
+	}
+	row("Parsing", func(c CycleCosts) string { return cyc(c.Parse) })
+	row("Memory access", func(c CycleCosts) string {
+		if c.MemAccess == 5 {
+			return "2-5 cycles"
+		}
+		return cyc(c.MemAccess)
+	})
+	row("Instr. Exec.: CSTORE", func(c CycleCosts) string { return cyc(c.CStoreExec) })
+	row("Instr. Exec.: (the rest)", func(c CycleCosts) string { return cyc(c.OtherExec) })
+	row("Packet rewrite", func(c CycleCosts) string { return cyc(c.Rewrite) })
+	fmt.Fprintf(&b, "%-28s %-12s %s\n", "Total per-stage",
+		"2-3 cycles", "50-100 cycles (200-500ns / 4-5 stages)")
+	return b.String()
+}
+
+func cyc(n int) string {
+	if n <= 1 {
+		return "<= 1 cycle"
+	}
+	return fmt.Sprintf("%d cycles", n)
+}
+
+// Resource is one NetFPGA utilization row (Table 4).
+type Resource struct {
+	Name   string
+	Router float64 // reference router, thousands of units
+	TCPU   float64 // additional units for TPP support, thousands
+}
+
+// ExtraPct returns the percentage increase over the reference router.
+func (r Resource) ExtraPct() float64 { return r.TCPU / r.Router * 100 }
+
+// NetFPGAResources returns the measured Table 4 rows.
+func NetFPGAResources() []Resource {
+	return []Resource{
+		{Name: "Slices", Router: 26.8, TCPU: 5.8},
+		{Name: "Slice registers", Router: 64.7, TCPU: 14.0},
+		{Name: "LUTs", Router: 69.1, TCPU: 20.8},
+		{Name: "LUT-flip flop pairs", Router: 88.8, TCPU: 21.8},
+	}
+}
+
+// Table4 renders the resource table with computed percentages.
+func Table4() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %8s %8s %8s\n", "Resource", "Router", "+TCPU", "%-extra")
+	for _, r := range NetFPGAResources() {
+		fmt.Fprintf(&b, "%-22s %7.1fK %7.1fK %7.1f%%\n", r.Name, r.Router, r.TCPU, r.ExtraPct())
+	}
+	return b.String()
+}
+
+// AreaModel is the §6.1 die-area argument built on Bosshart et al. [9]:
+// 7000 RMT-style processing units cost <7% of die area, so area scales at
+// ~0.001%/unit; a TPP deployment needs one execution unit per instruction
+// per stage.
+type AreaModel struct {
+	RefUnits   int     // 7000
+	RefAreaPct float64 // 7.0
+}
+
+// DefaultAreaModel returns the published calibration.
+func DefaultAreaModel() AreaModel { return AreaModel{RefUnits: 7000, RefAreaPct: 7.0} }
+
+// TCPUs returns the execution units needed: instructions/packet x stages.
+func (m AreaModel) TCPUs(insns, stages int) int { return insns * stages }
+
+// AreaPct estimates the die-area percentage for the given TCPU count.
+func (m AreaModel) AreaPct(tcpus int) float64 {
+	return float64(tcpus) / float64(m.RefUnits) * m.RefAreaPct
+}
+
+// PaperAreaPct reproduces the §6.1 claim: 5 instructions x 64 stages = 320
+// TCPUs => 0.32% of die area.
+func (m AreaModel) PaperAreaPct() float64 {
+	return m.AreaPct(m.TCPUs(core.MaxInsns, 64))
+}
+
+// LatencyContext quantifies §6.1's "at most 10-25% extra latency": the
+// worst-case TPP cost against the unloaded ingress-egress latency of
+// commercial ASICs (200-500ns).
+type LatencyContext struct {
+	WorstTPPNanos   float64
+	FastestASICNano float64 // Intel Fulcrum-class: ~200ns
+	TypicalASICNano float64 // Arista 7100-class: ~500ns
+}
+
+// DefaultLatencyContext evaluates the model at the paper's parameters.
+func DefaultLatencyContext() LatencyContext {
+	return LatencyContext{
+		WorstTPPNanos:   WorstCaseTPPNanos(ASIC, core.MaxInsns),
+		FastestASICNano: 200,
+		TypicalASICNano: 500,
+	}
+}
+
+// ExtraLatencyPctRange returns the (max, min) percentage overhead.
+func (l LatencyContext) ExtraLatencyPctRange() (fastest, typical float64) {
+	return l.WorstTPPNanos / l.FastestASICNano * 100,
+		l.WorstTPPNanos / l.TypicalASICNano * 100
+}

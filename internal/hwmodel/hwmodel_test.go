@@ -1,0 +1,112 @@
+package hwmodel_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"minions/internal/core"
+	"minions/internal/hwmodel"
+)
+
+func TestWorstCaseASICLatency(t *testing.T) {
+	// §6.1: "in the worst case, if every instruction is a CSTORE, a TPP can
+	// add a maximum of 50ns latency to the pipeline."
+	got := hwmodel.WorstCaseTPPNanos(hwmodel.ASIC, 5)
+	if got != 50 {
+		t.Errorf("worst-case ASIC TPP latency = %v ns, want 50", got)
+	}
+	// More than 5 instructions is clamped: the interface forbids them.
+	if hwmodel.WorstCaseTPPNanos(hwmodel.ASIC, 99) != 50 {
+		t.Error("instruction clamp missing")
+	}
+}
+
+func TestStallBuffering(t *testing.T) {
+	// §6.1: "we can add 50ns worth of buffering (at 1Tb/s, this is 6.25kB
+	// for the entire switch)".
+	got := hwmodel.StallBufferBytes(50, 1e12)
+	if math.Abs(got-6250) > 1e-6 {
+		t.Errorf("stall buffer = %v bytes, want 6250", got)
+	}
+}
+
+func TestNetFPGAPerStage(t *testing.T) {
+	// §6.1: total per-stage latency on the NetFPGA "was exactly 2 cycles";
+	// CSTORE takes one extra.
+	c := hwmodel.Costs(hwmodel.NetFPGA)
+	if c.WorstPerOp != 2 {
+		t.Errorf("NetFPGA per-op = %d cycles, want 2", c.WorstPerOp)
+	}
+	if c.WorstCStore != 3 {
+		t.Errorf("NetFPGA CSTORE = %d cycles, want 3", c.WorstCStore)
+	}
+}
+
+func TestInstructionCycles(t *testing.T) {
+	if hwmodel.InstructionCycles(hwmodel.ASIC, core.OpCSTORE) != 10 {
+		t.Error("ASIC CSTORE should cost 10 cycles")
+	}
+	if hwmodel.InstructionCycles(hwmodel.ASIC, core.OpLOAD) != 5 {
+		t.Error("ASIC LOAD should cost 5 cycles")
+	}
+	if hwmodel.InstructionCycles(hwmodel.ASIC, core.OpNOP) != 1 {
+		t.Error("NOP should cost 1 cycle")
+	}
+}
+
+func TestTable4Percentages(t *testing.T) {
+	// Table 4's published percentages: 21.6%, 21.6%, 30.1%, 24.5%.
+	want := []float64{21.6, 21.6, 30.1, 24.5}
+	rs := hwmodel.NetFPGAResources()
+	if len(rs) != 4 {
+		t.Fatalf("rows = %d", len(rs))
+	}
+	for i, r := range rs {
+		if math.Abs(r.ExtraPct()-want[i]) > 0.35 {
+			t.Errorf("%s: %.1f%%, want %.1f%%", r.Name, r.ExtraPct(), want[i])
+		}
+	}
+}
+
+func TestAreaModel(t *testing.T) {
+	// §6.1: "We only need 5x64 = 320 TCPUs ... the area costs are not
+	// substantial (0.32%)."
+	m := hwmodel.DefaultAreaModel()
+	if got := m.TCPUs(5, 64); got != 320 {
+		t.Errorf("TCPUs = %d, want 320", got)
+	}
+	if got := m.PaperAreaPct(); math.Abs(got-0.32) > 1e-9 {
+		t.Errorf("area = %.3f%%, want 0.32%%", got)
+	}
+}
+
+func TestExtraLatencyRange(t *testing.T) {
+	// §6.1: "the extra 50ns worst-case cost per packet adds at most 10-25%
+	// extra latency".
+	fastest, typical := hwmodel.DefaultLatencyContext().ExtraLatencyPctRange()
+	if math.Abs(fastest-25) > 1e-9 || math.Abs(typical-10) > 1e-9 {
+		t.Errorf("latency overheads = %.1f%%/%.1f%%, want 25%%/10%%", fastest, typical)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	t3 := hwmodel.Table3()
+	for _, want := range []string{"Parsing", "CSTORE", "Packet rewrite", "Total per-stage"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table 3 missing %q:\n%s", want, t3)
+		}
+	}
+	t4 := hwmodel.Table4()
+	for _, want := range []string{"Slices", "LUTs", "21.6", "30.1"} {
+		if !strings.Contains(t4, want) {
+			t.Errorf("Table 4 missing %q:\n%s", want, t4)
+		}
+	}
+}
+
+func TestPlatformString(t *testing.T) {
+	if hwmodel.NetFPGA.String() != "NetFPGA" || hwmodel.ASIC.String() != "ASIC" {
+		t.Error("platform names wrong")
+	}
+}

@@ -1,0 +1,293 @@
+// Package link models network links and their output queues: finite-rate
+// serialization, propagation delay, drop-tail queueing, and the per-port
+// statistics blocks of the paper's appendix (Table 6) — transmit/receive/
+// drop counters and the link utilization registers that switches update
+// every millisecond (§2.2: "The network updates link utilization counters
+// every millisecond").
+package link
+
+import (
+	"fmt"
+
+	"minions/internal/core"
+	"minions/internal/sim"
+)
+
+// NodeID is a network-wide node (host or switch) identifier.
+type NodeID uint32
+
+// FlowKey identifies a transport flow.
+type FlowKey struct {
+	Src, Dst         NodeID
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// String renders the key for diagnostics.
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%d:%d->%d:%d/%d", k.Src, k.SrcPort, k.Dst, k.DstPort, k.Proto)
+}
+
+// Hash is a cheap deterministic hash of the flow key plus a path tag, used
+// by switches for multipath selection ("selects an output port by hashing
+// on header fields (e.g., the VLAN tag)").
+func (k FlowKey) Hash(tag uint16) uint32 {
+	h := uint32(2166136261)
+	mix := func(v uint32) {
+		h ^= v
+		h *= 16777619
+	}
+	mix(uint32(k.Src))
+	mix(uint32(k.Dst))
+	mix(uint32(k.SrcPort)<<16 | uint32(k.DstPort))
+	mix(uint32(k.Proto))
+	mix(uint32(tag))
+	// Murmur-style finalizer: without it, high-bit differences (e.g. the
+	// source port) never reach the low bits ECMP selects on.
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// TagHash hashes a path tag alone. Multipath groups use it for tagged
+// packets so that a given tag selects the same bucket for every flow —
+// "end-hosts select network paths simply by changing the VLAN ID" (§2.4):
+// probes and data with equal tags must take equal paths.
+func TagHash(tag uint16) uint32 {
+	h := uint32(tag) * 2654435761
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	return h
+}
+
+// Transport protocol numbers used by the simulator.
+const (
+	ProtoUDP uint8 = 17
+	ProtoTCP uint8 = 6
+)
+
+// TCP-like header flag bits for Packet.TFlags.
+const (
+	TFlagSYN uint8 = 1 << iota
+	TFlagACK
+	TFlagFIN
+)
+
+// Packet is the simulator's in-flight packet. Wire headers other than the
+// TPP are kept as struct fields (the simulation does not re-serialize them
+// per hop); the TPP section is real wire bytes executed in place, exactly as
+// a hardware TCPU would.
+type Packet struct {
+	ID   uint64
+	Flow FlowKey
+	Size int // bytes on the wire, including all headers
+
+	// TPP is the attached tiny packet program, nil for plain traffic.
+	TPP core.Section
+	// Standalone marks a probe packet that exists only to carry its TPP
+	// (the UDP dport 0x6666 encapsulation) rather than piggybacking.
+	Standalone bool
+
+	PathTag uint16 // multipath selector (the paper's VLAN-tag trick)
+	TTL     uint8
+
+	// Transport fields for the simulator's TCP-like and UDP transports.
+	Seq, Ack uint32
+	TFlags   uint8
+
+	// Payload carries an app-level message by reference (simulation idiom).
+	Payload any
+
+	Hops   int      // switch hops traversed so far
+	SentAt sim.Time // set by the sending host
+}
+
+// Receiver consumes packets delivered by a link.
+type Receiver interface {
+	Receive(p *Packet, port int)
+}
+
+// Stats is a transmit/receive/drop statistics block (appendix Table 6).
+type Stats struct {
+	TxBytes, TxPackets     uint64
+	RxBytes, RxPackets     uint64
+	DropBytes, DropPackets uint64
+}
+
+// Config describes one unidirectional link.
+type Config struct {
+	RateBps    int64    // link capacity, bits per second
+	Delay      sim.Time // propagation delay
+	QueueBytes int      // output queue capacity in bytes (0 = default 150 kB)
+	UtilWindow sim.Time // utilization update interval (0 = 1 ms, the paper's)
+}
+
+// DefaultQueueBytes is roughly 100 x 1500B packets, a typical shallow
+// datacenter switch queue per port.
+const DefaultQueueBytes = 150_000
+
+// Link is a unidirectional link with an output (egress) queue at its sender.
+// Enqueue either queues the packet for serialization or drops it (drop-tail).
+type Link struct {
+	eng *sim.Engine
+	cfg Config
+
+	dst     Receiver
+	dstPort int
+
+	queue      []*Packet
+	queueBytes int
+	busy       bool
+
+	stats Stats
+
+	// Lazy fixed-window utilization estimators: rolled on access. winBytes
+	// counts transmitted bytes (TX utilization, capped at capacity);
+	// arrBytes counts offered bytes at enqueue, accepted or not — the
+	// arrival rate y(t) RCP's control law needs, which may exceed capacity.
+	winStart sim.Time
+	winBytes int64
+	arrBytes int64
+	utilPm   uint32 // last completed window, in permille of capacity
+	arrPm    uint32 // last completed window's offered load, permille
+
+	// OnDrop, when set, observes every packet the queue rejects (used for
+	// §2.6 drop notifications and loss localization).
+	OnDrop func(p *Packet)
+	// OnTransmit, when set, observes every packet as it begins
+	// serialization (after its TPP would have executed).
+	OnTransmit func(p *Packet)
+}
+
+// New creates a link feeding packets to dst's port dstPort.
+func New(eng *sim.Engine, cfg Config, dst Receiver, dstPort int) *Link {
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = DefaultQueueBytes
+	}
+	if cfg.UtilWindow == 0 {
+		cfg.UtilWindow = sim.Millisecond
+	}
+	return &Link{eng: eng, cfg: cfg, dst: dst, dstPort: dstPort}
+}
+
+// RateBps returns the configured capacity in bits/second.
+func (l *Link) RateBps() int64 { return l.cfg.RateBps }
+
+// RateMbps returns the configured capacity in Mb/s.
+func (l *Link) RateMbps() uint32 { return uint32(l.cfg.RateBps / 1_000_000) }
+
+// Stats returns a snapshot of the statistics block.
+func (l *Link) Stats() Stats { return l.stats }
+
+// QueueLenPackets returns the current queue occupancy in packets.
+func (l *Link) QueueLenPackets() int { return len(l.queue) }
+
+// QueueLenBytes returns the current queue occupancy in bytes.
+func (l *Link) QueueLenBytes() int { return l.queueBytes }
+
+// roll advances the utilization window if it has elapsed.
+func (l *Link) roll() {
+	now := l.eng.Now()
+	elapsed := now - l.winStart
+	if elapsed < l.cfg.UtilWindow {
+		return
+	}
+	// Average over however many windows elapsed; long idle gaps decay the
+	// estimate toward zero, like a hardware counter that keeps updating.
+	capacity := l.cfg.RateBps * int64(elapsed) / int64(sim.Second)
+	if capacity <= 0 {
+		l.utilPm = 0
+		l.arrPm = 0
+	} else {
+		pm := l.winBytes * 8 * 1000 / capacity
+		if pm > 1000 {
+			pm = 1000
+		}
+		l.utilPm = uint32(pm)
+		apm := l.arrBytes * 8 * 1000 / capacity
+		if apm > 4000 {
+			apm = 4000 // clamp runaway overload readings
+		}
+		l.arrPm = uint32(apm)
+	}
+	l.winStart = now
+	l.winBytes = 0
+	l.arrBytes = 0
+}
+
+// UtilPermille returns transmit utilization in permille of capacity over the
+// last completed window.
+func (l *Link) UtilPermille() uint32 {
+	l.roll()
+	return l.utilPm
+}
+
+// ArrivalUtilPermille returns the offered load (arrival rate including
+// eventual drops) in permille of capacity; it can exceed 1000 when the link
+// is overloaded, which is exactly the signal RCP's y(t) term needs.
+func (l *Link) ArrivalUtilPermille() uint32 {
+	l.roll()
+	return l.arrPm
+}
+
+// Enqueue offers a packet to the output queue. It returns false on a
+// drop-tail drop (after invoking OnDrop).
+func (l *Link) Enqueue(p *Packet) bool {
+	l.roll()
+	l.arrBytes += int64(p.Size)
+	if l.queueBytes+p.Size > l.cfg.QueueBytes {
+		l.stats.DropBytes += uint64(p.Size)
+		l.stats.DropPackets++
+		if l.OnDrop != nil {
+			l.OnDrop(p)
+		}
+		return false
+	}
+	l.queue = append(l.queue, p)
+	l.queueBytes += p.Size
+	if !l.busy {
+		l.startTransmit()
+	}
+	return true
+}
+
+// startTransmit serializes the head-of-line packet.
+func (l *Link) startTransmit() {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	p := l.queue[0]
+	l.queue = l.queue[1:]
+	l.queueBytes -= p.Size
+
+	if l.OnTransmit != nil {
+		l.OnTransmit(p)
+	}
+	txTime := sim.Time(int64(p.Size) * 8 * int64(sim.Second) / l.cfg.RateBps)
+	if txTime < 1 {
+		txTime = 1
+	}
+	l.roll()
+	l.winBytes += int64(p.Size)
+	l.stats.TxBytes += uint64(p.Size)
+	l.stats.TxPackets++
+
+	// After serialization, the packet propagates; the line becomes free for
+	// the next packet at end of serialization.
+	l.eng.After(txTime, func() {
+		arrival := l.cfg.Delay
+		l.eng.After(arrival, func() {
+			l.dst.Receive(p, l.dstPort)
+		})
+		l.startTransmit()
+	})
+}
+
+// Pending reports whether the link still holds or is serializing packets.
+func (l *Link) Pending() bool { return l.busy || len(l.queue) > 0 }

@@ -1,0 +1,525 @@
+// Package mem defines the unified memory-mapped address space through which
+// tiny packet programs (TPPs) name switch state, exactly in the spirit of
+// §3.3.1 of the paper: statistics scattered across a switch pipeline are
+// exposed behind a single 16-bit virtual address space, partitioned into
+// per-switch, per-port, per-queue, per-stage, per-flow-entry and per-packet
+// namespaces. The package also implements the mnemonic syntax used by the
+// paper's pseudo-assembly ("[Queue:QueueOccupancy]", "[Link#3:RX-Bytes]") and
+// the segment-based access-control policy of §4.1.
+package mem
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is a 16-bit virtual address into a switch's unified statistics space.
+type Addr uint16
+
+// Namespace identifies the top-level region an address belongs to.
+type Namespace uint8
+
+// Namespaces, one per paper statistics category (Table 2 and appendix
+// Tables 6-8). Dynamic windows resolve against the packet being forwarded.
+const (
+	NSSwitch    Namespace = iota // per-ASIC globals
+	NSLink                       // explicit per-port statistics blocks
+	NSQueue                      // explicit per-port, per-queue blocks
+	NSStage                      // per match-action stage (flow table) stats
+	NSFlowEntry                  // matched-entry stats for the current packet
+	NSDynamic                    // windows bound to the current packet
+	NSVendor                     // platform-specific space (§8)
+	NSInvalid
+)
+
+// String returns the mnemonic prefix for the namespace.
+func (ns Namespace) String() string {
+	switch ns {
+	case NSSwitch:
+		return "Switch"
+	case NSLink:
+		return "Link"
+	case NSQueue:
+		return "Queue"
+	case NSStage:
+		return "Stage"
+	case NSFlowEntry:
+		return "FlowEntry"
+	case NSDynamic:
+		return "Dynamic"
+	case NSVendor:
+		return "Vendor"
+	}
+	return "Invalid"
+}
+
+// Address-space layout. The top nibble selects the namespace; the layout is
+// fixed so that a TPP compiled once runs on every switch in the network.
+const (
+	SwitchBase Addr = 0x0000 // 0x0000-0x0FFF: per-switch globals
+	LinkBase   Addr = 0x1000 // 0x1000-0x1FFF: 64 ports x 64 registers
+	QueueBase  Addr = 0x2000 // 0x2000-0x2FFF: 64 ports x 8 queues x 8 regs
+	StageBase  Addr = 0x4000 // 0x4000-0x4FFF: 256 stages x 16 registers
+	EntryBase  Addr = 0x5000 // 0x5000-0x5FFF: matched entry per stage
+	DynBase    Addr = 0xB000 // 0xB000-0xB0FF: packet-bound dynamic windows
+	VendorBase Addr = 0xF000 // 0xF000-0xFFFF: vendor-specific
+)
+
+// Per-port register block geometry.
+const (
+	LinkRegBits   = 6 // 64 registers per port
+	LinkRegsPer   = 1 << LinkRegBits
+	MaxPorts      = 64
+	QueueRegBits  = 3 // 8 registers per queue
+	QueueRegsPer  = 1 << QueueRegBits
+	QueuesPerPort = 8
+	StageRegBits  = 4 // 16 registers per stage
+	StageRegsPer  = 1 << StageRegBits
+	MaxStages     = 256
+)
+
+// Per-switch registers (namespace Switch, appendix Table 6).
+const (
+	SwSwitchID  Addr = 0x0000 // unique switch identifier
+	SwVersion   Addr = 0x0001 // forwarding-state generation counter
+	SwClockLo   Addr = 0x0002 // uptime, low 32 bits of cycles
+	SwClockHi   Addr = 0x0003 // uptime, high 32 bits
+	SwClockFreq Addr = 0x0004 // cycles per second
+	SwNumPorts  Addr = 0x0005
+	SwVendorID  Addr = 0x0006 // ASIC vendor identifier (§8)
+)
+
+// Per-port registers (namespace Link, offsets within a port block;
+// appendix Table 6 "Per Port" + the AppSpecific registers of §2.2).
+const (
+	LinkID           Addr = 0 // global link identifier
+	LinkRXBytes      Addr = 1 // receive stats block
+	LinkRXPackets    Addr = 2
+	LinkTXBytes      Addr = 3 // transmit stats block
+	LinkTXPackets    Addr = 4
+	LinkDropBytes    Addr = 5 // drop stats block
+	LinkDropPackets  Addr = 6
+	LinkQueuedBytes  Addr = 7 // bytes waiting to be transmitted
+	LinkQueuedPkts   Addr = 8
+	LinkRXUtil       Addr = 9  // permille of capacity, updated every ms
+	LinkTXUtil       Addr = 10 // permille of capacity, updated every ms
+	LinkStatus       Addr = 11 // up/down/maintenance bits
+	LinkCapacityMbps Addr = 12
+	LinkQueueSize    Addr = 13 // alias: occupancy in packets of queue 0
+	// AppSpecific_0..7: software-managed registers allocated by TPP-CP.
+	LinkAppSpecific0 Addr = 16
+	LinkAppSpecific1 Addr = 17
+	LinkAppSpecific2 Addr = 18
+	LinkAppSpecific3 Addr = 19
+	LinkAppSpecific4 Addr = 20
+	LinkAppSpecific5 Addr = 21
+	LinkAppSpecific6 Addr = 22
+	LinkAppSpecific7 Addr = 23
+)
+
+// Per-queue registers (namespace Queue, offsets within a queue block).
+const (
+	QueueOccPackets   Addr = 0 // packets currently enqueued
+	QueueOccBytes     Addr = 1
+	QueueTXBytes      Addr = 2
+	QueueTXPackets    Addr = 3
+	QueueDropBytes    Addr = 4
+	QueueDropPackets  Addr = 5
+	QueueSchedWeight  Addr = 6 // scheduling configuration block
+	QueueSchedQuantum Addr = 7
+)
+
+// Per-stage registers (namespace Stage, appendix Table 6 "Per Flow Table").
+const (
+	StageVersion     Addr = 0 // bumped on every flow update
+	StageRefCount    Addr = 1 // active entries
+	StageLookupPkts  Addr = 2
+	StageLookupBytes Addr = 3
+	StageMatchPkts   Addr = 4
+	StageMatchBytes  Addr = 5
+)
+
+// Per-matched-entry registers (namespace FlowEntry, appendix Table 6).
+const (
+	EntryID          Addr = 0 // index of the matched entry
+	EntryInsertClock Addr = 1
+	EntryMatchPkts   Addr = 2
+	EntryMatchBytes  Addr = 3
+)
+
+// Dynamic windows: registers bound to the packet currently being forwarded
+// (§3.3.1 "per-packet" namespace; appendix Tables 7-8). The paper's example
+// address 0xb000 for [Queue:QueueOccupancy] is preserved.
+const (
+	DynOutQueueBase Addr = 0xB000 // current output queue's Queue block
+	DynOutLinkBase  Addr = 0xB040 // current output port's Link block
+	DynInLinkBase   Addr = 0xB080 // input port's Link block
+	DynPacketBase   Addr = 0xB0C0 // packet metadata proper
+)
+
+// Packet metadata registers (offsets within DynPacketBase; Tables 7-8).
+const (
+	PktInputPort    Addr = 0
+	PktOutputPort   Addr = 1
+	PktQueueID      Addr = 2
+	PktMatchedEntry Addr = 3 // matched entry in the routing stage
+	PktHopCount     Addr = 4 // hops traversed so far (from TPP header)
+	PktHashValue    Addr = 5 // multipath hash chosen for this packet
+	PktPathTag      Addr = 6 // path selector header field (VLAN-like)
+	PktTTL          Addr = 7
+	PktLenBytes     Addr = 8
+	PktArrivalLo    Addr = 9 // ingress timestamp, low 32 bits (ns)
+	PktArrivalHi    Addr = 10
+	PktAltRoutes    Addr = 11 // number of alternate routes for the packet
+)
+
+// LinkAddr returns the explicit address of register reg on port p.
+func LinkAddr(port int, reg Addr) Addr {
+	return LinkBase | Addr(port)<<LinkRegBits | (reg & (LinkRegsPer - 1))
+}
+
+// QueueAddr returns the explicit address of register reg on queue q of port p.
+func QueueAddr(port, queue int, reg Addr) Addr {
+	return QueueBase | Addr(port)<<(QueueRegBits+3) | Addr(queue)<<QueueRegBits | (reg & (QueueRegsPer - 1))
+}
+
+// StageAddr returns the address of register reg of match-action stage s.
+func StageAddr(stage int, reg Addr) Addr {
+	return StageBase | Addr(stage)<<StageRegBits | (reg & (StageRegsPer - 1))
+}
+
+// EntryAddr returns the address of matched-entry register reg at stage s.
+func EntryAddr(stage int, reg Addr) Addr {
+	return EntryBase | Addr(stage)<<StageRegBits | (reg & (StageRegsPer - 1))
+}
+
+// Space returns the namespace an address falls in.
+func (a Addr) Space() Namespace {
+	switch {
+	case a < LinkBase:
+		return NSSwitch
+	case a < QueueBase:
+		return NSLink
+	case a < 0x3000:
+		return NSQueue
+	case a >= StageBase && a < EntryBase:
+		return NSStage
+	case a >= EntryBase && a < 0x6000:
+		return NSFlowEntry
+	case a >= DynBase && a < DynBase+0x100:
+		return NSDynamic
+	case a >= VendorBase:
+		return NSVendor
+	}
+	return NSInvalid
+}
+
+// LinkPort decomposes an explicit Link address into (port, register).
+func (a Addr) LinkPort() (port int, reg Addr) {
+	return int(a>>LinkRegBits) & (MaxPorts - 1), a & (LinkRegsPer - 1)
+}
+
+// QueuePort decomposes an explicit Queue address into (port, queue, register).
+func (a Addr) QueuePort() (port, queue int, reg Addr) {
+	return int(a>>(QueueRegBits+3)) & (MaxPorts - 1),
+		int(a>>QueueRegBits) & (QueuesPerPort - 1),
+		a & (QueueRegsPer - 1)
+}
+
+// StageIndex decomposes a Stage or FlowEntry address into (stage, register).
+func (a Addr) StageIndex() (stage int, reg Addr) {
+	return int(a>>StageRegBits) & (MaxStages - 1), a & (StageRegsPer - 1)
+}
+
+// String renders the address as its canonical mnemonic if known, else hex.
+func (a Addr) String() string {
+	if s, ok := Mnemonic(a); ok {
+		return s
+	}
+	return fmt.Sprintf("0x%04x", uint16(a))
+}
+
+// registerNames per namespace, used by both Resolve and Mnemonic.
+var switchRegs = map[string]Addr{
+	"SwitchID": SwSwitchID, "ID": SwSwitchID,
+	"Version":   SwVersion,
+	"ClockLo":   SwClockLo,
+	"ClockHi":   SwClockHi,
+	"ClockFreq": SwClockFreq,
+	"NumPorts":  SwNumPorts,
+	"VendorID":  SwVendorID,
+}
+
+var linkRegs = map[string]Addr{
+	"ID": LinkID, "LinkID": LinkID,
+	"RX-Bytes": LinkRXBytes, "RXBytes": LinkRXBytes,
+	"RX-Packets": LinkRXPackets, "RXPackets": LinkRXPackets,
+	"TX-Bytes": LinkTXBytes, "TXBytes": LinkTXBytes,
+	"TX-Packets": LinkTXPackets, "TXPackets": LinkTXPackets,
+	"Drop-Bytes": LinkDropBytes, "DropBytes": LinkDropBytes,
+	"Drop-Packets": LinkDropPackets, "DropPackets": LinkDropPackets,
+	"Queued-Bytes": LinkQueuedBytes, "QueuedBytes": LinkQueuedBytes,
+	"Queued-Packets": LinkQueuedPkts, "QueuedPackets": LinkQueuedPkts,
+	"RX-Utilization": LinkRXUtil, "RXUtilization": LinkRXUtil,
+	"TX-Utilization": LinkTXUtil, "TXUtilization": LinkTXUtil,
+	"Status":        LinkStatus,
+	"CapacityMbps":  LinkCapacityMbps,
+	"QueueSize":     LinkQueueSize,
+	"AppSpecific_0": LinkAppSpecific0, "AppSpecific_1": LinkAppSpecific1,
+	"AppSpecific_2": LinkAppSpecific2, "AppSpecific_3": LinkAppSpecific3,
+	"AppSpecific_4": LinkAppSpecific4, "AppSpecific_5": LinkAppSpecific5,
+	"AppSpecific_6": LinkAppSpecific6, "AppSpecific_7": LinkAppSpecific7,
+}
+
+var queueRegs = map[string]Addr{
+	"QueueOccupancy": QueueOccPackets, "Occupancy": QueueOccPackets,
+	"OccupancyBytes": QueueOccBytes,
+	"TX-Bytes":       QueueTXBytes, "TXBytes": QueueTXBytes,
+	"TX-Packets": QueueTXPackets, "TXPackets": QueueTXPackets,
+	"Drop-Bytes": QueueDropBytes, "DropBytes": QueueDropBytes,
+	"Drop-Packets": QueueDropPackets, "DropPackets": QueueDropPackets,
+	"SchedWeight":  QueueSchedWeight,
+	"SchedQuantum": QueueSchedQuantum,
+}
+
+var stageRegs = map[string]Addr{
+	"Version":     StageVersion,
+	"RefCount":    StageRefCount,
+	"LookupPkts":  StageLookupPkts,
+	"LookupBytes": StageLookupBytes,
+	"MatchPkts":   StageMatchPkts,
+	"MatchBytes":  StageMatchBytes,
+}
+
+var entryRegs = map[string]Addr{
+	"ID":          EntryID,
+	"InsertClock": EntryInsertClock,
+	"MatchPkts":   EntryMatchPkts,
+	"MatchBytes":  EntryMatchBytes,
+}
+
+var pktRegs = map[string]Addr{
+	"InputPort":      PktInputPort,
+	"OutputPort":     PktOutputPort,
+	"QueueID":        PktQueueID,
+	"MatchedEntryID": PktMatchedEntry, "MatchedEntry": PktMatchedEntry,
+	"HopCount":  PktHopCount,
+	"HashValue": PktHashValue,
+	"PathTag":   PktPathTag,
+	"TTL":       PktTTL,
+	"LenBytes":  PktLenBytes,
+	"ArrivalLo": PktArrivalLo,
+	"ArrivalHi": PktArrivalHi,
+	"AltRoutes": PktAltRoutes,
+}
+
+// Resolve maps a paper-style mnemonic like "Queue:QueueOccupancy",
+// "Link:TX-Utilization", "Link#3:RX-Bytes", "Stage#1:Version" or
+// "PacketMetadata:InputPort" to its virtual address. Namespaces without an
+// explicit #index bind to the packet's current context via the dynamic
+// windows, exactly as the paper's example programs assume.
+func Resolve(name string) (Addr, error) {
+	name = strings.TrimSpace(name)
+	ns, reg, found := strings.Cut(name, ":")
+	if !found {
+		return 0, fmt.Errorf("mem: %q is not of the form Namespace:Register", name)
+	}
+	ns = strings.TrimSpace(ns)
+	reg = strings.TrimSpace(reg)
+	base, idxStr, hasIdx := strings.Cut(ns, "#")
+	idx, idx2 := -1, -1
+	if hasIdx {
+		// Queue may carry a port.queue pair, e.g. Queue#3.1.
+		a, b, dotted := strings.Cut(idxStr, ".")
+		v, err := strconv.Atoi(a)
+		if err != nil {
+			return 0, fmt.Errorf("mem: bad index in %q: %v", name, err)
+		}
+		idx = v
+		if dotted {
+			v2, err := strconv.Atoi(b)
+			if err != nil {
+				return 0, fmt.Errorf("mem: bad queue index in %q: %v", name, err)
+			}
+			idx2 = v2
+		}
+	}
+	lookup := func(m map[string]Addr) (Addr, error) {
+		r, ok := m[reg]
+		if !ok {
+			return 0, fmt.Errorf("mem: unknown register %q in namespace %q", reg, base)
+		}
+		return r, nil
+	}
+	switch base {
+	case "Switch":
+		return lookup(switchRegs)
+	case "Link", "Port":
+		r, err := lookup(linkRegs)
+		if err != nil {
+			return 0, err
+		}
+		if idx >= 0 {
+			if idx >= MaxPorts {
+				return 0, fmt.Errorf("mem: port %d out of range", idx)
+			}
+			return LinkAddr(idx, r), nil
+		}
+		return DynOutLinkBase + r, nil
+	case "InLink", "InPort":
+		r, err := lookup(linkRegs)
+		if err != nil {
+			return 0, err
+		}
+		return DynInLinkBase + r, nil
+	case "Queue":
+		r, err := lookup(queueRegs)
+		if err != nil {
+			return 0, err
+		}
+		if idx >= 0 {
+			q := 0
+			if idx2 >= 0 {
+				q = idx2
+			}
+			if idx >= MaxPorts || q >= QueuesPerPort {
+				return 0, fmt.Errorf("mem: queue %d.%d out of range", idx, q)
+			}
+			return QueueAddr(idx, q, r), nil
+		}
+		return DynOutQueueBase + r, nil
+	case "Stage":
+		r, err := lookup(stageRegs)
+		if err != nil {
+			return 0, err
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= MaxStages {
+			return 0, fmt.Errorf("mem: stage %d out of range", idx)
+		}
+		return StageAddr(idx, r), nil
+	case "FlowEntry":
+		r, err := lookup(entryRegs)
+		if err != nil {
+			return 0, err
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		return EntryAddr(idx, r), nil
+	case "PacketMetadata", "Packet":
+		r, err := lookup(pktRegs)
+		if err != nil {
+			return 0, err
+		}
+		return DynPacketBase + r, nil
+	case "Vendor":
+		if idx < 0 {
+			return 0, fmt.Errorf("mem: Vendor requires an explicit #offset")
+		}
+		if idx >= 0x1000 {
+			return 0, fmt.Errorf("mem: vendor offset %d out of range", idx)
+		}
+		return VendorBase + Addr(idx), nil
+	}
+	return 0, fmt.Errorf("mem: unknown namespace %q", base)
+}
+
+// MustResolve is Resolve for known-good compile-time mnemonics.
+func MustResolve(name string) Addr {
+	a, err := Resolve(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// reverse maps, built lazily from the forward tables for Mnemonic.
+var (
+	revSwitch = reverse(switchRegs, map[Addr]string{
+		SwSwitchID: "SwitchID",
+	})
+	revLink = reverse(linkRegs, map[Addr]string{
+		LinkID: "ID", LinkRXBytes: "RX-Bytes", LinkRXPackets: "RX-Packets",
+		LinkTXBytes: "TX-Bytes", LinkTXPackets: "TX-Packets",
+		LinkDropBytes: "Drop-Bytes", LinkDropPackets: "Drop-Packets",
+		LinkQueuedBytes: "Queued-Bytes", LinkQueuedPkts: "Queued-Packets",
+		LinkRXUtil: "RX-Utilization", LinkTXUtil: "TX-Utilization",
+	})
+	revQueue = reverse(queueRegs, map[Addr]string{
+		QueueOccPackets: "QueueOccupancy",
+	})
+	revStage = reverse(stageRegs, nil)
+	revEntry = reverse(entryRegs, nil)
+	revPkt   = reverse(pktRegs, map[Addr]string{
+		PktMatchedEntry: "MatchedEntryID",
+	})
+)
+
+func reverse(m map[string]Addr, prefer map[Addr]string) map[Addr]string {
+	out := make(map[Addr]string, len(m))
+	for k, v := range m {
+		if _, ok := out[v]; !ok {
+			out[v] = k
+		}
+	}
+	for a, s := range prefer {
+		out[a] = s
+	}
+	return out
+}
+
+// Mnemonic renders an address back into its canonical paper-style name.
+func Mnemonic(a Addr) (string, bool) {
+	switch a.Space() {
+	case NSSwitch:
+		if s, ok := revSwitch[a]; ok {
+			return "Switch:" + s, true
+		}
+	case NSLink:
+		port, reg := a.LinkPort()
+		if s, ok := revLink[reg]; ok {
+			return fmt.Sprintf("Link#%d:%s", port, s), true
+		}
+	case NSQueue:
+		port, q, reg := a.QueuePort()
+		if s, ok := revQueue[reg]; ok {
+			return fmt.Sprintf("Queue#%d.%d:%s", port, q, s), true
+		}
+	case NSStage:
+		st, reg := a.StageIndex()
+		if s, ok := revStage[reg]; ok {
+			return fmt.Sprintf("Stage#%d:%s", st, s), true
+		}
+	case NSFlowEntry:
+		st, reg := a.StageIndex()
+		if s, ok := revEntry[reg]; ok {
+			return fmt.Sprintf("FlowEntry#%d:%s", st, s), true
+		}
+	case NSDynamic:
+		switch {
+		case a >= DynPacketBase:
+			if s, ok := revPkt[a-DynPacketBase]; ok {
+				return "PacketMetadata:" + s, true
+			}
+		case a >= DynInLinkBase:
+			if s, ok := revLink[a-DynInLinkBase]; ok {
+				return "InLink:" + s, true
+			}
+		case a >= DynOutLinkBase:
+			if s, ok := revLink[a-DynOutLinkBase]; ok {
+				return "Link:" + s, true
+			}
+		default:
+			if s, ok := revQueue[a-DynOutQueueBase]; ok {
+				return "Queue:" + s, true
+			}
+		}
+	case NSVendor:
+		return fmt.Sprintf("Vendor#%d:", int(a-VendorBase)), true
+	}
+	return "", false
+}

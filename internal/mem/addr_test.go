@@ -1,0 +1,189 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestResolvePaperMnemonics(t *testing.T) {
+	// Every mnemonic that appears in a program in the paper must resolve.
+	cases := []struct {
+		in   string
+		want Addr
+	}{
+		{"Queue:QueueOccupancy", DynOutQueueBase + QueueOccPackets},
+		{"Switch:SwitchID", SwSwitchID},
+		{"Switch:ID", SwSwitchID},
+		{"Switch:VendorID", SwVendorID},
+		{"Link:QueueSize", DynOutLinkBase + LinkQueueSize},
+		{"Link:RX-Utilization", DynOutLinkBase + LinkRXUtil},
+		{"Link:TX-Utilization", DynOutLinkBase + LinkTXUtil},
+		{"Link:RX-Bytes", DynOutLinkBase + LinkRXBytes},
+		{"Link:TX-Bytes", DynOutLinkBase + LinkTXBytes},
+		{"Link:AppSpecific_0", DynOutLinkBase + LinkAppSpecific0},
+		{"Link:AppSpecific_1", DynOutLinkBase + LinkAppSpecific1},
+		{"Link:ID", DynOutLinkBase + LinkID},
+		{"PacketMetadata:MatchedEntryID", DynPacketBase + PktMatchedEntry},
+		{"PacketMetadata:InputPort", DynPacketBase + PktInputPort},
+		{"PacketMetadata:OutputPort", DynPacketBase + PktOutputPort},
+	}
+	for _, c := range cases {
+		got, err := Resolve(c.in)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("Resolve(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPaperExampleAddress(t *testing.T) {
+	// §2: "the mnemonic [Queue:QueueOccupancy] could refer to an address
+	// 0xb000". Our layout makes that exact assignment.
+	if got := MustResolve("Queue:QueueOccupancy"); got != 0xb000 {
+		t.Fatalf("[Queue:QueueOccupancy] = %#04x, want 0xb000", uint16(got))
+	}
+}
+
+func TestResolveExplicitIndices(t *testing.T) {
+	a, err := Resolve("Link#3:RX-Bytes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, reg := a.LinkPort()
+	if port != 3 || reg != LinkRXBytes {
+		t.Fatalf("Link#3:RX-Bytes decomposed to port=%d reg=%d", port, reg)
+	}
+	a, err = Resolve("Queue#5.2:QueueOccupancy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, q, reg := a.QueuePort()
+	if p != 5 || q != 2 || reg != QueueOccPackets {
+		t.Fatalf("Queue#5.2 decomposed to %d.%d reg=%d", p, q, reg)
+	}
+	a, err = Resolve("Stage#7:Version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, sreg := a.StageIndex()
+	if st != 7 || sreg != StageVersion {
+		t.Fatalf("Stage#7:Version decomposed to stage=%d reg=%d", st, sreg)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"QueueOccupancy",           // no namespace
+		"Bogus:Thing",              // unknown namespace
+		"Link:NoSuchRegister",      // unknown register
+		"Link#99:RX-Bytes",         // port out of range
+		"Queue#1.9:QueueOccupancy", // queue out of range
+		"Stage#999:Version",        // stage out of range
+		"Link#x:RX-Bytes",          // non-numeric index
+		"Vendor:",                  // vendor without offset
+	} {
+		if _, err := Resolve(bad); err == nil {
+			t.Errorf("Resolve(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestMnemonicRoundTrip(t *testing.T) {
+	names := []string{
+		"Switch:SwitchID", "Switch:Version", "Switch:ClockLo",
+		"Link:QueueSize", "Link:TX-Utilization", "Link:AppSpecific_0",
+		"Queue:QueueOccupancy",
+		"PacketMetadata:InputPort", "PacketMetadata:OutputPort",
+		"PacketMetadata:MatchedEntryID",
+	}
+	for _, n := range names {
+		a := MustResolve(n)
+		back, ok := Mnemonic(a)
+		if !ok {
+			t.Fatalf("Mnemonic(%v) not found for %q", a, n)
+		}
+		a2, err := Resolve(back)
+		if err != nil {
+			t.Fatalf("Resolve(Mnemonic(%q)=%q): %v", n, back, err)
+		}
+		if a2 != a {
+			t.Errorf("round trip %q -> %v -> %q -> %v", n, a, back, a2)
+		}
+	}
+}
+
+func TestExplicitMnemonicRoundTrip(t *testing.T) {
+	for port := 0; port < MaxPorts; port += 7 {
+		a := LinkAddr(port, LinkTXBytes)
+		s, ok := Mnemonic(a)
+		if !ok || !strings.Contains(s, "#") {
+			t.Fatalf("Mnemonic(%v) = %q, %v", a, s, ok)
+		}
+		if got := MustResolve(s); got != a {
+			t.Errorf("round trip %v -> %q -> %v", a, s, got)
+		}
+	}
+}
+
+func TestSpaceClassification(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		want Namespace
+	}{
+		{SwSwitchID, NSSwitch},
+		{LinkAddr(5, LinkTXBytes), NSLink},
+		{QueueAddr(5, 1, QueueOccPackets), NSQueue},
+		{StageAddr(2, StageVersion), NSStage},
+		{EntryAddr(2, EntryMatchPkts), NSFlowEntry},
+		{DynOutLinkBase + LinkTXUtil, NSDynamic},
+		{DynPacketBase + PktInputPort, NSDynamic},
+		{VendorBase + 12, NSVendor},
+		{0x3500, NSInvalid},
+		{0x7000, NSInvalid},
+	}
+	for _, c := range cases {
+		if got := c.a.Space(); got != c.want {
+			t.Errorf("Space(%#04x) = %v, want %v", uint16(c.a), got, c.want)
+		}
+	}
+}
+
+func TestLinkAddrDecomposeQuick(t *testing.T) {
+	f := func(port uint8, reg uint8) bool {
+		p := int(port) % MaxPorts
+		r := Addr(reg) % LinkRegsPer
+		a := LinkAddr(p, r)
+		gp, gr := a.LinkPort()
+		return gp == p && gr == r && a.Space() == NSLink
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueAddrDecomposeQuick(t *testing.T) {
+	f := func(port, queue, reg uint8) bool {
+		p := int(port) % MaxPorts
+		q := int(queue) % QueuesPerPort
+		r := Addr(reg) % QueueRegsPer
+		a := QueueAddr(p, q, r)
+		gp, gq, gr := a.QueuePort()
+		return gp == p && gq == q && gr == r && a.Space() == NSQueue
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if s := MustResolve("Queue:QueueOccupancy").String(); s != "Queue:QueueOccupancy" {
+		t.Errorf("String() = %q", s)
+	}
+	if s := Addr(0x3abc).String(); s != "0x3abc" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,147 @@
+// Package microburst implements the §2.1 application: per-packet visibility
+// into queue occupancy. Every instrumented packet carries the three-PUSH TPP
+//
+//	PUSH [Switch:SwitchID]
+//	PUSH [PacketMetadata:OutputPort]
+//	PUSH [Queue:QueueOccupancy]
+//
+// and receiving hosts aggregate the snapshots into per-queue CDFs and time
+// series — the two panels of Figure 1b. Because every delivered packet
+// yields a sample taken at the instant it traversed each queue, bursts that
+// a polling monitor would miss (the paper's point: one queue is empty at 80%
+// of packet arrivals, so sampling misses the bursts) are captured exactly.
+package microburst
+
+import (
+	"fmt"
+	"sort"
+
+	"minions/internal/asm"
+	"minions/internal/core"
+	"minions/internal/host"
+	"minions/internal/link"
+	"minions/internal/stats"
+)
+
+// Program is the micro-burst TPP, verbatim from §2.1.
+const Program = `
+	PUSH [Switch:SwitchID]
+	PUSH [PacketMetadata:OutputPort]
+	PUSH [Queue:QueueOccupancy]
+`
+
+// WordsPerHop is the per-hop record size of the program.
+const WordsPerHop = 3
+
+// QueueKey identifies one monitored queue: a switch egress port.
+type QueueKey struct {
+	SwitchID uint32
+	Port     uint32
+}
+
+// String renders the key.
+func (k QueueKey) String() string { return fmt.Sprintf("s%d.p%d", k.SwitchID, k.Port) }
+
+// Monitor aggregates queue-occupancy samples network-wide.
+type Monitor struct {
+	App     *host.App
+	Hops    int
+	cdfs    map[QueueKey]*stats.CDF
+	series  map[QueueKey]*stats.TimeSeries
+	samples uint64
+}
+
+// Deploy registers the application, installs the TPP on every source host's
+// matching traffic (sampleFreq = 1 instruments every packet, as in Figure 1),
+// and registers aggregators on every host.
+func Deploy(cp *host.ControlPlane, hosts []*host.Host, spec host.FilterSpec, sampleFreq, hops int) (*Monitor, error) {
+	app := cp.RegisterApp("microburst")
+	m := &Monitor{
+		App:    app,
+		Hops:   hops,
+		cdfs:   make(map[QueueKey]*stats.CDF),
+		series: make(map[QueueKey]*stats.TimeSeries),
+	}
+	for _, h := range hosts {
+		prog, err := asm.Assemble(fmt.Sprintf(".hops %d\n%s", hops, Program))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := h.AddTPP(app, spec, prog, sampleFreq, 10); err != nil {
+			return nil, err
+		}
+		h := h
+		h.RegisterAggregator(app.Wire, func(p *link.Packet, view core.Section) {
+			m.ingest(h, view)
+		})
+	}
+	return m, nil
+}
+
+// ingest records one fully executed TPP's snapshots.
+func (m *Monitor) ingest(h *host.Host, view core.Section) {
+	now := h.Engine().Now().Seconds()
+	for _, hop := range view.StackView(WordsPerHop) {
+		key := QueueKey{SwitchID: hop.Words[0], Port: hop.Words[1]}
+		occ := float64(hop.Words[2])
+		cdf := m.cdfs[key]
+		if cdf == nil {
+			cdf = &stats.CDF{}
+			m.cdfs[key] = cdf
+			m.series[key] = stats.NewTimeSeries(0.01) // 10 ms bins
+		}
+		cdf.Add(occ)
+		m.series[key].Add(now, occ)
+		m.samples++
+	}
+}
+
+// Samples returns the total number of per-queue snapshots ingested.
+func (m *Monitor) Samples() uint64 { return m.samples }
+
+// Queues returns the monitored queue keys, sorted for stable output.
+func (m *Monitor) Queues() []QueueKey {
+	keys := make([]QueueKey, 0, len(m.cdfs))
+	for k := range m.cdfs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].SwitchID != keys[j].SwitchID {
+			return keys[i].SwitchID < keys[j].SwitchID
+		}
+		return keys[i].Port < keys[j].Port
+	})
+	return keys
+}
+
+// CDF returns the occupancy distribution for a queue.
+func (m *Monitor) CDF(k QueueKey) *stats.CDF { return m.cdfs[k] }
+
+// Series returns the occupancy time series for a queue.
+func (m *Monitor) Series(k QueueKey) *stats.TimeSeries { return m.series[k] }
+
+// EmptyFraction returns the fraction of a queue's samples that observed an
+// empty queue — the Figure 1 CDF's headline number.
+func (m *Monitor) EmptyFraction(k QueueKey) float64 {
+	c := m.cdfs[k]
+	if c == nil || c.N() == 0 {
+		return 0
+	}
+	return c.FractionAtMost(0)
+}
+
+// MaxBurst returns the largest occupancy ever observed on a queue.
+func (m *Monitor) MaxBurst(k QueueKey) float64 {
+	c := m.cdfs[k]
+	if c == nil {
+		return 0
+	}
+	return c.Max()
+}
+
+// Overhead returns the per-packet byte cost of the instrumentation at the
+// configured hop budget: the §2.1 arithmetic (12-byte header + 12 bytes of
+// instructions + per-hop statistics).
+func (m *Monitor) Overhead() int {
+	return core.HeaderLen + 3*core.InsnSize + m.Hops*WordsPerHop*core.WordSize
+}

@@ -1,0 +1,260 @@
+// Package netsight refactors the NetSight troubleshooting platform onto the
+// TPP interface (§2.3). A trusted per-host agent inserts
+//
+//	PUSH [Switch:ID]
+//	PUSH [PacketMetadata:MatchedEntryID]
+//	PUSH [PacketMetadata:InputPort]
+//
+// on (a subset of) packets; the receiving host reconstructs a *packet
+// history* — "a record of the packet's path through the network and the
+// switch forwarding state applied to the packet" — without the network ever
+// creating extra packet copies. On top of the history store this package
+// provides the paper's four applications: netshark (network-wide tcpdump
+// with queries), ndb (interactive debugger with backtraces), netwatch
+// (live policy checking) and loss localization via drop notifications.
+package netsight
+
+import (
+	"fmt"
+	"strings"
+
+	"minions/internal/asm"
+	"minions/internal/core"
+	"minions/internal/device"
+	"minions/internal/host"
+	"minions/internal/link"
+	"minions/internal/sim"
+)
+
+// Program is the packet-history TPP of §2.3.
+const Program = `
+	PUSH [Switch:ID]
+	PUSH [PacketMetadata:MatchedEntryID]
+	PUSH [PacketMetadata:InputPort]
+`
+
+// WordsPerHop is the per-hop record size.
+const WordsPerHop = 3
+
+// DefaultHops is the paper's sizing example ("space for 10 hops").
+const DefaultHops = 10
+
+// HopRecord is one switch's forwarding decision for a packet.
+type HopRecord struct {
+	SwitchID  uint32
+	EntryID   uint32 // matched flow entry (its version-carrying identity)
+	InputPort uint32
+}
+
+// History is a packet history.
+type History struct {
+	At      sim.Time
+	Flow    link.FlowKey
+	PktID   uint64
+	Hops    []HopRecord
+	Dropped bool // true when reconstructed from a drop notification
+	DropAt  uint32
+}
+
+// Path renders the history's switch path like "1>3>7".
+func (h History) Path() string {
+	var b strings.Builder
+	for i, hop := range h.Hops {
+		if i > 0 {
+			b.WriteByte('>')
+		}
+		fmt.Fprintf(&b, "%d", hop.SwitchID)
+	}
+	return b.String()
+}
+
+// Collector is the central service receiving histories from all hosts.
+type Collector struct {
+	histories []History
+	// OnHistory, when set, observes each arrival (netwatch live mode).
+	OnHistory func(History)
+}
+
+// Add appends a history.
+func (c *Collector) Add(h History) {
+	c.histories = append(c.histories, h)
+	if c.OnHistory != nil {
+		c.OnHistory(h)
+	}
+}
+
+// Len returns the number of stored histories.
+func (c *Collector) Len() int { return len(c.histories) }
+
+// Query returns histories matching pred — the "SQL over stored traces"
+// netshark/ndb interface.
+func (c *Collector) Query(pred func(History) bool) []History {
+	var out []History
+	for _, h := range c.histories {
+		if pred(h) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// ByFlow returns the histories of one flow, in arrival order (ndb's
+// backtrace for a flow).
+func (c *Collector) ByFlow(f link.FlowKey) []History {
+	return c.Query(func(h History) bool { return h.Flow == f })
+}
+
+// TraversedSwitch returns histories whose path includes the switch.
+func (c *Collector) TraversedSwitch(id uint32) []History {
+	return c.Query(func(h History) bool {
+		for _, hop := range h.Hops {
+			if hop.SwitchID == id {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// Drops returns the loss-localization records.
+func (c *Collector) Drops() []History {
+	return c.Query(func(h History) bool { return h.Dropped })
+}
+
+// Deployment wires the application: TPPs on sources, aggregators on
+// receivers, drop mirroring on switches.
+type Deployment struct {
+	App       *host.App
+	Collector *Collector
+	Hops      int
+}
+
+// Deploy installs packet-history collection across the network.
+func Deploy(cp *host.ControlPlane, hosts []*host.Host, switches []*device.Switch, spec host.FilterSpec, sampleFreq int) (*Deployment, error) {
+	app := cp.RegisterApp("netsight")
+	col := &Collector{}
+	d := &Deployment{App: app, Collector: col, Hops: DefaultHops}
+
+	src := fmt.Sprintf(".hops %d\n.flags dropnotify\n%s", DefaultHops, Program)
+	for _, h := range hosts {
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := h.AddTPP(app, spec, prog, sampleFreq, 20); err != nil {
+			return nil, err
+		}
+		h := h
+		h.RegisterAggregator(app.Wire, func(p *link.Packet, view core.Section) {
+			col.Add(historyFrom(h.Engine().Now(), p, view, false, 0))
+		})
+	}
+	// §2.6 loss localization: switches mirror dropped DropNotify TPPs.
+	for _, sw := range switches {
+		sw := sw
+		sw.DropCollector = func(p *link.Packet, reason device.DropReason) {
+			if p.TPP == nil || p.TPP.AppID() != app.Wire {
+				return
+			}
+			col.Add(historyFrom(0, p, p.TPP, true, sw.ID()))
+		}
+	}
+	return d, nil
+}
+
+func historyFrom(at sim.Time, p *link.Packet, view core.Section, dropped bool, dropAt uint32) History {
+	h := History{At: at, Flow: p.Flow, PktID: p.ID, Dropped: dropped, DropAt: dropAt}
+	for _, hop := range view.StackView(WordsPerHop) {
+		h.Hops = append(h.Hops, HopRecord{
+			SwitchID:  hop.Words[0],
+			EntryID:   hop.Words[1],
+			InputPort: hop.Words[2],
+		})
+	}
+	return h
+}
+
+// OverheadBytes is the §2.3 accounting: TPP header + 3 instructions +
+// per-hop data for the given path budget.
+func OverheadBytes(hops int) int {
+	return core.HeaderLen + 3*core.InsnSize + hops*WordsPerHop*core.WordSize
+}
+
+// Violation is a netwatch policy violation.
+type Violation struct {
+	Policy  string
+	History History
+	Detail  string
+}
+
+// Policy checks a packet history; nil means conforming.
+type Policy func(History) *Violation
+
+// Netwatch attaches live policy checking to a collector.
+func Netwatch(c *Collector, policies ...Policy) *[]Violation {
+	violations := &[]Violation{}
+	prev := c.OnHistory
+	c.OnHistory = func(h History) {
+		if prev != nil {
+			prev(h)
+		}
+		for _, p := range policies {
+			if v := p(h); v != nil {
+				*violations = append(*violations, *v)
+			}
+		}
+	}
+	return violations
+}
+
+// IsolationPolicy flags any flow between the two host groups (tenant
+// isolation, the paper's netwatch example).
+func IsolationPolicy(groupA, groupB map[link.NodeID]bool) Policy {
+	return func(h History) *Violation {
+		cross := (groupA[h.Flow.Src] && groupB[h.Flow.Dst]) ||
+			(groupB[h.Flow.Src] && groupA[h.Flow.Dst])
+		if cross {
+			return &Violation{
+				Policy:  "isolation",
+				History: h,
+				Detail:  fmt.Sprintf("flow %v crosses tenant boundary", h.Flow),
+			}
+		}
+		return nil
+	}
+}
+
+// WaypointPolicy requires every history to traverse the given switch (e.g.
+// a firewall) — a path-conformance check.
+func WaypointPolicy(switchID uint32) Policy {
+	return func(h History) *Violation {
+		for _, hop := range h.Hops {
+			if hop.SwitchID == switchID {
+				return nil
+			}
+		}
+		return &Violation{
+			Policy:  "waypoint",
+			History: h,
+			Detail:  fmt.Sprintf("path %s avoids waypoint %d", h.Path(), switchID),
+		}
+	}
+}
+
+// LoopPolicy flags histories visiting any switch twice.
+func LoopPolicy() Policy {
+	return func(h History) *Violation {
+		seen := map[uint32]bool{}
+		for _, hop := range h.Hops {
+			if seen[hop.SwitchID] {
+				return &Violation{
+					Policy:  "loop",
+					History: h,
+					Detail:  fmt.Sprintf("switch %d repeated on %s", hop.SwitchID, h.Path()),
+				}
+			}
+			seen[hop.SwitchID] = true
+		}
+		return nil
+	}
+}

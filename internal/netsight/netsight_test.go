@@ -1,0 +1,188 @@
+package netsight_test
+
+import (
+	"testing"
+
+	"minions/internal/host"
+	"minions/internal/link"
+	"minions/internal/netsight"
+	"minions/internal/sim"
+	"minions/internal/topo"
+)
+
+func deploy(t *testing.T) (*topo.Network, *netsight.Deployment) {
+	t.Helper()
+	n := topo.New(1)
+	hosts, _, _ := topo.Dumbbell(n, 4, 1000)
+	d, err := netsight.Deploy(n.CP, hosts, n.Switches, host.FilterSpec{Proto: link.ProtoUDP}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, d
+}
+
+func TestPacketHistoriesCollected(t *testing.T) {
+	n, d := deploy(t)
+	h0, h3 := n.Hosts[0], n.Hosts[3] // opposite sides of the dumbbell
+	h3.Bind(8000, link.ProtoUDP, func(p *link.Packet) {})
+	for i := 0; i < 5; i++ {
+		h0.Send(h0.NewPacket(h3.ID(), 1000, 8000, link.ProtoUDP, 500))
+	}
+	n.Eng.Run()
+	if d.Collector.Len() != 5 {
+		t.Fatalf("collected %d histories, want 5", d.Collector.Len())
+	}
+	flow := link.FlowKey{Src: h0.ID(), Dst: h3.ID(), SrcPort: 1000, DstPort: 8000, Proto: link.ProtoUDP}
+	hist := d.Collector.ByFlow(flow)
+	if len(hist) != 5 {
+		t.Fatalf("ByFlow found %d", len(hist))
+	}
+	// The dumbbell path crosses both switches: 1 then 2.
+	if hist[0].Path() != "1>2" {
+		t.Errorf("path = %q, want 1>2", hist[0].Path())
+	}
+	for _, hr := range hist[0].Hops {
+		if hr.EntryID == 0 {
+			t.Error("matched entry ID missing from history")
+		}
+	}
+}
+
+func TestNdbQueriesBySwitch(t *testing.T) {
+	n, d := deploy(t)
+	h0, h1, h3 := n.Hosts[0], n.Hosts[1], n.Hosts[3]
+	h1.Bind(8000, link.ProtoUDP, func(p *link.Packet) {})
+	h3.Bind(8000, link.ProtoUDP, func(p *link.Packet) {})
+	// Same-side traffic (h0->h1) stays on switch 1; cross traffic visits 2.
+	h0.Send(h0.NewPacket(h1.ID(), 1000, 8000, link.ProtoUDP, 300))
+	h0.Send(h0.NewPacket(h3.ID(), 1001, 8000, link.ProtoUDP, 300))
+	n.Eng.Run()
+	through2 := d.Collector.TraversedSwitch(2)
+	if len(through2) != 1 {
+		t.Fatalf("TraversedSwitch(2) = %d, want 1", len(through2))
+	}
+	if through2[0].Flow.SrcPort != 1001 {
+		t.Error("wrong history matched")
+	}
+}
+
+func TestLossLocalization(t *testing.T) {
+	// Overflow the slow inter-switch queue and expect drop histories
+	// pinpointing the dropping switch: fast host links into a 10 Mb/s core.
+	n := topo.New(2)
+	left, right := n.AddSwitch(4), n.AddSwitch(4)
+	var hostsArr []*host.Host
+	for i := 0; i < 4; i++ {
+		h := n.AddHost()
+		hostsArr = append(hostsArr, h)
+		if i < 2 {
+			n.Connect(h, left, topo.HostLink(1000))
+		} else {
+			n.Connect(h, right, topo.HostLink(1000))
+		}
+	}
+	n.Connect(left, right, link.Config{
+		RateBps:    10_000_000,
+		Delay:      5 * sim.Microsecond,
+		QueueBytes: 20_000, // shallow core queue: bursts overflow here
+	})
+	n.ComputeRoutes()
+	d, err := netsight.Deploy(n.CP, hostsArr, n.Switches, host.FilterSpec{Proto: link.ProtoUDP}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, h3 := n.Hosts[0], n.Hosts[3]
+	h3.Bind(8000, link.ProtoUDP, func(p *link.Packet) {})
+	// Paced bursts, each larger than the core queue: drops at the left
+	// switch, while the fast host NIC never overflows.
+	for b := 0; b < 10; b++ {
+		b := b
+		n.Eng.At(sim.Time(b)*100*sim.Millisecond, func() {
+			for i := 0; i < 50; i++ {
+				h0.Send(h0.NewPacket(h3.ID(), 1000, 8000, link.ProtoUDP, 1300))
+			}
+		})
+	}
+	n.Eng.RunUntil(2 * sim.Second)
+	drops := d.Collector.Drops()
+	if len(drops) == 0 {
+		t.Fatal("no drop notifications collected")
+	}
+	for _, dr := range drops {
+		if dr.DropAt != left.ID() {
+			t.Fatalf("drop located at switch %d, want %d", dr.DropAt, left.ID())
+		}
+		// The history shows the hops up to the drop point.
+		if len(dr.Hops) == 0 || dr.Hops[0].SwitchID != left.ID() {
+			t.Errorf("drop history hops: %+v", dr.Hops)
+		}
+	}
+}
+
+func TestNetwatchIsolation(t *testing.T) {
+	n, d := deploy(t)
+	h0, h1, h3 := n.Hosts[0], n.Hosts[1], n.Hosts[3]
+	violations := netsight.Netwatch(d.Collector, netsight.IsolationPolicy(
+		map[link.NodeID]bool{h0.ID(): true},
+		map[link.NodeID]bool{h3.ID(): true},
+	))
+	h1.Bind(8000, link.ProtoUDP, func(p *link.Packet) {})
+	h3.Bind(8000, link.ProtoUDP, func(p *link.Packet) {})
+	h0.Send(h0.NewPacket(h1.ID(), 1, 8000, link.ProtoUDP, 200)) // allowed
+	h0.Send(h0.NewPacket(h3.ID(), 2, 8000, link.ProtoUDP, 200)) // violates
+	n.Eng.Run()
+	if len(*violations) != 1 {
+		t.Fatalf("violations = %d, want 1", len(*violations))
+	}
+	if (*violations)[0].Policy != "isolation" {
+		t.Errorf("policy = %q", (*violations)[0].Policy)
+	}
+}
+
+func TestNetwatchWaypointAndLoop(t *testing.T) {
+	n, d := deploy(t)
+	h0, h1 := n.Hosts[0], n.Hosts[1]
+	violations := netsight.Netwatch(d.Collector,
+		netsight.WaypointPolicy(2), // require crossing switch 2
+		netsight.LoopPolicy(),
+	)
+	h1.Bind(8000, link.ProtoUDP, func(p *link.Packet) {})
+	// h0 -> h1 stays on switch 1: waypoint violation, no loop.
+	h0.Send(h0.NewPacket(h1.ID(), 1, 8000, link.ProtoUDP, 200))
+	n.Eng.Run()
+	if len(*violations) != 1 || (*violations)[0].Policy != "waypoint" {
+		t.Fatalf("violations: %+v", *violations)
+	}
+}
+
+func TestOverheadAccounting(t *testing.T) {
+	// §2.3: "The instruction overhead is 12 bytes/packet and 6 bytes of
+	// per-hop data. With a TPP header and space for 10 hops, this is 84
+	// bytes/packet." Our 32-bit words double the per-hop data (12 B/hop):
+	// 12 + 12 + 120 = 144. Structure identical; both yield <15% at 1000 B.
+	got := netsight.OverheadBytes(10)
+	if got != 144 {
+		t.Errorf("overhead = %d, want 144", got)
+	}
+	if frac := float64(got) / 1000; frac > 0.15 {
+		t.Errorf("bandwidth overhead %.1f%% implausible", frac*100)
+	}
+}
+
+func TestSampledDeploymentCollectsSubset(t *testing.T) {
+	n := topo.New(1)
+	hosts, _, _ := topo.Dumbbell(n, 4, 1000)
+	d, err := netsight.Deploy(n.CP, hosts, n.Switches, host.FilterSpec{Proto: link.ProtoUDP}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, h3 := n.Hosts[0], n.Hosts[3]
+	h3.Bind(8000, link.ProtoUDP, func(p *link.Packet) {})
+	for i := 0; i < 100; i++ {
+		h0.Send(h0.NewPacket(h3.ID(), 1000, 8000, link.ProtoUDP, 500))
+	}
+	n.Eng.Run()
+	if got := d.Collector.Len(); got != 10 {
+		t.Errorf("sampled collection = %d histories, want 10", got)
+	}
+}

@@ -1,0 +1,424 @@
+// Package rcp implements RCP*, the §2.2 end-host refactoring of the Rate
+// Control Protocol. The network only executes TPPs; end-hosts do everything
+// else. Each flow's rate controller loops through the paper's three phases:
+//
+//	Collect: a 5-instruction TPP reads, on every hop, the switch ID, queue
+//	         size, link (arrival) utilization, and the link's fair-share
+//	         rate and version number from two AppSpecific registers.
+//	Compute: the sender runs the RCP control law per link:
+//	         R' = R (1 - (T/d) * (a*(y-C) + b*q/d) / C)
+//	Update:  a CSTORE conditioned on the version number writes the new rate
+//	         back, so concurrent flows never clobber each other's updates.
+//
+// The flow's own sending rate is the α-fair aggregate of the per-link rates
+// (equation 2): R = (Σ Ri^-α)^(-1/α); α→∞ recovers max-min (R = min Ri) and
+// α=1 is proportional fairness — chosen at deployment time, exactly the
+// flexibility the paper argues hardware RCP would have foreclosed.
+package rcp
+
+import (
+	"fmt"
+	"math"
+
+	"minions/internal/core"
+	"minions/internal/device"
+	"minions/internal/host"
+	"minions/internal/link"
+	"minions/internal/mem"
+	"minions/internal/sim"
+	"minions/internal/transport"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// Alpha selects the fairness criterion: math.Inf(1) = max-min, 1 =
+	// proportional fairness (Kelly et al.).
+	Alpha float64
+	// Period is the control interval T (default 10 ms ~ a few RTTs).
+	Period sim.Time
+	// CapacityMbps is each network link's capacity C.
+	CapacityMbps float64
+	// A, B are the RCP gain parameters (defaults 0.5, 0.25).
+	A, B float64
+	// InitialRateMbps is the starting flow rate (paper: 1 Mb/s).
+	InitialRateMbps float64
+	// MinRateMbps floors the rate so flows never stall entirely.
+	MinRateMbps float64
+	// MeanPktBytes converts queue occupancy (packets) to bytes.
+	MeanPktBytes int
+	// Hops bounds the path length for TPP memory sizing.
+	Hops int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = math.Inf(1)
+	}
+	if c.Period == 0 {
+		c.Period = 10 * sim.Millisecond
+	}
+	if c.A == 0 {
+		c.A = 0.5
+	}
+	if c.B == 0 {
+		c.B = 0.25
+	}
+	if c.InitialRateMbps == 0 {
+		c.InitialRateMbps = 1
+	}
+	if c.MinRateMbps == 0 {
+		c.MinRateMbps = 0.25
+	}
+	if c.MeanPktBytes == 0 {
+		c.MeanPktBytes = 1500
+	}
+	if c.Hops == 0 {
+		c.Hops = 5
+	}
+	return c
+}
+
+// System is the network-wide RCP* deployment: one app registration and two
+// AppSpecific registers per link ("The network control plane allocates two
+// memory addresses per link").
+type System struct {
+	App     *host.App
+	cfg     Config
+	verReg  mem.Addr // dynamic out-link address of the version register
+	rateReg mem.Addr // dynamic out-link address of the fair-rate register
+	regIdx  int
+}
+
+// rate wire unit: kilobits per second (fits 32 bits up to 4 Tb/s).
+func mbpsToWire(m float64) uint32 { return uint32(m * 1000) }
+func wireToMbps(w uint32) float64 { return float64(w) / 1000 }
+
+// NewSystem registers the RCP application and allocates its link registers.
+func NewSystem(cp *host.ControlPlane, cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	app := cp.RegisterApp("rcp")
+	idx, err := cp.AllocLinkRegisters(app, 2)
+	if err != nil {
+		return nil, fmt.Errorf("rcp: %w", err)
+	}
+	return &System{
+		App:     app,
+		cfg:     cfg,
+		regIdx:  idx,
+		verReg:  mem.DynOutLinkBase + mem.LinkAppSpecific0 + mem.Addr(idx),
+		rateReg: mem.DynOutLinkBase + mem.LinkAppSpecific0 + mem.Addr(idx+1),
+	}, nil
+}
+
+// InitSwitch seeds every connected port's fair-share register with that
+// port's own link capacity (the control-plane step before flows start).
+// Heterogeneous capacities matter: a receiver's fast host link must not
+// dilute the α-fair aggregate of the slow network links.
+func (s *System) InitSwitch(sw *device.Switch) {
+	for i := 0; i < sw.NumPorts(); i++ {
+		p := sw.Port(i)
+		if p.Out == nil {
+			continue
+		}
+		p.SetAppSpecific(s.regIdx, 0) // version
+		p.SetAppSpecific(s.regIdx+1, mbpsToWire(float64(p.Out.RateMbps())))
+	}
+}
+
+// capacityProgram is the one-time capacity-discovery TPP each flow sends at
+// startup: per hop it records the switch ID and the egress link capacity, so
+// phase 2 can evaluate the control law with each link's own C.
+func (s *System) capacityProgram() *core.Program {
+	return &core.Program{
+		Mode:        core.AddrHop,
+		PerHopWords: 2,
+		MemWords:    2 * s.cfg.Hops,
+		Insns: []core.Instruction{
+			{Op: core.OpLOAD, A: 0, Addr: mem.SwSwitchID},
+			{Op: core.OpLOAD, A: 1, Addr: mem.DynOutLinkBase + mem.LinkCapacityMbps},
+		},
+	}
+}
+
+// collectProgram builds phase 1's TPP. Instead of the coarse 1 ms
+// utilization register, it reads the queued-byte and transmitted-byte
+// counters: the paper's own refinement ("If needed, end-hosts can measure
+// them faster by querying for [Link:RX-Bytes]"). Deltas between consecutive
+// probes give the exact average arrival rate over the control period — far
+// smoother than a 1 ms window, which matters for loop stability.
+func (s *System) collectProgram() *core.Program {
+	per := 5
+	return &core.Program{
+		Mode:        core.AddrHop,
+		PerHopWords: per,
+		MemWords:    per * s.cfg.Hops,
+		Insns: []core.Instruction{
+			{Op: core.OpLOAD, A: 0, Addr: mem.SwSwitchID},
+			{Op: core.OpLOAD, A: 1, Addr: mem.DynOutLinkBase + mem.LinkQueuedBytes},
+			{Op: core.OpLOAD, A: 2, Addr: mem.DynOutLinkBase + mem.LinkTXBytes},
+			{Op: core.OpLOAD, A: 3, Addr: s.verReg},
+			{Op: core.OpLOAD, A: 4, Addr: s.rateReg},
+		},
+	}
+}
+
+// updateProgram builds phase 3's TPP: per-hop CSTORE of (version ->
+// version+1) gating a STORE of the new rate — the exact §2.2 listing.
+func (s *System) updateProgram(hops []HopState, newRates []float64) *core.Program {
+	per := 3
+	p := &core.Program{
+		Mode:        core.AddrHop,
+		PerHopWords: per,
+		MemWords:    per * len(hops),
+		Insns: []core.Instruction{
+			{Op: core.OpCSTORE, A: 0, B: 1, Addr: s.verReg},
+			{Op: core.OpSTORE, A: 2, Addr: s.rateReg},
+		},
+	}
+	for i, h := range hops {
+		p.InitMem = append(p.InitMem,
+			h.Version,               // expected current version
+			h.Version+1,             // new version
+			mbpsToWire(newRates[i]), // R_new
+		)
+	}
+	return p
+}
+
+// HopState is one link's sample from a collect round.
+type HopState struct {
+	SwitchID   uint32
+	QueueBytes uint32 // egress queue occupancy
+	TxBytes    uint32 // cumulative transmit counter (wraps)
+	Version    uint32
+	RateMbps   float64 // stored fair share
+	// YMbps is the end-host-computed average arrival rate since the
+	// previous sample of this link (phase 2 input).
+	YMbps float64
+}
+
+// linkPrev remembers the previous sample for delta computation.
+type linkPrev struct {
+	qBytes  uint32
+	txBytes uint32
+	at      sim.Time
+}
+
+// Flow is one RCP* rate controller driving a rate-limited UDP flow.
+type Flow struct {
+	sys  *System
+	h    *host.Host
+	dst  link.NodeID
+	udp  *transport.UDPFlow
+	cfg  Config
+	rttE sim.Time // EWMA of probe RTT (the control law's d)
+	prev map[uint32]linkPrev
+	caps map[uint32]float64 // per-hop link capacity, discovered at start
+
+	running bool
+	// Telemetry for tests and plots.
+	LastHops    []HopState
+	LastRate    float64
+	Updates     uint64
+	CtrlPackets uint64
+	CtrlBytes   uint64
+}
+
+// NewFlow wraps an existing UDP flow with an RCP* controller.
+func NewFlow(sys *System, h *host.Host, dst link.NodeID, udp *transport.UDPFlow) *Flow {
+	f := &Flow{
+		sys: sys, h: h, dst: dst, udp: udp, cfg: sys.cfg,
+		prev: make(map[uint32]linkPrev),
+		caps: make(map[uint32]float64),
+	}
+	udp.SetRateBps(int64(f.cfg.InitialRateMbps * 1e6))
+	return f
+}
+
+// Start begins the control loop and the underlying UDP stream. The first
+// round discovers per-hop link capacities.
+func (f *Flow) Start() {
+	f.running = true
+	f.udp.Start()
+	prog := f.sys.capacityProgram()
+	err := f.h.ExecuteTPP(f.sys.App, prog, f.dst, host.ExecOpts{}, func(view core.Section, err error) {
+		if err == nil {
+			for _, hv := range view.HopViews() {
+				if hv.Words[1] > 0 {
+					f.caps[hv.Words[0]] = float64(hv.Words[1])
+				}
+			}
+		}
+		f.controlRound()
+	})
+	if err != nil {
+		f.controlRound()
+	}
+}
+
+// Stop halts both.
+func (f *Flow) Stop() {
+	f.running = false
+	f.udp.Stop()
+}
+
+// RateMbps returns the current sending rate.
+func (f *Flow) RateMbps() float64 { return float64(f.udp.RateBps()) / 1e6 }
+
+// nextPeriod adapts the control interval to the flow's own packet rate,
+// mirroring the paper's "each flow sends control packets roughly once every
+// RTT": slow flows (whose RTT per delivered window is long) probe less, so
+// total control overhead stays bounded as flow counts grow (§2.2).
+func (f *Flow) nextPeriod() sim.Time {
+	next := f.cfg.Period
+	if r := f.udp.RateBps(); r > 0 {
+		// Time to transmit ~8 data packets at the current rate.
+		fourPkts := sim.Time(8 * int64(f.udp.PktSize) * 8 * int64(sim.Second) / r)
+		if fourPkts > next {
+			next = fourPkts
+		}
+	}
+	return next
+}
+
+// controlRound runs one collect/compute/update cycle, then reschedules.
+func (f *Flow) controlRound() {
+	if !f.running {
+		return
+	}
+	sent := f.h.Engine().Now()
+	prog := f.sys.collectProgram()
+	err := f.h.ExecuteTPP(f.sys.App, prog, f.dst, host.ExecOpts{
+		Timeout:     4 * f.cfg.Period,
+		MaxAttempts: 1,
+	}, func(view core.Section, err error) {
+		if err == nil {
+			f.onCollect(view, f.h.Engine().Now()-sent)
+		}
+		f.h.Engine().After(f.nextPeriod(), f.controlRound)
+	})
+	f.CtrlPackets++
+	f.CtrlBytes += uint64(42 + prog.WireLen())
+	if err != nil {
+		f.h.Engine().After(f.nextPeriod(), f.controlRound)
+	}
+}
+
+// onCollect is phases 2 and 3.
+func (f *Flow) onCollect(view core.Section, rtt sim.Time) {
+	if f.rttE == 0 {
+		f.rttE = rtt
+	} else {
+		f.rttE = (3*f.rttE + rtt) / 4
+	}
+	now := f.h.Engine().Now()
+	views := view.HopViews()
+	hops := make([]HopState, 0, len(views))
+	fresh := true
+	for _, hv := range views {
+		h := HopState{
+			SwitchID:   hv.Words[0],
+			QueueBytes: hv.Words[1],
+			TxBytes:    hv.Words[2],
+			Version:    hv.Words[3],
+			RateMbps:   wireToMbps(hv.Words[4]),
+		}
+		// Arrival rate since the previous probe of this link: bytes that
+		// left the queue plus the queue's growth (wrap-safe subtraction).
+		if p, ok := f.prev[h.SwitchID]; ok {
+			dt := (now - p.at).Seconds()
+			if dt > 0 {
+				arr := float64(h.TxBytes-p.txBytes) + float64(int64(h.QueueBytes)-int64(p.qBytes))
+				if arr < 0 {
+					arr = 0
+				}
+				h.YMbps = arr * 8 / dt / 1e6
+			}
+		} else {
+			fresh = false
+		}
+		f.prev[h.SwitchID] = linkPrev{qBytes: h.QueueBytes, txBytes: h.TxBytes, at: now}
+		hops = append(hops, h)
+	}
+	if len(hops) == 0 {
+		return
+	}
+	f.LastHops = hops
+	if !fresh {
+		return // first sample of some link: no deltas yet
+	}
+
+	// Phase 2: per-link RCP control law with each link's own capacity. The
+	// queue term drains standing queues over one control period.
+	T := f.cfg.Period.Seconds()
+	newRates := make([]float64, len(hops))
+	for i, hp := range hops {
+		C := f.caps[hp.SwitchID]
+		if C <= 0 {
+			C = f.cfg.CapacityMbps
+		}
+		R := hp.RateMbps
+		if R <= 0 {
+			R = C
+		}
+		qMb := float64(hp.QueueBytes) * 8 / 1e6
+		feedback := f.cfg.A*(hp.YMbps-C) + f.cfg.B*qMb/T
+		R = R * (1 - feedback/C)
+		if R < f.cfg.MinRateMbps {
+			R = f.cfg.MinRateMbps
+		}
+		if R > C {
+			R = C
+		}
+		newRates[i] = R
+	}
+
+	// Phase 3: asynchronous versioned write-back.
+	upd := f.sys.updateProgram(hops, newRates)
+	if err := f.h.ExecuteTPP(f.sys.App, upd, f.dst, host.ExecOpts{
+		Timeout:     4 * f.cfg.Period,
+		MaxAttempts: 1,
+	}, func(core.Section, error) {}); err == nil {
+		f.CtrlPackets++
+		f.CtrlBytes += uint64(42 + upd.WireLen())
+		f.Updates++
+	}
+
+	// Set the flow rate to the α-fair aggregate (equation 2) of the freshly
+	// computed per-link rates.
+	agg := make([]HopState, len(hops))
+	copy(agg, hops)
+	for i := range agg {
+		agg[i].RateMbps = newRates[i]
+	}
+	f.LastRate = Aggregate(agg, f.cfg.Alpha)
+	if f.LastRate < f.cfg.MinRateMbps {
+		f.LastRate = f.cfg.MinRateMbps
+	}
+	f.udp.SetRateBps(int64(f.LastRate * 1e6))
+}
+
+// Aggregate applies equation 2 to the per-link fair rates.
+func Aggregate(hops []HopState, alpha float64) float64 {
+	if len(hops) == 0 {
+		return 0
+	}
+	if math.IsInf(alpha, 1) {
+		minR := math.Inf(1)
+		for _, h := range hops {
+			if h.RateMbps < minR {
+				minR = h.RateMbps
+			}
+		}
+		return minR
+	}
+	var sum float64
+	for _, h := range hops {
+		r := h.RateMbps
+		if r <= 0 {
+			return 0
+		}
+		sum += math.Pow(r, -alpha)
+	}
+	return math.Pow(sum, -1/alpha)
+}

@@ -1,0 +1,136 @@
+// Package sim is a deterministic discrete-event simulation engine with
+// virtual nanosecond time. It replaces the paper's Mininet testbed: the
+// protocol and queueing dynamics the evaluation measures (Figures 1, 2, 4)
+// run against a virtual clock, so Go's garbage collector and scheduler can
+// never distort latencies — the main fidelity risk of wall-clock emulation.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Time is virtual time in nanoseconds since simulation start.
+type Time int64
+
+// Convenient units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1_000
+	Millisecond Time = 1_000_000
+	Second      Time = 1_000_000_000
+)
+
+// Seconds converts virtual time to float seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// event is a scheduled callback. seq breaks ties deterministically so two
+// events at the same instant always fire in scheduling order.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine runs events in virtual-time order.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+}
+
+// New returns an engine at time zero with a deterministic RNG.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Ticker is a cancellable repeating event.
+type Ticker struct {
+	stopped bool
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// Every schedules fn every interval, first firing at start.
+func (e *Engine) Every(start, interval Time, fn func()) *Ticker {
+	t := &Ticker{}
+	var tick func()
+	tick = func() {
+		if t.stopped || e.stopped {
+			return
+		}
+		fn()
+		e.After(interval, tick)
+	}
+	e.At(start, tick)
+	return t
+}
+
+// Stop halts the run loop after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events until none remain or Stop is called. It returns the
+// number of events processed.
+func (e *Engine) Run() int {
+	n := 0
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	return n
+}
+
+// RunUntil processes events with timestamps <= deadline, then advances the
+// clock to the deadline. It returns the number of events processed.
+func (e *Engine) RunUntil(deadline Time) int {
+	n := 0
+	for len(e.events) > 0 && !e.stopped && e.events[0].at <= deadline {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %d", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-instant events not FIFO: %v", got)
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	e := New(1)
+	var times []Time
+	e.After(10, func() {
+		times = append(times, e.Now())
+		e.After(5, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("times: %v", times)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	e := New(1)
+	fired := Time(-1)
+	e.After(100, func() {
+		e.At(5, func() { fired = e.Now() }) // in the past: clamp to now
+	})
+	e.Run()
+	if fired != 100 {
+		t.Errorf("past event fired at %d", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*10, func() { count++ })
+	}
+	n := e.RunUntil(50)
+	if n != 5 || count != 5 {
+		t.Fatalf("processed %d events, count %d", n, count)
+	}
+	if e.Now() != 50 {
+		t.Errorf("Now = %d", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Run()
+	if count != 10 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New(1)
+	var ticks []Time
+	tk := e.Every(10, 10, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 5 {
+			// Stop from within the callback.
+			e.Stop()
+		}
+	})
+	e.Run()
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks", len(ticks))
+	}
+	for i, at := range ticks {
+		if at != Time(10*(i+1)) {
+			t.Errorf("tick %d at %d", i, at)
+		}
+	}
+	_ = tk
+}
+
+func TestTickerStop(t *testing.T) {
+	e := New(1)
+	count := 0
+	var tk *Ticker
+	tk = e.Every(1, 1, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := New(1)
+	count := 0
+	e.At(1, func() { count++; e.Stop() })
+	e.At(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if (2 * Second).Seconds() != 2.0 {
+		t.Error("Seconds conversion wrong")
+	}
+	if (500 * Millisecond).Seconds() != 0.5 {
+		t.Error("Seconds conversion wrong")
+	}
+}
+
+// Property: any set of scheduled events fires in nondecreasing time order.
+func TestOrderingQuick(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := New(1)
+		var fired []Time
+		for _, off := range offsets {
+			e.At(Time(off), func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEngineEvents(b *testing.B) {
+	e := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%100), func() {})
+		if e.Pending() > 1024 {
+			e.RunUntil(e.Now() + 50)
+		}
+	}
+	e.Run()
+}

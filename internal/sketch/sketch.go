@@ -1,0 +1,249 @@
+// Package sketch refactors OpenSketch-style measurement onto TPPs (§2.5).
+// Hardware sketches need multiple line-rate hash functions in the ASIC; the
+// TPP refactoring observes that end-hosts hash cheaply in software and only
+// lack the packet's *routing context*, which the two-instruction TPP
+//
+//	PUSH [Switch:ID]
+//	PUSH [PacketMetadata:OutputPort]
+//
+// provides. Each receiving host maintains per-link bitmap sketches (Estan &
+// Varghese: estimate = b·ln(b/z) for b bits with z unset) and periodically
+// pushes changed bitmaps to a central link-monitoring service, which ORs
+// them — the sketch's commutativity makes end-host distribution exact.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"minions/internal/asm"
+	"minions/internal/core"
+	"minions/internal/host"
+	"minions/internal/link"
+	"minions/internal/sim"
+)
+
+// Program is the routing-context TPP of §2.5.
+const Program = `
+	PUSH [Switch:ID]
+	PUSH [PacketMetadata:OutputPort]
+`
+
+// Bitmap is a b-bit direct bitmap sketch for set-cardinality estimation.
+type Bitmap struct {
+	bits []uint64
+	b    int
+}
+
+// NewBitmap creates a sketch with b bits (b must be a multiple of 64).
+func NewBitmap(b int) *Bitmap {
+	if b <= 0 || b%64 != 0 {
+		panic(fmt.Sprintf("sketch: bitmap size %d must be a positive multiple of 64", b))
+	}
+	return &Bitmap{bits: make([]uint64, b/64), b: b}
+}
+
+// Bits returns the sketch size in bits.
+func (m *Bitmap) Bits() int { return m.b }
+
+// hash64 avalanches a 64-bit key (splitmix64 finalizer).
+func hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add hashes the element to one of b bits and sets it.
+func (m *Bitmap) Add(element uint64) {
+	i := hash64(element) % uint64(m.b)
+	m.bits[i/64] |= 1 << (i % 64)
+}
+
+// Zeros returns the number of unset bits.
+func (m *Bitmap) Zeros() int {
+	z := m.b
+	for _, w := range m.bits {
+		z -= popcount(w)
+	}
+	return z
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Estimate returns the cardinality estimate b·ln(b/z) (§2.5, [13]). A full
+// bitmap saturates: the estimate is then a lower bound b·ln(b).
+func (m *Bitmap) Estimate() float64 {
+	z := m.Zeros()
+	if z == 0 {
+		return float64(m.b) * math.Log(float64(m.b))
+	}
+	return float64(m.b) * math.Log(float64(m.b)/float64(z))
+}
+
+// Merge ORs another sketch in (commutative, exact for unions).
+func (m *Bitmap) Merge(o *Bitmap) {
+	if o.b != m.b {
+		panic("sketch: merging bitmaps of different sizes")
+	}
+	for i := range m.bits {
+		m.bits[i] |= o.bits[i]
+	}
+}
+
+// Clone copies the sketch.
+func (m *Bitmap) Clone() *Bitmap {
+	c := NewBitmap(m.b)
+	copy(c.bits, m.bits)
+	return c
+}
+
+// LinkKey identifies a network link by (switch, output port) — the routing
+// context the TPP collects.
+type LinkKey struct {
+	SwitchID uint32
+	Port     uint32
+}
+
+// Monitor is the central link-monitoring service: it aggregates per-link
+// bitmaps pushed by hosts.
+type Monitor struct {
+	BitsPerLink int
+	links       map[LinkKey]*Bitmap
+	Pushes      uint64
+	PushedBytes uint64
+}
+
+// NewMonitor creates the central service.
+func NewMonitor(bitsPerLink int) *Monitor {
+	return &Monitor{BitsPerLink: bitsPerLink, links: make(map[LinkKey]*Bitmap)}
+}
+
+// Push merges one host's partial sketch for a link ("the end-hosts push
+// those summary data structures that have changed since the last interval").
+func (mon *Monitor) Push(k LinkKey, bm *Bitmap) {
+	cur := mon.links[k]
+	if cur == nil {
+		cur = NewBitmap(mon.BitsPerLink)
+		mon.links[k] = cur
+	}
+	cur.Merge(bm)
+	mon.Pushes++
+	mon.PushedBytes += uint64(bm.Bits() / 8)
+}
+
+// Estimate returns the cardinality estimate for a link.
+func (mon *Monitor) Estimate(k LinkKey) float64 {
+	bm := mon.links[k]
+	if bm == nil {
+		return 0
+	}
+	return bm.Estimate()
+}
+
+// Links returns monitored link keys in stable order.
+func (mon *Monitor) Links() []LinkKey {
+	out := make([]LinkKey, 0, len(mon.links))
+	for k := range mon.links {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SwitchID != out[j].SwitchID {
+			return out[i].SwitchID < out[j].SwitchID
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// Agent is the per-host aggregator: it hashes the measured key (here the
+// packet's source node, standing in for the source IP of §2.5) into a
+// per-link bitmap for every hop in the TPP, and pushes dirty bitmaps to the
+// monitor every interval.
+type Agent struct {
+	h       *host.Host
+	mon     *Monitor
+	bits    int
+	local   map[LinkKey]*Bitmap
+	dirty   map[LinkKey]bool
+	ticker  *sim.Ticker
+	stopped bool
+}
+
+// Deploy registers the measurement app network-wide: TPPs on every host's
+// traffic (sampleFreq as in §2.5's 1-in-10 discussion), agents on every
+// host, one shared monitor.
+func Deploy(cp *host.ControlPlane, hosts []*host.Host, spec host.FilterSpec, sampleFreq, bitsPerLink int, pushEvery sim.Time) (*Monitor, []*Agent, error) {
+	app := cp.RegisterApp("opensketch")
+	mon := NewMonitor(bitsPerLink)
+	var agents []*Agent
+	for _, h := range hosts {
+		prog, err := asm.Assemble(Program)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := h.AddTPP(app, spec, prog, sampleFreq, 30); err != nil {
+			return nil, nil, err
+		}
+		a := &Agent{
+			h: h, mon: mon, bits: bitsPerLink,
+			local: make(map[LinkKey]*Bitmap),
+			dirty: make(map[LinkKey]bool),
+		}
+		h.RegisterAggregator(app.Wire, a.ingest)
+		a.ticker = h.Engine().Every(pushEvery, pushEvery, a.push)
+		agents = append(agents, a)
+	}
+	return mon, agents, nil
+}
+
+// ingest implements the paper's pseudo-code:
+//
+//	index = hash(packet.ip.dest)
+//	foreach (switch,link) in tpp: bitmask[switch][index] = 1
+func (a *Agent) ingest(p *link.Packet, view core.Section) {
+	key := uint64(p.Flow.Src) // measuring unique sources crossing each link
+	for _, hop := range view.StackView(2) {
+		lk := LinkKey{SwitchID: hop.Words[0], Port: hop.Words[1]}
+		bm := a.local[lk]
+		if bm == nil {
+			bm = NewBitmap(a.bits)
+			a.local[lk] = bm
+		}
+		bm.Add(key)
+		a.dirty[lk] = true
+	}
+}
+
+// push uploads changed bitmaps (the every-10-seconds step of §2.5).
+func (a *Agent) push() {
+	if a.stopped {
+		return
+	}
+	for lk := range a.dirty {
+		a.mon.Push(lk, a.local[lk])
+		delete(a.dirty, lk)
+	}
+}
+
+// Stop pushes any dirty state and halts the periodic upload.
+func (a *Agent) Stop() {
+	a.push()
+	a.stopped = true
+	a.ticker.Stop()
+}
+
+// MemoryPerServer returns the §2.5 sizing: total bytes a server needs to
+// track `links` links at `bits` bits each (k=64 fat-tree: 65536 links at
+// 1 kbit = 8 MB/server).
+func MemoryPerServer(links, bits int) int { return links * bits / 8 }

@@ -1,0 +1,176 @@
+package sketch_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"minions/internal/host"
+	"minions/internal/link"
+	"minions/internal/sim"
+	"minions/internal/sketch"
+	"minions/internal/topo"
+)
+
+func TestBitmapEstimateAccuracy(t *testing.T) {
+	// The b·ln(b/z) estimator should be within ~15% for n <= b/2.
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{50, 200, 400} {
+		bm := sketch.NewBitmap(1024)
+		seen := map[uint64]bool{}
+		for len(seen) < n {
+			v := rng.Uint64()
+			if !seen[v] {
+				seen[v] = true
+				bm.Add(v)
+			}
+		}
+		est := bm.Estimate()
+		if math.Abs(est-float64(n))/float64(n) > 0.15 {
+			t.Errorf("n=%d: estimate %.1f off by >15%%", n, est)
+		}
+	}
+}
+
+func TestBitmapDuplicatesDontInflate(t *testing.T) {
+	bm := sketch.NewBitmap(256)
+	for i := 0; i < 1000; i++ {
+		bm.Add(42) // same element
+	}
+	if est := bm.Estimate(); est > 2 {
+		t.Errorf("1000 duplicates estimated as %.1f uniques", est)
+	}
+}
+
+func TestBitmapMergeCommutative(t *testing.T) {
+	f := func(seedsA, seedsB []uint16) bool {
+		a1, b1 := sketch.NewBitmap(256), sketch.NewBitmap(256)
+		a2, b2 := sketch.NewBitmap(256), sketch.NewBitmap(256)
+		for _, s := range seedsA {
+			a1.Add(uint64(s))
+			a2.Add(uint64(s))
+		}
+		for _, s := range seedsB {
+			b1.Add(uint64(s))
+			b2.Add(uint64(s))
+		}
+		a1.Merge(b1) // A | B
+		b2.Merge(a2) // B | A
+		return a1.Zeros() == b2.Zeros() && a1.Estimate() == b2.Estimate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitmapMergeEqualsUnion(t *testing.T) {
+	union := sketch.NewBitmap(512)
+	parts := make([]*sketch.Bitmap, 4)
+	rng := rand.New(rand.NewSource(3))
+	for i := range parts {
+		parts[i] = sketch.NewBitmap(512)
+	}
+	for i := 0; i < 200; i++ {
+		v := rng.Uint64()
+		union.Add(v)
+		parts[i%4].Add(v)
+	}
+	merged := sketch.NewBitmap(512)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Zeros() != union.Zeros() {
+		t.Error("distributed merge differs from centralized union")
+	}
+}
+
+func TestBitmapSaturation(t *testing.T) {
+	bm := sketch.NewBitmap(64)
+	for i := uint64(0); i < 10000; i++ {
+		bm.Add(i)
+	}
+	if bm.Zeros() != 0 {
+		t.Fatal("bitmap should saturate")
+	}
+	if est := bm.Estimate(); math.IsInf(est, 1) || math.IsNaN(est) {
+		t.Errorf("saturated estimate = %v", est)
+	}
+}
+
+func TestEndToEndLinkCardinality(t *testing.T) {
+	// Six hosts all talk to host 0; the monitor's estimate of unique
+	// sources on host 0's ingress link should be ~5.
+	n := topo.New(4)
+	hosts, _, _ := topo.Dumbbell(n, 6, 1000)
+	mon, agents, err := sketch.Deploy(n.CP, hosts, host.FilterSpec{Proto: link.ProtoUDP}, 1, 256, 100*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := n.Hosts[0]
+	h0.Bind(8000, link.ProtoUDP, func(p *link.Packet) {})
+	for i := 1; i < 6; i++ {
+		src := n.Hosts[i]
+		for k := 0; k < 20; k++ {
+			src.Send(src.NewPacket(h0.ID(), uint16(1000+k), 8000, link.ProtoUDP, 400))
+		}
+	}
+	n.Eng.RunUntil(time500())
+	for _, a := range agents {
+		a.Stop()
+	}
+	n.Eng.Run()
+
+	// Find the link into h0: switch 1, the port facing host 0.
+	var bestKey sketch.LinkKey
+	bestEst := 0.0
+	for _, k := range mon.Links() {
+		if e := mon.Estimate(k); e > bestEst {
+			bestEst, bestKey = e, k
+		}
+	}
+	if bestEst < 4 || bestEst > 7 {
+		t.Errorf("unique-source estimate on %v = %.1f, want ~5", bestKey, bestEst)
+	}
+	if mon.Pushes == 0 {
+		t.Error("agents never pushed to the monitor")
+	}
+}
+
+func time500() sim.Time { return 500 * sim.Millisecond }
+
+func TestMemorySizing(t *testing.T) {
+	// §2.5: "If we use 1kbit memory per link, the total memory usage for
+	// all 65536 links is about 8MB/server."
+	hostsN, coreLinks := topo.FatTreeDims(64)
+	if hostsN != 65536 {
+		t.Fatalf("fat-tree hosts = %d", hostsN)
+	}
+	if got := sketch.MemoryPerServer(coreLinks, 1024); got != 8*1024*1024 {
+		t.Errorf("memory per server = %d bytes, want 8 MiB", got)
+	}
+}
+
+func TestSamplingOverheadUnderOnePercent(t *testing.T) {
+	// §2.5: sampling 1 in 10 packets keeps TPP bandwidth overhead <1%.
+	n := topo.New(4)
+	hosts, _, _ := topo.Dumbbell(n, 4, 1000)
+	_, _, err := sketch.Deploy(n.CP, hosts, host.FilterSpec{Proto: link.ProtoUDP}, 10, 256, 50*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, h3 := n.Hosts[0], n.Hosts[3]
+	h3.Bind(8000, link.ProtoUDP, func(p *link.Packet) {})
+	for i := 0; i < 1000; i++ {
+		h0.Send(h0.NewPacket(h3.ID(), 1000, 8000, link.ProtoUDP, 1000))
+	}
+	n.Eng.RunUntil(200 * sim.Millisecond)
+	st := h0.Stats()
+	frac := float64(st.TPPBytesAdded) / float64(st.TxBytes)
+	if frac > 0.01 {
+		t.Errorf("TPP bandwidth overhead %.2f%% with 1-in-10 sampling, want <1%%", frac*100)
+	}
+	if st.TPPsAttached == 0 {
+		t.Error("nothing instrumented")
+	}
+}

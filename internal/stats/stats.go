@@ -1,0 +1,244 @@
+// Package stats provides the small statistics toolkit the experiments use:
+// CDFs/fractiles (Figure 1's top panel), time series buckets (its bottom
+// panel), EWMAs, and throughput meters for Figure 2-style rate plots.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF accumulates samples and reports empirical fractiles.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends a sample.
+func (c *CDF) Add(v float64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.samples) }
+
+func (c *CDF) sortSamples() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// Quantile returns the q-th empirical quantile, q in [0,1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sortSamples()
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	idx := q * float64(len(c.samples)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(c.samples) {
+		return c.samples[lo]
+	}
+	return c.samples[lo]*(1-frac) + c.samples[lo+1]*frac
+}
+
+// FractionAtMost returns the empirical CDF value at x: P[sample <= x].
+func (c *CDF) FractionAtMost(x float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sortSamples()
+	return float64(sort.SearchFloat64s(c.samples, math.Nextafter(x, math.Inf(1)))) / float64(len(c.samples))
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range c.samples {
+		sum += v
+	}
+	return sum / float64(len(c.samples))
+}
+
+// Max returns the largest sample.
+func (c *CDF) Max() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sortSamples()
+	return c.samples[len(c.samples)-1]
+}
+
+// Fractiles renders quantiles at the given points, e.g. for table output.
+func (c *CDF) Fractiles(qs ...float64) string {
+	var b strings.Builder
+	for i, q := range qs {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "p%02.0f=%.1f", q*100, c.Quantile(q))
+	}
+	return b.String()
+}
+
+// TimeSeries buckets (time, value) observations into fixed-width bins,
+// recording the mean and max per bin — enough to reproduce the queue
+// occupancy evolution plot of Figure 1b.
+type TimeSeries struct {
+	BinWidth float64 // seconds
+	bins     map[int]*tsBin
+}
+
+type tsBin struct {
+	sum   float64
+	n     int
+	max   float64
+	first bool
+}
+
+// NewTimeSeries creates a series with the given bin width in seconds.
+func NewTimeSeries(binWidth float64) *TimeSeries {
+	return &TimeSeries{BinWidth: binWidth, bins: make(map[int]*tsBin)}
+}
+
+// Add records an observation at time t (seconds).
+func (ts *TimeSeries) Add(t, v float64) {
+	idx := int(t / ts.BinWidth)
+	b := ts.bins[idx]
+	if b == nil {
+		b = &tsBin{first: true}
+		ts.bins[idx] = b
+	}
+	b.sum += v
+	b.n++
+	if b.first || v > b.max {
+		b.max = v
+		b.first = false
+	}
+}
+
+// Point is one bin of a time series.
+type Point struct {
+	T    float64 // bin start time, seconds
+	Mean float64
+	Max  float64
+	N    int
+}
+
+// Points returns the bins in time order.
+func (ts *TimeSeries) Points() []Point {
+	idxs := make([]int, 0, len(ts.bins))
+	for i := range ts.bins {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]Point, 0, len(idxs))
+	for _, i := range idxs {
+		b := ts.bins[i]
+		out = append(out, Point{
+			T:    float64(i) * ts.BinWidth,
+			Mean: b.sum / float64(b.n),
+			Max:  b.max,
+			N:    b.n,
+		})
+	}
+	return out
+}
+
+// EWMA is an exponentially weighted moving average.
+type EWMA struct {
+	Alpha float64
+	v     float64
+	init  bool
+}
+
+// Update folds in a sample and returns the new average.
+func (e *EWMA) Update(x float64) float64 {
+	if !e.init {
+		e.v = x
+		e.init = true
+		return x
+	}
+	e.v = e.Alpha*x + (1-e.Alpha)*e.v
+	return e.v
+}
+
+// Value returns the current average (0 before any update).
+func (e *EWMA) Value() float64 { return e.v }
+
+// Meter measures throughput: bytes accumulated between Rate() calls or over
+// fixed windows.
+type Meter struct {
+	bytes     int64
+	lastReset float64 // seconds
+}
+
+// Add accumulates n bytes.
+func (m *Meter) Add(n int) { m.bytes += int64(n) }
+
+// Bytes returns the bytes since the last reset.
+func (m *Meter) Bytes() int64 { return m.bytes }
+
+// RateMbps returns throughput in Mb/s over [lastReset, now] and resets.
+func (m *Meter) RateMbps(now float64) float64 {
+	dt := now - m.lastReset
+	if dt <= 0 {
+		return 0
+	}
+	r := float64(m.bytes) * 8 / dt / 1e6
+	m.bytes = 0
+	m.lastReset = now
+	return r
+}
+
+// Histogram counts integer-valued observations, for queue-length
+// distributions.
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{counts: make(map[int]int)} }
+
+// Add counts one observation of v.
+func (h *Histogram) Add(v int) { h.counts[v]++; h.total++ }
+
+// N returns the number of observations.
+func (h *Histogram) N() int { return h.total }
+
+// FractionAt returns the fraction of observations equal to v.
+func (h *Histogram) FractionAt(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// FractionAtMost returns the fraction of observations <= v.
+func (h *Histogram) FractionAtMost(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	n := 0
+	for k, c := range h.counts {
+		if k <= v {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.total)
+}

@@ -1,0 +1,322 @@
+// Package topo builds simulated networks: it wires hosts and TPP-capable
+// switches with bidirectional links, computes shortest-path routes with ECMP
+// groups, pushes the TPP-CP access policy into every switch, and provides
+// the specific topologies of the paper's experiments (the Figure 1 dumbbell,
+// the Figure 2 two-link chain, the Figure 4 CONGA leaf-spine, and k-ary
+// fat-trees for the §2.5 measurement sizing).
+package topo
+
+import (
+	"fmt"
+
+	"minions/internal/device"
+	"minions/internal/host"
+	"minions/internal/link"
+	"minions/internal/sim"
+)
+
+// SwitchNodeBase offsets switch node IDs away from host IDs.
+const SwitchNodeBase = 1000
+
+// Network is a wired simulation: engine, control plane, nodes and links.
+type Network struct {
+	Eng      *sim.Engine
+	CP       *host.ControlPlane
+	Switches []*device.Switch
+	Hosts    []*host.Host
+
+	nextPort map[link.NodeID]int
+	edges    map[link.NodeID][]edge
+	links    []*link.Link
+	nextLink uint32
+}
+
+// edge records one directed adjacency for route computation.
+type edge struct {
+	peer link.NodeID
+	port int // sender-side port the edge leaves from
+}
+
+// New creates an empty network with a deterministic engine.
+func New(seed int64) *Network {
+	return &Network{
+		Eng:      sim.New(seed),
+		CP:       host.NewControlPlane(),
+		nextPort: make(map[link.NodeID]int),
+		edges:    make(map[link.NodeID][]edge),
+	}
+}
+
+// AddSwitch creates a switch with numPorts ports.
+func (n *Network) AddSwitch(numPorts int) *device.Switch {
+	id := uint32(len(n.Switches) + 1)
+	sw := device.New(n.Eng, device.Config{
+		ID:       id,
+		NumPorts: numPorts,
+		NodeID:   link.NodeID(SwitchNodeBase + id),
+		VendorID: 0xACE1,
+	})
+	sw.SetWritePolicy(n.CP.SwitchWritePolicy())
+	n.Switches = append(n.Switches, sw)
+	return sw
+}
+
+// AddHost creates a host. Host node IDs start at 1.
+func (n *Network) AddHost() *host.Host {
+	id := link.NodeID(len(n.Hosts) + 1)
+	h := host.New(n.Eng, id, n.CP)
+	n.Hosts = append(n.Hosts, h)
+	return h
+}
+
+// nodeID returns the network address of a host or switch.
+func nodeID(v any) link.NodeID {
+	switch x := v.(type) {
+	case *host.Host:
+		return x.ID()
+	case *device.Switch:
+		return x.NodeID()
+	}
+	panic(fmt.Sprintf("topo: unsupported node %T", v))
+}
+
+func receiver(v any) link.Receiver {
+	switch x := v.(type) {
+	case *host.Host:
+		return x
+	case *device.Switch:
+		return x
+	}
+	panic(fmt.Sprintf("topo: unsupported node %T", v))
+}
+
+// allocPort reserves the next port index on a node (always 0 for hosts).
+func (n *Network) allocPort(v any) int {
+	if _, ok := v.(*host.Host); ok {
+		return 0
+	}
+	id := nodeID(v)
+	p := n.nextPort[id]
+	n.nextPort[id] = p + 1
+	return p
+}
+
+// Connect wires a and b with a bidirectional link pair of the given config
+// and returns the two unidirectional links (a->b, b->a).
+func (n *Network) Connect(a, b any, cfg link.Config) (*link.Link, *link.Link) {
+	pa, pb := n.allocPort(a), n.allocPort(b)
+
+	lab := link.New(n.Eng, cfg, receiver(b), pb)
+	lba := link.New(n.Eng, cfg, receiver(a), pa)
+	n.attach(a, pa, lab)
+	n.attach(b, pb, lba)
+
+	ida, idb := nodeID(a), nodeID(b)
+	n.edges[ida] = append(n.edges[ida], edge{peer: idb, port: pa})
+	n.edges[idb] = append(n.edges[idb], edge{peer: ida, port: pb})
+	n.links = append(n.links, lab, lba)
+	return lab, lba
+}
+
+func (n *Network) attach(v any, port int, l *link.Link) {
+	n.nextLink++
+	switch x := v.(type) {
+	case *host.Host:
+		x.AttachNIC(l)
+	case *device.Switch:
+		x.AttachLink(port, l, n.nextLink)
+	}
+}
+
+// Links returns every unidirectional link, in creation order.
+func (n *Network) Links() []*link.Link { return n.links }
+
+// ComputeRoutes installs shortest-path routes with ECMP groups on every
+// switch, for every host and switch destination. Equal-cost next hops all
+// land in the route's port group; switches hash flows (and the path tag)
+// across them.
+func (n *Network) ComputeRoutes() {
+	dests := make([]link.NodeID, 0, len(n.Hosts)+len(n.Switches))
+	for _, h := range n.Hosts {
+		dests = append(dests, h.ID())
+	}
+	for _, sw := range n.Switches {
+		dests = append(dests, sw.NodeID())
+	}
+	for _, dst := range dests {
+		dist := n.bfs(dst)
+		for _, sw := range n.Switches {
+			id := sw.NodeID()
+			if id == dst {
+				continue
+			}
+			d, ok := dist[id]
+			if !ok {
+				continue // unreachable
+			}
+			var ports []int
+			for _, e := range n.edges[id] {
+				if pd, ok := dist[e.peer]; ok && pd == d-1 {
+					ports = append(ports, e.port)
+				}
+			}
+			if len(ports) > 0 {
+				sw.AddRoute(dst, ports...)
+			}
+		}
+	}
+}
+
+// bfs returns hop distances from dst over the undirected topology.
+func (n *Network) bfs(dst link.NodeID) map[link.NodeID]int {
+	dist := map[link.NodeID]int{dst: 0}
+	queue := []link.NodeID{dst}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range n.edges[cur] {
+			if _, seen := dist[e.peer]; !seen {
+				dist[e.peer] = dist[cur] + 1
+				queue = append(queue, e.peer)
+			}
+		}
+	}
+	return dist
+}
+
+// HostLink returns the 100 Mb/s-class config used for host attachments in
+// the paper's Mininet experiments.
+func HostLink(rateMbps int) link.Config {
+	return link.Config{
+		RateBps: int64(rateMbps) * 1_000_000,
+		Delay:   5 * sim.Microsecond,
+	}
+}
+
+// Dumbbell builds the Figure 1 topology: two switches joined by one link,
+// half the hosts on each side. All links run at rateMbps.
+func Dumbbell(n *Network, hosts, rateMbps int) ([]*host.Host, *device.Switch, *device.Switch) {
+	left := n.AddSwitch(hosts/2 + 2)
+	right := n.AddSwitch(hosts - hosts/2 + 2)
+	cfg := HostLink(rateMbps)
+	var hs []*host.Host
+	for i := 0; i < hosts; i++ {
+		h := n.AddHost()
+		if i < hosts/2 {
+			n.Connect(h, left, cfg)
+		} else {
+			n.Connect(h, right, cfg)
+		}
+		hs = append(hs, h)
+	}
+	n.Connect(left, right, cfg)
+	n.ComputeRoutes()
+	return hs, left, right
+}
+
+// Chain builds the Figure 2 topology: switches S1-S2-S3 in a line with the
+// two inter-switch links at rateMbps. Flow a (host0 at S1 -> host3 at S3)
+// traverses both links; flow b (host1 at S1 -> host4 at S2) the first; flow
+// c (host2 at S2 -> host5 at S3) the second. Host links run 10x faster so
+// the shared links are the bottlenecks.
+func Chain(n *Network, rateMbps int) ([]*host.Host, []*device.Switch) {
+	s1 := n.AddSwitch(6)
+	s2 := n.AddSwitch(6)
+	s3 := n.AddSwitch(6)
+	fast := HostLink(rateMbps * 10)
+	slow := HostLink(rateMbps)
+
+	hostAt := func(sw *device.Switch) *host.Host {
+		h := n.AddHost()
+		n.Connect(h, sw, fast)
+		return h
+	}
+	a, b, c := hostAt(s1), hostAt(s1), hostAt(s2)
+	da, db, dc := hostAt(s3), hostAt(s2), hostAt(s3)
+
+	n.Connect(s1, s2, slow)
+	n.Connect(s2, s3, slow)
+	n.ComputeRoutes()
+	return []*host.Host{a, b, c, da, db, dc}, []*device.Switch{s1, s2, s3}
+}
+
+// Conga builds the Figure 4 leaf-spine: leaves L0, L1, L2 each connected to
+// spines S0 and S1 at rateMbps, one host per leaf. The L0 host's flows are
+// confined to the S0 path (the paper: "the flow from L0 to L2 uses only one
+// path") by a post-route fixup; L1's flows may use both spines.
+func Conga(n *Network, rateMbps int) (hosts []*host.Host, leaves, spines []*device.Switch) {
+	l0, l1, l2 := n.AddSwitch(4), n.AddSwitch(4), n.AddSwitch(4)
+	s0, s1 := n.AddSwitch(4), n.AddSwitch(4)
+	cfg := HostLink(rateMbps)
+	fast := HostLink(rateMbps * 10)
+
+	h0, h1, h2 := n.AddHost(), n.AddHost(), n.AddHost()
+	n.Connect(h0, l0, fast)
+	n.Connect(h1, l1, fast)
+	n.Connect(h2, l2, fast)
+
+	n.Connect(l0, s0, cfg)
+	n.Connect(l0, s1, cfg)
+	n.Connect(l1, s0, cfg)
+	n.Connect(l1, s1, cfg)
+	n.Connect(l2, s0, cfg)
+	n.Connect(l2, s1, cfg)
+	n.ComputeRoutes()
+
+	// Pin L0 -> h2 to the S0 path: keep only the first uplink in the group.
+	if e := l0.Route(h2.ID()); e != nil && len(e.Ports) > 1 {
+		l0.AddRoute(h2.ID(), e.Ports[0])
+	}
+	return []*host.Host{h0, h1, h2}, []*device.Switch{l0, l1, l2}, []*device.Switch{s0, s1}
+}
+
+// FatTree builds a k-ary fat-tree (k even): (k/2)^2 core switches, k pods of
+// k/2 aggregation and k/2 edge switches, and k/2 hosts per edge switch. It
+// returns the network's hosts grouped by pod. Use small k (4) in tests; the
+// §2.5 sizing for k=64 is computed analytically by FatTreeDims.
+func FatTree(n *Network, k, rateMbps int) [][]*host.Host {
+	if k%2 != 0 {
+		panic("topo: fat-tree arity must be even")
+	}
+	half := k / 2
+	cfg := HostLink(rateMbps)
+
+	cores := make([]*device.Switch, half*half)
+	for i := range cores {
+		cores[i] = n.AddSwitch(k)
+	}
+	pods := make([][]*host.Host, k)
+	for p := 0; p < k; p++ {
+		aggs := make([]*device.Switch, half)
+		edges := make([]*device.Switch, half)
+		for i := 0; i < half; i++ {
+			aggs[i] = n.AddSwitch(k)
+			edges[i] = n.AddSwitch(k)
+		}
+		for i, agg := range aggs {
+			for _, e := range edges {
+				n.Connect(agg, e, cfg)
+			}
+			for j := 0; j < half; j++ {
+				n.Connect(agg, cores[i*half+j], cfg)
+			}
+		}
+		for _, e := range edges {
+			for j := 0; j < half; j++ {
+				h := n.AddHost()
+				n.Connect(h, e, cfg)
+				pods[p] = append(pods[p], h)
+			}
+		}
+	}
+	n.ComputeRoutes()
+	return pods
+}
+
+// FatTreeDims returns (hosts, coreLinks) for a k-ary fat-tree — the §2.5
+// arithmetic: a k=64 fat-tree has 65536 servers and 65536 core links
+// (hosts = k^3/4; core links = (k/2)^2 cores x k uplinks each = k^3/4).
+func FatTreeDims(k int) (hosts, coreLinks int) {
+	half := k / 2
+	return k * half * half, k * half * half
+}

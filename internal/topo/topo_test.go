@@ -1,0 +1,155 @@
+package topo
+
+import (
+	"testing"
+
+	"minions/internal/link"
+	"minions/internal/sim"
+)
+
+func TestDumbbellConnectivity(t *testing.T) {
+	n := New(1)
+	hosts, left, right := Dumbbell(n, 6, 100)
+	if len(hosts) != 6 {
+		t.Fatalf("hosts = %d", len(hosts))
+	}
+	// Every pair must be mutually reachable.
+	for i, src := range hosts {
+		for j, dst := range hosts {
+			if i == j {
+				continue
+			}
+			delivered := false
+			dst.Bind(7777, link.ProtoUDP, func(p *link.Packet) { delivered = true })
+			src.Send(src.NewPacket(dst.ID(), 1, 7777, link.ProtoUDP, 100))
+			n.Eng.Run()
+			dst.Unbind(7777, link.ProtoUDP)
+			if !delivered {
+				t.Fatalf("no path %d -> %d", i, j)
+			}
+		}
+	}
+	_ = left
+	_ = right
+}
+
+func TestChainPaths(t *testing.T) {
+	n := New(1)
+	hosts, sws := Chain(n, 100)
+	if len(hosts) != 6 || len(sws) != 3 {
+		t.Fatalf("chain shape: %d hosts %d switches", len(hosts), len(sws))
+	}
+	// Flow a (hosts[0] -> hosts[3]) must cross both inter-switch links:
+	// verify hop count via TTL decrease over 3 switches.
+	a, da := hosts[0], hosts[3]
+	var got *link.Packet
+	da.Bind(7777, link.ProtoUDP, func(p *link.Packet) { got = p })
+	a.Send(a.NewPacket(da.ID(), 1, 7777, link.ProtoUDP, 100))
+	n.Eng.Run()
+	if got == nil {
+		t.Fatal("a's packet lost")
+	}
+	if got.TTL != 64-3 {
+		t.Errorf("flow a traversed %d switches, want 3", 64-int(got.TTL))
+	}
+	// Flow b (hosts[1] -> hosts[4]) crosses S1 and S2 only.
+	b, db := hosts[1], hosts[4]
+	got = nil
+	db.Bind(7777, link.ProtoUDP, func(p *link.Packet) { got = p })
+	b.Send(b.NewPacket(db.ID(), 1, 7777, link.ProtoUDP, 100))
+	n.Eng.Run()
+	if got == nil || got.TTL != 64-2 {
+		t.Errorf("flow b hop count wrong")
+	}
+}
+
+func TestCongaTopology(t *testing.T) {
+	n := New(1)
+	hosts, leaves, spines := Conga(n, 100)
+	if len(hosts) != 3 || len(leaves) != 3 || len(spines) != 2 {
+		t.Fatal("conga shape wrong")
+	}
+	// L1 must have a 2-way ECMP group toward h2.
+	e := leaves[1].Route(hosts[2].ID())
+	if e == nil || len(e.Ports) != 2 {
+		t.Fatalf("L1->h2 route: %+v", e)
+	}
+	// L0 is pinned to one path.
+	e0 := leaves[0].Route(hosts[2].ID())
+	if e0 == nil || len(e0.Ports) != 1 {
+		t.Fatalf("L0->h2 route not pinned: %+v", e0)
+	}
+	// End-to-end delivery across the spine.
+	delivered := 0
+	hosts[2].Bind(7777, link.ProtoUDP, func(p *link.Packet) { delivered++ })
+	hosts[0].Send(hosts[0].NewPacket(hosts[2].ID(), 1, 7777, link.ProtoUDP, 100))
+	hosts[1].Send(hosts[1].NewPacket(hosts[2].ID(), 1, 7777, link.ProtoUDP, 100))
+	n.Eng.Run()
+	if delivered != 2 {
+		t.Errorf("delivered %d", delivered)
+	}
+}
+
+func TestFatTreeSmall(t *testing.T) {
+	n := New(1)
+	pods := FatTree(n, 4, 100)
+	if len(pods) != 4 {
+		t.Fatalf("pods = %d", len(pods))
+	}
+	total := 0
+	for _, p := range pods {
+		total += len(p)
+	}
+	if total != 16 {
+		t.Fatalf("hosts = %d, want 16 for k=4", total)
+	}
+	// Cross-pod reachability.
+	src := pods[0][0]
+	dst := pods[3][1]
+	ok := false
+	dst.Bind(7777, link.ProtoUDP, func(p *link.Packet) { ok = true })
+	src.Send(src.NewPacket(dst.ID(), 1, 7777, link.ProtoUDP, 100))
+	n.Eng.Run()
+	if !ok {
+		t.Fatal("cross-pod packet lost")
+	}
+	// Edge switches should have ECMP toward remote hosts.
+	sw := n.Switches[len(n.Switches)-1] // an edge switch
+	e := sw.Route(pods[0][0].ID())
+	if e == nil {
+		t.Fatal("edge switch missing route")
+	}
+	if len(e.Ports) < 2 {
+		t.Errorf("no ECMP at edge: %d ports", len(e.Ports))
+	}
+}
+
+func TestFatTreeDims(t *testing.T) {
+	hosts, core := FatTreeDims(64)
+	if hosts != 65536 || core != 65536 {
+		t.Errorf("k=64 dims = %d hosts, %d core links; paper says 65536/65536", hosts, core)
+	}
+	hosts4, core4 := FatTreeDims(4)
+	if hosts4 != 16 || core4 != 16 {
+		t.Errorf("k=4 dims = %d, %d", hosts4, core4)
+	}
+}
+
+func TestEcmpMultipathInFatTree(t *testing.T) {
+	n := New(7)
+	pods := FatTree(n, 4, 1000)
+	// Many flows between two cross-pod hosts spread over multiple paths:
+	// count distinct first-hop ports at the source edge switch.
+	src, dst := pods[0][0], pods[2][0]
+	edge := n.Switches[0]
+	_ = edge
+	counts := map[uint16]bool{}
+	for sport := uint16(1); sport <= 64; sport++ {
+		fk := link.FlowKey{Src: src.ID(), Dst: dst.ID(), SrcPort: sport, DstPort: 80, Proto: 6}
+		counts[uint16(fk.Hash(0)%4)] = true
+	}
+	if len(counts) < 3 {
+		t.Errorf("hash diversity too low: %d buckets", len(counts))
+	}
+	_ = sim.Second
+}

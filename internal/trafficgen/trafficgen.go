@@ -1,0 +1,88 @@
+// Package trafficgen generates the workloads of the paper's experiments:
+// the all-to-all short-message pattern of §2.1 ("each node sends a small
+// 10kB message to every other node ... total application-level offered load
+// is 30%"), plus Poisson variants for longer runs.
+package trafficgen
+
+import (
+	"math/rand"
+
+	"minions/internal/host"
+	"minions/internal/sim"
+	"minions/internal/transport"
+)
+
+// AllToAllConfig parameterizes the Figure 1 workload.
+type AllToAllConfig struct {
+	MsgBytes int     // message size (paper: 10 kB)
+	Load     float64 // offered load as a fraction of NIC capacity (paper: 0.30)
+	PktSize  int     // payload bytes per packet (default 1440)
+	DstPort  uint16  // receiving port (default 9000)
+	Duration sim.Time
+	Seed     int64
+}
+
+// AllToAll schedules Poisson message arrivals on every host, each message
+// bursted to a uniformly random other host, and returns the sinks (one per
+// host) counting deliveries.
+func AllToAll(hosts []*host.Host, cfg AllToAllConfig) []*transport.Sink {
+	if cfg.PktSize == 0 {
+		cfg.PktSize = 1440
+	}
+	if cfg.DstPort == 0 {
+		cfg.DstPort = 9000
+	}
+	sinks := make([]*transport.Sink, len(hosts))
+	for i, h := range hosts {
+		sinks[i] = transport.NewSink(h, cfg.DstPort, 17)
+	}
+	for i, h := range hosts {
+		h := h
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		nicBps := float64(h.NIC().RateBps())
+		msgsPerSec := cfg.Load * nicBps / (float64(cfg.MsgBytes) * 8)
+		if msgsPerSec <= 0 {
+			continue
+		}
+		meanGap := float64(sim.Second) / msgsPerSec
+		eng := h.Engine()
+		var schedule func()
+		schedule = func() {
+			gap := sim.Time(rng.ExpFloat64() * meanGap)
+			if gap < 1 {
+				gap = 1
+			}
+			eng.After(gap, func() {
+				if eng.Now() >= cfg.Duration {
+					return
+				}
+				dst := hosts[rng.Intn(len(hosts))]
+				for dst == h {
+					dst = hosts[rng.Intn(len(hosts))]
+				}
+				transport.SendBurst(h, dst.ID(), uint16(10000+i), cfg.DstPort, cfg.MsgBytes, cfg.PktSize)
+				schedule()
+			})
+		}
+		schedule()
+	}
+	return sinks
+}
+
+// Permutation starts one long-lived TCP flow per host toward the next host
+// (mod n) and returns the flows — a classic permutation workload for
+// bandwidth-sharing tests.
+func Permutation(hosts []*host.Host, mss int, ackEvery int) []*transport.TCPFlow {
+	n := len(hosts)
+	flows := make([]*transport.TCPFlow, 0, n)
+	for i, h := range hosts {
+		dst := hosts[(i+1)%n]
+		sport := uint16(20000 + i)
+		dport := uint16(30000 + i)
+		transport.NewTCPSink(dst, dport, ackEvery)
+		f := transport.NewTCPFlow(h, dst.ID(), sport, dport, mss)
+		flows = append(flows, f)
+		f.Start()
+	}
+	return flows
+}

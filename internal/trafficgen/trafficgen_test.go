@@ -1,0 +1,69 @@
+package trafficgen_test
+
+import (
+	"testing"
+
+	"minions/internal/sim"
+	"minions/internal/topo"
+	"minions/internal/trafficgen"
+)
+
+func TestAllToAllOfferedLoad(t *testing.T) {
+	n := topo.New(1)
+	hosts, _, _ := topo.Dumbbell(n, 6, 100)
+	sinks := trafficgen.AllToAll(hosts, trafficgen.AllToAllConfig{
+		MsgBytes: 10_000,
+		Load:     0.30,
+		Duration: 2 * sim.Second,
+		Seed:     42,
+	})
+	n.Eng.RunUntil(2*sim.Second + 100*sim.Millisecond)
+
+	var total uint64
+	for _, s := range sinks {
+		total += s.Bytes
+	}
+	// 6 hosts x 100 Mb/s x 30% x 2 s = 45 MB offered. Allow wide slack for
+	// Poisson variance and queueing losses, but the order must be right.
+	mb := float64(total) / 1e6
+	if mb < 25 || mb > 60 {
+		t.Errorf("delivered %.1f MB, want ~45 MB at 30%% load", mb)
+	}
+	// Traffic must reach every host.
+	for i, s := range sinks {
+		if s.Packets == 0 {
+			t.Errorf("host %d received nothing", i)
+		}
+	}
+}
+
+func TestAllToAllZeroLoad(t *testing.T) {
+	n := topo.New(1)
+	hosts, _, _ := topo.Dumbbell(n, 4, 100)
+	sinks := trafficgen.AllToAll(hosts, trafficgen.AllToAllConfig{
+		MsgBytes: 10_000,
+		Load:     0,
+		Duration: sim.Second,
+	})
+	n.Eng.Run()
+	for _, s := range sinks {
+		if s.Bytes != 0 {
+			t.Error("zero load generated traffic")
+		}
+	}
+}
+
+func TestPermutationFlows(t *testing.T) {
+	n := topo.New(1)
+	hosts, _, _ := topo.Dumbbell(n, 4, 100)
+	flows := trafficgen.Permutation(hosts, 1440, 2)
+	if len(flows) != 4 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	n.Eng.RunUntil(500 * sim.Millisecond)
+	for i, f := range flows {
+		if f.TxDataPkts == 0 {
+			t.Errorf("flow %d sent nothing", i)
+		}
+	}
+}

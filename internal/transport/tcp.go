@@ -1,0 +1,279 @@
+package transport
+
+import (
+	"minions/internal/host"
+	"minions/internal/link"
+	"minions/internal/sim"
+)
+
+// TCPFlow is a compact TCP-like transport with packet-granular sequence
+// numbers: slow start, AIMD congestion avoidance, duplicate-ACK fast
+// retransmit and a coarse RTO. It is deliberately simple — the experiments
+// need TCP's *control-overhead and bandwidth-sharing shape*, not its every
+// detail.
+type TCPFlow struct {
+	h     *host.Host
+	dst   link.NodeID
+	sport uint16
+	dport uint16
+
+	MSS int // payload bytes per data packet
+
+	cwnd     float64
+	ssthresh float64
+
+	base     uint32 // lowest unacked sequence
+	nextSeq  uint32 // next sequence to send
+	total    uint32 // packets to send; 0 = unbounded (long-lived flow)
+	dupacks  int
+	finished bool
+
+	// NewReno-style recovery: while base < recover, every partial ACK
+	// retransmits the next hole immediately instead of stalling for an RTO
+	// per lost packet (which starves flows under burst loss).
+	recover    uint32
+	inRecovery bool
+
+	srtt     sim.Time
+	rto      sim.Time
+	rtoGen   int
+	sendTime map[uint32]sim.Time
+	// nextSendAt paces transmissions with a small random jitter. A perfectly
+	// deterministic simulator otherwise phase-locks drop-tail queues and
+	// starves one of two synchronized flows — an artifact real NIC/OS noise
+	// prevents.
+	nextSendAt sim.Time
+
+	// DelayedAckEvery mirrors receiver behavior for overhead accounting
+	// (set on the receiving sink, recorded here for symmetric config).
+	OnComplete func()
+
+	// Counters for the §2.2-style overhead analysis.
+	TxDataPkts  uint64
+	TxDataBytes uint64
+	Retransmits uint64
+}
+
+// NewTCPFlow creates a sender toward dst:dport. Size the transfer with
+// SetMessage, or leave unbounded for a long-lived flow.
+func NewTCPFlow(h *host.Host, dst link.NodeID, sport, dport uint16, mss int) *TCPFlow {
+	return &TCPFlow{
+		h: h, dst: dst, sport: sport, dport: dport,
+		MSS:      mss,
+		cwnd:     2,
+		ssthresh: 64,
+		rto:      20 * sim.Millisecond,
+		sendTime: make(map[uint32]sim.Time),
+	}
+}
+
+// SetMessage bounds the transfer to msgBytes; OnComplete fires when fully
+// acknowledged.
+func (f *TCPFlow) SetMessage(msgBytes int) {
+	pkts := (msgBytes + f.MSS - 1) / f.MSS
+	if pkts < 1 {
+		pkts = 1
+	}
+	f.total = uint32(pkts)
+}
+
+// Start opens the flow: the sender binds its ACK port and fires the window.
+func (f *TCPFlow) Start() {
+	f.h.Bind(f.sport, link.ProtoTCP, f.onAck)
+	f.pump()
+	f.armRTO()
+}
+
+// Done reports whether a bounded transfer has fully completed.
+func (f *TCPFlow) Done() bool { return f.finished }
+
+// Cwnd returns the current congestion window in packets.
+func (f *TCPFlow) Cwnd() float64 { return f.cwnd }
+
+// pump transmits while the window allows.
+func (f *TCPFlow) pump() {
+	for float64(f.nextSeq-f.base) < f.cwnd {
+		if f.total != 0 && f.nextSeq >= f.total {
+			return
+		}
+		f.sendData(f.nextSeq, true)
+		f.nextSeq++
+	}
+}
+
+func (f *TCPFlow) sendData(seq uint32, fresh bool) {
+	p := f.h.NewPacket(f.dst, f.sport, f.dport, link.ProtoTCP, f.MSS+HeaderBytes)
+	p.Seq = seq
+	eng := f.h.Engine()
+	at := eng.Now()
+	if f.nextSendAt > at {
+		at = f.nextSendAt
+	}
+	at += sim.Time(eng.Rand().Int63n(int64(4 * sim.Microsecond)))
+	f.nextSendAt = at // monotone per flow: no intra-flow reordering
+	eng.At(at, func() { f.h.Send(p) })
+	f.TxDataPkts++
+	f.TxDataBytes += uint64(p.Size)
+	if fresh {
+		f.sendTime[seq] = at
+	} else {
+		delete(f.sendTime, seq) // Karn: no RTT sample from retransmits
+		f.Retransmits++
+	}
+}
+
+// onAck processes a cumulative acknowledgment.
+func (f *TCPFlow) onAck(p *link.Packet) {
+	if f.finished || p.TFlags&link.TFlagACK == 0 {
+		return
+	}
+	ack := p.Ack
+	switch {
+	case ack > f.base:
+		// RTT sample from the newest acked fresh packet.
+		if t0, ok := f.sendTime[ack-1]; ok {
+			f.sampleRTT(f.h.Engine().Now() - t0)
+		}
+		for s := f.base; s < ack; s++ {
+			delete(f.sendTime, s)
+		}
+		acked := float64(ack - f.base)
+		f.base = ack
+		f.dupacks = 0
+		if f.inRecovery {
+			if f.base >= f.recover {
+				f.inRecovery = false
+			} else {
+				// Partial ACK: the next hole is lost too; resend it now.
+				f.sendData(f.base, false)
+			}
+		}
+		if f.cwnd < f.ssthresh {
+			f.cwnd += acked // slow start
+		} else {
+			f.cwnd += acked / f.cwnd // congestion avoidance
+		}
+		f.armRTO()
+		if f.total != 0 && f.base >= f.total {
+			f.finished = true
+			if f.OnComplete != nil {
+				f.OnComplete()
+			}
+			return
+		}
+		f.pump()
+
+	case ack == f.base:
+		f.dupacks++
+		if f.dupacks == 3 && !f.inRecovery {
+			// Fast retransmit + multiplicative decrease.
+			f.ssthresh = f.cwnd / 2
+			if f.ssthresh < 2 {
+				f.ssthresh = 2
+			}
+			f.cwnd = f.ssthresh
+			f.recover = f.nextSeq
+			f.inRecovery = true
+			f.sendData(f.base, false)
+			f.armRTO()
+		}
+	}
+}
+
+func (f *TCPFlow) sampleRTT(s sim.Time) {
+	if f.srtt == 0 {
+		f.srtt = s
+	} else {
+		f.srtt = (7*f.srtt + s) / 8
+	}
+	f.rto = 2 * f.srtt
+	if f.rto < 5*sim.Millisecond {
+		f.rto = 5 * sim.Millisecond
+	}
+	if f.rto > 200*sim.Millisecond {
+		f.rto = 200 * sim.Millisecond
+	}
+}
+
+func (f *TCPFlow) armRTO() {
+	f.rtoGen++
+	gen := f.rtoGen
+	f.h.Engine().After(f.rto, func() {
+		if f.finished || gen != f.rtoGen {
+			return
+		}
+		if f.base == f.nextSeq {
+			// Nothing outstanding; idle.
+			return
+		}
+		// Timeout: collapse to slow start and resend the base; partial
+		// ACKs then walk the remaining holes without further timeouts.
+		f.ssthresh = f.cwnd / 2
+		if f.ssthresh < 2 {
+			f.ssthresh = 2
+		}
+		f.cwnd = 1
+		f.dupacks = 0
+		f.recover = f.nextSeq
+		f.inRecovery = true
+		f.sendData(f.base, false)
+		f.armRTO()
+	})
+}
+
+// TCPSink is the receiver: it reassembles in-order delivery and returns
+// cumulative ACKs (optionally delayed — one ACK per AckEvery data packets,
+// the standard delayed-ACK overhead reduction).
+type TCPSink struct {
+	h        *host.Host
+	port     uint16
+	AckEvery int // 1 = every packet; 2 = RFC 1122 delayed ACKs
+
+	rcvNxt   uint32
+	ooo      map[uint32]bool
+	unacked  int
+	Bytes    uint64
+	Packets  uint64
+	TxAcks   uint64
+	AckBytes uint64
+}
+
+// NewTCPSink binds a receiver at the host.
+func NewTCPSink(h *host.Host, port uint16, ackEvery int) *TCPSink {
+	if ackEvery < 1 {
+		ackEvery = 1
+	}
+	s := &TCPSink{h: h, port: port, AckEvery: ackEvery, ooo: make(map[uint32]bool)}
+	h.Bind(port, link.ProtoTCP, s.onData)
+	return s
+}
+
+func (s *TCPSink) onData(p *link.Packet) {
+	s.Bytes += uint64(p.Size)
+	s.Packets++
+	if p.Seq == s.rcvNxt {
+		s.rcvNxt++
+		for s.ooo[s.rcvNxt] {
+			delete(s.ooo, s.rcvNxt)
+			s.rcvNxt++
+		}
+	} else if p.Seq > s.rcvNxt {
+		s.ooo[p.Seq] = true
+	}
+	s.unacked++
+	// Ack immediately on gaps (dupacks drive fast retransmit); otherwise
+	// honor the delayed-ack cadence.
+	if p.Seq != s.rcvNxt-1 || s.unacked >= s.AckEvery {
+		s.sendAck(p)
+	}
+}
+
+func (s *TCPSink) sendAck(data *link.Packet) {
+	s.unacked = 0
+	ack := s.h.NewPacket(data.Flow.Src, s.port, data.Flow.SrcPort, link.ProtoTCP, AckBytes)
+	ack.Ack = s.rcvNxt
+	ack.TFlags = link.TFlagACK
+	s.h.Send(ack)
+	s.TxAcks++
+	s.AckBytes += uint64(ack.Size)
+}

@@ -1,0 +1,122 @@
+// Package transport provides the simulator's traffic sources: a rate-limited
+// UDP sender (the paper's RCP* flows are "basically rate-limited UDP
+// streams"), a burst sender for the all-to-all message workload of Figure 1,
+// and a compact TCP-like AIMD transport (slow start, additive increase,
+// duplicate-ACK fast retransmit, RTO) used as the congestion-control
+// baseline when the paper compares TPP overheads against TCP (§2.2, §6.2).
+package transport
+
+import (
+	"minions/internal/host"
+	"minions/internal/link"
+	"minions/internal/sim"
+)
+
+// HeaderBytes approximates Ethernet+IP+transport framing on data packets.
+const HeaderBytes = 54
+
+// AckBytes is the wire size of a bare ACK (minimum Ethernet frame).
+const AckBytes = 64
+
+// UDPFlow is a rate-limited constant-bit-rate sender.
+type UDPFlow struct {
+	h       *host.Host
+	dst     link.NodeID
+	sport   uint16
+	dport   uint16
+	PktSize int // wire bytes per packet
+	rateBps int64
+	running bool
+	gen     int
+	TxBytes uint64
+	TxPkts  uint64
+	// Tagger, when set, stamps each outgoing packet before transmission —
+	// how a CONGA* balancer applies its flowlet path decision.
+	Tagger func(p *link.Packet)
+}
+
+// NewUDPFlow creates a CBR flow; call SetRateBps then Start.
+func NewUDPFlow(h *host.Host, dst link.NodeID, sport, dport uint16, pktSize int) *UDPFlow {
+	return &UDPFlow{h: h, dst: dst, sport: sport, dport: dport, PktSize: pktSize}
+}
+
+// SetRateBps adjusts the sending rate; it takes effect from the next packet.
+func (f *UDPFlow) SetRateBps(r int64) { f.rateBps = r }
+
+// RateBps returns the current rate.
+func (f *UDPFlow) RateBps() int64 { return f.rateBps }
+
+// Start begins transmission.
+func (f *UDPFlow) Start() {
+	if f.running {
+		return
+	}
+	f.running = true
+	f.gen++
+	f.loop(f.gen)
+}
+
+// Stop halts transmission.
+func (f *UDPFlow) Stop() { f.running = false; f.gen++ }
+
+func (f *UDPFlow) loop(gen int) {
+	if !f.running || gen != f.gen {
+		return
+	}
+	eng := f.h.Engine()
+	if f.rateBps <= 0 {
+		// Idle: poll again shortly for a rate change.
+		eng.After(sim.Millisecond, func() { f.loop(gen) })
+		return
+	}
+	p := f.h.NewPacket(f.dst, f.sport, f.dport, link.ProtoUDP, f.PktSize)
+	if f.Tagger != nil {
+		f.Tagger(p)
+	}
+	f.h.Send(p)
+	f.TxBytes += uint64(f.PktSize)
+	f.TxPkts++
+	gap := sim.Time(int64(f.PktSize) * 8 * int64(sim.Second) / f.rateBps)
+	if gap < 1 {
+		gap = 1
+	}
+	eng.After(gap, func() { f.loop(gen) })
+}
+
+// Sink counts received bytes/packets on a port — the goodput meter.
+type Sink struct {
+	Bytes   uint64
+	Packets uint64
+	// OnPacket, when set, observes each delivery.
+	OnPacket func(p *link.Packet)
+}
+
+// NewSink binds a counting sink at the host.
+func NewSink(h *host.Host, port uint16, proto uint8) *Sink {
+	s := &Sink{}
+	h.Bind(port, proto, func(p *link.Packet) {
+		s.Bytes += uint64(p.Size)
+		s.Packets++
+		if s.OnPacket != nil {
+			s.OnPacket(p)
+		}
+	})
+	return s
+}
+
+// SendBurst transmits a message as back-to-back packets (no congestion
+// control) — the 10 kB all-to-all messages of §2.1 whose collisions create
+// the micro-bursts the TPPs observe.
+func SendBurst(h *host.Host, dst link.NodeID, sport, dport uint16, msgBytes, pktSize int) int {
+	n := 0
+	for sent := 0; sent < msgBytes; sent += pktSize {
+		sz := pktSize
+		if msgBytes-sent < sz {
+			sz = msgBytes - sent
+		}
+		p := h.NewPacket(dst, sport, dport, link.ProtoUDP, sz+HeaderBytes)
+		h.Send(p)
+		n++
+	}
+	return n
+}

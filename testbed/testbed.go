@@ -1,0 +1,103 @@
+// Package testbed is the public API for building simulated TPP-capable
+// networks and reproducing the paper's experiments. It re-exports the
+// network substrate (hosts, switches, links, topologies) and provides one
+// runner per table/figure of the paper's evaluation; cmd/experiments and
+// the repository's benchmarks are thin wrappers over these runners.
+package testbed
+
+import (
+	"minions/internal/conga"
+	"minions/internal/device"
+	"minions/internal/host"
+	"minions/internal/link"
+	"minions/internal/microburst"
+	"minions/internal/netsight"
+	"minions/internal/rcp"
+	"minions/internal/sim"
+	"minions/internal/sketch"
+	"minions/internal/topo"
+	"minions/internal/transport"
+)
+
+// Substrate types, re-exported for direct use.
+type (
+	// Network is a wired simulation of hosts, switches and links.
+	Network = topo.Network
+	// Host is an end host running the §4 TPP stack.
+	Host = host.Host
+	// Switch is a TPP-capable switch.
+	Switch = device.Switch
+	// App is a registered TPP application identity.
+	App = host.App
+	// FilterSpec matches packets for TPP attachment.
+	FilterSpec = host.FilterSpec
+	// ExecOpts tunes the TPP executor.
+	ExecOpts = host.ExecOpts
+	// Packet is an in-flight simulated packet.
+	Packet = link.Packet
+	// NodeID addresses a host or switch.
+	NodeID = link.NodeID
+	// LinkConfig parameterizes one link.
+	LinkConfig = link.Config
+	// Time is virtual simulation time in nanoseconds.
+	Time = sim.Time
+	// UDPFlow is a rate-limited CBR sender.
+	UDPFlow = transport.UDPFlow
+	// TCPFlow is the TCP-like AIMD transport.
+	TCPFlow = transport.TCPFlow
+	// Sink counts received traffic.
+	Sink = transport.Sink
+)
+
+// Time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// New creates an empty network with a deterministic engine.
+func New(seed int64) *Network { return topo.New(seed) }
+
+// HostLink returns a standard link config at the given rate.
+func HostLink(rateMbps int) LinkConfig { return topo.HostLink(rateMbps) }
+
+// Topology builders for the paper's experiments.
+var (
+	// Dumbbell builds the Figure 1 topology.
+	Dumbbell = topo.Dumbbell
+	// Chain builds the Figure 2 two-bottleneck topology.
+	Chain = topo.Chain
+	// Conga builds the Figure 4 leaf-spine topology.
+	Conga = topo.Conga
+	// FatTree builds a k-ary fat-tree.
+	FatTree = topo.FatTree
+	// FatTreeDims sizes a k-ary fat-tree analytically.
+	FatTreeDims = topo.FatTreeDims
+)
+
+// Application deployers, re-exported.
+var (
+	// DeployMicroburst installs §2.1 queue monitoring.
+	DeployMicroburst = microburst.Deploy
+	// DeployNetSight installs §2.3 packet-history collection.
+	DeployNetSight = netsight.Deploy
+	// DeploySketch installs §2.5 sketch measurement.
+	DeploySketch = sketch.Deploy
+	// NewRCPSystem registers §2.2 RCP* and allocates its link registers.
+	NewRCPSystem = rcp.NewSystem
+	// NewRCPFlow wraps a UDP flow with an RCP* rate controller.
+	NewRCPFlow = rcp.NewFlow
+	// NewCongaBalancer creates a §2.4 CONGA* flowlet balancer.
+	NewCongaBalancer = conga.NewBalancer
+	// NewUDPFlow creates a CBR sender.
+	NewUDPFlow = transport.NewUDPFlow
+	// NewTCPFlow creates a TCP-like sender.
+	NewTCPFlow = transport.NewTCPFlow
+	// NewTCPSink creates a TCP receiver.
+	NewTCPSink = transport.NewTCPSink
+	// NewSink creates a counting receiver.
+	NewSink = transport.NewSink
+	// SendBurst transmits a message as a back-to-back packet burst.
+	SendBurst = transport.SendBurst
+)

@@ -1,0 +1,61 @@
+package tpp_test
+
+import (
+	"testing"
+
+	"minions/tpp"
+)
+
+func TestPublicAssembleExecute(t *testing.T) {
+	prog, err := tpp.Assemble(`
+		PUSH [Switch:SwitchID]
+		PUSH [Queue:QueueOccupancy]
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := prog.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qAddr, err := tpp.ResolveAddr("Queue:QueueOccupancy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	memory := tpp.MapMemory{0x0000: 7, qAddr: 12}
+	res := tpp.Exec(sec, &tpp.Env{Mem: memory})
+	if res.Halted || res.Executed != 2 {
+		t.Fatalf("exec: %+v", res)
+	}
+	if sec.Word(0) != 7 || sec.Word(1) != 12 {
+		t.Errorf("collected %d %d", sec.Word(0), sec.Word(1))
+	}
+	if name, ok := tpp.AddrMnemonic(qAddr); !ok || name != "Queue:QueueOccupancy" {
+		t.Errorf("mnemonic: %q %v", name, ok)
+	}
+}
+
+func TestPublicFrameRoundTrip(t *testing.T) {
+	prog := tpp.MustAssemble(`PUSH [Switch:SwitchID]`)
+	sec, err := prog.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := tpp.MAC{1, 2, 3, 4, 5, 6}
+	dst := tpp.MAC{7, 8, 9, 10, 11, 12}
+	frame := tpp.BuildStandalone(dst, src, [4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}, 4000, sec)
+	f, err := tpp.ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TPP == nil || f.UDP.DstPort != tpp.UDPPortTPP {
+		t.Fatalf("frame: %+v", f)
+	}
+	back, err := tpp.Decode(f.TPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpp.Disassemble(back) != tpp.Disassemble(prog) {
+		t.Error("disassembly changed across the wire")
+	}
+}
