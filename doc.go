@@ -2,17 +2,28 @@
 // Minions: Using Packets for Low Latency Network Programming and Visibility"
 // (Jeyakumar, Alizadeh, Geng, Kim, Mazières — SIGCOMM 2014).
 //
-// The public API lives in two packages:
+// The public API is layered across three packages:
 //
-//   - minions/tpp — the tiny packet program wire format, instruction set,
-//     assembler and execution engine;
-//   - minions/testbed — simulated TPP-capable networks, the end-host stack,
-//     the paper's four applications (RCP*, CONGA*, NetSight, OpenSketch
+//   - minions/tpp — the tiny packet program itself: wire format and
+//     instruction set, the typed Builder and exported switch-memory address
+//     constants for constructing programs without string assembly, the
+//     pseudo-assembly assembler/disassembler (both forms encode to identical
+//     bytes), and the execution engine — a one-shot Exec plus the reusable,
+//     allocation-free Executor with batch execution for hot paths.
+//
+//   - minions/tppnet — the network facade: simulated TPP-capable switches
+//     and end hosts, links, the TPP-CP control plane, and the paper's
+//     topologies, created with functional options
+//     (tppnet.NewNetwork(tppnet.WithSeed(1)), net.Dumbbell(6, 100)).
+//
+//   - minions/testbed — the reproduction harness on top of both: the
+//     paper's four applications (RCP*, CONGA*, NetSight, OpenSketch
 //     refactorings) and one runner per table/figure of the evaluation.
 //
 // The benchmarks in bench_test.go regenerate every table and figure; run
 //
 //	go test -bench=. -benchmem
 //
-// or use cmd/experiments for paper-style table output.
+// or use cmd/experiments for paper-style table output. EXPERIMENTS.md
+// records paper-vs-measured values per figure and table.
 package minions

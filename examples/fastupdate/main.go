@@ -7,17 +7,16 @@ import (
 	"fmt"
 	"log"
 
-	"minions/internal/mem"
-	"minions/testbed"
 	"minions/tpp"
+	"minions/tppnet"
 )
 
 func main() {
 	// Diamond topology: s1 can reach h1 via s2 or s3; initially pinned to s2.
-	n := testbed.New(4)
+	n := tppnet.NewNetwork(tppnet.WithSeed(4))
 	s1, s2, s3, s4 := n.AddSwitch(4), n.AddSwitch(4), n.AddSwitch(4), n.AddSwitch(4)
 	h0, h1 := n.AddHost(), n.AddHost()
-	cfg := testbed.HostLink(1000)
+	cfg := tppnet.HostLink(1000)
 	n.Connect(h0, s1, cfg)
 	n.Connect(s1, s2, cfg)
 	n.Connect(s1, s3, cfg)
@@ -32,25 +31,28 @@ func main() {
 
 	// The update TPP: two STOREs carry (destination, port) — the paper's
 	// "only 64 bits of information per-hop". Targeted at s1 by addressing
-	// the probe to the switch itself.
+	// the probe to the switch itself. Built with the typed Builder: word 0
+	// holds the destination, word 1 the detour port.
 	app := n.CP.RegisterApp("fastupdate")
-	n.CP.GrantWrite(app, mem.VendorBase, mem.VendorBase+2)
-	prog := tpp.MustAssemble(`
-		.mode stack
-		.mem 2
-		STORE [Vendor#0:], [Packet:0]
-		STORE [Vendor#1:], [Packet:1]
-	`)
-	prog.InitMem = []uint32{uint32(h1.ID()), 2} // detour via port 2 (s3)
+	n.CP.GrantWrite(app, tppnet.RegRouteUpdateDst, tppnet.RegRouteUpdatePort+1)
+	prog, err := tpp.NewProgram().
+		Stack().
+		Store(tppnet.RegRouteUpdateDst, tpp.At(0)).
+		Store(tppnet.RegRouteUpdatePort, tpp.At(1)).
+		Init(uint32(h1.ID()), 2). // detour via port 2 (s3)
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	if err := h0.ExecuteTPP(app, prog, s1.NodeID(), testbed.ExecOpts{}, func(v tpp.Section, err error) {
+	if err := h0.ExecuteTPP(app, prog, s1.NodeID(), tppnet.ExecOpts{}, func(v tpp.Section, err error) {
 		if err != nil {
 			log.Fatal(err)
 		}
 	}); err != nil {
 		log.Fatal(err)
 	}
-	n.Eng.Run()
+	n.Run()
 
 	fmt.Printf("after:  s1 routes h1 via port %v, table version %d\n",
 		s1.Route(h1.ID()).Ports, s1.Version())

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"log"
 
-	"minions/internal/netsight"
 	"minions/testbed"
 )
 
@@ -20,7 +19,7 @@ func main() {
 	}
 
 	// netwatch: live isolation policy between host 0 and host 3.
-	violations := netsight.Netwatch(d.Collector, netsight.IsolationPolicy(
+	violations := testbed.Netwatch(d.Collector, testbed.IsolationPolicy(
 		map[testbed.NodeID]bool{hosts[0].ID(): true},
 		map[testbed.NodeID]bool{hosts[3].ID(): true},
 	))
@@ -32,7 +31,7 @@ func main() {
 	hosts[0].Send(hosts[0].NewPacket(hosts[1].ID(), 100, 9000, 17, 400))
 	hosts[0].Send(hosts[0].NewPacket(hosts[3].ID(), 101, 9000, 17, 400))
 	hosts[2].Send(hosts[2].NewPacket(hosts[3].ID(), 102, 9000, 17, 400))
-	n.Eng.Run()
+	n.Run()
 
 	fmt.Printf("collected %d packet histories\n", d.Collector.Len())
 	for _, h := range d.Collector.TraversedSwitch(left.ID()) {

@@ -1,35 +1,38 @@
-// Quickstart: assemble the paper's micro-burst TPP, attach it to traffic
-// crossing a tiny two-switch network, and read back per-hop switch state —
-// the end-to-end "hello, minions" of the TPP interface.
+// Quickstart: build the paper's micro-burst TPP with the typed Builder,
+// attach it to traffic crossing a tiny two-switch network via the tppnet
+// facade, and read back per-hop switch state — the end-to-end "hello,
+// minions" of the TPP interface.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"minions/testbed"
 	"minions/tpp"
+	"minions/tppnet"
 )
 
 func main() {
-	// 1. Assemble a TPP from the paper's pseudo-assembly (§2.1).
-	prog, err := tpp.Assemble(`
-		PUSH [Switch:SwitchID]
-		PUSH [PacketMetadata:OutputPort]
-		PUSH [Queue:QueueOccupancy]
-	`)
+	// 1. Build a TPP with the typed Builder (§2.1's program). The same
+	// program can be written in the paper's pseudo-assembly with
+	// tpp.Assemble; both forms encode to identical wire bytes.
+	prog, err := tpp.NewProgram().
+		Push(tpp.SwitchID).
+		Push(tpp.OutputPort).
+		Push(tpp.QueueOccupancy).
+		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("assembled program:")
+	fmt.Println("built program:")
 	fmt.Print(tpp.Disassemble(prog))
 	fmt.Printf("wire size: %d bytes\n\n", prog.WireLen())
 
 	// 2. Build a network: h1 - s1 - s2 - h2 at 1 Gb/s.
-	n := testbed.New(1)
+	n := tppnet.NewNetwork(tppnet.WithSeed(1))
 	s1, s2 := n.AddSwitch(4), n.AddSwitch(4)
 	h1, h2 := n.AddHost(), n.AddHost()
-	cfg := testbed.HostLink(1000)
+	cfg := tppnet.HostLink(1000)
 	n.Connect(h1, s1, cfg)
 	n.Connect(h2, s2, cfg)
 	n.Connect(s1, s2, cfg)
@@ -37,23 +40,23 @@ func main() {
 
 	// 3. Register the app with TPP-CP and install the TPP on UDP traffic.
 	app := n.CP.RegisterApp("quickstart")
-	if _, err := h1.AddTPP(app, testbed.FilterSpec{Proto: 17}, prog, 1, 0); err != nil {
+	if _, err := h1.AddTPP(app, tppnet.FilterSpec{Proto: tppnet.ProtoUDP}, prog, 1, 0); err != nil {
 		log.Fatal(err)
 	}
 
 	// 4. The receiving host's aggregator sees every executed TPP.
-	h2.RegisterAggregator(app.Wire, func(p *testbed.Packet, view tpp.Section) {
+	h2.RegisterAggregator(app.Wire, func(p *tppnet.Packet, view tpp.Section) {
 		fmt.Printf("packet %d executed on %d hops:\n", p.ID, view.HopOrSP()/3)
 		for _, hop := range view.StackView(3) {
 			fmt.Printf("  switch %d: out port %d, queue %d pkts\n",
 				hop.Words[0], hop.Words[1], hop.Words[2])
 		}
 	})
-	h2.Bind(9000, 17, func(p *testbed.Packet) {})
+	h2.Bind(9000, tppnet.ProtoUDP, func(p *tppnet.Packet) {})
 
 	// 5. Send a few packets and run the simulation.
 	for i := 0; i < 3; i++ {
-		h1.Send(h1.NewPacket(h2.ID(), 5000, 9000, 17, 1000))
+		h1.Send(h1.NewPacket(h2.ID(), 5000, 9000, tppnet.ProtoUDP, 1000))
 	}
-	n.Eng.Run()
+	n.Run()
 }

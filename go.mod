@@ -1,0 +1,3 @@
+module minions
+
+go 1.22

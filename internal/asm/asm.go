@@ -17,6 +17,7 @@
 //	.perhop N            words per hop (hop mode; default inferred)
 //	.mem N               total packet-memory words (default inferred)
 //	.appid N             wire application handle
+//	.start N             initial hop counter / stack pointer, mod 256
 //	.flags reflect,dropnotify
 //	.word V              append an initial packet-memory word (repeatable),
 //	                     the paper's "PacketMemory:" block
@@ -108,6 +109,12 @@ func Assemble(src string) (*core.Program, error) {
 		}
 		if usedHop && int(in.B) > maxHopOff {
 			maxHopOff = int(in.B)
+		}
+		if !usedHop && (in.Op == core.OpCSTORE || in.Op == core.OpLOADI ||
+			in.Op == core.OpCEXEC) && int(in.B) > maxAbsOff {
+			// B names a packet word for these opcodes: size memory to cover
+			// it, exactly as the Builder does.
+			maxAbsOff = int(in.B)
 		}
 		p.Insns = append(p.Insns, in)
 		if len(p.Insns) > core.MaxInsns {
@@ -266,6 +273,14 @@ func directive(p *core.Program, line string, ln int, modeSet *bool, hops *int, p
 			return err
 		}
 		p.AppID = uint16(v)
+	case ".start":
+		// Initial hop counter / stack pointer, mod 256: the windowing trick
+		// SplitCollect-style large-TPP programs rely on (§4.4).
+		v, err := num()
+		if err != nil {
+			return err
+		}
+		p.StartHop = v & 0xFF
 	case ".flags":
 		for _, f := range strings.Split(strings.ToLower(arg), ",") {
 			switch strings.TrimSpace(f) {
@@ -530,6 +545,9 @@ func Disassemble(p *core.Program) string {
 	fmt.Fprintf(&b, ".mem %d\n", p.MemWords)
 	if p.AppID != 0 {
 		fmt.Fprintf(&b, ".appid %d\n", p.AppID)
+	}
+	if p.StartHop != 0 {
+		fmt.Fprintf(&b, ".start %d\n", p.StartHop)
 	}
 	if p.Flags != 0 {
 		var fs []string

@@ -28,6 +28,11 @@ type Env struct {
 	AllowWrite func(a mem.Addr) bool
 }
 
+// writeOK applies the write policy.
+func (env *Env) writeOK(a mem.Addr) bool {
+	return env.AllowWrite == nil || env.AllowWrite(a)
+}
+
 // HaltReason says why execution stopped before the last instruction.
 type HaltReason uint8
 
@@ -79,193 +84,15 @@ type Result struct {
 //     the end-host can infer success (§3.3.3);
 //   - writes denied by policy count as failures for CSTORE and skips for
 //     STORE/POP.
+//
+// Exec is the one-shot convenience form: it validates and decodes the
+// section on every call. Hot paths that execute many hops should hold a
+// reusable Executor instead, which caches the decoded instructions and
+// allocates nothing per hop.
 func Exec(s Section, env *Env) Result {
-	if err := s.Validate(); err != nil {
-		return Result{Halted: true, Reason: HaltBadSection}
-	}
-	var res Result
-	mode := s.Mode()
-	memWords := s.MemWords()
-	hop := s.HopOrSP() // hop number (hop mode) or stack pointer (stack mode)
-	perHop := s.PerHopWords()
-
-	// effOff maps an instruction operand to an absolute packet-memory word.
-	effOff := func(op uint8) (int, bool) {
-		w := int(op)
-		if mode == AddrHop {
-			w = hop*perHop + w
-		}
-		return w, w < memWords
-	}
-	writeOK := func(a mem.Addr) bool {
-		return env.AllowWrite == nil || env.AllowWrite(a)
-	}
-
-loop:
-	for i := 0; i < s.InsnCount(); i++ {
-		in := s.Insn(i)
-		switch in.Op {
-		case OpNOP:
-			res.Executed++
-
-		case OpHALT:
-			res.Executed++
-			res.Halted = true
-			res.Reason = HaltInstruction
-			break loop
-
-		case OpLOAD:
-			w, inRange := effOff(in.A)
-			v, ok := env.Mem.Read(in.Addr)
-			if !ok || !inRange {
-				res.Skipped++
-				continue
-			}
-			s.SetWord(w, v)
-			res.Executed++
-
-		case OpLOADI:
-			src, srcOK := effOff(in.B)
-			dst, dstOK := effOff(in.A)
-			if !srcOK || !dstOK {
-				res.Skipped++
-				continue
-			}
-			ind := mem.Addr(s.Word(src) & 0xFFFF)
-			v, ok := env.Mem.Read(ind)
-			if !ok {
-				res.Skipped++
-				continue
-			}
-			s.SetWord(dst, v)
-			res.Executed++
-
-		case OpSTORE:
-			w, inRange := effOff(in.A)
-			if !inRange || !writeOK(in.Addr) {
-				res.Skipped++
-				continue
-			}
-			if !env.Mem.Write(in.Addr, s.Word(w)) {
-				res.Skipped++
-				continue
-			}
-			res.Executed++
-
-		case OpPUSH:
-			var w int
-			var inRange bool
-			if mode == AddrStack {
-				w, inRange = hop, hop < memWords
-			} else {
-				w, inRange = effOff(in.A)
-			}
-			if !inRange {
-				res.Halted = true
-				res.Reason = HaltMemoryExhausted
-				break loop
-			}
-			v, ok := env.Mem.Read(in.Addr)
-			if !ok {
-				res.Skipped++
-				continue
-			}
-			s.SetWord(w, v)
-			if mode == AddrStack {
-				hop++
-			}
-			res.Executed++
-
-		case OpPOP:
-			var w int
-			var inRange bool
-			if mode == AddrStack {
-				w, inRange = hop-1, hop > 0
-			} else {
-				w, inRange = effOff(in.A)
-			}
-			if !inRange {
-				res.Halted = true
-				res.Reason = HaltMemoryExhausted
-				break loop
-			}
-			if !writeOK(in.Addr) || !env.Mem.Write(in.Addr, s.Word(w)) {
-				res.Skipped++
-				continue
-			}
-			if mode == AddrStack {
-				hop--
-			}
-			res.Executed++
-
-		case OpCSTORE:
-			// CSTORE dst, old(A), new(B): §3.3.3 pseudo-code, verbatim.
-			oldW, okA := effOff(in.A)
-			newW, okB := effOff(in.B)
-			if !okA || !okB {
-				res.Skipped++
-				res.Halted = true
-				res.Reason = HaltCStoreFailed
-				break loop
-			}
-			cur, ok := env.Mem.Read(in.Addr)
-			if !ok {
-				res.Skipped++
-				res.Halted = true
-				res.Reason = HaltCStoreFailed
-				break loop
-			}
-			succeeded := false
-			if cur == s.Word(oldW) && writeOK(in.Addr) {
-				if env.Mem.Write(in.Addr, s.Word(newW)) {
-					cur = s.Word(newW)
-					succeeded = true
-				}
-			}
-			// "value at Packet:hop[Pre] = value at X" — always.
-			s.SetWord(oldW, cur)
-			res.Executed++
-			if !succeeded {
-				res.Halted = true
-				res.Reason = HaltCStoreFailed
-				break loop
-			}
-
-		case OpCEXEC:
-			// Halt unless (switch[Addr] & mask) == expected.
-			valW, okA := effOff(in.A)
-			if !okA {
-				res.Skipped++
-				res.Halted = true
-				res.Reason = HaltCExecFailed
-				break loop
-			}
-			mask := ^uint32(0)
-			if in.B != in.A {
-				if mw, okB := effOff(in.B); okB {
-					mask = s.Word(mw)
-				}
-			}
-			sw, ok := env.Mem.Read(in.Addr)
-			if !ok || sw&mask != s.Word(valW) {
-				res.Executed++
-				res.Halted = true
-				res.Reason = HaltCExecFailed
-				break loop
-			}
-			res.Executed++
-
-		default:
-			// Undefined opcode: fail gracefully, skip.
-			res.Skipped++
-		}
-	}
-
-	if mode == AddrHop {
-		hop = s.HopOrSP() + 1 // one hop consumed, regardless of halts
-	}
-	s.SetHopOrSP(hop)
-	return res
+	var e Executor
+	e.env = *env
+	return e.Exec(s)
 }
 
 // MemFunc adapts read/write closures into a SwitchMemory, handy in tests and

@@ -114,8 +114,14 @@ func (in Instruction) Check(mode AddrMode, memWords, perHop int) error {
 	}
 	needsA := false
 	switch in.Op {
-	case OpLOAD, OpSTORE, OpLOADI:
+	case OpLOAD, OpSTORE:
 		needsA = true
+	case OpLOADI:
+		// B holds the packet word the indirect switch address is read from.
+		needsA = true
+		if int(in.B) >= limit {
+			return fmt.Errorf("core: %v operand B=%d outside memory (%d words)", in.Op, in.B, limit)
+		}
 	case OpCSTORE:
 		needsA = true
 		if int(in.B) >= limit {

@@ -64,3 +64,43 @@ func BenchmarkSwitchForwardWithTPP(b *testing.B) {
 	}
 	eng.Run()
 }
+
+// TestSwitchTCPUZeroAllocs pins the acceptance bound on the per-hop execute
+// path: once the switch's resident executor has seen a program, executing it
+// with a packet-consistent view allocates nothing.
+func TestSwitchTCPUZeroAllocs(t *testing.T) {
+	eng := sim.New(1)
+	sw := New(eng, Config{ID: 1, NumPorts: 4, NodeID: 1001})
+	dst := &sink{eng: eng}
+	sw.AttachLink(1, link.New(eng, link.Config{RateBps: 1 << 40, QueueBytes: 1 << 30}, dst, 0), 1)
+	sw.AddRoute(200, 1)
+	prog := asm.MustAssemble(`
+		PUSH [Switch:SwitchID]
+		PUSH [PacketMetadata:OutputPort]
+		PUSH [Queue:QueueOccupancy]
+	`)
+	s, err := prog.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &link.Packet{
+		Flow: link.FlowKey{Src: 100, Dst: 200, SrcPort: 7, DstPort: 8, Proto: 17},
+		Size: 1000,
+		TPP:  s,
+		TTL:  64,
+	}
+	entry := sw.Route(200)
+	sw.pktCtx = pktContext{pkt: p, inPort: 0, outPort: 1, entry: entry, altPorts: 1}
+	sw.tcpu.Exec(p.TPP) // warm the decoded-insn cache
+	if allocs := testing.AllocsPerRun(200, func() {
+		p.TPP.SetHopOrSP(0)
+		sw.pktCtx = pktContext{pkt: p, inPort: 0, outPort: 1, entry: entry, altPorts: 1}
+		sw.curAppID = p.TPP.AppID()
+		sw.tcpu.Exec(p.TPP)
+	}); allocs != 0 {
+		t.Errorf("switch TCPU path allocates %.1f objects/op, want 0", allocs)
+	}
+	if s.HopOrSP() != 3 || s.Word(0) != 1 {
+		t.Fatalf("TPP did not execute: sp=%d word0=%d", s.HopOrSP(), s.Word(0))
+	}
+}

@@ -119,6 +119,14 @@ type Switch struct {
 	DropCollector func(p *link.Packet, reason DropReason)
 
 	drops map[DropReason]uint64
+
+	// The distributed TCPU of §3.5: one resident executor per switch, bound
+	// once to a packet-consistent memory view whose context is repointed per
+	// packet. Nothing on the per-hop execute path allocates.
+	tcpu     core.Executor
+	pktCtx   pktContext
+	view     memView
+	curAppID uint16
 }
 
 // New creates a switch with cfg.NumPorts unconnected ports.
@@ -126,7 +134,7 @@ func New(eng *sim.Engine, cfg Config) *Switch {
 	if cfg.NumPorts <= 0 || cfg.NumPorts > mem.MaxPorts {
 		panic(fmt.Sprintf("device: invalid port count %d", cfg.NumPorts))
 	}
-	return &Switch{
+	sw := &Switch{
 		eng:       eng,
 		cfg:       cfg,
 		ports:     make([]Port, cfg.NumPorts),
@@ -134,6 +142,18 @@ func New(eng *sim.Engine, cfg Config) *Switch {
 		vendorMem: make(map[mem.Addr]uint32),
 		drops:     make(map[DropReason]uint64),
 	}
+	sw.view = memView{sw: sw, ctx: &sw.pktCtx}
+	sw.tcpu = *core.NewExecutor(core.Env{Mem: &sw.view, AllowWrite: sw.allowTPPWrite})
+	return sw
+}
+
+// allowTPPWrite is the dataplane write gate of §4.3, evaluated against the
+// application carried by the packet currently executing.
+func (sw *Switch) allowTPPWrite(a mem.Addr) bool {
+	if sw.denyAllWrites {
+		return false
+	}
+	return sw.writePolicy == nil || sw.writePolicy(sw.curAppID, a)
 }
 
 // ID returns the switch identifier.
@@ -288,32 +308,19 @@ func (sw *Switch) Receive(p *link.Packet, inPort int) {
 	// carries the very values the forwarding logic just produced. Echoed
 	// TPPs are "fully executed" (§4.2) and ride back untouched.
 	if p.TPP != nil && p.TPP.Flags()&core.FlagEchoed == 0 {
-		ctx := pktContext{
+		sw.pktCtx = pktContext{
 			pkt:      p,
 			inPort:   inPort,
 			outPort:  outPort,
 			entry:    entry,
 			altPorts: len(entry.Ports),
 		}
-		view := memView{sw: sw, ctx: &ctx}
-		appID := p.TPP.AppID()
-		env := core.Env{
-			Mem: &view,
-			AllowWrite: func(a mem.Addr) bool {
-				if sw.denyAllWrites {
-					return false
-				}
-				if sw.writePolicy != nil && !sw.writePolicy(appID, a) {
-					return false
-				}
-				return true
-			},
-		}
-		core.Exec(p.TPP, &env)
+		sw.curAppID = p.TPP.AppID()
+		sw.tcpu.Exec(p.TPP)
 		p.Hops++
 		// A TPP write to [PacketMetadata:OutputPort] supersedes the
 		// forwarding decision (§3.2: writes supersede forwarding logic).
-		outPort = ctx.outPort
+		outPort = sw.pktCtx.outPort
 		if bounce {
 			p.TPP.SetFlags(p.TPP.Flags() | core.FlagEchoed)
 		}

@@ -77,6 +77,7 @@ type Stats struct {
 	TPPBytesAdded      uint64
 	TPPsStripped       uint64
 	TPPsEchoed         uint64
+	TPPsLocalExec      uint64 // TPPs executed by the shim's own TCPU
 	MTUSkips           uint64 // packets too full to instrument
 	UnclaimedViews     uint64 // executed TPPs with no aggregator
 }
@@ -101,6 +102,14 @@ type Host struct {
 	// PromiscTPP, when set, sees every executed TPP view delivered to this
 	// host regardless of application (used by collectors).
 	PromiscTPP func(p *link.Packet, view core.Section)
+
+	// The shim's resident TCPU: when localMem is set, the filter path runs
+	// hop 0 of every TPP it attaches against the host's own memory view, so
+	// the end-host stack shows up in collected telemetry like any switch
+	// hop (§4.2, Figure 9). The executor is reused across packets and
+	// allocates nothing per TPP.
+	tcpu     core.Executor
+	localMem core.SwitchMemory
 }
 
 // New creates a host with the given node ID, attached to a shared TPP-CP.
@@ -147,6 +156,22 @@ func (h *Host) Unbind(port uint16, proto uint8) {
 // RegisterAggregator installs the per-application consumer of executed TPPs.
 func (h *Host) RegisterAggregator(wireApp uint16, agg Aggregator) {
 	h.aggs[wireApp] = agg
+}
+
+// SetLocalMemory gives the shim its own switch-memory view. When non-nil,
+// the transmit filter path executes hop 0 of every attached TPP locally, so
+// collected per-hop records start with the sending host's state. Pass nil to
+// restore switch-only execution.
+//
+// The host's record consumes one hop slot of packet memory: programs built
+// with default sizing preallocate 5 hop records, which then covers the host
+// plus only 4 switches. On longer paths size explicitly — e.g.
+// tpp.NewProgram().Hops(pathLen+1) or the assembler's .hops directive —
+// or the final switch halts with HaltMemoryExhausted and its record is
+// absent from the aggregator view.
+func (h *Host) SetLocalMemory(m core.SwitchMemory) {
+	h.localMem = m
+	h.tcpu = *core.NewExecutor(core.Env{Mem: m})
 }
 
 // AddTPP implements the TPP-CP API of §4.1:
@@ -245,6 +270,12 @@ func (h *Host) attachTPP(p *link.Packet) {
 		f.applied++
 		h.stats.TPPsAttached++
 		h.stats.TPPBytesAdded += uint64(tppLen)
+		if h.localMem != nil {
+			// Hop 0 runs on the shim itself (§4.2): the resident executor
+			// has the program decoded after the first packet of a filter.
+			h.tcpu.Exec(p.TPP)
+			h.stats.TPPsLocalExec++
+		}
 		return
 	}
 }

@@ -404,3 +404,47 @@ func TestSplitCollectErrors(t *testing.T) {
 		t.Error("six statistics accepted (max 5 instructions)")
 	}
 }
+
+// TestShimLocalTCPU: with a local memory view installed, the transmit filter
+// path executes hop 0 on the host itself, so per-hop records lead with
+// end-host state before any switch's.
+func TestShimLocalTCPU(t *testing.T) {
+	n, h1, h2 := twoHosts(t)
+	app := n.CP.RegisterApp("localexec")
+	prog := asm.MustAssemble(`
+		PUSH [Switch:SwitchID]
+		PUSH [Queue:QueueOccupancy]
+	`)
+	const hostID = 0x4057 // arbitrary distinguishable marker
+	h1.SetLocalMemory(core.MapMemory{
+		mem.SwSwitchID:                          hostID,
+		mem.MustResolve("Queue:QueueOccupancy"): 9,
+	})
+	if _, err := h1.AddTPP(app, host.FilterSpec{Proto: link.ProtoUDP}, prog, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	var views []core.Section
+	h2.RegisterAggregator(app.Wire, func(p *link.Packet, view core.Section) {
+		views = append(views, view)
+	})
+	h2.Bind(8080, link.ProtoUDP, func(p *link.Packet) {})
+	h1.Send(h1.NewPacket(h2.ID(), 1234, 8080, link.ProtoUDP, 1000))
+	n.Eng.Run()
+
+	if len(views) != 1 {
+		t.Fatalf("aggregator saw %d views", len(views))
+	}
+	hops := views[0].StackView(2)
+	if len(hops) != 3 {
+		t.Fatalf("want host + 2 switch hops, got %d", len(hops))
+	}
+	if hops[0].Words[0] != hostID || hops[0].Words[1] != 9 {
+		t.Errorf("hop 0 is not the host record: %+v", hops[0])
+	}
+	if hops[1].Words[0] != 1 || hops[2].Words[0] != 2 {
+		t.Errorf("switch hops: %+v %+v", hops[1], hops[2])
+	}
+	if st := h1.Stats(); st.TPPsLocalExec != 1 {
+		t.Errorf("local exec count: %+v", st)
+	}
+}

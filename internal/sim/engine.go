@@ -5,10 +5,7 @@
 // never distort latencies — the main fidelity risk of wall-clock emulation.
 package sim
 
-import (
-	"container/heap"
-	"math/rand"
-)
+import "math/rand"
 
 // Time is virtual time in nanoseconds since simulation start.
 type Time int64
@@ -32,18 +29,58 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a hand-rolled binary min-heap. container/heap would box every
+// event into an interface on Push — one allocation per scheduled event, paid
+// on every packet transmission — so the sift operations are inlined here.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// push appends the event and restores the heap invariant.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. The heap must be non-empty.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the callback for GC
+	q = q[:n]
+	*h = q
+	for i := 0; ; {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && q.less(right, left) {
+			child = right
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	return top
+}
 
 // Engine runs events in virtual-time order.
 type Engine struct {
@@ -71,7 +108,7 @@ func (e *Engine) At(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn d nanoseconds from now.
@@ -108,7 +145,7 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run() int {
 	n := 0
 	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		e.now = ev.at
 		ev.fn()
 		n++
@@ -121,7 +158,7 @@ func (e *Engine) Run() int {
 func (e *Engine) RunUntil(deadline Time) int {
 	n := 0
 	for len(e.events) > 0 && !e.stopped && e.events[0].at <= deadline {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		e.now = ev.at
 		ev.fn()
 		n++

@@ -17,7 +17,6 @@ import (
 	"minions/internal/rcp"
 	"minions/internal/sim"
 	"minions/internal/sketch"
-	"minions/internal/topo"
 	"minions/internal/trafficgen"
 	"minions/internal/transport"
 )
@@ -73,8 +72,8 @@ func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
 	if cfg.Duration == 0 {
 		cfg.Duration = 2 * Second
 	}
-	n := topo.New(cfg.Seed + 3)
-	hosts, _, _ := topo.Dumbbell(n, cfg.Hosts, cfg.RateMbps)
+	n := New(cfg.Seed + 3)
+	hosts, _, _ := n.Dumbbell(cfg.Hosts, cfg.RateMbps)
 	mon, err := microburst.Deploy(n.CP, hosts, host.FilterSpec{Proto: link.ProtoUDP}, 1, 5)
 	if err != nil {
 		return nil, err
@@ -150,8 +149,8 @@ type Fig2Result struct {
 func RunFig2(duration Time, seed int64) (*Fig2Result, error) {
 	res := &Fig2Result{}
 	run := func(alpha float64) ([]Fig2Point, [3]float64, error) {
-		n := topo.New(seed + 5)
-		hosts, _ := topo.Chain(n, 100)
+		n := New(seed + 5)
+		hosts, _ := n.Chain(100)
 		sys, err := rcp.NewSystem(n.CP, rcp.Config{Alpha: alpha, CapacityMbps: 100})
 		if err != nil {
 			return nil, [3]float64{}, err
@@ -236,8 +235,8 @@ func RunSec22(flowCounts []int, duration Time, seed int64) ([]Sec22Row, error) {
 	for _, nf := range flowCounts {
 		// RCP* run. A 2 ms control period approximates the paper's
 		// once-per-RTT control packets.
-		n := topo.New(seed + 7)
-		hosts, _ := topo.Chain(n, 100)
+		n := New(seed + 7)
+		hosts, _ := n.Chain(100)
 		sys, err := rcp.NewSystem(n.CP, rcp.Config{CapacityMbps: 100, Period: 2 * Millisecond})
 		if err != nil {
 			return nil, err
@@ -268,8 +267,8 @@ func RunSec22(flowCounts []int, duration Time, seed int64) ([]Sec22Row, error) {
 		}
 
 		// TCP baseline.
-		n2 := topo.New(seed + 9)
-		hosts2, _ := topo.Chain(n2, 100)
+		n2 := New(seed + 9)
+		hosts2, _ := n2.Chain(100)
 		var tsinks []*transport.TCPSink
 		var tdata uint64
 		for i := 0; i < nf; i++ {
@@ -323,8 +322,8 @@ type Fig4Result struct {
 // RunFig4 reproduces the Figure 4 example.
 func RunFig4(duration Time, seed int64) (*Fig4Result, error) {
 	run := func(useConga bool) (Fig4Cell, error) {
-		n := topo.New(seed + 13)
-		hosts, _, _ := topo.Conga(n, 100)
+		n := New(seed + 13)
+		hosts, _, _ := n.LeafSpine(100)
 		h0, h1, h2 := hosts[0], hosts[1], hosts[2]
 		sink0 := transport.NewSink(h2, 7100, link.ProtoUDP)
 		sink1 := transport.NewSink(h2, 7200, link.ProtoUDP)
@@ -423,8 +422,8 @@ type Sec23Result struct {
 
 // RunSec23 verifies the accounting against a live run.
 func RunSec23() (*Sec23Result, error) {
-	n := topo.New(17)
-	hosts, _, _ := topo.Dumbbell(n, 4, 1000)
+	n := New(17)
+	hosts, _, _ := n.Dumbbell(4, 1000)
 	d, err := netsight.Deploy(n.CP, hosts, n.Switches, host.FilterSpec{Proto: link.ProtoUDP}, 1)
 	if err != nil {
 		return nil, err
@@ -473,8 +472,8 @@ type Sec25Result struct {
 
 // RunSec25 runs the cardinality measurement end to end.
 func RunSec25() (*Sec25Result, error) {
-	n := topo.New(21)
-	hosts, _, _ := topo.Dumbbell(n, 6, 1000)
+	n := New(21)
+	hosts, _, _ := n.Dumbbell(6, 1000)
 	mon, agents, err := sketch.Deploy(n.CP, hosts, host.FilterSpec{Proto: link.ProtoUDP}, 10, 1024, 100*Millisecond)
 	if err != nil {
 		return nil, err
@@ -505,7 +504,7 @@ func RunSec25() (*Sec25Result, error) {
 		tx += h.Stats().TxBytes
 		tppBytes += h.Stats().TPPBytesAdded
 	}
-	ftHosts, ftLinks := topo.FatTreeDims(64)
+	ftHosts, ftLinks := FatTreeDims(64)
 	return &Sec25Result{
 		TrueSources:   srcs,
 		Estimate:      best,

@@ -1,80 +1,94 @@
-// Package testbed is the public API for building simulated TPP-capable
-// networks and reproducing the paper's experiments. It re-exports the
-// network substrate (hosts, switches, links, topologies) and provides one
-// runner per table/figure of the paper's evaluation; cmd/experiments and
-// the repository's benchmarks are thin wrappers over these runners.
+// Package testbed is the reproduction harness: one runner per table/figure
+// of the paper's evaluation, built on the public tppnet network facade and
+// the tpp program API. cmd/experiments and the repository's benchmarks are
+// thin wrappers over these runners.
+//
+// The network substrate itself (hosts, switches, links, topologies) lives
+// in package tppnet; the aliases here exist so experiment code and older
+// callers need only one import.
 package testbed
 
 import (
 	"minions/internal/conga"
-	"minions/internal/device"
-	"minions/internal/host"
-	"minions/internal/link"
 	"minions/internal/microburst"
 	"minions/internal/netsight"
 	"minions/internal/rcp"
-	"minions/internal/sim"
 	"minions/internal/sketch"
-	"minions/internal/topo"
-	"minions/internal/transport"
+	"minions/tppnet"
 )
 
-// Substrate types, re-exported for direct use.
+// Substrate types, re-exported from the tppnet facade.
 type (
 	// Network is a wired simulation of hosts, switches and links.
-	Network = topo.Network
+	Network = tppnet.Network
 	// Host is an end host running the §4 TPP stack.
-	Host = host.Host
+	Host = tppnet.Host
 	// Switch is a TPP-capable switch.
-	Switch = device.Switch
+	Switch = tppnet.Switch
 	// App is a registered TPP application identity.
-	App = host.App
+	App = tppnet.App
 	// FilterSpec matches packets for TPP attachment.
-	FilterSpec = host.FilterSpec
+	FilterSpec = tppnet.FilterSpec
 	// ExecOpts tunes the TPP executor.
-	ExecOpts = host.ExecOpts
+	ExecOpts = tppnet.ExecOpts
 	// Packet is an in-flight simulated packet.
-	Packet = link.Packet
+	Packet = tppnet.Packet
 	// NodeID addresses a host or switch.
-	NodeID = link.NodeID
+	NodeID = tppnet.NodeID
 	// LinkConfig parameterizes one link.
-	LinkConfig = link.Config
+	LinkConfig = tppnet.LinkConfig
 	// Time is virtual simulation time in nanoseconds.
-	Time = sim.Time
+	Time = tppnet.Time
 	// UDPFlow is a rate-limited CBR sender.
-	UDPFlow = transport.UDPFlow
+	UDPFlow = tppnet.UDPFlow
 	// TCPFlow is the TCP-like AIMD transport.
-	TCPFlow = transport.TCPFlow
+	TCPFlow = tppnet.TCPFlow
 	// Sink counts received traffic.
-	Sink = transport.Sink
+	Sink = tppnet.Sink
+	// Violation is one netwatch policy violation (§2.3).
+	Violation = netsight.Violation
 )
 
 // Time units.
 const (
-	Microsecond = sim.Microsecond
-	Millisecond = sim.Millisecond
-	Second      = sim.Second
+	Microsecond = tppnet.Microsecond
+	Millisecond = tppnet.Millisecond
+	Second      = tppnet.Second
 )
 
-// New creates an empty network with a deterministic engine.
-func New(seed int64) *Network { return topo.New(seed) }
+// New creates an empty network with a deterministic engine seeded with seed.
+func New(seed int64) *Network {
+	return tppnet.NewNetwork(tppnet.WithSeed(seed))
+}
 
 // HostLink returns a standard link config at the given rate.
-func HostLink(rateMbps int) LinkConfig { return topo.HostLink(rateMbps) }
+func HostLink(rateMbps int) LinkConfig { return tppnet.HostLink(rateMbps) }
 
-// Topology builders for the paper's experiments.
-var (
-	// Dumbbell builds the Figure 1 topology.
-	Dumbbell = topo.Dumbbell
-	// Chain builds the Figure 2 two-bottleneck topology.
-	Chain = topo.Chain
-	// Conga builds the Figure 4 leaf-spine topology.
-	Conga = topo.Conga
-	// FatTree builds a k-ary fat-tree.
-	FatTree = topo.FatTree
-	// FatTreeDims sizes a k-ary fat-tree analytically.
-	FatTreeDims = topo.FatTreeDims
-)
+// Topology builders for the paper's experiments, as free functions over a
+// Network (the facade also offers them as methods).
+
+// Dumbbell builds the Figure 1 topology.
+func Dumbbell(n *Network, hosts, rateMbps int) ([]*Host, *Switch, *Switch) {
+	return n.Dumbbell(hosts, rateMbps)
+}
+
+// Chain builds the Figure 2 two-bottleneck topology.
+func Chain(n *Network, rateMbps int) ([]*Host, []*Switch) {
+	return n.Chain(rateMbps)
+}
+
+// Conga builds the Figure 4 leaf-spine topology.
+func Conga(n *Network, rateMbps int) (hosts []*Host, leaves, spines []*Switch) {
+	return n.LeafSpine(rateMbps)
+}
+
+// FatTree builds a k-ary fat-tree.
+func FatTree(n *Network, k, rateMbps int) [][]*Host {
+	return n.FatTree(k, rateMbps)
+}
+
+// FatTreeDims sizes a k-ary fat-tree analytically.
+var FatTreeDims = tppnet.FatTreeDims
 
 // Application deployers, re-exported.
 var (
@@ -90,14 +104,18 @@ var (
 	NewRCPFlow = rcp.NewFlow
 	// NewCongaBalancer creates a §2.4 CONGA* flowlet balancer.
 	NewCongaBalancer = conga.NewBalancer
+	// Netwatch attaches live §2.3 policy checking to a NetSight collector.
+	Netwatch = netsight.Netwatch
+	// IsolationPolicy flags packet histories crossing two host groups.
+	IsolationPolicy = netsight.IsolationPolicy
 	// NewUDPFlow creates a CBR sender.
-	NewUDPFlow = transport.NewUDPFlow
+	NewUDPFlow = tppnet.NewUDPFlow
 	// NewTCPFlow creates a TCP-like sender.
-	NewTCPFlow = transport.NewTCPFlow
+	NewTCPFlow = tppnet.NewTCPFlow
 	// NewTCPSink creates a TCP receiver.
-	NewTCPSink = transport.NewTCPSink
+	NewTCPSink = tppnet.NewTCPSink
 	// NewSink creates a counting receiver.
-	NewSink = transport.NewSink
+	NewSink = tppnet.NewSink
 	// SendBurst transmits a message as a back-to-back packet burst.
-	SendBurst = transport.SendBurst
+	SendBurst = tppnet.SendBurst
 )

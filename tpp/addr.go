@@ -1,0 +1,140 @@
+package tpp
+
+import "minions/internal/mem"
+
+// Compile-time-resolvable switch-memory addresses, exported from the unified
+// address space of internal/mem so programs can be built with the typed
+// Builder instead of assembling mnemonic strings. Names follow the paper's
+// pseudo-assembly: the constant SwitchID is exactly "[Switch:SwitchID]",
+// QueueOccupancy is "[Queue:QueueOccupancy]", and so on.
+//
+// Addresses fall in two groups. Dynamic-window addresses (the Queue*, Link*,
+// InLink* and packet-metadata constants) resolve against the packet being
+// forwarded — the current output queue, output link and input link — which
+// is what the paper's example programs use. Explicitly indexed addresses
+// name a fixed port, queue or stage and are composed from a register offset
+// (the Reg* constants) with PortAddr, QueueAddr, StageAddr or EntryAddr.
+
+// Per-switch globals ([Switch:*], appendix Table 6).
+const (
+	SwitchID        Addr = mem.SwSwitchID
+	SwitchVersion   Addr = mem.SwVersion
+	SwitchClockLo   Addr = mem.SwClockLo
+	SwitchClockHi   Addr = mem.SwClockHi
+	SwitchClockFreq Addr = mem.SwClockFreq
+	SwitchNumPorts  Addr = mem.SwNumPorts
+	SwitchVendorID  Addr = mem.SwVendorID
+)
+
+// Current-output-queue dynamic window ([Queue:*], Tables 7-8).
+const (
+	QueueOccupancy      Addr = mem.DynOutQueueBase + mem.QueueOccPackets
+	QueueOccupancyBytes Addr = mem.DynOutQueueBase + mem.QueueOccBytes
+	QueueTXBytes        Addr = mem.DynOutQueueBase + mem.QueueTXBytes
+	QueueTXPackets      Addr = mem.DynOutQueueBase + mem.QueueTXPackets
+	QueueDropBytes      Addr = mem.DynOutQueueBase + mem.QueueDropBytes
+	QueueDropPackets    Addr = mem.DynOutQueueBase + mem.QueueDropPackets
+)
+
+// Current-output-link dynamic window ([Link:*], Tables 7-8).
+const (
+	LinkID            Addr = mem.DynOutLinkBase + mem.LinkID
+	LinkRXBytes       Addr = mem.DynOutLinkBase + mem.LinkRXBytes
+	LinkRXPackets     Addr = mem.DynOutLinkBase + mem.LinkRXPackets
+	LinkTXBytes       Addr = mem.DynOutLinkBase + mem.LinkTXBytes
+	LinkTXPackets     Addr = mem.DynOutLinkBase + mem.LinkTXPackets
+	LinkDropBytes     Addr = mem.DynOutLinkBase + mem.LinkDropBytes
+	LinkDropPackets   Addr = mem.DynOutLinkBase + mem.LinkDropPackets
+	LinkQueuedBytes   Addr = mem.DynOutLinkBase + mem.LinkQueuedBytes
+	LinkQueuedPackets Addr = mem.DynOutLinkBase + mem.LinkQueuedPkts
+	LinkRXUtilization Addr = mem.DynOutLinkBase + mem.LinkRXUtil
+	LinkTXUtilization Addr = mem.DynOutLinkBase + mem.LinkTXUtil
+	LinkStatus        Addr = mem.DynOutLinkBase + mem.LinkStatus
+	LinkCapacityMbps  Addr = mem.DynOutLinkBase + mem.LinkCapacityMbps
+	LinkQueueSize     Addr = mem.DynOutLinkBase + mem.LinkQueueSize
+)
+
+// Software-managed AppSpecific registers of the current output link (§2.2),
+// allocated to applications by TPP-CP.
+const (
+	AppSpecific0 Addr = mem.DynOutLinkBase + mem.LinkAppSpecific0
+	AppSpecific1 Addr = mem.DynOutLinkBase + mem.LinkAppSpecific1
+	AppSpecific2 Addr = mem.DynOutLinkBase + mem.LinkAppSpecific2
+	AppSpecific3 Addr = mem.DynOutLinkBase + mem.LinkAppSpecific3
+	AppSpecific4 Addr = mem.DynOutLinkBase + mem.LinkAppSpecific4
+	AppSpecific5 Addr = mem.DynOutLinkBase + mem.LinkAppSpecific5
+	AppSpecific6 Addr = mem.DynOutLinkBase + mem.LinkAppSpecific6
+	AppSpecific7 Addr = mem.DynOutLinkBase + mem.LinkAppSpecific7
+)
+
+// Packet-metadata dynamic window ([PacketMetadata:*], Tables 7-8).
+const (
+	InputPort      Addr = mem.DynPacketBase + mem.PktInputPort
+	OutputPort     Addr = mem.DynPacketBase + mem.PktOutputPort
+	QueueID        Addr = mem.DynPacketBase + mem.PktQueueID
+	MatchedEntryID Addr = mem.DynPacketBase + mem.PktMatchedEntry
+	HopCount       Addr = mem.DynPacketBase + mem.PktHopCount
+	HashValue      Addr = mem.DynPacketBase + mem.PktHashValue
+	PathTag        Addr = mem.DynPacketBase + mem.PktPathTag
+	PacketTTL      Addr = mem.DynPacketBase + mem.PktTTL
+	PacketLength   Addr = mem.DynPacketBase + mem.PktLenBytes
+	ArrivalLo      Addr = mem.DynPacketBase + mem.PktArrivalLo
+	ArrivalHi      Addr = mem.DynPacketBase + mem.PktArrivalHi
+	AltRoutes      Addr = mem.DynPacketBase + mem.PktAltRoutes
+)
+
+// Register offsets for explicitly indexed addressing, composed with
+// PortAddr/QueueAddr/StageAddr/EntryAddr or InLink.
+const (
+	// Per-port ([Link#p:*]) register offsets.
+	RegLinkID           Addr = mem.LinkID
+	RegLinkRXBytes      Addr = mem.LinkRXBytes
+	RegLinkRXPackets    Addr = mem.LinkRXPackets
+	RegLinkTXBytes      Addr = mem.LinkTXBytes
+	RegLinkTXPackets    Addr = mem.LinkTXPackets
+	RegLinkDropBytes    Addr = mem.LinkDropBytes
+	RegLinkDropPackets  Addr = mem.LinkDropPackets
+	RegLinkQueuedBytes  Addr = mem.LinkQueuedBytes
+	RegLinkQueuedPkts   Addr = mem.LinkQueuedPkts
+	RegLinkRXUtil       Addr = mem.LinkRXUtil
+	RegLinkTXUtil       Addr = mem.LinkTXUtil
+	RegLinkStatus       Addr = mem.LinkStatus
+	RegLinkCapacityMbps Addr = mem.LinkCapacityMbps
+	RegLinkAppSpecific0 Addr = mem.LinkAppSpecific0
+
+	// Per-queue ([Queue#p.q:*]) register offsets.
+	RegQueueOccPackets Addr = mem.QueueOccPackets
+	RegQueueOccBytes   Addr = mem.QueueOccBytes
+	RegQueueTXBytes    Addr = mem.QueueTXBytes
+	RegQueueTXPackets  Addr = mem.QueueTXPackets
+
+	// Per-stage ([Stage#s:*]) register offsets.
+	RegStageVersion  Addr = mem.StageVersion
+	RegStageRefCount Addr = mem.StageRefCount
+
+	// Per-matched-entry ([FlowEntry#s:*]) register offsets.
+	RegEntryID        Addr = mem.EntryID
+	RegEntryMatchPkts Addr = mem.EntryMatchPkts
+)
+
+// PortAddr returns the explicit address of register reg on port p, like the
+// mnemonic "Link#p:reg".
+func PortAddr(port int, reg Addr) Addr { return mem.LinkAddr(port, reg) }
+
+// QueueAddr returns the explicit address of register reg on queue q of port
+// p, like "Queue#p.q:reg".
+func QueueAddr(port, queue int, reg Addr) Addr { return mem.QueueAddr(port, queue, reg) }
+
+// StageAddr returns the address of register reg of match-action stage s.
+func StageAddr(stage int, reg Addr) Addr { return mem.StageAddr(stage, reg) }
+
+// EntryAddr returns the matched-entry register reg at stage s.
+func EntryAddr(stage int, reg Addr) Addr { return mem.EntryAddr(stage, reg) }
+
+// InLink returns the input-port dynamic-window address for a per-port
+// register offset, like "InLink:reg".
+func InLink(reg Addr) Addr { return mem.DynInLinkBase + reg }
+
+// VendorAddr returns the platform-specific address at the given offset into
+// the vendor space ("Vendor#off:"), e.g. the in-band route-update registers.
+func VendorAddr(off int) Addr { return mem.VendorBase + Addr(off) }

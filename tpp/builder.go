@@ -1,0 +1,369 @@
+package tpp
+
+import (
+	"fmt"
+
+	"minions/internal/asm"
+	"minions/internal/core"
+)
+
+// Operand names a packet-memory word in a Builder program: either an
+// absolute word (At) or a word inside the current hop's slice (Hop). It is
+// the typed equivalent of the assembler's [Packet:3] / [Packet:Hop[3]]
+// operands.
+type Operand struct {
+	off    int
+	hopRel bool
+}
+
+// At addresses absolute packet-memory word w.
+func At(w int) Operand { return Operand{off: w} }
+
+// Hop addresses word w of the current hop's slice; using it anywhere in a
+// program selects hop addressing mode, exactly as a Hop[] operand does in
+// the assembler.
+func Hop(w int) Operand { return Operand{off: w, hopRel: true} }
+
+// Builder constructs a TPP fluently, without parsing strings, and with the
+// same header inference the assembler applies (default 5 hops, packet
+// memory sized from the instructions). Methods record the first error and
+// make every later call a no-op; Build returns it.
+//
+//	prog, err := tpp.NewProgram().
+//	        Push(tpp.SwitchID).
+//	        Push(tpp.QueueOccupancy).
+//	        Build()
+//
+// A Builder program and the equivalent assembler text encode to
+// byte-identical wire sections.
+type Builder struct {
+	insns     []core.Instruction
+	insnHop   []bool // whether instruction i used Hop operands
+	mode      core.AddrMode
+	modeSet   bool
+	hops      int
+	perHop    int
+	perHopSet bool
+	memWords  int
+	memSet    bool
+	appID     uint16
+	flags     core.Flags
+	startHop  int
+	initMem   []uint32
+	pushSlots int
+	err       error
+}
+
+// NewProgram starts an empty program in the default (stack) addressing mode
+// with memory preallocated for 5 hops, the paper's datacenter path length.
+func NewProgram() *Builder {
+	return &Builder{mode: core.AddrStack, hops: asm.DefaultHops}
+}
+
+func (b *Builder) fail(format string, args ...any) *Builder {
+	if b.err == nil {
+		b.err = fmt.Errorf("tpp: "+format, args...)
+	}
+	return b
+}
+
+// Stack selects explicit stack addressing mode.
+func (b *Builder) Stack() *Builder {
+	b.mode, b.modeSet = core.AddrStack, true
+	return b
+}
+
+// HopMode selects hop (base:offset) addressing mode. Programs using Hop
+// operands get it automatically.
+func (b *Builder) HopMode() *Builder {
+	b.mode, b.modeSet = core.AddrHop, true
+	return b
+}
+
+// Hops sets how many hops to preallocate packet memory for (default 5).
+func (b *Builder) Hops(n int) *Builder {
+	if n < 1 || n > 64 {
+		return b.fail("hops %d out of range", n)
+	}
+	b.hops = n
+	return b
+}
+
+// PerHop fixes the per-hop record size in words (hop mode; inferred from
+// operands when unset).
+func (b *Builder) PerHop(words int) *Builder {
+	b.perHop, b.perHopSet = words, true
+	return b
+}
+
+// Mem fixes the total packet-memory size in words (inferred when unset).
+func (b *Builder) Mem(words int) *Builder {
+	b.memWords, b.memSet = words, true
+	return b
+}
+
+// AppID sets the wire application handle allocated by TPP-CP.
+func (b *Builder) AppID(id uint16) *Builder {
+	b.appID = id
+	return b
+}
+
+// Flags sets header flags (FlagReflect, FlagDropNotify, ...).
+func (b *Builder) Flags(f Flags) *Builder {
+	b.flags |= f
+	return b
+}
+
+// StartHop sets the initial hop counter / stack pointer (normally 0; large
+// values wrap mod 256, the trick SplitCollect-style windowed programs use).
+func (b *Builder) StartHop(n int) *Builder {
+	b.startHop = n & 0xFF
+	return b
+}
+
+// Init appends initial packet-memory words, the assembler's .word block.
+func (b *Builder) Init(words ...uint32) *Builder {
+	b.initMem = append(b.initMem, words...)
+	return b
+}
+
+// operand validates an Operand's range.
+func (b *Builder) operand(o Operand, what string) (uint8, bool) {
+	if o.off < 0 || o.off > core.MaxOperand {
+		b.fail("%s operand %d outside 0..%d", what, o.off, core.MaxOperand)
+		return 0, false
+	}
+	return uint8(o.off), true
+}
+
+// add appends an instruction, tracking whether it used hop addressing.
+func (b *Builder) add(in core.Instruction, usedHop bool) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(b.insns) >= core.MaxInsns {
+		return b.fail("more than %d instructions (the line-rate bound of §3)", core.MaxInsns)
+	}
+	b.insns = append(b.insns, in)
+	b.insnHop = append(b.insnHop, usedHop)
+	return b
+}
+
+// Nop appends a NOP.
+func (b *Builder) Nop() *Builder { return b.add(core.Instruction{Op: core.OpNOP}, false) }
+
+// Halt appends a HALT: unconditionally stop executing this TPP.
+func (b *Builder) Halt() *Builder { return b.add(core.Instruction{Op: core.OpHALT}, false) }
+
+// Push appends PUSH [a]: copy switch memory onto the packet's stack (stack
+// mode) or into this instruction's preassigned per-hop slot (hop mode).
+func (b *Builder) Push(a Addr) *Builder {
+	in := core.Instruction{Op: core.OpPUSH, Addr: a, A: uint8(b.pushSlots)}
+	b.pushSlots++
+	return b.add(in, false)
+}
+
+// Pop appends POP [a]: write the top of the packet stack to switch memory.
+func (b *Builder) Pop(a Addr) *Builder {
+	in := core.Instruction{Op: core.OpPOP, Addr: a, A: uint8(b.pushSlots)}
+	b.pushSlots++
+	return b.add(in, false)
+}
+
+// Load appends LOAD [a], dst: copy switch memory into packet word dst.
+func (b *Builder) Load(a Addr, dst Operand) *Builder {
+	if b.err != nil {
+		return b
+	}
+	off, ok := b.operand(dst, "LOAD")
+	if !ok {
+		return b
+	}
+	return b.add(core.Instruction{Op: core.OpLOAD, Addr: a, A: off}, dst.hopRel)
+}
+
+// LoadIndirect appends LOADI dst, addrFrom: read the switch address from
+// packet word addrFrom, then copy that switch word into dst (§8's
+// device-heterogeneity indirection).
+func (b *Builder) LoadIndirect(dst, addrFrom Operand) *Builder {
+	if b.err != nil {
+		return b
+	}
+	d, ok1 := b.operand(dst, "LOADI dst")
+	s, ok2 := b.operand(addrFrom, "LOADI addr")
+	if !ok1 || !ok2 {
+		return b
+	}
+	return b.add(core.Instruction{Op: core.OpLOADI, A: d, B: s}, dst.hopRel || addrFrom.hopRel)
+}
+
+// Store appends STORE [a], src: write packet word src to switch memory.
+func (b *Builder) Store(a Addr, src Operand) *Builder {
+	if b.err != nil {
+		return b
+	}
+	off, ok := b.operand(src, "STORE")
+	if !ok {
+		return b
+	}
+	return b.add(core.Instruction{Op: core.OpSTORE, Addr: a, A: off}, src.hopRel)
+}
+
+// CStore appends CSTORE [a], old, new: atomically write packet word new to
+// switch memory if it currently equals packet word old, writing the observed
+// switch value back into old either way; on failure the TPP halts (§3.3.3).
+func (b *Builder) CStore(a Addr, old, new Operand) *Builder {
+	if b.err != nil {
+		return b
+	}
+	o, ok1 := b.operand(old, "CSTORE old")
+	n, ok2 := b.operand(new, "CSTORE new")
+	if !ok1 || !ok2 {
+		return b
+	}
+	return b.add(core.Instruction{Op: core.OpCSTORE, Addr: a, A: o, B: n}, old.hopRel || new.hopRel)
+}
+
+// CExec appends CEXEC [a], expect: halt the TPP unless switch memory equals
+// packet word expect — the guard used for targeted execution (§4.4).
+func (b *Builder) CExec(a Addr, expect Operand) *Builder {
+	if b.err != nil {
+		return b
+	}
+	v, ok := b.operand(expect, "CEXEC")
+	if !ok {
+		return b
+	}
+	return b.add(core.Instruction{Op: core.OpCEXEC, Addr: a, A: v, B: v}, expect.hopRel)
+}
+
+// CExecMasked appends CEXEC [a], expect, mask: halt unless
+// (switch[a] & packet[mask]) == packet[expect]. The mask must name a
+// different packet word than expect: B==A encodes "no mask" on the wire, so
+// a masked compare through the same word is unrepresentable and rejected
+// rather than silently degraded to CExec's exact equality.
+func (b *Builder) CExecMasked(a Addr, expect, mask Operand) *Builder {
+	if b.err != nil {
+		return b
+	}
+	v, ok1 := b.operand(expect, "CEXEC expect")
+	m, ok2 := b.operand(mask, "CEXEC mask")
+	if !ok1 || !ok2 {
+		return b
+	}
+	if m == v {
+		return b.fail("CEXEC mask operand must differ from the expect operand (B==A means no mask on the wire); use CExec for an exact compare")
+	}
+	return b.add(core.Instruction{Op: core.OpCEXEC, Addr: a, A: v, B: m}, expect.hopRel || mask.hopRel)
+}
+
+// Build applies the assembler's header-inference rules and returns the
+// finished program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.insns) == 0 {
+		return nil, fmt.Errorf("tpp: no instructions")
+	}
+
+	sawHop := false
+	maxHopOff, maxAbsOff := -1, -1
+	pushes := 0
+	for i, in := range b.insns {
+		usedHop := b.insnHop[i]
+		if usedHop {
+			sawHop = true
+		}
+		switch {
+		case usedHop && int(in.A) > maxHopOff:
+			maxHopOff = int(in.A)
+		case !usedHop && in.Op != core.OpPUSH && in.Op != core.OpPOP &&
+			in.Op != core.OpNOP && in.Op != core.OpHALT && int(in.A) > maxAbsOff:
+			maxAbsOff = int(in.A)
+		}
+		if usedHop && int(in.B) > maxHopOff {
+			maxHopOff = int(in.B)
+		}
+		if !usedHop && (in.Op == core.OpCSTORE || in.Op == core.OpLOADI ||
+			in.Op == core.OpCEXEC) && int(in.B) > maxAbsOff {
+			// The assembler cannot express an absolute B beyond what .mem
+			// covers; the Builder sizes memory to include it.
+			maxAbsOff = int(in.B)
+		}
+		if in.Op == core.OpPUSH {
+			pushes++
+		}
+	}
+
+	p := &core.Program{
+		Mode:        b.mode,
+		PerHopWords: b.perHop,
+		MemWords:    b.memWords,
+		AppID:       b.appID,
+		Flags:       b.flags,
+		StartHop:    b.startHop,
+		InitMem:     append([]uint32(nil), b.initMem...),
+		Insns:       append([]core.Instruction(nil), b.insns...),
+	}
+
+	if !b.modeSet && sawHop {
+		p.Mode = core.AddrHop
+	}
+	if p.Mode == core.AddrStack && sawHop {
+		return nil, fmt.Errorf("tpp: Hop operands require hop addressing mode")
+	}
+
+	if p.Mode == core.AddrHop {
+		if !b.perHopSet {
+			need := maxHopOff + 1
+			if b.pushSlots > need {
+				need = b.pushSlots
+			}
+			if need <= 0 {
+				need = 1
+			}
+			p.PerHopWords = need
+		}
+		if !b.memSet {
+			p.MemWords = p.PerHopWords * b.hops
+		}
+	} else if !b.memSet {
+		words := pushes * b.hops
+		if maxAbsOff+1 > words {
+			words = maxAbsOff + 1
+		}
+		if len(p.InitMem) > words {
+			words = len(p.InitMem)
+		}
+		if words == 0 {
+			words = 1
+		}
+		p.MemWords = words
+	}
+	if p.MemWords > core.MaxMemWords {
+		return nil, fmt.Errorf("tpp: packet memory of %d words exceeds the maximum %d", p.MemWords, core.MaxMemWords)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build for programs known valid at compile time.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Encode builds the program and serializes it to a wire section.
+func (b *Builder) Encode() (Section, error) {
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return p.Encode()
+}

@@ -1,0 +1,384 @@
+package tpp_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"minions/tpp"
+)
+
+// corpus pairs every TPP used by examples/ and testbed/ (the §2 application
+// programs) in both source forms: the paper's pseudo-assembly and the typed
+// Builder. Build/Assemble must encode each pair to byte-identical sections.
+var corpus = []struct {
+	name    string
+	asm     string
+	builder func() *tpp.Builder
+}{
+	{
+		name: "microburst-quickstart", // §2.1, examples/quickstart + microburst
+		asm: `
+			PUSH [Switch:SwitchID]
+			PUSH [PacketMetadata:OutputPort]
+			PUSH [Queue:QueueOccupancy]
+		`,
+		builder: func() *tpp.Builder {
+			return tpp.NewProgram().
+				Push(tpp.SwitchID).
+				Push(tpp.OutputPort).
+				Push(tpp.QueueOccupancy)
+		},
+	},
+	{
+		name: "netsight", // §2.3, examples/ndb + testbed.DeployNetSight
+		asm: `
+			.hops 10
+			.flags dropnotify
+			PUSH [Switch:ID]
+			PUSH [PacketMetadata:MatchedEntryID]
+			PUSH [PacketMetadata:InputPort]
+		`,
+		builder: func() *tpp.Builder {
+			return tpp.NewProgram().
+				Hops(10).
+				Flags(tpp.FlagDropNotify).
+				Push(tpp.SwitchID).
+				Push(tpp.MatchedEntryID).
+				Push(tpp.InputPort)
+		},
+	},
+	{
+		name: "sketch", // §2.5, examples/sketch + testbed.DeploySketch
+		asm: `
+			PUSH [Switch:ID]
+			PUSH [PacketMetadata:OutputPort]
+		`,
+		builder: func() *tpp.Builder {
+			return tpp.NewProgram().Push(tpp.SwitchID).Push(tpp.OutputPort)
+		},
+	},
+	{
+		name: "fastupdate", // §2.6, examples/fastupdate
+		asm: `
+			.mode stack
+			.mem 2
+			STORE [Vendor#0:], [Packet:0]
+			STORE [Vendor#1:], [Packet:1]
+		`,
+		builder: func() *tpp.Builder {
+			return tpp.NewProgram().
+				Stack().
+				Mem(2).
+				Store(tpp.VendorAddr(0), tpp.At(0)).
+				Store(tpp.VendorAddr(1), tpp.At(1))
+		},
+	},
+	{
+		name: "rcp-capacity", // §2.2 phase 0, testbed.NewRCPSystem
+		asm: `
+			LOAD [Switch:SwitchID], [Packet:Hop[0]]
+			LOAD [Link:CapacityMbps], [Packet:Hop[1]]
+		`,
+		builder: func() *tpp.Builder {
+			return tpp.NewProgram().
+				Load(tpp.SwitchID, tpp.Hop(0)).
+				Load(tpp.LinkCapacityMbps, tpp.Hop(1))
+		},
+	},
+	{
+		name: "rcp-collect", // §2.2 phase 1
+		asm: `
+			LOAD [Switch:SwitchID], [Packet:Hop[0]]
+			LOAD [Link:Queued-Bytes], [Packet:Hop[1]]
+			LOAD [Link:TX-Bytes], [Packet:Hop[2]]
+			LOAD [Link:AppSpecific_0], [Packet:Hop[3]]
+			LOAD [Link:AppSpecific_1], [Packet:Hop[4]]
+		`,
+		builder: func() *tpp.Builder {
+			return tpp.NewProgram().
+				Load(tpp.SwitchID, tpp.Hop(0)).
+				Load(tpp.LinkQueuedBytes, tpp.Hop(1)).
+				Load(tpp.LinkTXBytes, tpp.Hop(2)).
+				Load(tpp.AppSpecific0, tpp.Hop(3)).
+				Load(tpp.AppSpecific1, tpp.Hop(4))
+		},
+	},
+	{
+		name: "rcp-update", // §2.2 phase 3: versioned CSTORE gating a STORE
+		asm: `
+			CSTORE [Link:AppSpecific_0], [Packet:Hop[0]], [Packet:Hop[1]]
+			STORE [Link:AppSpecific_1], [Packet:Hop[2]]
+			.hops 3
+			.word 7 8 0x2000
+		`,
+		builder: func() *tpp.Builder {
+			return tpp.NewProgram().
+				Hops(3).
+				CStore(tpp.AppSpecific0, tpp.Hop(0), tpp.Hop(1)).
+				Store(tpp.AppSpecific1, tpp.Hop(2)).
+				Init(7, 8, 0x2000)
+		},
+	},
+	{
+		name: "conga-probe", // §2.4, testbed.NewCongaBalancer
+		asm: `
+			LOAD [Link:ID], [Packet:Hop[0]]
+			LOAD [Link:TX-Utilization], [Packet:Hop[1]]
+			LOAD [Link:TX-Bytes], [Packet:Hop[2]]
+		`,
+		builder: func() *tpp.Builder {
+			return tpp.NewProgram().
+				Load(tpp.LinkID, tpp.Hop(0)).
+				Load(tpp.LinkTXUtilization, tpp.Hop(1)).
+				Load(tpp.LinkTXBytes, tpp.Hop(2))
+		},
+	},
+	{
+		name: "targeted", // §4.4: CEXEC on switch ID guarding a collection
+		asm: `
+			CEXEC [Switch:SwitchID], [Packet:Hop[0]]
+			LOAD [Queue:QueueOccupancy], [Packet:Hop[1]]
+		`,
+		builder: func() *tpp.Builder {
+			return tpp.NewProgram().
+				CExec(tpp.SwitchID, tpp.Hop(0)).
+				Load(tpp.QueueOccupancy, tpp.Hop(1))
+		},
+	},
+	{
+		name: "indirect", // §8 heterogeneity: address read from packet memory
+		asm: `
+			LOAD [[Packet:Hop[1]]], [Packet:Hop[0]]
+		`,
+		builder: func() *tpp.Builder {
+			return tpp.NewProgram().LoadIndirect(tpp.Hop(0), tpp.Hop(1))
+		},
+	},
+	{
+		name: "indirect-absolute", // absolute LOADI: B sizes memory in both forms
+		asm: `
+			LOADI [Packet:0], [Packet:7]
+			PUSH [Switch:SwitchID]
+		`,
+		builder: func() *tpp.Builder {
+			return tpp.NewProgram().
+				LoadIndirect(tpp.At(0), tpp.At(7)).
+				Push(tpp.SwitchID)
+		},
+	},
+	{
+		name: "split-collect-window", // §4.4 large TPPs: wrapped start hop
+		asm: `
+			.mode hop
+			.perhop 2
+			.mem 20
+			.start 246
+			LOAD [Switch:SwitchID], [Packet:Hop[0]]
+			LOAD [Queue:QueueOccupancy], [Packet:Hop[1]]
+		`,
+		builder: func() *tpp.Builder {
+			return tpp.NewProgram().
+				HopMode().
+				PerHop(2).
+				Mem(20).
+				StartHop(246).
+				Load(tpp.SwitchID, tpp.Hop(0)).
+				Load(tpp.QueueOccupancy, tpp.Hop(1))
+		},
+	},
+	{
+		name: "appid-reflect", // header plumbing: app handle + reflect flag
+		asm: `
+			.appid 42
+			.flags reflect
+			PUSH [Switch:SwitchID]
+		`,
+		builder: func() *tpp.Builder {
+			return tpp.NewProgram().
+				AppID(42).
+				Flags(tpp.FlagReflect).
+				Push(tpp.SwitchID)
+		},
+	},
+}
+
+// TestBuilderAssemblerRoundTrip: for every corpus program, the Builder and
+// the assembler must produce byte-identical wire sections, and the encoded
+// section must survive Decode -> Disassemble -> Assemble -> Encode intact.
+func TestBuilderAssemblerRoundTrip(t *testing.T) {
+	for _, tc := range corpus {
+		t.Run(tc.name, func(t *testing.T) {
+			fromAsm, err := tpp.Assemble(tc.asm)
+			if err != nil {
+				t.Fatalf("Assemble: %v", err)
+			}
+			asmBytes, err := fromAsm.Encode()
+			if err != nil {
+				t.Fatalf("Encode(asm): %v", err)
+			}
+			built, err := tc.builder().Build()
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			builtBytes, err := built.Encode()
+			if err != nil {
+				t.Fatalf("Encode(builder): %v", err)
+			}
+			if !bytes.Equal(asmBytes, builtBytes) {
+				t.Fatalf("sections differ:\nasm:     %x\nbuilder: %x\nasm prog: %+v\nbuilder prog: %+v",
+					asmBytes, builtBytes, fromAsm, built)
+			}
+
+			// And the full text round trip.
+			decoded, err := tpp.Decode(builtBytes)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			reassembled, err := tpp.Assemble(tpp.Disassemble(decoded))
+			if err != nil {
+				t.Fatalf("re-Assemble: %v\nsource:\n%s", err, tpp.Disassemble(decoded))
+			}
+			reBytes, err := reassembled.Encode()
+			if err != nil {
+				t.Fatalf("re-Encode: %v", err)
+			}
+			if !bytes.Equal(builtBytes, reBytes) {
+				t.Fatalf("text round trip diverged:\nbefore: %x\nafter:  %x\ntext:\n%s",
+					builtBytes, reBytes, tpp.Disassemble(decoded))
+			}
+		})
+	}
+}
+
+// TestBuilderRandomRoundTrip is the property-style check: arbitrary Builder
+// programs must survive Encode -> Decode -> Disassemble -> Assemble ->
+// Encode byte-identically.
+func TestBuilderRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	addrs := []tpp.Addr{
+		tpp.SwitchID, tpp.SwitchClockLo, tpp.QueueOccupancy, tpp.LinkTXBytes,
+		tpp.LinkTXUtilization, tpp.OutputPort, tpp.HopCount,
+		tpp.AppSpecific0, tpp.AppSpecific1,
+		tpp.PortAddr(3, tpp.RegLinkRXBytes),
+		tpp.QueueAddr(2, 1, tpp.RegQueueOccPackets),
+		tpp.StageAddr(0, tpp.RegStageVersion),
+	}
+	for trial := 0; trial < 300; trial++ {
+		b := tpp.NewProgram()
+		hopMode := rng.Intn(2) == 0
+		op := func(w int) tpp.Operand {
+			if hopMode {
+				return tpp.Hop(w)
+			}
+			return tpp.At(w)
+		}
+		addr := func() tpp.Addr { return addrs[rng.Intn(len(addrs))] }
+		n := 1 + rng.Intn(tpp.MaxInsns)
+		lim := 3 // keep operands small so inference stays in range
+		for i := 0; i < n; i++ {
+			switch rng.Intn(7) {
+			case 0:
+				b.Push(addr())
+			case 1:
+				b.Pop(addr())
+			case 2:
+				b.Load(addr(), op(rng.Intn(lim)))
+			case 3:
+				b.Store(addr(), op(rng.Intn(lim)))
+			case 4:
+				b.CStore(addr(), op(rng.Intn(lim)), op(rng.Intn(lim)))
+			case 5:
+				b.CExec(addr(), op(rng.Intn(lim)))
+			case 6:
+				b.Nop()
+			}
+		}
+		if rng.Intn(3) == 0 {
+			b.AppID(uint16(rng.Intn(1 << 16)))
+		}
+		if rng.Intn(3) == 0 {
+			b.Flags(tpp.FlagDropNotify)
+		}
+		if rng.Intn(4) == 0 {
+			b.Init(rng.Uint32()%1000, rng.Uint32()%1000)
+		}
+		prog, err := b.Build()
+		if err != nil {
+			t.Fatalf("trial %d: Build: %v", trial, err)
+		}
+		enc, err := prog.Encode()
+		if err != nil {
+			t.Fatalf("trial %d: Encode: %v", trial, err)
+		}
+		decoded, err := tpp.Decode(enc)
+		if err != nil {
+			t.Fatalf("trial %d: Decode: %v", trial, err)
+		}
+		src := tpp.Disassemble(decoded)
+		reasm, err := tpp.Assemble(src)
+		if err != nil {
+			t.Fatalf("trial %d: Assemble: %v\nsource:\n%s", trial, err, src)
+		}
+		re, err := reasm.Encode()
+		if err != nil {
+			t.Fatalf("trial %d: re-Encode: %v", trial, err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("trial %d: round trip diverged\nbefore: %x\nafter:  %x\nsource:\n%s", trial, enc, re, src)
+		}
+	}
+}
+
+// TestBuilderErrors: the Builder reports the first error and refuses to
+// build.
+func TestBuilderErrors(t *testing.T) {
+	if _, err := tpp.NewProgram().Build(); err == nil {
+		t.Error("empty program built")
+	}
+	b := tpp.NewProgram()
+	for i := 0; i < tpp.MaxInsns+1; i++ {
+		b.Push(tpp.SwitchID)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Error("6-instruction program built (limit is 5)")
+	}
+	if _, err := tpp.NewProgram().Load(tpp.SwitchID, tpp.At(64)).Build(); err == nil {
+		t.Error("out-of-range operand accepted")
+	}
+	if _, err := tpp.NewProgram().Stack().Load(tpp.SwitchID, tpp.Hop(0)).Build(); err == nil {
+		t.Error("Hop operand accepted in explicit stack mode")
+	}
+	if _, err := tpp.NewProgram().Hops(0).Push(tpp.SwitchID).Build(); err == nil {
+		t.Error("0-hop preallocation accepted")
+	}
+	if _, err := tpp.NewProgram().Hops(65).Push(tpp.SwitchID).Build(); err == nil {
+		t.Error("65-hop preallocation accepted")
+	}
+	if _, err := tpp.NewProgram().CExecMasked(tpp.SwitchID, tpp.At(0), tpp.At(0)).Build(); err == nil {
+		t.Error("CExecMasked with mask==expect accepted (unrepresentable: B==A means no mask)")
+	}
+	if _, err := tpp.NewProgram().CExecMasked(tpp.SwitchID, tpp.At(0), tpp.At(1)).Build(); err != nil {
+		t.Errorf("CExecMasked with distinct operands rejected: %v", err)
+	}
+}
+
+// TestBuilderExecutes: a Builder program runs under the Executor and
+// collects what the equivalent assembly program would.
+func TestBuilderExecutes(t *testing.T) {
+	sec, err := tpp.NewProgram().
+		Push(tpp.SwitchID).
+		Push(tpp.QueueOccupancy).
+		Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tpp.MapMemory{tpp.SwitchID: 11, tpp.QueueOccupancy: 4}
+	ex := tpp.NewExecutor(tpp.Env{Mem: m})
+	if res := ex.Exec(sec); res.Executed != 2 || res.Halted {
+		t.Fatalf("exec: %+v", res)
+	}
+	if sec.Word(0) != 11 || sec.Word(1) != 4 {
+		t.Errorf("collected %d, %d", sec.Word(0), sec.Word(1))
+	}
+}

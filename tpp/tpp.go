@@ -1,24 +1,45 @@
 // Package tpp is the public API for tiny packet programs: the wire format,
-// instruction set, assembler and execution engine of "Millions of Little
-// Minions: Using Packets for Low Latency Network Programming and Visibility"
-// (SIGCOMM 2014).
+// instruction set, program construction and execution engine of "Millions of
+// Little Minions: Using Packets for Low Latency Network Programming and
+// Visibility" (SIGCOMM 2014).
 //
 // A TPP is a ≤5-instruction program embedded in a packet header that
 // switches execute in the dataplane against a memory-mapped view of their
-// state. Build one from the paper's pseudo-assembly:
+// state. The package offers two equivalent ways to construct one.
+//
+// The typed Builder composes programs from exported address constants, with
+// no string parsing anywhere near a hot path:
+//
+//	prog, err := tpp.NewProgram().
+//	        Push(tpp.SwitchID).
+//	        Push(tpp.QueueOccupancy).
+//	        Build()
+//	section, err := prog.Encode()
+//
+// The assembler accepts the paper's pseudo-assembly verbatim and produces
+// byte-identical sections for equivalent programs; Disassemble renders any
+// program back to text that reassembles to the same bytes:
 //
 //	prog, err := tpp.Assemble(`
 //	    PUSH [Switch:SwitchID]
 //	    PUSH [Queue:QueueOccupancy]
 //	`)
-//	section, err := prog.Encode()
 //
-// and execute it hop by hop against any SwitchMemory implementation:
+// Execution is hop by hop, in place, against any SwitchMemory. One-shot:
 //
 //	tpp.Exec(section, &tpp.Env{Mem: mySwitchView})
 //
-// The types here alias the implementation in internal/*; see package
-// testbed for running TPPs over simulated networks.
+// Hot paths — a switch forwarding instrumented traffic, a batch processor
+// draining a queue — hold a reusable Executor instead, which caches the
+// decoded instructions and allocates nothing per executed hop:
+//
+//	ex := tpp.NewExecutor(tpp.Env{Mem: mySwitchView})
+//	res := ex.Exec(section)                  // 0 allocs/op once cached
+//	results = ex.ExecBatch(batch, results[:0]) // amortized across a batch
+//
+// The types here alias the implementation in internal/*; see package tppnet
+// for standing up simulated TPP-capable networks and package testbed for the
+// paper's experiment runners.
 package tpp
 
 import (
@@ -51,6 +72,13 @@ type (
 	Env = core.Env
 	// Result summarizes one hop's execution.
 	Result = core.Result
+	// Executor is a reusable TCPU: it caches decoded instructions and
+	// allocates nothing per executed hop.
+	Executor = core.Executor
+	// ExecContext is the pre-allocated scratch inside an Executor.
+	ExecContext = core.ExecContext
+	// HaltReason says why execution stopped early.
+	HaltReason = core.HaltReason
 	// MapMemory is a map-backed SwitchMemory for tests and demos.
 	MapMemory = core.MapMemory
 	// Frame is a decoded Ethernet frame from the Figure 7a parse graph.
@@ -104,8 +132,13 @@ func Disassemble(p *Program) string { return asm.Disassemble(p) }
 // Decode parses and checksum-verifies a TPP section.
 func Decode(b []byte) (*Program, error) { return core.Decode(b) }
 
-// Exec runs one hop of a TPP in place against env.
+// Exec runs one hop of a TPP in place against env. It re-validates and
+// re-decodes the section every call; hot paths should hold a NewExecutor.
 func Exec(s Section, env *Env) Result { return core.Exec(s, env) }
+
+// NewExecutor returns a reusable TCPU bound to env: decoded instructions
+// are cached across hops and the execute path performs no allocation.
+func NewExecutor(env Env) *Executor { return core.NewExecutor(env) }
 
 // ResolveAddr maps a mnemonic like "Queue:QueueOccupancy" to its address.
 func ResolveAddr(name string) (Addr, error) { return mem.Resolve(name) }

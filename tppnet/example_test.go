@@ -1,0 +1,40 @@
+package tppnet_test
+
+import (
+	"fmt"
+
+	"minions/tpp"
+	"minions/tppnet"
+)
+
+// ExampleNewNetwork stands up the Figure 1 dumbbell through the facade,
+// instruments cross-fabric UDP traffic with a Builder-made TPP, and prints
+// the per-hop records the receiving host's aggregator collects.
+func ExampleNewNetwork() {
+	net := tppnet.NewNetwork(tppnet.WithSeed(1))
+	hosts, _, _ := net.Dumbbell(4, 100)
+	src, dst := hosts[0], hosts[3] // opposite sides of the bottleneck
+
+	prog := tpp.NewProgram().
+		Push(tpp.SwitchID).
+		Push(tpp.QueueOccupancy).
+		MustBuild()
+
+	app := net.CP.RegisterApp("example")
+	if _, err := src.AddTPP(app, tppnet.FilterSpec{Proto: tppnet.ProtoUDP}, prog, 1, 0); err != nil {
+		panic(err)
+	}
+	dst.RegisterAggregator(app.Wire, func(p *tppnet.Packet, view tpp.Section) {
+		for _, hop := range view.StackView(2) {
+			fmt.Printf("hop %d: switch %d, queue %d pkts\n",
+				hop.Hop, hop.Words[0], hop.Words[1])
+		}
+	})
+	dst.Bind(9000, tppnet.ProtoUDP, func(p *tppnet.Packet) {})
+
+	src.Send(src.NewPacket(dst.ID(), 5000, 9000, tppnet.ProtoUDP, 500))
+	net.Run()
+	// Output:
+	// hop 0: switch 1, queue 0 pkts
+	// hop 1: switch 2, queue 0 pkts
+}

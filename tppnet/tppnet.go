@@ -1,0 +1,185 @@
+// Package tppnet is the public facade over the simulated TPP network
+// substrate: hosts running the §4 end-host stack, TPP-capable switches,
+// rate/delay links, and the topologies of the paper's evaluation. It is the
+// package to import to stand up a network and push TPP-instrumented traffic
+// through it; package tpp provides the programs themselves, and package
+// testbed the ready-made experiment runners built on top of this facade.
+//
+// Networks are created with functional options and wired either manually or
+// with a topology method:
+//
+//	net := tppnet.NewNetwork(tppnet.WithSeed(1))
+//	hosts, left, right := net.Dumbbell(6, 100) // Figure 1
+//	app := net.CP.RegisterApp("monitor")
+//	hosts[0].AddTPP(app, tppnet.FilterSpec{Proto: tppnet.ProtoUDP}, prog, 1, 0)
+//	net.Run()
+//
+// Everything is deterministic for a given seed: the simulation runs on a
+// virtual clock, so results are reproducible across machines.
+package tppnet
+
+import (
+	"minions/internal/core"
+	"minions/internal/device"
+	"minions/internal/host"
+	"minions/internal/link"
+	"minions/internal/sim"
+	"minions/internal/topo"
+	"minions/internal/transport"
+)
+
+// Substrate types, the stable public names for the network layer.
+type (
+	// Host is an end host running the TPP stack: the dataplane shim
+	// (AddTPP, RegisterAggregator), the reliable executor (ExecuteTPP,
+	// ScatterGather) and the per-host TCPU (SetLocalMemory).
+	Host = host.Host
+	// Switch is a TPP-capable switch: Figure 6's pipeline plus a resident,
+	// allocation-free TCPU executing one hop per forwarded packet.
+	Switch = device.Switch
+	// SwitchConfig configures a manually created switch.
+	SwitchConfig = device.Config
+	// ControlPlane is the central TPP-CP of §4.1: application identities,
+	// memory grants, and static analysis of programs before installation.
+	ControlPlane = host.ControlPlane
+	// App is a registered TPP application identity.
+	App = host.App
+	// Filter is one installed shim interposition rule.
+	Filter = host.Filter
+	// FilterSpec matches packets for TPP attachment, iptables-style.
+	FilterSpec = host.FilterSpec
+	// ExecOpts tunes reliable TPP execution (timeout, retries, path tag).
+	ExecOpts = host.ExecOpts
+	// GatherResult is one switch's outcome in a ScatterGather.
+	GatherResult = host.GatherResult
+	// Packet is an in-flight simulated packet.
+	Packet = link.Packet
+	// FlowKey is a packet's 5-tuple.
+	FlowKey = link.FlowKey
+	// NodeID addresses a host or switch.
+	NodeID = link.NodeID
+	// Link is one unidirectional rate/delay/queue link.
+	Link = link.Link
+	// LinkConfig parameterizes one link.
+	LinkConfig = link.Config
+	// Time is virtual simulation time in nanoseconds.
+	Time = sim.Time
+	// Engine is the deterministic discrete-event engine driving a network.
+	Engine = sim.Engine
+	// UDPFlow is a rate-limited CBR sender.
+	UDPFlow = transport.UDPFlow
+	// TCPFlow is the TCP-like AIMD transport.
+	TCPFlow = transport.TCPFlow
+	// Sink counts received traffic.
+	Sink = transport.Sink
+	// DropReason classifies switch-local packet drops.
+	DropReason = device.DropReason
+)
+
+// Time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// IP protocol numbers used by FilterSpec and NewPacket.
+const (
+	ProtoUDP = link.ProtoUDP
+	ProtoTCP = link.ProtoTCP
+)
+
+// Vendor-space registers implementing §2.6 in-band route updates: STORE a
+// destination into RegRouteUpdateDst and a port into RegRouteUpdatePort and
+// the route commits as the TPP passes through the switch.
+const (
+	RegRouteUpdateDst  = device.RegRouteUpdateDst
+	RegRouteUpdatePort = device.RegRouteUpdatePort
+	// VendorScratchBase and above is free scratch space.
+	VendorScratchBase = device.VendorScratchBase
+)
+
+// Transport helpers, re-exported.
+var (
+	// NewUDPFlow creates a CBR sender.
+	NewUDPFlow = transport.NewUDPFlow
+	// NewTCPFlow creates a TCP-like AIMD sender.
+	NewTCPFlow = transport.NewTCPFlow
+	// NewTCPSink creates a TCP receiver.
+	NewTCPSink = transport.NewTCPSink
+	// NewSink creates a counting receiver.
+	NewSink = transport.NewSink
+	// SendBurst transmits a message as a back-to-back packet burst.
+	SendBurst = transport.SendBurst
+)
+
+// MapMemory is a map-backed switch memory, handy as a host-local view for
+// Host.SetLocalMemory and in tests.
+type MapMemory = core.MapMemory
+
+// options collects functional-option state for NewNetwork.
+type options struct {
+	seed int64
+}
+
+// Option configures NewNetwork.
+type Option func(*options)
+
+// WithSeed fixes the simulation's random seed (default 1). Every run of the
+// same network with the same seed produces identical packet-level behavior.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// Network is a wired simulation: a deterministic engine, the shared TPP-CP,
+// and the hosts, switches and links connected so far. The embedded substrate
+// exposes AddHost, AddSwitch, Connect, ComputeRoutes, Links, CP and Eng
+// directly.
+type Network struct {
+	*topo.Network
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork(opts ...Option) *Network {
+	o := options{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Network{Network: topo.New(o.seed)}
+}
+
+// Run processes simulation events until none remain, returning the count.
+func (n *Network) Run() int { return n.Eng.Run() }
+
+// RunFor processes events for d of virtual time, returning the count.
+func (n *Network) RunFor(d Time) int { return n.Eng.RunUntil(n.Eng.Now() + d) }
+
+// Dumbbell wires the Figure 1 topology: two switches joined by one link,
+// half the hosts on each side, all links at rateMbps. Routes are computed.
+func (n *Network) Dumbbell(hosts, rateMbps int) ([]*Host, *Switch, *Switch) {
+	return topo.Dumbbell(n.Network, hosts, rateMbps)
+}
+
+// Chain wires the Figure 2 topology: switches S1-S2-S3 in a line with both
+// inter-switch links at rateMbps and 10x-faster host links.
+func (n *Network) Chain(rateMbps int) ([]*Host, []*Switch) {
+	return topo.Chain(n.Network, rateMbps)
+}
+
+// LeafSpine wires the Figure 4 CONGA topology: three leaves, two spines,
+// one host per leaf.
+func (n *Network) LeafSpine(rateMbps int) (hosts []*Host, leaves, spines []*Switch) {
+	return topo.Conga(n.Network, rateMbps)
+}
+
+// FatTree wires a k-ary fat-tree (k even) and returns hosts grouped by pod.
+func (n *Network) FatTree(k, rateMbps int) [][]*Host {
+	return topo.FatTree(n.Network, k, rateMbps)
+}
+
+// HostLink returns the standard host-attachment link config at rateMbps.
+func HostLink(rateMbps int) LinkConfig { return topo.HostLink(rateMbps) }
+
+// FatTreeDims returns (hosts, coreLinks) for a k-ary fat-tree analytically,
+// the §2.5 sizing arithmetic.
+func FatTreeDims(k int) (hosts, coreLinks int) { return topo.FatTreeDims(k) }

@@ -1,0 +1,91 @@
+package tppnet_test
+
+import (
+	"testing"
+
+	"minions/tpp"
+	"minions/tppnet"
+)
+
+// collectQueueDepths wires a dumbbell, instruments UDP traffic with a
+// Builder-made TPP, and returns the per-hop switch IDs seen by the receiving
+// aggregator.
+func collectSwitchIDs(t *testing.T, seed int64) []uint32 {
+	t.Helper()
+	n := tppnet.NewNetwork(tppnet.WithSeed(seed))
+	hosts, _, _ := n.Dumbbell(4, 100)
+	src, dst := hosts[0], hosts[3] // opposite sides: two switch hops
+
+	prog, err := tpp.NewProgram().
+		Push(tpp.SwitchID).
+		Push(tpp.QueueOccupancy).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := n.CP.RegisterApp("facade-test")
+	if _, err := src.AddTPP(app, tppnet.FilterSpec{Proto: tppnet.ProtoUDP}, prog, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	var ids []uint32
+	dst.RegisterAggregator(app.Wire, func(p *tppnet.Packet, view tpp.Section) {
+		for _, hop := range view.StackView(2) {
+			ids = append(ids, hop.Words[0])
+		}
+	})
+	dst.Bind(9000, tppnet.ProtoUDP, func(p *tppnet.Packet) {})
+	for i := 0; i < 3; i++ {
+		src.Send(src.NewPacket(dst.ID(), 5000, 9000, tppnet.ProtoUDP, 500))
+	}
+	n.Run()
+	return ids
+}
+
+// TestFacadeEndToEnd: the public facade builds a network, instruments
+// traffic with a Builder TPP, and collects per-hop state.
+func TestFacadeEndToEnd(t *testing.T) {
+	ids := collectSwitchIDs(t, 1)
+	if len(ids) != 6 { // 3 packets x 2 switch hops
+		t.Fatalf("collected %d hop records, want 6: %v", len(ids), ids)
+	}
+	if ids[0] != 1 || ids[1] != 2 {
+		t.Errorf("first packet's path: switches %d,%d, want 1,2", ids[0], ids[1])
+	}
+}
+
+// TestFacadeDeterminism: same seed, same packet-level behavior.
+func TestFacadeDeterminism(t *testing.T) {
+	a := collectSwitchIDs(t, 42)
+	b := collectSwitchIDs(t, 42)
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged: %d vs %d records", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFacadeTopologies: every topology method wires and routes.
+func TestFacadeTopologies(t *testing.T) {
+	n := tppnet.NewNetwork()
+	if hosts, l, r := n.Dumbbell(6, 100); len(hosts) != 6 || l == nil || r == nil {
+		t.Error("Dumbbell")
+	}
+	n2 := tppnet.NewNetwork(tppnet.WithSeed(2))
+	if hosts, sws := n2.Chain(100); len(hosts) != 6 || len(sws) != 3 {
+		t.Error("Chain")
+	}
+	n3 := tppnet.NewNetwork(tppnet.WithSeed(3))
+	if hosts, leaves, spines := n3.LeafSpine(100); len(hosts) != 3 || len(leaves) != 3 || len(spines) != 2 {
+		t.Error("LeafSpine")
+	}
+	n4 := tppnet.NewNetwork(tppnet.WithSeed(4))
+	if pods := n4.FatTree(4, 100); len(pods) != 4 || len(pods[0]) != 4 {
+		t.Error("FatTree")
+	}
+	if h, c := tppnet.FatTreeDims(64); h != 65536 || c != 65536 {
+		t.Errorf("FatTreeDims(64) = %d, %d", h, c)
+	}
+}
