@@ -1,0 +1,155 @@
+// Command benchjson runs the repository's scale benchmarks outside `go
+// test` and writes a machine-readable BENCH_<date>.json snapshot, so the
+// perf trajectory across PRs can be diffed and plotted instead of excavated
+// from CI logs.
+//
+// Usage:
+//
+//	benchjson                 # default scenarios, writes ./BENCH_<date>.json
+//	benchjson -k 6 -flows 256 -duration 200 -dir ./perf
+//	benchjson -stdout         # print the JSON instead of writing a file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"minions/testbed"
+)
+
+// report is the file schema. Metrics are flat key→value so downstream
+// tooling can diff snapshots without knowing scenario shapes.
+type report struct {
+	Date      string     `json:"date"`
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	NumCPU    int        `json:"num_cpu"`
+	Scenarios []scenario `json:"scenarios"`
+}
+
+type scenario struct {
+	Name    string             `json:"name"`
+	Config  map[string]any     `json:"config"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	k := flag.Int("k", 4, "fat-tree arity (even)")
+	flows := flag.Int("flows", 128, "concurrent CBR flows")
+	durationMs := flag.Int("duration", 100, "measured simulated time, ms")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	dir := flag.String("dir", ".", "output directory")
+	stdout := flag.Bool("stdout", false, "print JSON to stdout instead of writing a file")
+	hopPkts := flag.Int("hop-pkts", 200_000, "packets for the end-to-end hop measurement")
+	flag.Parse()
+
+	rep := report{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	for _, withTPP := range []bool{true, false} {
+		name := "fat-tree"
+		if withTPP {
+			name += "+tpp"
+		}
+		res, err := testbed.RunScaleFatTree(testbed.ScaleConfig{
+			K:        *k,
+			Flows:    *flows,
+			Duration: testbed.Time(*durationMs) * testbed.Millisecond,
+			Seed:     *seed,
+			WithTPP:  withTPP,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rep.Scenarios = append(rep.Scenarios, scenario{
+			Name: name,
+			Config: map[string]any{
+				"k": *k, "flows": *flows, "duration_ms": *durationMs,
+				"seed": *seed, "with_tpp": withTPP,
+			},
+			Metrics: map[string]float64{
+				"pkt_hops":           float64(res.PktHops),
+				"pkts_delivered":     float64(res.Delivered),
+				"drops":              float64(res.Drops),
+				"events":             float64(res.Events),
+				"tpp_hop_records":    float64(res.TPPHopRecords),
+				"pkt_hops_per_sec":   res.PktHopsPerSec(),
+				"events_per_sec":     res.EventsPerSec(),
+				"ns_per_pkt_hop":     res.NsPerPktHop(),
+				"allocs_per_pkt_hop": res.AllocsPerPktHop(),
+			},
+		})
+	}
+
+	for _, withTPP := range []bool{true, false} {
+		name := "e2e-hop"
+		if withTPP {
+			name += "+tpp"
+		}
+		ns, allocs, err := measureHop(withTPP, *hopPkts)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Scenarios = append(rep.Scenarios, scenario{
+			Name:   name,
+			Config: map[string]any{"packets": *hopPkts, "with_tpp": withTPP},
+			Metrics: map[string]float64{
+				"ns_per_pkt":     ns,
+				"allocs_per_pkt": allocs,
+			},
+		})
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if *stdout {
+		os.Stdout.Write(out)
+		return
+	}
+	path := filepath.Join(*dir, "BENCH_"+rep.Date+".json")
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+// measureHop times n steady-state forward cycles through the end-to-end
+// harness, returning wall ns and heap allocations per packet.
+func measureHop(withTPP bool, n int) (nsPerPkt, allocsPerPkt float64, err error) {
+	e, err := testbed.NewE2EHarness(withTPP)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < 1000; i++ {
+		e.Step()
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		e.Step()
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return float64(wall.Nanoseconds()) / float64(n),
+		float64(m1.Mallocs-m0.Mallocs) / float64(n), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

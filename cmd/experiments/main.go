@@ -6,21 +6,60 @@
 //	experiments -run all
 //	experiments -run fig1,fig2,fig4,fig10,tbl3,tbl4,tbl5,sec21,sec22,sec23,sec25
 //	experiments -quick        # smaller workloads for a fast pass
+//	experiments -run fig1 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"minions/testbed"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run executes the selected experiments and returns the process exit code;
+// it exists so deferred profile writers flush before exit.
+func run() int {
 	runList := flag.String("run", "all", "comma-separated experiment ids")
 	quick := flag.Bool("quick", false, "scale workloads down for a fast pass")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	// Profiling hooks so perf work can profile the exact experiment
+	// workloads: go tool pprof ./experiments cpu.pprof
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	sel := map[string]bool{}
 	for _, id := range strings.Split(*runList, ",") {
@@ -103,6 +142,7 @@ func main() {
 	section("tbl5", func() (string, error) { return testbed.RunTable5(benchPkts) })
 
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

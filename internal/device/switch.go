@@ -168,11 +168,26 @@ func (sw *Switch) Port(i int) *Port { return &sw.ports[i] }
 // NumPorts returns the port count.
 func (sw *Switch) NumPorts() int { return len(sw.ports) }
 
-// AttachLink connects port i to an egress link.
+// AttachLink connects port i to an egress link. The switch installs its
+// queue-drop accounting as the link's OnDrop observer; any observer already
+// installed is chained after it rather than clobbered, so instrumentation
+// attached before wiring keeps seeing drops.
 func (sw *Switch) AttachLink(i int, l *link.Link, linkID uint32) {
+	if sw.ports[i].Out == l {
+		// Re-attaching the same link must not stack another queueDrop
+		// observer onto the chain (drops would double-count).
+		sw.ports[i].LinkID = linkID
+		return
+	}
 	sw.ports[i].Out = l
 	sw.ports[i].LinkID = linkID
-	l.OnDrop = func(p *link.Packet) { sw.queueDrop(p) }
+	prev := l.OnDrop
+	l.OnDrop = func(p *link.Packet) {
+		sw.queueDrop(p)
+		if prev != nil {
+			prev(p)
+		}
+	}
 }
 
 // Version returns the forwarding-state generation counter.
@@ -243,11 +258,11 @@ func (sw *Switch) notifyDropCollector(p *link.Packet, reason DropReason) {
 	}
 	// Mirror a truncated clone to the collector (§2.6: "we can overcome
 	// dropped packets by sending packets that will be dropped to a
-	// collector").
-	clone := *p
-	clone.TPP = p.TPP.Clone()
+	// collector"). Clone detaches from any packet pool so the collector may
+	// retain it indefinitely.
+	clone := p.Clone()
 	clone.Payload = nil
-	sw.DropCollector(&clone, reason)
+	sw.DropCollector(clone, reason)
 }
 
 // Receive implements link.Receiver: the full ingress pipeline of Figure 6.

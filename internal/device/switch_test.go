@@ -533,3 +533,31 @@ func TestVendorScratch(t *testing.T) {
 		t.Errorf("vendor scratch = %#x, %v", v, ok)
 	}
 }
+
+// AttachLink must chain a previously installed OnDrop observer (not clobber
+// it) and must not stack its own accounting when re-attached.
+func TestAttachLinkChainsAndIsIdempotent(t *testing.T) {
+	eng := sim.New(1)
+	sw := New(eng, Config{ID: 1, NumPorts: 2, NodeID: 1001})
+	dst := &sink{eng: eng}
+	l := link.New(eng, link.Config{RateBps: 1_000_000, QueueBytes: 1000}, dst, 0)
+
+	observed := 0
+	l.OnDrop = func(p *link.Packet) { observed++ } // pre-wiring instrumentation
+	sw.AttachLink(0, l, 1)
+	sw.AttachLink(0, l, 2) // re-attach: must not add another queueDrop layer
+	if got := sw.Port(0).LinkID; got != 2 {
+		t.Fatalf("re-attach did not update LinkID: %d", got)
+	}
+
+	// First packet serializes immediately; next fills the queue; third drops.
+	for i := 0; i < 3; i++ {
+		l.Enqueue(&link.Packet{ID: uint64(i), Size: 1000})
+	}
+	if observed != 1 {
+		t.Errorf("chained observer saw %d drops, want 1", observed)
+	}
+	if got := sw.Drops(DropQueueFull); got != 1 {
+		t.Errorf("switch counted %d queue drops, want 1 (double-chained?)", got)
+	}
+}

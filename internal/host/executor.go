@@ -75,8 +75,9 @@ func (pe *pendingExec) sendAttempt() {
 	pe.attempt++
 	pe.gen++
 	gen := pe.gen
-	tpp := pe.template.Clone()
-	p := pe.h.NewPacket(pe.dst, pe.port, core.UDPPortTPP, link.ProtoUDP, standaloneOverhead+len(tpp))
+	p := pe.h.NewPacket(pe.dst, pe.port, core.UDPPortTPP, link.ProtoUDP, standaloneOverhead+len(pe.template))
+	tpp := p.SectionBuf(len(pe.template))
+	copy(tpp, pe.template)
 	p.TPP = tpp
 	p.Standalone = true
 	p.PathTag = pe.opts.PathTag
@@ -98,6 +99,10 @@ func (pe *pendingExec) sendAttempt() {
 // ExecuteTPP sends prog as a standalone TPP to dst (a host, which echoes it,
 // or a switch, which bounces it at the target — §4.4 targeted execution) and
 // invokes cb with the fully executed view. It retries on loss.
+//
+// The view is backed by the probe packet, which is recycled when cb returns:
+// it is valid only during the callback. Copy what you keep (HopViews,
+// StackView and Words copy; Clone for the raw section).
 func (h *Host) ExecuteTPP(app *App, prog *core.Program, dst link.NodeID, opts ExecOpts, cb func(core.Section, error)) error {
 	if err := h.cp.ValidateProgram(app, prog); err != nil {
 		return err
@@ -192,6 +197,10 @@ func (h *Host) ScatterGather(app *App, prog *core.Program, switches []link.NodeI
 		i, swID := i, swID
 		clone := *prog
 		err := h.ExecuteTPP(app, &clone, swID, opts, func(view core.Section, err error) {
+			if view != nil {
+				// Gather results outlive the probe packet backing the view.
+				view = view.Clone()
+			}
 			results[i] = GatherResult{Target: swID, View: view, Err: err}
 			remaining--
 			if remaining == 0 {

@@ -89,6 +89,7 @@ type Host struct {
 	cp  *ControlPlane
 
 	nic     *link.Link
+	pool    *link.Pool // packet free list (nil = GC-managed packets)
 	filters []*Filter
 	aggs    map[uint16]Aggregator
 	binds   map[bindKey]func(*link.Packet)
@@ -100,7 +101,8 @@ type Host struct {
 	stats     Stats
 
 	// PromiscTPP, when set, sees every executed TPP view delivered to this
-	// host regardless of application (used by collectors).
+	// host regardless of application (used by collectors). For pooled
+	// traffic p and view are valid only during the call — copy to retain.
 	PromiscTPP func(p *link.Packet, view core.Section)
 
 	// The shim's resident TCPU: when localMem is set, the filter path runs
@@ -136,6 +138,15 @@ func (h *Host) ControlPlane() *ControlPlane { return h.cp }
 
 // AttachNIC wires the host's single egress link (done by the topology).
 func (h *Host) AttachNIC(l *link.Link) { h.nic = l }
+
+// SetPool wires a packet free list: NewPacket draws from it and the shim's
+// terminal receive paths return packets to it (see link.Pool for the
+// ownership rules). The topology layer shares one pool across all hosts of
+// a network.
+func (h *Host) SetPool(pl *link.Pool) { h.pool = pl }
+
+// Pool returns the host's packet free list, nil if none is wired.
+func (h *Host) Pool() *link.Pool { return h.pool }
 
 // NIC returns the egress link.
 func (h *Host) NIC() *link.Link { return h.nic }
@@ -226,18 +237,25 @@ func (h *Host) RemoveTPP(f *Filter) {
 // NumFilters returns the installed filter count.
 func (h *Host) NumFilters() int { return len(h.filters) }
 
-// NewPacket allocates a packet originating at this host.
+// NewPacket allocates a packet originating at this host, drawing from the
+// host's packet pool when one is wired (the steady-state zero-allocation
+// path) and falling back to a GC-managed packet otherwise.
 func (h *Host) NewPacket(dst link.NodeID, sport, dport uint16, proto uint8, size int) *link.Packet {
 	h.nextPktID++
-	return &link.Packet{
-		ID: uint64(h.id)<<32 | h.nextPktID,
-		Flow: link.FlowKey{
-			Src: h.id, Dst: dst,
-			SrcPort: sport, DstPort: dport, Proto: proto,
-		},
-		Size: size,
-		TTL:  64,
+	var p *link.Packet
+	if h.pool != nil {
+		p = h.pool.Get()
+	} else {
+		p = &link.Packet{}
 	}
+	p.ID = uint64(h.id)<<32 | h.nextPktID
+	p.Flow = link.FlowKey{
+		Src: h.id, Dst: dst,
+		SrcPort: sport, DstPort: dport, Proto: proto,
+	}
+	p.Size = size
+	p.TTL = 64
+	return p
 }
 
 // Send pushes a packet through the shim's transmit path: filter match, TPP
@@ -265,7 +283,12 @@ func (h *Host) attachTPP(p *link.Packet) {
 			h.stats.MTUSkips++
 			return
 		}
-		p.TPP = f.encoded.Clone()
+		// Copy the pre-encoded template into the packet's retained section
+		// buffer: after a pooled packet has carried a program of this size
+		// once, attachment allocates nothing.
+		tpp := p.SectionBuf(tppLen)
+		copy(tpp, f.encoded)
+		p.TPP = tpp
 		p.Size += tppLen
 		f.applied++
 		h.stats.TPPsAttached++
@@ -311,8 +334,11 @@ func (h *Host) Receive(p *link.Packet, port int) {
 				return
 			}
 			// An echo arriving home: complete a pending executor request or
-			// hand to the application aggregator.
+			// hand to the application aggregator, then recycle the probe —
+			// its journey ends here. Consumers copy what they keep, so the
+			// view is valid only during the dispatch.
 			h.dispatchView(p, p.TPP)
+			p.Release()
 			return
 		}
 		// Piggybacked: strip the TPP (§4.2: "applications are oblivious to
@@ -325,7 +351,9 @@ func (h *Host) Receive(p *link.Packet, port int) {
 	}
 
 	if fn := h.binds[bindKey{p.Flow.DstPort, p.Flow.Proto}]; fn != nil {
-		fn(p)
+		fn(p) // the handler (or its sink) owns the packet from here
+	} else {
+		p.Release() // no consumer: recycle pooled packets
 	}
 }
 

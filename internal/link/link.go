@@ -4,6 +4,12 @@
 // drop counters and the link utilization registers that switches update
 // every millisecond (§2.2: "The network updates link utilization counters
 // every millisecond").
+//
+// The forwarding hot path is allocation-free in steady state: output queues
+// are reusable ring buffers, serialization and delivery are resident typed
+// events re-armed per packet (no closures), and packets themselves recycle
+// through a Pool — see Pool's documentation for the ownership rules of who
+// returns a packet and when.
 package link
 
 import (
@@ -104,6 +110,12 @@ type Packet struct {
 
 	Hops   int      // switch hops traversed so far
 	SentAt sim.Time // set by the sending host
+
+	// Free-list bookkeeping (see Pool). pool is nil for packets constructed
+	// directly; tppBuf is the retained TPP section buffer SectionBuf reuses.
+	pool   *Pool
+	inPool bool
+	tppBuf []byte
 }
 
 // Receiver consumes packets delivered by a link.
@@ -139,7 +151,13 @@ type Link struct {
 	dst     Receiver
 	dstPort int
 
-	queue      []*Packet
+	// queue is the drop-tail output queue; inflight holds packets that have
+	// finished serialization and are propagating. Both are reusable rings:
+	// delivery order equals serialization order because propagation delay is
+	// constant per link, so the deliver event just pops the inflight head.
+	queue      Ring
+	inflight   Ring
+	txPkt      *Packet // packet currently serializing
 	queueBytes int
 	busy       bool
 
@@ -184,7 +202,7 @@ func (l *Link) RateMbps() uint32 { return uint32(l.cfg.RateBps / 1_000_000) }
 func (l *Link) Stats() Stats { return l.stats }
 
 // QueueLenPackets returns the current queue occupancy in packets.
-func (l *Link) QueueLenPackets() int { return len(l.queue) }
+func (l *Link) QueueLenPackets() int { return l.queue.Len() }
 
 // QueueLenBytes returns the current queue occupancy in bytes.
 func (l *Link) QueueLenBytes() int { return l.queueBytes }
@@ -237,6 +255,9 @@ func (l *Link) ArrivalUtilPermille() uint32 {
 // Enqueue offers a packet to the output queue. It returns false on a
 // drop-tail drop (after invoking OnDrop).
 func (l *Link) Enqueue(p *Packet) bool {
+	if p.inPool {
+		panic("link: Enqueue of a packet already returned to its pool")
+	}
 	l.roll()
 	l.arrBytes += int64(p.Size)
 	if l.queueBytes+p.Size > l.cfg.QueueBytes {
@@ -247,7 +268,7 @@ func (l *Link) Enqueue(p *Packet) bool {
 		}
 		return false
 	}
-	l.queue = append(l.queue, p)
+	l.queue.Push(p)
 	l.queueBytes += p.Size
 	if !l.busy {
 		l.startTransmit()
@@ -255,15 +276,40 @@ func (l *Link) Enqueue(p *Packet) bool {
 	return true
 }
 
+// Event arguments for the link's resident events: each Link is its own
+// sim.Handler, re-armed per packet, so the per-packet transmit-done and
+// delivery events allocate nothing.
+const (
+	linkArgTxDone  = 0
+	linkArgDeliver = 1
+)
+
+// Handle dispatches the link's resident events.
+func (l *Link) Handle(arg uint64) {
+	switch arg {
+	case linkArgTxDone:
+		// Serialization finished: the packet starts propagating and the line
+		// is free for the next head-of-line packet.
+		p := l.txPkt
+		l.txPkt = nil
+		l.inflight.Push(p)
+		l.eng.ScheduleAfter(l.cfg.Delay, l, linkArgDeliver)
+		l.startTransmit()
+	case linkArgDeliver:
+		// Deliveries complete in serialization order (constant delay), so
+		// the propagating packet is always the inflight head.
+		l.dst.Receive(l.inflight.Pop(), l.dstPort)
+	}
+}
+
 // startTransmit serializes the head-of-line packet.
 func (l *Link) startTransmit() {
-	if len(l.queue) == 0 {
+	p := l.queue.Pop()
+	if p == nil {
 		l.busy = false
 		return
 	}
 	l.busy = true
-	p := l.queue[0]
-	l.queue = l.queue[1:]
 	l.queueBytes -= p.Size
 
 	if l.OnTransmit != nil {
@@ -278,16 +324,9 @@ func (l *Link) startTransmit() {
 	l.stats.TxBytes += uint64(p.Size)
 	l.stats.TxPackets++
 
-	// After serialization, the packet propagates; the line becomes free for
-	// the next packet at end of serialization.
-	l.eng.After(txTime, func() {
-		arrival := l.cfg.Delay
-		l.eng.After(arrival, func() {
-			l.dst.Receive(p, l.dstPort)
-		})
-		l.startTransmit()
-	})
+	l.txPkt = p
+	l.eng.ScheduleAfter(txTime, l, linkArgTxDone)
 }
 
 // Pending reports whether the link still holds or is serializing packets.
-func (l *Link) Pending() bool { return l.busy || len(l.queue) > 0 }
+func (l *Link) Pending() bool { return l.busy || l.queue.Len() > 0 }

@@ -1,0 +1,137 @@
+package link
+
+import (
+	"testing"
+
+	"minions/internal/core"
+	"minions/internal/sim"
+)
+
+func TestPoolRecyclesPackets(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	if !p.Pooled() || p.inPool {
+		t.Fatal("fresh packet should be pooled and live")
+	}
+	p.ID = 7
+	p.Size = 100
+	p.Payload = "x"
+	p.Release()
+	if !p.inPool {
+		t.Fatal("released packet should be marked in-pool")
+	}
+	q := pl.Get()
+	if q != p {
+		t.Fatal("Get should reuse the released packet")
+	}
+	if q.ID != 0 || q.Size != 0 || q.Payload != nil || q.TPP != nil {
+		t.Fatalf("recycled packet not scrubbed: %+v", q)
+	}
+	gets, puts, news := pl.Stats()
+	if gets != 2 || puts != 1 || news != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 2/1/1", gets, puts, news)
+	}
+}
+
+func TestPoolDoublePutPanics(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	pl.Put(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put should panic")
+		}
+	}()
+	pl.Put(p)
+}
+
+func TestPoolForeignPutPanics(t *testing.T) {
+	a, b := NewPool(), NewPool()
+	p := a.Get()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put on a foreign pool should panic")
+		}
+	}()
+	b.Put(p)
+}
+
+// Use-after-Put: sending a freed packet must fail immediately and loudly,
+// not corrupt another flow's traffic after the pool recycles it.
+func TestEnqueueAfterPutPanics(t *testing.T) {
+	eng := sim.New(1)
+	dst := &collector{eng: eng}
+	l := New(eng, Config{RateBps: 1_000_000}, dst, 0)
+	pl := NewPool()
+	p := pl.Get()
+	p.Size = 100
+	p.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Enqueue of a freed packet should panic")
+		}
+	}()
+	l.Enqueue(p)
+}
+
+func TestReleaseNoopForUnpooled(t *testing.T) {
+	p := &Packet{ID: 1}
+	p.Release() // must not panic
+	if p.Pooled() {
+		t.Fatal("literal packet should not report pooled")
+	}
+}
+
+func TestSectionBufReuse(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	s := p.SectionBuf(32)
+	if len(s) != 32 {
+		t.Fatalf("len = %d", len(s))
+	}
+	s[0] = 0xAB
+	p.Release()
+	q := pl.Get()
+	s2 := q.SectionBuf(16)
+	if len(s2) != 16 {
+		t.Fatalf("len = %d", len(s2))
+	}
+	if &s2[0] != &s[0] {
+		t.Fatal("SectionBuf should reuse the retained buffer")
+	}
+	// Growth reallocates.
+	s3 := q.SectionBuf(64)
+	if len(s3) != 64 {
+		t.Fatalf("len = %d", len(s3))
+	}
+}
+
+func TestCloneDetachesFromPool(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	p.ID = 9
+	tpp, err := (&core.Program{
+		Insns:    []core.Instruction{{Op: core.OpPUSH, Addr: 0}},
+		MemWords: 2,
+	}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.TPP = tpp
+	c := p.Clone()
+	if c.Pooled() {
+		t.Fatal("clone must not be pool-owned")
+	}
+	if c.ID != 9 || c.TPP == nil {
+		t.Fatalf("clone lost fields: %+v", c)
+	}
+	c.TPP.SetWord(0, 0xDEAD)
+	if p.TPP.Word(0) == 0xDEAD {
+		t.Fatal("clone shares TPP bytes with the original")
+	}
+	c.Release() // no-op, must not panic or poison the pool
+	p.Release()
+	if pl.FreeLen() != 1 {
+		t.Fatalf("free list = %d, want 1", pl.FreeLen())
+	}
+}

@@ -1,0 +1,64 @@
+package link
+
+// Ring is a reusable FIFO ring buffer of packets. Unlike the head-sliced
+// `queue = queue[1:]` idiom it replaces, popping never abandons backing
+// array slots: the vacated head is zeroed immediately (so drained packets
+// are not pinned for the garbage collector) and the slot is reused on the
+// next wraparound instead of forcing append to reallocate.
+type Ring struct {
+	buf  []*Packet
+	head int // index of the oldest element
+	n    int // number of elements
+}
+
+// ringMinCap sizes a ring's first allocation: enough for a busy link's
+// steady-state queue without growth in the common case.
+const ringMinCap = 16
+
+// Len returns the number of queued packets.
+func (r *Ring) Len() int { return r.n }
+
+// Push appends p at the tail, growing the ring if it is full.
+func (r *Ring) Push(p *Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+}
+
+// Pop removes and returns the head packet, zeroing its slot so the ring
+// retains no reference. It returns nil when empty.
+func (r *Ring) Pop() *Packet {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return p
+}
+
+// Peek returns the head packet without removing it, or nil when empty.
+func (r *Ring) Peek() *Packet {
+	if r.n == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
+// grow doubles the ring's capacity, unwrapping the elements into the new
+// backing array.
+func (r *Ring) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap < ringMinCap {
+		newCap = ringMinCap
+	}
+	buf := make([]*Packet, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -21,11 +21,25 @@ const (
 // Seconds converts virtual time to float seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// event is a scheduled callback. seq breaks ties deterministically so two
-// events at the same instant always fire in scheduling order.
+// Handler is the allocation-free event target: a pre-bound object whose
+// Handle method is invoked with the uint64 payload it was scheduled with.
+// Scheduling a pointer-typed Handler stores nothing but the two interface
+// words and the payload in the event record, so the per-packet events of the
+// simulation hot path (transmit-done, delivery, next-send) cost zero heap
+// allocations — unlike a closure, which the compiler must box per call site.
+type Handler interface {
+	Handle(arg uint64)
+}
+
+// event is a scheduled event record. seq breaks ties deterministically so two
+// events at the same instant always fire in scheduling order. Exactly one of
+// h and fn is set: h+arg is the typed zero-allocation form, fn the closure
+// compatibility form used by At/After.
 type event struct {
 	at  Time
 	seq uint64
+	h   Handler
+	arg uint64
 	fn  func()
 }
 
@@ -61,7 +75,7 @@ func (h *eventHeap) pop() event {
 	top := q[0]
 	n := len(q) - 1
 	q[0] = q[n]
-	q[n] = event{} // release the callback for GC
+	q[n] = event{} // release the callback/handler for GC
 	q = q[:n]
 	*h = q
 	for i := 0; ; {
@@ -102,7 +116,8 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn at absolute virtual time t (clamped to now).
+// At schedules fn at absolute virtual time t (clamped to now). The closure
+// API is the convenience layer; per-packet hot paths use Schedule instead.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		t = e.now
@@ -114,26 +129,48 @@ func (e *Engine) At(t Time, fn func()) {
 // After schedules fn d nanoseconds from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
-// Ticker is a cancellable repeating event.
+// Schedule schedules h.Handle(arg) at absolute virtual time t (clamped to
+// now). With a pointer-typed h this allocates nothing, which makes it the
+// scheduling primitive for anything that fires per packet.
+func (e *Engine) Schedule(t Time, h Handler, arg uint64) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, h: h, arg: arg})
+}
+
+// ScheduleAfter schedules h.Handle(arg) d nanoseconds from now.
+func (e *Engine) ScheduleAfter(d Time, h Handler, arg uint64) {
+	e.Schedule(e.now+d, h, arg)
+}
+
+// Ticker is a cancellable repeating event. It is its own Handler: each tick
+// re-arms by scheduling the ticker itself, so a running ticker costs no
+// allocations after Every's single setup allocation.
 type Ticker struct {
-	stopped bool
+	eng      *Engine
+	interval Time
+	fn       func()
+	stopped  bool
 }
 
 // Stop cancels future firings.
 func (t *Ticker) Stop() { t.stopped = true }
 
+// Handle fires one tick and re-arms the ticker.
+func (t *Ticker) Handle(uint64) {
+	if t.stopped || t.eng.stopped {
+		return
+	}
+	t.fn()
+	t.eng.ScheduleAfter(t.interval, t, 0)
+}
+
 // Every schedules fn every interval, first firing at start.
 func (e *Engine) Every(start, interval Time, fn func()) *Ticker {
-	t := &Ticker{}
-	var tick func()
-	tick = func() {
-		if t.stopped || e.stopped {
-			return
-		}
-		fn()
-		e.After(interval, tick)
-	}
-	e.At(start, tick)
+	t := &Ticker{eng: e, interval: interval, fn: fn}
+	e.Schedule(start, t, 0)
 	return t
 }
 
@@ -147,7 +184,11 @@ func (e *Engine) Run() int {
 	for len(e.events) > 0 && !e.stopped {
 		ev := e.events.pop()
 		e.now = ev.at
-		ev.fn()
+		if ev.h != nil {
+			ev.h.Handle(ev.arg)
+		} else {
+			ev.fn()
+		}
 		n++
 	}
 	return n
@@ -160,7 +201,11 @@ func (e *Engine) RunUntil(deadline Time) int {
 	for len(e.events) > 0 && !e.stopped && e.events[0].at <= deadline {
 		ev := e.events.pop()
 		e.now = ev.at
-		ev.fn()
+		if ev.h != nil {
+			ev.h.Handle(ev.arg)
+		} else {
+			ev.fn()
+		}
 		n++
 	}
 	if !e.stopped && e.now < deadline {

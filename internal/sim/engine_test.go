@@ -169,6 +169,102 @@ func TestOrderingQuick(t *testing.T) {
 	}
 }
 
+// recorder is a test Handler logging (now, arg) pairs.
+type recorder struct {
+	eng  *Engine
+	args []uint64
+	at   []Time
+}
+
+func (r *recorder) Handle(arg uint64) {
+	r.args = append(r.args, arg)
+	r.at = append(r.at, r.eng.Now())
+}
+
+func TestScheduleHandler(t *testing.T) {
+	e := New(1)
+	r := &recorder{eng: e}
+	e.Schedule(30, r, 3)
+	e.Schedule(10, r, 1)
+	e.ScheduleAfter(20, r, 2)
+	e.Run()
+	if len(r.args) != 3 || r.args[0] != 1 || r.args[1] != 2 || r.args[2] != 3 {
+		t.Fatalf("args: %v", r.args)
+	}
+	if r.at[2] != 30 {
+		t.Errorf("last at %d", r.at[2])
+	}
+}
+
+// intAppender appends its arg to a shared order log.
+type intAppender struct{ out *[]int }
+
+func (a *intAppender) Handle(arg uint64) { *a.out = append(*a.out, int(arg)) }
+
+// Handler and closure events at the same instant interleave in scheduling
+// order: the compatibility layer must not reorder against typed records.
+func TestHandlerClosureInterleaving(t *testing.T) {
+	e := New(1)
+	var got []int
+	h := &intAppender{out: &got}
+	e.At(5, func() { got = append(got, 0) })
+	e.Schedule(5, h, 1)
+	e.At(5, func() { got = append(got, 2) })
+	e.Schedule(5, h, 3)
+	e.Run()
+	if len(got) != 4 || got[0] != 0 || got[1] != 1 || got[2] != 2 || got[3] != 3 {
+		t.Fatalf("interleaving order: %v", got)
+	}
+}
+
+// Property: handler scheduling respects the same clamp as At.
+func TestScheduleClampsPast(t *testing.T) {
+	e := New(1)
+	r := &recorder{eng: e}
+	e.At(100, func() { e.Schedule(5, r, 9) })
+	e.Run()
+	if len(r.at) != 1 || r.at[0] != 100 {
+		t.Fatalf("clamped firing at %v", r.at)
+	}
+}
+
+// Scheduling a pointer Handler into a warmed heap allocates nothing.
+func TestScheduleZeroAlloc(t *testing.T) {
+	e := New(1)
+	r := &recorder{eng: e}
+	// Warm the heap's backing array and the recorder's slices.
+	for i := 0; i < 128; i++ {
+		e.Schedule(Time(i), r, uint64(i))
+	}
+	e.Run()
+	r.args = r.args[:0]
+	r.at = r.at[:0]
+	allocs := testing.AllocsPerRun(100, func() {
+		e.ScheduleAfter(1, r, 1)
+		e.ScheduleAfter(2, r, 2)
+		e.RunUntil(e.Now() + 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Run allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func BenchmarkEngineScheduleHandler(b *testing.B) {
+	e := New(1)
+	r := &recorder{eng: e}
+	r.args = make([]uint64, 0, 2048)
+	r.at = make([]Time, 0, 2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleAfter(Time(i%100), r, uint64(i))
+		if e.Pending() > 1024 {
+			r.args = r.args[:0]
+			r.at = r.at[:0]
+			e.RunUntil(e.Now() + 50)
+		}
+	}
+}
+
 func BenchmarkEngineEvents(b *testing.B) {
 	e := New(1)
 	b.ReportAllocs()

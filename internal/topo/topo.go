@@ -29,6 +29,7 @@ type Network struct {
 	edges    map[link.NodeID][]edge
 	links    []*link.Link
 	nextLink uint32
+	pool     *link.Pool
 }
 
 // edge records one directed adjacency for route computation.
@@ -44,8 +45,14 @@ func New(seed int64) *Network {
 		CP:       host.NewControlPlane(),
 		nextPort: make(map[link.NodeID]int),
 		edges:    make(map[link.NodeID][]edge),
+		pool:     link.NewPool(),
 	}
 }
+
+// PacketPool returns the network-wide packet free list every host draws
+// from. Steady-state traffic recycles packets through it, so the forward
+// path allocates nothing per packet (see link.Pool for ownership rules).
+func (n *Network) PacketPool() *link.Pool { return n.pool }
 
 // AddSwitch creates a switch with numPorts ports.
 func (n *Network) AddSwitch(numPorts int) *device.Switch {
@@ -65,6 +72,7 @@ func (n *Network) AddSwitch(numPorts int) *device.Switch {
 func (n *Network) AddHost() *host.Host {
 	id := link.NodeID(len(n.Hosts) + 1)
 	h := host.New(n.Eng, id, n.CP)
+	h.SetPool(n.pool)
 	n.Hosts = append(n.Hosts, h)
 	return h
 }

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"minions/internal/host"
+	"minions/internal/link"
 	"minions/internal/sim"
 	"minions/internal/transport"
 )
@@ -67,6 +68,56 @@ func AllToAll(hosts []*host.Host, cfg AllToAllConfig) []*transport.Sink {
 		schedule()
 	}
 	return sinks
+}
+
+// RandomFlowsConfig parameterizes UniformRandomFlows.
+type RandomFlowsConfig struct {
+	Flows    int      // number of concurrent CBR flows
+	RateBps  int64    // per-flow sending rate
+	PktSize  int      // wire bytes per packet (default 1500)
+	DstPort  uint16   // receiving port (default 9100)
+	Seed     int64    // pair selection and start jitter
+	MaxStart sim.Time // flows start uniformly in [0, MaxStart) (default 1 ms)
+}
+
+// UniformRandomFlows starts long-lived CBR flows between uniformly random
+// distinct host pairs — the many-flow workload for fat-tree scale tests.
+// Starts are jittered so paced flows do not phase-lock, and every host gets
+// a sink so all deliveries are counted (and pooled packets recycled). The
+// per-packet path is allocation-free in steady state: flows pace themselves
+// as resident engine events and draw packets from the hosts' shared pool.
+func UniformRandomFlows(hosts []*host.Host, cfg RandomFlowsConfig) ([]*transport.UDPFlow, []*transport.Sink) {
+	if len(hosts) < 2 {
+		panic("trafficgen: UniformRandomFlows needs at least 2 hosts")
+	}
+	if cfg.PktSize == 0 {
+		cfg.PktSize = 1500
+	}
+	if cfg.DstPort == 0 {
+		cfg.DstPort = 9100
+	}
+	if cfg.MaxStart == 0 {
+		cfg.MaxStart = sim.Millisecond
+	}
+	sinks := make([]*transport.Sink, len(hosts))
+	for i, h := range hosts {
+		sinks[i] = transport.NewSink(h, cfg.DstPort, link.ProtoUDP)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	flows := make([]*transport.UDPFlow, 0, cfg.Flows)
+	for i := 0; i < cfg.Flows; i++ {
+		si := rng.Intn(len(hosts))
+		di := rng.Intn(len(hosts))
+		for di == si {
+			di = rng.Intn(len(hosts))
+		}
+		src := hosts[si]
+		f := transport.NewUDPFlow(src, hosts[di].ID(), uint16(20000+i), cfg.DstPort, cfg.PktSize)
+		f.SetRateBps(cfg.RateBps)
+		flows = append(flows, f)
+		src.Engine().At(sim.Time(rng.Int63n(int64(cfg.MaxStart))), f.Start)
+	}
+	return flows, sinks
 }
 
 // Permutation starts one long-lived TCP flow per host toward the next host

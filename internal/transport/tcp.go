@@ -38,6 +38,11 @@ type TCPFlow struct {
 	rto      sim.Time
 	rtoGen   int
 	sendTime map[uint32]sim.Time
+	// sendQ holds packets whose paced transmission is scheduled but not yet
+	// fired. nextSendAt is monotone per flow, so the queue is strictly FIFO
+	// and the send event (tcpSendArm) just pops the head — no closure per
+	// data packet.
+	sendQ link.Ring
 	// nextSendAt paces transmissions with a small random jitter. A perfectly
 	// deterministic simulator otherwise phase-locks drop-tail queues and
 	// starves one of two synchronized flows — an artifact real NIC/OS noise
@@ -77,9 +82,31 @@ func (f *TCPFlow) SetMessage(msgBytes int) {
 	f.total = uint32(pkts)
 }
 
+// tcpSendArm and tcpRTOArm give TCPFlow two extra sim.Handler identities —
+// distinct method sets on the same underlying struct — so paced sends and
+// retransmission timers schedule allocation-free typed events instead of
+// per-call closures.
+type tcpSendArm TCPFlow
+
+// Handle fires one paced transmission: the head of the flow's send queue.
+func (a *tcpSendArm) Handle(uint64) {
+	f := (*TCPFlow)(a)
+	if p := f.sendQ.Pop(); p != nil {
+		f.h.Send(p)
+	}
+}
+
+type tcpRTOArm TCPFlow
+
+// Handle fires a retransmission timeout; arg is the arming generation.
+func (a *tcpRTOArm) Handle(arg uint64) { (*TCPFlow)(a).onRTO(int(arg)) }
+
 // Start opens the flow: the sender binds its ACK port and fires the window.
 func (f *TCPFlow) Start() {
-	f.h.Bind(f.sport, link.ProtoTCP, f.onAck)
+	f.h.Bind(f.sport, link.ProtoTCP, func(p *link.Packet) {
+		f.onAck(p)
+		p.Release() // ACKs terminate here
+	})
 	f.pump()
 	f.armRTO()
 }
@@ -111,7 +138,8 @@ func (f *TCPFlow) sendData(seq uint32, fresh bool) {
 	}
 	at += sim.Time(eng.Rand().Int63n(int64(4 * sim.Microsecond)))
 	f.nextSendAt = at // monotone per flow: no intra-flow reordering
-	eng.At(at, func() { f.h.Send(p) })
+	f.sendQ.Push(p)
+	eng.Schedule(at, (*tcpSendArm)(f), 0)
 	f.TxDataPkts++
 	f.TxDataBytes += uint64(p.Size)
 	if fresh {
@@ -197,28 +225,30 @@ func (f *TCPFlow) sampleRTT(s sim.Time) {
 
 func (f *TCPFlow) armRTO() {
 	f.rtoGen++
-	gen := f.rtoGen
-	f.h.Engine().After(f.rto, func() {
-		if f.finished || gen != f.rtoGen {
-			return
-		}
-		if f.base == f.nextSeq {
-			// Nothing outstanding; idle.
-			return
-		}
-		// Timeout: collapse to slow start and resend the base; partial
-		// ACKs then walk the remaining holes without further timeouts.
-		f.ssthresh = f.cwnd / 2
-		if f.ssthresh < 2 {
-			f.ssthresh = 2
-		}
-		f.cwnd = 1
-		f.dupacks = 0
-		f.recover = f.nextSeq
-		f.inRecovery = true
-		f.sendData(f.base, false)
-		f.armRTO()
-	})
+	f.h.Engine().ScheduleAfter(f.rto, (*tcpRTOArm)(f), uint64(f.rtoGen))
+}
+
+// onRTO handles a retransmission timer firing for arming generation gen.
+func (f *TCPFlow) onRTO(gen int) {
+	if f.finished || gen != f.rtoGen {
+		return
+	}
+	if f.base == f.nextSeq {
+		// Nothing outstanding; idle.
+		return
+	}
+	// Timeout: collapse to slow start and resend the base; partial
+	// ACKs then walk the remaining holes without further timeouts.
+	f.ssthresh = f.cwnd / 2
+	if f.ssthresh < 2 {
+		f.ssthresh = 2
+	}
+	f.cwnd = 1
+	f.dupacks = 0
+	f.recover = f.nextSeq
+	f.inRecovery = true
+	f.sendData(f.base, false)
+	f.armRTO()
 }
 
 // TCPSink is the receiver: it reassembles in-order delivery and returns
@@ -266,6 +296,7 @@ func (s *TCPSink) onData(p *link.Packet) {
 	if p.Seq != s.rcvNxt-1 || s.unacked >= s.AckEvery {
 		s.sendAck(p)
 	}
+	p.Release() // data packets terminate at the sink
 }
 
 func (s *TCPSink) sendAck(data *link.Packet) {

@@ -53,20 +53,23 @@ func (f *UDPFlow) Start() {
 	}
 	f.running = true
 	f.gen++
-	f.loop(f.gen)
+	f.Handle(uint64(f.gen))
 }
 
 // Stop halts transmission.
 func (f *UDPFlow) Stop() { f.running = false; f.gen++ }
 
-func (f *UDPFlow) loop(gen int) {
-	if !f.running || gen != f.gen {
+// Handle implements sim.Handler: one step of the pacing loop. The flow is
+// its own resident event (arg carries the start generation), so a running
+// CBR flow schedules and sends with zero allocations per packet.
+func (f *UDPFlow) Handle(arg uint64) {
+	if !f.running || int(arg) != f.gen {
 		return
 	}
 	eng := f.h.Engine()
 	if f.rateBps <= 0 {
 		// Idle: poll again shortly for a rate change.
-		eng.After(sim.Millisecond, func() { f.loop(gen) })
+		eng.ScheduleAfter(sim.Millisecond, f, arg)
 		return
 	}
 	p := f.h.NewPacket(f.dst, f.sport, f.dport, link.ProtoUDP, f.PktSize)
@@ -80,14 +83,16 @@ func (f *UDPFlow) loop(gen int) {
 	if gap < 1 {
 		gap = 1
 	}
-	eng.After(gap, func() { f.loop(gen) })
+	eng.ScheduleAfter(gap, f, arg)
 }
 
-// Sink counts received bytes/packets on a port — the goodput meter.
+// Sink counts received bytes/packets on a port — the goodput meter. It is a
+// terminal consumer: pooled packets are recycled after the OnPacket hook, so
+// OnPacket must copy anything it keeps (see link.Pool ownership rules).
 type Sink struct {
 	Bytes   uint64
 	Packets uint64
-	// OnPacket, when set, observes each delivery.
+	// OnPacket, when set, observes each delivery (it must not retain p).
 	OnPacket func(p *link.Packet)
 }
 
@@ -100,6 +105,7 @@ func NewSink(h *host.Host, port uint16, proto uint8) *Sink {
 		if s.OnPacket != nil {
 			s.OnPacket(p)
 		}
+		p.Release()
 	})
 	return s
 }

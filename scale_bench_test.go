@@ -1,0 +1,75 @@
+// Scale benchmarks: where the figure benchmarks in bench_test.go reproduce
+// the paper's evaluation, these measure the simulator itself at scales the
+// paper's Mininet testbed never reached — a fat-tree under hundreds of
+// concurrent flows — and pin the zero-allocation steady state of the
+// forward path. cmd/benchjson writes the same numbers to BENCH_<date>.json
+// so the perf trajectory is machine-readable across PRs.
+package minions_test
+
+import (
+	"testing"
+
+	"minions/testbed"
+)
+
+// BenchmarkScaleFatTree drives a k=4 fat-tree (16 hosts, 20 switches) with
+// 128 TPP-instrumented CBR flows and reports simulator throughput: packet-
+// hops and events per wall-clock second, wall nanoseconds per simulated
+// packet-hop, and heap allocations per packet-hop (~0 in steady state).
+func BenchmarkScaleFatTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := testbed.RunScaleFatTree(testbed.ScaleConfig{
+			K:        4,
+			Flows:    128,
+			Duration: 100 * testbed.Millisecond,
+			WithTPP:  true,
+			Seed:     1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.PktHopsPerSec()/1e6, "Mpkt-hops/s")
+			b.ReportMetric(res.EventsPerSec()/1e6, "Mevents/s")
+			b.ReportMetric(res.NsPerPktHop(), "ns/pkt-hop")
+			b.ReportMetric(res.AllocsPerPktHop(), "allocs/pkt-hop")
+			b.ReportMetric(float64(res.Delivered), "pkts-delivered")
+			b.Log("\n" + res.Table())
+		}
+	}
+}
+
+// BenchmarkEndToEndHop measures one steady-state forward cycle — host send
+// with TPP attachment → switch hop with TCPU execution → terminal delivery
+// and packet recycle. allocs/op is the headline: 0 in steady state.
+func BenchmarkEndToEndHop(b *testing.B) {
+	e, err := testbed.NewE2EHarness(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		e.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEndToEndHopNoTPP is the same cycle without TPP attachment — the
+// baseline that isolates instrumentation cost.
+func BenchmarkEndToEndHopNoTPP(b *testing.B) {
+	e, err := testbed.NewE2EHarness(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		e.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

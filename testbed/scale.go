@@ -1,0 +1,290 @@
+package testbed
+
+// This file is the scale-proof harness: fat-tree topologies far larger than
+// the paper's dumbbell, driven by many concurrent flows, with the simulator's
+// own performance (packets/sec, events/sec, ns per packet-hop, allocations
+// per packet-hop) measured alongside the network's behavior. It exists to
+// seed and track the repository's perf trajectory: BenchmarkScaleFatTree,
+// BenchmarkEndToEndHop and cmd/benchjson are thin wrappers over it.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"minions/internal/link"
+	"minions/internal/trafficgen"
+	"minions/tpp"
+	"minions/tppnet"
+)
+
+// RandomFlowsConfig parameterizes UniformRandomFlows.
+type RandomFlowsConfig = trafficgen.RandomFlowsConfig
+
+// UniformRandomFlows starts long-lived CBR flows between uniformly random
+// distinct host pairs, re-exported from the traffic generator.
+var UniformRandomFlows = trafficgen.UniformRandomFlows
+
+// ScaleConfig parameterizes a fat-tree scale run.
+type ScaleConfig struct {
+	K            int   // fat-tree arity, even (default 4)
+	RateMbps     int   // link rate (default 1000)
+	Flows        int   // concurrent CBR flows (default 128)
+	FlowRateMbps int   // per-flow sending rate (default 20)
+	PktSize      int   // wire bytes per packet (default 1400: TPP headroom under the MTU)
+	Duration     Time  // measured simulated time (default 100 ms)
+	Warmup       Time  // simulated warmup before measuring (default 20 ms)
+	Seed         int64 // default 1
+	WithTPP      bool  // attach a 2-word/hop telemetry TPP to every data packet
+}
+
+// ScaleResult is one fat-tree scale measurement. Traffic counters cover the
+// measured window only (warmup excluded).
+type ScaleResult struct {
+	K, Hosts, Switches, Links, Flows int
+
+	SimDuration   Time
+	Events        int    // engine events processed
+	PktHops       uint64 // link transmissions (host->switch and switch->*)
+	Delivered     uint64 // packets counted by sinks
+	DeliveredMB   float64
+	Drops         uint64 // drop-tail losses
+	TPPHopRecords uint64 // per-hop telemetry records collected (WithTPP)
+
+	Wall     time.Duration // wall-clock time of the measured window
+	Mallocs  uint64        // heap allocations during the window
+	PoolGets uint64        // packet-pool draws during the window
+	PoolNews uint64        // pool draws that had to allocate
+}
+
+// PktHopsPerSec returns simulated packet-hops processed per wall-clock second.
+func (r *ScaleResult) PktHopsPerSec() float64 {
+	return float64(r.PktHops) / r.Wall.Seconds()
+}
+
+// EventsPerSec returns engine events processed per wall-clock second.
+func (r *ScaleResult) EventsPerSec() float64 {
+	return float64(r.Events) / r.Wall.Seconds()
+}
+
+// NsPerPktHop returns wall-clock nanoseconds per simulated packet-hop.
+func (r *ScaleResult) NsPerPktHop() float64 {
+	if r.PktHops == 0 {
+		return 0
+	}
+	return float64(r.Wall.Nanoseconds()) / float64(r.PktHops)
+}
+
+// AllocsPerPktHop returns heap allocations per packet-hop in the measured
+// window — the number this PR drives to ~0.
+func (r *ScaleResult) AllocsPerPktHop() float64 {
+	if r.PktHops == 0 {
+		return 0
+	}
+	return float64(r.Mallocs) / float64(r.PktHops)
+}
+
+// Table renders the result.
+func (r *ScaleResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fat-tree k=%d: %d hosts, %d switches, %d links, %d flows, TPP records %d\n",
+		r.K, r.Hosts, r.Switches, r.Links, r.Flows, r.TPPHopRecords)
+	fmt.Fprintf(&b, "simulated %.0f ms: %d pkt-hops, %d delivered (%.1f MB), %d drops, %d events\n",
+		r.SimDuration.Seconds()*1e3, r.PktHops, r.Delivered, r.DeliveredMB, r.Drops, r.Events)
+	fmt.Fprintf(&b, "wall %.1f ms: %.2fM pkt-hops/s, %.2fM events/s, %.0f ns/pkt-hop, %.4f allocs/pkt-hop\n",
+		float64(r.Wall.Microseconds())/1e3, r.PktHopsPerSec()/1e6, r.EventsPerSec()/1e6,
+		r.NsPerPktHop(), r.AllocsPerPktHop())
+	return b.String()
+}
+
+// scaleTelemetryProgram is the per-hop collection TPP the scale workload
+// piggybacks: switch ID + queue occupancy, the §2.1 micro-burst pair.
+func scaleTelemetryProgram(hops int) (*tpp.Program, error) {
+	return tpp.NewProgram().
+		Push(tpp.SwitchID).
+		Push(tpp.QueueOccupancy).
+		Hops(hops).
+		Build()
+}
+
+// RunScaleFatTree builds a k-ary fat-tree, drives it with cfg.Flows
+// concurrent CBR flows (optionally TPP-instrumented), and measures both the
+// network and the simulator over cfg.Duration of virtual time.
+func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
+	if cfg.K == 0 {
+		cfg.K = 4
+	}
+	if cfg.K%2 != 0 {
+		return nil, fmt.Errorf("testbed: fat-tree arity %d must be even", cfg.K)
+	}
+	if cfg.RateMbps == 0 {
+		cfg.RateMbps = 1000
+	}
+	if cfg.Flows == 0 {
+		cfg.Flows = 128
+	}
+	if cfg.FlowRateMbps == 0 {
+		cfg.FlowRateMbps = 20
+	}
+	if cfg.PktSize == 0 {
+		// Leave room under the 1514-byte MTU for the telemetry TPP; a full
+		// 1500-byte frame would be sent uninstrumented (§8 MTU issues).
+		cfg.PktSize = 1400
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 100 * Millisecond
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 20 * Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+
+	net := New(cfg.Seed)
+	pods := net.FatTree(cfg.K, cfg.RateMbps)
+	var hosts []*Host
+	for _, pod := range pods {
+		hosts = append(hosts, pod...)
+	}
+
+	res := &ScaleResult{
+		K:           cfg.K,
+		Hosts:       len(hosts),
+		Switches:    len(net.Switches),
+		Links:       len(net.Links()),
+		Flows:       cfg.Flows,
+		SimDuration: cfg.Duration,
+	}
+
+	const dstPort = 9100
+	if cfg.WithTPP {
+		// Longest fat-tree path is edge-agg-core-agg-edge = 5 switch hops;
+		// size one extra so resized topologies don't silently truncate.
+		prog, err := scaleTelemetryProgram(6)
+		if err != nil {
+			return nil, err
+		}
+		app := net.CP.RegisterApp("scale-telemetry")
+		for _, h := range hosts {
+			if _, err := h.AddTPP(app, FilterSpec{Proto: tppnet.ProtoUDP, DstPort: dstPort}, prog, 1, 0); err != nil {
+				return nil, err
+			}
+			// Consume views without copying: count collected hop records.
+			h.RegisterAggregator(app.Wire, func(p *Packet, view tpp.Section) {
+				res.TPPHopRecords += uint64(view.HopOrSP()) / 2
+			})
+		}
+	}
+
+	_, sinks := trafficgen.UniformRandomFlows(hosts, trafficgen.RandomFlowsConfig{
+		Flows:   cfg.Flows,
+		RateBps: int64(cfg.FlowRateMbps) * 1_000_000,
+		PktSize: cfg.PktSize,
+		DstPort: dstPort,
+		Seed:    cfg.Seed,
+	})
+
+	// Warm up: fill pools, rings and the event heap so the measured window
+	// reflects steady state.
+	net.RunFor(cfg.Warmup)
+
+	txBefore, dropBefore := linkTotals(net.Links())
+	var sinkPktsBefore, sinkBytesBefore uint64
+	for _, s := range sinks {
+		sinkPktsBefore += s.Packets
+		sinkBytesBefore += s.Bytes
+	}
+	getsBefore, _, newsBefore := net.PacketPool().Stats()
+	// The aggregator accumulates from time zero; baseline it so
+	// TPPHopRecords covers the measured window like every other counter.
+	hopRecordsBefore := res.TPPHopRecords
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	res.Events = net.RunFor(cfg.Duration)
+	res.Wall = time.Since(t0)
+	runtime.ReadMemStats(&m1)
+
+	txAfter, dropAfter := linkTotals(net.Links())
+	res.PktHops = txAfter - txBefore
+	res.Drops = dropAfter - dropBefore
+	for _, s := range sinks {
+		res.Delivered += s.Packets
+		res.DeliveredMB += float64(s.Bytes)
+	}
+	res.Delivered -= sinkPktsBefore
+	res.DeliveredMB = (res.DeliveredMB - float64(sinkBytesBefore)) / 1e6
+	res.TPPHopRecords -= hopRecordsBefore
+	res.Mallocs = m1.Mallocs - m0.Mallocs
+	getsAfter, _, newsAfter := net.PacketPool().Stats()
+	res.PoolGets = getsAfter - getsBefore
+	res.PoolNews = newsAfter - newsBefore
+	return res, nil
+}
+
+// linkTotals sums transmit and drop packet counters across links.
+func linkTotals(links []*link.Link) (tx, drops uint64) {
+	for _, l := range links {
+		st := l.Stats()
+		tx += st.TxPackets
+		drops += st.DropPackets
+	}
+	return tx, drops
+}
+
+// E2EHarness drives the minimal forward path — host send → one switch hop
+// (with or without TPP execution) → delivery — one packet at a time. It is
+// the substrate of BenchmarkEndToEndHop and of the zero-allocation
+// steady-state assertion in the tests.
+type E2EHarness struct {
+	Net  *Network
+	Src  *Host
+	Dst  *Host
+	Sink *Sink
+	// HopRecords counts telemetry hop records consumed by the aggregator.
+	HopRecords uint64
+
+	dstID   NodeID
+	pktSize int
+}
+
+// NewE2EHarness wires host→switch→host at 10 Gb/s; withTPP installs the
+// telemetry program on the send path and a non-copying aggregator on the
+// receive path.
+func NewE2EHarness(withTPP bool) (*E2EHarness, error) {
+	net := New(1)
+	sw := net.AddSwitch(2)
+	src, dst := net.AddHost(), net.AddHost()
+	cfg := HostLink(10_000)
+	net.Connect(src, sw, cfg)
+	net.Connect(dst, sw, cfg)
+	net.ComputeRoutes()
+
+	e := &E2EHarness{Net: net, Src: src, Dst: dst, dstID: dst.ID(), pktSize: 1000}
+	if withTPP {
+		prog, err := scaleTelemetryProgram(2)
+		if err != nil {
+			return nil, err
+		}
+		app := net.CP.RegisterApp("e2e")
+		if _, err := src.AddTPP(app, FilterSpec{Proto: tppnet.ProtoUDP}, prog, 1, 0); err != nil {
+			return nil, err
+		}
+		dst.RegisterAggregator(app.Wire, func(p *Packet, view tpp.Section) {
+			e.HopRecords += uint64(view.HopOrSP()) / 2
+		})
+	}
+	e.Sink = NewSink(dst, 9000, tppnet.ProtoUDP)
+	return e, nil
+}
+
+// Step sends one packet from Src to Dst and runs the simulation to idle:
+// exactly one host transmit path, one TPP-executing switch hop, and one
+// terminal delivery. In steady state it performs zero heap allocations.
+func (e *E2EHarness) Step() {
+	e.Src.Send(e.Src.NewPacket(e.dstID, 5000, 9000, tppnet.ProtoUDP, e.pktSize))
+	e.Net.Run()
+}

@@ -62,6 +62,13 @@ type (
 	Link = link.Link
 	// LinkConfig parameterizes one link.
 	LinkConfig = link.Config
+	// Pool is a packet free list; every network wires one shared pool into
+	// its hosts (Network.PacketPool), making steady-state forwarding
+	// allocation-free. See its documentation for the ownership rules.
+	Pool = link.Pool
+	// Ring is a reusable FIFO packet ring buffer, the structure behind link
+	// output queues and transport send queues.
+	Ring = link.Ring
 	// Time is virtual simulation time in nanoseconds.
 	Time = sim.Time
 	// Engine is the deterministic discrete-event engine driving a network.
