@@ -47,6 +47,9 @@ func main() {
 	dir := flag.String("dir", ".", "output directory")
 	stdout := flag.Bool("stdout", false, "print JSON to stdout instead of writing a file")
 	hopPkts := flag.Int("hop-pkts", 200_000, "packets for the end-to-end hop measurement")
+	shards := flag.Int("shards", 1, "topology shards for the default fat-tree scenarios")
+	scaleK := flag.Int("scale-k", 8, "fat-tree arity for the shard-scaling sweep (0 disables)")
+	scaleFlows := flag.Int("scale-flows", 256, "flows for the shard-scaling sweep")
 	flag.Parse()
 
 	rep := report{
@@ -68,28 +71,45 @@ func main() {
 			Duration: testbed.Time(*durationMs) * testbed.Millisecond,
 			Seed:     *seed,
 			WithTPP:  withTPP,
+			Shards:   *shards,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		rep.Scenarios = append(rep.Scenarios, scenario{
-			Name: name,
-			Config: map[string]any{
-				"k": *k, "flows": *flows, "duration_ms": *durationMs,
-				"seed": *seed, "with_tpp": withTPP,
-			},
-			Metrics: map[string]float64{
-				"pkt_hops":           float64(res.PktHops),
-				"pkts_delivered":     float64(res.Delivered),
-				"drops":              float64(res.Drops),
-				"events":             float64(res.Events),
-				"tpp_hop_records":    float64(res.TPPHopRecords),
-				"pkt_hops_per_sec":   res.PktHopsPerSec(),
-				"events_per_sec":     res.EventsPerSec(),
-				"ns_per_pkt_hop":     res.NsPerPktHop(),
-				"allocs_per_pkt_hop": res.AllocsPerPktHop(),
-			},
-		})
+		rep.Scenarios = append(rep.Scenarios, scaleScenario(name, res, map[string]any{
+			"k": *k, "flows": *flows, "duration_ms": *durationMs,
+			"seed": *seed, "with_tpp": withTPP, "shards": *shards,
+		}))
+	}
+
+	// The parallel-scaling curve: the same k>=8 fat-tree workload at 1, 2,
+	// 4 and 8 shards. Simulated behavior is byte-identical across the sweep
+	// (the determinism guard tests pin it); only wall-clock metrics move.
+	// Speedup needs real cores — on a single-CPU host the sharded points
+	// measure barrier + boundary re-homing overhead.
+	if *scaleK > 0 {
+		for _, sh := range []int{1, 2, 4, 8} {
+			res, err := testbed.RunScaleFatTree(testbed.ScaleConfig{
+				K:        *scaleK,
+				Flows:    *scaleFlows,
+				Duration: testbed.Time(*durationMs) * testbed.Millisecond,
+				Seed:     *seed,
+				WithTPP:  true,
+				Shards:   sh,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			// res.Shards is the effective count (clamped to k by the
+			// pod-aligned partition), so the recorded config describes what
+			// actually ran.
+			rep.Scenarios = append(rep.Scenarios, scaleScenario(
+				fmt.Sprintf("fat-tree-shards-%d", sh), res, map[string]any{
+					"k": *scaleK, "flows": *scaleFlows, "duration_ms": *durationMs,
+					"seed": *seed, "with_tpp": true, "shards": res.Shards,
+					"gomaxprocs": runtime.GOMAXPROCS(0),
+				}))
+		}
 	}
 
 	for _, withTPP := range []bool{true, false} {
@@ -125,6 +145,25 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println("wrote", path)
+}
+
+// scaleScenario flattens a ScaleResult into the report schema.
+func scaleScenario(name string, res *testbed.ScaleResult, cfg map[string]any) scenario {
+	return scenario{
+		Name:   name,
+		Config: cfg,
+		Metrics: map[string]float64{
+			"pkt_hops":           float64(res.PktHops),
+			"pkts_delivered":     float64(res.Delivered),
+			"drops":              float64(res.Drops),
+			"events":             float64(res.Events),
+			"tpp_hop_records":    float64(res.TPPHopRecords),
+			"pkt_hops_per_sec":   res.PktHopsPerSec(),
+			"events_per_sec":     res.EventsPerSec(),
+			"ns_per_pkt_hop":     res.NsPerPktHop(),
+			"allocs_per_pkt_hop": res.AllocsPerPktHop(),
+		},
+	}
 }
 
 // measureHop times n steady-state forward cycles through the end-to-end

@@ -29,6 +29,7 @@ func run() int {
 	quick := flag.Bool("quick", false, "scale workloads down for a fast pass")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	shards := flag.Int("shards", 1, "topology shards for the simulation-driven figures (fig1, fig2, fig4); results are byte-identical to -shards 1")
 	flag.Parse()
 
 	// Profiling hooks so perf work can profile the exact experiment
@@ -90,14 +91,14 @@ func run() int {
 
 	section("sec21", func() (string, error) { return testbed.Sec21Table(), nil })
 	section("fig1", func() (string, error) {
-		r, err := testbed.RunFig1(testbed.Fig1Config{Duration: simSecs / 4})
+		r, err := testbed.RunFig1(testbed.Fig1Config{Duration: simSecs / 4, Shards: *shards})
 		if err != nil {
 			return "", err
 		}
 		return r.Table(), nil
 	})
 	section("fig2", func() (string, error) {
-		r, err := testbed.RunFig2(simSecs, 1)
+		r, err := testbed.RunFig2Sharded(simSecs, 1, *shards)
 		if err != nil {
 			return "", err
 		}
@@ -122,7 +123,7 @@ func run() int {
 		return r.Table(), nil
 	})
 	section("fig4", func() (string, error) {
-		r, err := testbed.RunFig4(simSecs/2, 1)
+		r, err := testbed.RunFig4Sharded(simSecs/2, 1, *shards)
 		if err != nil {
 			return "", err
 		}

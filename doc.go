@@ -15,6 +15,10 @@
 //     and end hosts, links, the TPP-CP control plane, and the paper's
 //     topologies, created with functional options
 //     (tppnet.NewNetwork(tppnet.WithSeed(1)), net.Dumbbell(6, 100)).
+//     tppnet.WithShards(n) runs the network as n topology shards under a
+//     conservative parallel discrete-event scheme — one engine, packet pool
+//     and goroutine per shard, synchronized in lookahead epochs — with
+//     results byte-identical to the single-engine simulation.
 //
 //   - minions/testbed — the reproduction harness on top of both: the
 //     paper's four applications (RCP*, CONGA*, NetSight, OpenSketch

@@ -1,0 +1,129 @@
+package link
+
+import (
+	"minions/internal/sim"
+)
+
+// Boundary turns a Link into a shard-crossing: the transmitter (and the
+// link's queue, serialization events and statistics) stay in the source
+// shard, but completed transmissions are parked in a mailbox instead of
+// being scheduled for delivery directly, because the receiver's state lives
+// in another shard's engine. The sim.ShardGroup drains the mailbox at every
+// epoch barrier (see sim.BoundaryPort) and the propagation delay of the
+// link provides the conservative lookahead that makes the barrier safe.
+//
+// Packets are re-homed as they cross: the original (owned by the source
+// shard's Pool) is released at the barrier and its contents copied into a
+// packet drawn from the destination shard's Pool, so each Pool and Ring
+// keeps exactly one owning shard and the zero-allocation steady state of
+// intra-shard forwarding is undisturbed. Only boundary crossings pay the
+// copy.
+type Boundary struct {
+	l        *Link
+	srcShard int
+	dstShard int
+	dstPool  *Pool
+	dirty    *sim.Dirty // barrier-drain registration, set by SetDirty
+
+	// Mailbox, filled by the source shard during an epoch and emptied by
+	// the group at barriers. stamps and out advance in lockstep FIFO order.
+	stamps []sim.BoundaryStamp
+	out    []*Packet
+	head   int
+
+	// inbox holds re-homed packets awaiting their delivery event in the
+	// destination shard. Deliveries of one link complete in transmission
+	// order (constant delay), so the FIFO head is always the next due.
+	inbox Ring
+}
+
+// BindBoundary marks l as crossing from srcShard to dstShard, re-homing
+// packets into dstPool. It must be called before any traffic flows and the
+// link must have a positive propagation delay (the lookahead).
+func (l *Link) BindBoundary(srcShard, dstShard int, dstPool *Pool) *Boundary {
+	if l.cfg.Delay <= 0 {
+		panic("link: boundary link needs positive propagation delay for lookahead")
+	}
+	b := &Boundary{l: l, srcShard: srcShard, dstShard: dstShard, dstPool: dstPool}
+	l.boundary = b
+	return b
+}
+
+// Boundary returns the link's shard-crossing binding, nil for ordinary links.
+func (l *Link) Boundary() *Boundary { return l.boundary }
+
+// SetDirty installs the group's barrier-drain registration handle (from
+// sim.ShardGroup.AddBoundary); parking then flags the port for the next
+// barrier. Tests that drain a Boundary by hand may leave it unset.
+func (b *Boundary) SetDirty(d *sim.Dirty) { b.dirty = d }
+
+// park queues a transmission-complete packet for the next barrier drain.
+func (b *Boundary) park(p *Packet, now sim.Time) {
+	b.stamps = append(b.stamps, sim.BoundaryStamp{At: now + b.l.cfg.Delay, Ins: now})
+	b.out = append(b.out, p)
+	if b.dirty != nil {
+		b.dirty.Mark()
+	}
+}
+
+// SrcShard implements sim.BoundaryPort.
+func (b *Boundary) SrcShard() int { return b.srcShard }
+
+// DestShard implements sim.BoundaryPort.
+func (b *Boundary) DestShard() int { return b.dstShard }
+
+// Delay implements sim.BoundaryPort: the crossing's lookahead contribution.
+func (b *Boundary) Delay() sim.Time { return b.l.cfg.Delay }
+
+// FlushStamps implements sim.BoundaryPort.
+func (b *Boundary) FlushStamps(buf []sim.BoundaryStamp) []sim.BoundaryStamp {
+	buf = append(buf, b.stamps...)
+	b.stamps = b.stamps[:0]
+	return buf
+}
+
+// Transfer implements sim.BoundaryPort: re-home the FIFO-next packet into
+// the destination shard and hand back the delivery handler. Runs only at
+// barriers, where both shards' pools are safe to touch.
+func (b *Boundary) Transfer() (sim.Handler, uint64) {
+	p := b.out[b.head]
+	b.out[b.head] = nil
+	b.head++
+	if b.head == len(b.out) {
+		b.out = b.out[:0]
+		b.head = 0
+	}
+
+	np := p
+	if b.dstPool != nil {
+		// Whole-struct copy (like Packet.Clone) so future Packet fields
+		// cross shards without this site needing to know them; only the
+		// pool bookkeeping stays the destination packet's own, and the TPP
+		// is deep-copied into its retained buffer.
+		np = b.dstPool.Get()
+		pool, buf := np.pool, np.tppBuf
+		*np = *p
+		np.pool, np.inPool, np.tppBuf = pool, false, buf
+		np.TPP = nil
+		if p.TPP != nil {
+			tpp := np.SectionBuf(len(p.TPP))
+			copy(tpp, p.TPP)
+			np.TPP = tpp
+		}
+		p.Release()
+	}
+	b.inbox.Push(np)
+	return b, 0
+}
+
+// Handle implements sim.Handler: one delivery event in the destination
+// shard. Deliveries fire in the order Transfer enqueued them.
+func (b *Boundary) Handle(uint64) {
+	b.l.dst.Receive(b.inbox.Pop(), b.l.dstPort)
+}
+
+// PendingCrossings returns packets parked for the next barrier plus those
+// re-homed but not yet delivered.
+func (b *Boundary) PendingCrossings() int {
+	return len(b.out) - b.head + b.inbox.Len()
+}

@@ -1,0 +1,154 @@
+package link
+
+import (
+	"testing"
+
+	"minions/internal/core"
+	"minions/internal/sim"
+)
+
+// recvLog collects deliveries.
+type recvLog struct {
+	pkts  []*Packet
+	ports []int
+}
+
+func (r *recvLog) Receive(p *Packet, port int) {
+	r.pkts = append(r.pkts, p)
+	r.ports = append(r.ports, port)
+}
+
+// drainBoundary plays the ShardGroup's barrier role for one port.
+func drainBoundary(t *testing.T, b *Boundary, dst *sim.Engine) int {
+	t.Helper()
+	stamps := b.FlushStamps(nil)
+	for _, s := range stamps {
+		h, arg := b.Transfer()
+		if s.At < dst.Now() {
+			t.Fatalf("crossing delivery at %d is in the destination's past (%d)", s.At, dst.Now())
+		}
+		dst.Schedule(s.At, h, arg)
+	}
+	return len(stamps)
+}
+
+func TestBoundaryCrossingRehomesPackets(t *testing.T) {
+	src, dst := sim.New(1), sim.New(2)
+	srcPool, dstPool := NewPool(), NewPool()
+	sink := &recvLog{}
+
+	l := New(src, Config{RateBps: 1_000_000_000, Delay: 5 * sim.Microsecond}, sink, 3)
+	l.BindBoundary(0, 1, dstPool)
+
+	send := func(id uint64, tpp []byte) *Packet {
+		p := srcPool.Get()
+		p.ID = id
+		p.Flow = FlowKey{Src: 1, Dst: 2, SrcPort: 10, DstPort: 20, Proto: ProtoUDP}
+		p.Size = 1000
+		p.TTL = 7
+		p.Hops = 2
+		if tpp != nil {
+			sec := p.SectionBuf(len(tpp))
+			copy(sec, tpp)
+			p.TPP = core.Section(sec)
+		}
+		if !l.Enqueue(p) {
+			t.Fatalf("enqueue of packet %d failed", id)
+		}
+		return p
+	}
+	orig1 := send(101, []byte{0xAA, 0xBB, 0xCC, 0xDD})
+	orig2 := send(102, nil)
+
+	src.Run()
+	if got := l.Boundary().PendingCrossings(); got != 2 {
+		t.Fatalf("PendingCrossings = %d, want 2 parked", got)
+	}
+	if !l.Pending() {
+		t.Fatal("Pending should report parked crossings")
+	}
+	if len(sink.pkts) != 0 {
+		t.Fatal("packets delivered without a barrier drain")
+	}
+
+	if n := drainBoundary(t, l.Boundary(), dst); n != 2 {
+		t.Fatalf("drained %d stamps, want 2", n)
+	}
+	// Originals went back to the source pool at the barrier.
+	if srcPool.FreeLen() != 2 {
+		t.Fatalf("source pool holds %d packets, want 2 released", srcPool.FreeLen())
+	}
+	dst.Run()
+
+	if len(sink.pkts) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(sink.pkts))
+	}
+	got := sink.pkts[0]
+	if got.ID != 101 || sink.pkts[1].ID != 102 {
+		t.Fatalf("FIFO order broken: got IDs %d, %d", got.ID, sink.pkts[1].ID)
+	}
+	if sink.ports[0] != 3 {
+		t.Fatalf("delivered to port %d, want 3", sink.ports[0])
+	}
+	if got == orig1 || sink.pkts[1] == orig2 {
+		t.Fatal("delivered packet is the source-pool original, not a re-homed copy")
+	}
+	// The originals were scrubbed when released at the barrier, so compare
+	// against the values they were sent with.
+	wantFlow := FlowKey{Src: 1, Dst: 2, SrcPort: 10, DstPort: 20, Proto: ProtoUDP}
+	if !got.Pooled() || got.ID != 101 || got.TTL != 7 || got.Hops != 2 ||
+		got.Flow != wantFlow || got.Size != 1000 {
+		t.Fatalf("re-homed packet fields corrupted: %+v", got)
+	}
+	if string(got.TPP) != "\xaa\xbb\xcc\xdd" {
+		t.Fatalf("TPP bytes not copied: %x", []byte(got.TPP))
+	}
+	// Delivered packets release into the destination pool.
+	for _, p := range sink.pkts {
+		p.Release()
+	}
+	if dstPool.FreeLen() != 2 {
+		t.Fatalf("destination pool holds %d, want 2", dstPool.FreeLen())
+	}
+}
+
+func TestBoundaryDeliveryTiming(t *testing.T) {
+	src, dst := sim.New(1), sim.New(2)
+	sink := &recvLog{}
+	delay := 5 * sim.Microsecond
+	l := New(src, Config{RateBps: 1_000_000_000, Delay: delay}, sink, 0)
+	l.BindBoundary(0, 1, nil) // nil pool: packets cross without re-homing
+
+	p := &Packet{Size: 1000}
+	l.Enqueue(p)
+	src.Run()
+	txDone := src.Now() // serialization time of 1000 B at 1 Gb/s = 8 µs
+
+	stamps := l.Boundary().FlushStamps(nil)
+	if len(stamps) != 1 {
+		t.Fatalf("flushed %d stamps, want 1", len(stamps))
+	}
+	if stamps[0].Ins != txDone || stamps[0].At != txDone+delay {
+		t.Fatalf("stamp (At=%d, Ins=%d), want (%d, %d)",
+			stamps[0].At, stamps[0].Ins, txDone+delay, txDone)
+	}
+	h, arg := l.Boundary().Transfer()
+	dst.Schedule(stamps[0].At, h, arg)
+	dst.Run()
+	if len(sink.pkts) != 1 || sink.pkts[0] != p {
+		t.Fatal("nil-pool crossing should deliver the original packet")
+	}
+	if dst.Now() != txDone+delay {
+		t.Fatalf("delivered at %d, want %d", dst.Now(), txDone+delay)
+	}
+}
+
+func TestBindBoundaryRequiresDelay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BindBoundary on a zero-delay link must panic (no lookahead)")
+		}
+	}()
+	l := New(sim.New(1), Config{RateBps: 1_000_000_000}, &recvLog{}, 0)
+	l.BindBoundary(0, 1, nil)
+}

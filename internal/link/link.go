@@ -163,6 +163,11 @@ type Link struct {
 
 	stats Stats
 
+	// boundary, when set, marks this link as crossing between topology
+	// shards: transmission-complete packets park in the boundary mailbox
+	// for the epoch barrier instead of scheduling a local delivery.
+	boundary *Boundary
+
 	// Lazy fixed-window utilization estimators: rolled on access. winBytes
 	// counts transmitted bytes (TX utilization, capped at capacity);
 	// arrBytes counts offered bytes at enqueue, accepted or not — the
@@ -292,8 +297,14 @@ func (l *Link) Handle(arg uint64) {
 		// is free for the next head-of-line packet.
 		p := l.txPkt
 		l.txPkt = nil
-		l.inflight.Push(p)
-		l.eng.ScheduleAfter(l.cfg.Delay, l, linkArgDeliver)
+		if l.boundary != nil {
+			// The receiver lives in another shard: park the packet for the
+			// epoch-barrier drain instead of scheduling delivery here.
+			l.boundary.park(p, l.eng.Now())
+		} else {
+			l.inflight.Push(p)
+			l.eng.ScheduleAfter(l.cfg.Delay, l, linkArgDeliver)
+		}
 		l.startTransmit()
 	case linkArgDeliver:
 		// Deliveries complete in serialization order (constant delay), so
@@ -328,5 +339,9 @@ func (l *Link) startTransmit() {
 	l.eng.ScheduleAfter(txTime, l, linkArgTxDone)
 }
 
-// Pending reports whether the link still holds or is serializing packets.
-func (l *Link) Pending() bool { return l.busy || l.queue.Len() > 0 }
+// Pending reports whether the link still holds or is serializing packets
+// (including packets parked at a shard boundary awaiting their barrier).
+func (l *Link) Pending() bool {
+	return l.busy || l.queue.Len() > 0 ||
+		(l.boundary != nil && l.boundary.PendingCrossings() > 0)
+}

@@ -15,6 +15,7 @@ package microburst
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"minions/internal/asm"
 	"minions/internal/core"
@@ -42,10 +43,16 @@ type QueueKey struct {
 // String renders the key.
 func (k QueueKey) String() string { return fmt.Sprintf("s%d.p%d", k.SwitchID, k.Port) }
 
-// Monitor aggregates queue-occupancy samples network-wide.
+// Monitor aggregates queue-occupancy samples network-wide. Aggregators on
+// hosts in different topology shards feed it concurrently, so ingestion is
+// mutex-guarded; the aggregation itself (sample multisets, counts) is
+// order-insensitive, which keeps sharded runs byte-identical to
+// single-engine ones.
 type Monitor struct {
-	App     *host.App
-	Hops    int
+	App  *host.App
+	Hops int
+
+	mu      sync.Mutex
 	cdfs    map[QueueKey]*stats.CDF
 	series  map[QueueKey]*stats.TimeSeries
 	samples uint64
@@ -80,6 +87,8 @@ func Deploy(cp *host.ControlPlane, hosts []*host.Host, spec host.FilterSpec, sam
 
 // ingest records one fully executed TPP's snapshots.
 func (m *Monitor) ingest(h *host.Host, view core.Section) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	now := h.Engine().Now().Seconds()
 	for _, hop := range view.StackView(WordsPerHop) {
 		key := QueueKey{SwitchID: hop.Words[0], Port: hop.Words[1]}

@@ -3,6 +3,13 @@
 // protocol and queueing dynamics the evaluation measures (Figures 1, 2, 4)
 // run against a virtual clock, so Go's garbage collector and scheduler can
 // never distort latencies — the main fidelity risk of wall-clock emulation.
+//
+// One Engine simulates one topology shard. A ShardGroup runs N engines as a
+// conservative parallel discrete-event simulation (PDES): shards advance in
+// lookahead epochs bounded by the minimum propagation delay of any
+// shard-crossing link and exchange boundary traffic at deterministic epoch
+// barriers, so a sharded run produces the same results as a single-engine
+// run of the same seed — on as many cores as there are shards.
 package sim
 
 import "math/rand"
@@ -31,12 +38,20 @@ type Handler interface {
 	Handle(arg uint64)
 }
 
-// event is a scheduled event record. seq breaks ties deterministically so two
-// events at the same instant always fire in scheduling order. Exactly one of
-// h and fn is set: h+arg is the typed zero-allocation form, fn the closure
-// compatibility form used by At/After.
+// event is a scheduled event record. Ties at the same firing instant are
+// broken by (ins, seq): ins is the virtual time the event was scheduled at
+// and seq the engine-local scheduling order. For a lone engine ins is
+// redundant (seq order already refines insertion-time order, since seq only
+// grows as virtual time advances), so single-engine behavior is unchanged —
+// but sharded runs depend on ins: a packet crossing shards is re-scheduled in
+// its destination shard at an epoch barrier, long after same-instant local
+// events were enqueued, and carrying the original emission time as ins
+// restores the tie-break order the lone-engine run would have produced.
+// Exactly one of h and fn is set: h+arg is the typed zero-allocation form,
+// fn the closure compatibility form used by At/After.
 type event struct {
 	at  Time
+	ins Time
 	seq uint64
 	h   Handler
 	arg uint64
@@ -51,6 +66,9 @@ type eventHeap []event
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].ins != h[j].ins {
+		return h[i].ins < h[j].ins
 	}
 	return h[i].seq < h[j].seq
 }
@@ -123,7 +141,7 @@ func (e *Engine) At(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	e.events.push(event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, ins: e.now, seq: e.seq, fn: fn})
 }
 
 // After schedules fn d nanoseconds from now.
@@ -137,7 +155,21 @@ func (e *Engine) Schedule(t Time, h Handler, arg uint64) {
 		t = e.now
 	}
 	e.seq++
-	e.events.push(event{at: t, seq: e.seq, h: h, arg: arg})
+	e.events.push(event{at: t, ins: e.now, seq: e.seq, h: h, arg: arg})
+}
+
+// scheduleCrossing enqueues an event whose insertion stamp is in this
+// engine's past: a shard-crossing delivery drained from a mailbox at an
+// epoch barrier. ins is the emission time in the source shard, which slots
+// the event into the same tie-break position a lone engine would have given
+// it (where the delivery would have been scheduled the instant transmission
+// completed).
+func (e *Engine) scheduleCrossing(at, ins Time, h Handler, arg uint64) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.events.push(event{at: at, ins: ins, seq: e.seq, h: h, arg: arg})
 }
 
 // ScheduleAfter schedules h.Handle(arg) d nanoseconds from now.
@@ -197,8 +229,22 @@ func (e *Engine) Run() int {
 // RunUntil processes events with timestamps <= deadline, then advances the
 // clock to the deadline. It returns the number of events processed.
 func (e *Engine) RunUntil(deadline Time) int {
+	return e.runTo(deadline, true)
+}
+
+// runTo processes events up to deadline — inclusive of events at exactly the
+// deadline when inclusive is true, exclusive otherwise — then advances the
+// clock to the deadline. The exclusive form is the shard-epoch primitive:
+// an epoch ends just before its boundary instant so that deliveries drained
+// from other shards at the barrier can still be ordered among local events
+// of that instant.
+func (e *Engine) runTo(deadline Time, inclusive bool) int {
 	n := 0
-	for len(e.events) > 0 && !e.stopped && e.events[0].at <= deadline {
+	for len(e.events) > 0 && !e.stopped {
+		at := e.events[0].at
+		if at > deadline || (!inclusive && at == deadline) {
+			break
+		}
 		ev := e.events.pop()
 		e.now = ev.at
 		if ev.h != nil {
@@ -212,6 +258,14 @@ func (e *Engine) RunUntil(deadline Time) int {
 		e.now = deadline
 	}
 	return n
+}
+
+// peekTime returns the firing time of the earliest pending event.
+func (e *Engine) peekTime() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
 }
 
 // Pending returns the number of scheduled events.

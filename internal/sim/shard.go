@@ -1,0 +1,418 @@
+package sim
+
+// Conservative parallel discrete-event simulation (PDES) across topology
+// shards. Each shard owns one Engine and all state of the nodes assigned to
+// it; shards advance in lookahead epochs bounded by the minimum propagation
+// delay of any shard-crossing link — the classic conservative synchronization
+// window: nothing a shard does during an epoch can affect another shard
+// before the epoch ends, because influence only travels over boundary links
+// and those take at least one lookahead of virtual time.
+//
+// An epoch runs every engine (in parallel goroutines when allowed) up to,
+// but excluding, the epoch boundary. At the barrier the group drains every
+// boundary port's mailbox in one deterministic merge — sorted by
+// (deliver time, emission time, source shard, port, FIFO index) — and
+// schedules the crossings into their destination engines before any shard
+// processes the boundary instant. Determinism therefore does not depend on
+// goroutine scheduling: for a given seed and shard count, results are
+// reproducible, and because crossings carry their emission time as the
+// event-ordering tie-break (see Engine.scheduleCrossing), results match the
+// single-engine run except for the measure-zero case of two causally
+// unrelated events in different shards colliding on both firing and
+// insertion instants.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// BoundaryStamp is the (deliver time, emission time) pair of one queued
+// shard crossing.
+type BoundaryStamp struct {
+	At  Time // delivery instant in the destination shard
+	Ins Time // emission instant in the source shard (transmit completion)
+}
+
+// BoundaryPort is one directed shard-crossing channel — in the network
+// substrate, a link whose transmitter and receiver live in different shards.
+// The port's source shard fills a private mailbox during an epoch; the group
+// drains it at the barrier, single-threaded, in deterministic merge order.
+//
+// Registration (AddBoundary) returns a Dirty handle the port MUST invoke
+// when it parks a crossing: barriers only drain ports that marked
+// themselves since the last drain, so an unmarked park is never delivered.
+type BoundaryPort interface {
+	// SrcShard and DestShard identify the crossing's direction.
+	SrcShard() int
+	DestShard() int
+	// Delay is the crossing's propagation delay; the group's lookahead is
+	// the minimum Delay over all registered ports.
+	Delay() Time
+	// FlushStamps appends the stamps of all queued crossings in FIFO order
+	// and clears the stamp queue. Called only at barriers.
+	FlushStamps(buf []BoundaryStamp) []BoundaryStamp
+	// Transfer moves the next queued crossing (FIFO) into the destination
+	// shard — for packets, re-homing them into the destination's pool — and
+	// returns the handler to schedule for the delivery. Called only at
+	// barriers, once per stamp flushed, in merge order.
+	Transfer() (Handler, uint64)
+}
+
+// ShardGroup synchronizes N engines in conservative lookahead epochs.
+type ShardGroup struct {
+	engines []*Engine
+	ports   []BoundaryPort
+	marks   []*Dirty
+
+	// dirty[s] lists ports in source shard s that parked crossings since
+	// the last barrier. Each list is appended to only by its own shard's
+	// goroutine (via Dirty.Mark) and consumed single-threaded at barriers,
+	// so barriers cost O(active ports), not O(all ports) — on a big
+	// fat-tree cut, most ports are idle in any given 5 µs epoch.
+	dirty [][]int
+
+	// Parallel controls whether epochs run shards on separate goroutines.
+	// Determinism holds either way; sequential epochs are only useful to
+	// debug or to measure barrier overhead in isolation.
+	Parallel bool
+
+	// drain scratch, reused across barriers.
+	evts     []crossEvt
+	stampBuf []BoundaryStamp
+}
+
+// Dirty marks one boundary port as holding undrained crossings. The owning
+// port calls Mark from its source shard whenever it parks a crossing; Mark
+// deduplicates, so calling it per crossing is fine.
+type Dirty struct {
+	g      *ShardGroup
+	src    int
+	idx    int
+	marked bool
+}
+
+// Mark flags the port for the next barrier drain.
+func (d *Dirty) Mark() {
+	if !d.marked {
+		d.marked = true
+		d.g.dirty[d.src] = append(d.g.dirty[d.src], d.idx)
+	}
+}
+
+// crossEvt is one drained crossing with its deterministic merge key.
+type crossEvt struct {
+	at, ins   Time
+	src, port int
+	idx       int
+}
+
+// NewShardGroup creates a group over the given engines. Engines are indexed
+// by shard number; boundary ports are registered as the topology is wired.
+func NewShardGroup(engines []*Engine) *ShardGroup {
+	return &ShardGroup{
+		engines:  engines,
+		dirty:    make([][]int, len(engines)),
+		Parallel: runtime.GOMAXPROCS(0) > 1,
+	}
+}
+
+// Engines returns the per-shard engines.
+func (g *ShardGroup) Engines() []*Engine { return g.engines }
+
+// AddBoundary registers a shard-crossing port and returns its Dirty handle,
+// which the port must invoke whenever it parks a crossing.
+func (g *ShardGroup) AddBoundary(p BoundaryPort) *Dirty {
+	if p.SrcShard() < 0 || p.SrcShard() >= len(g.engines) ||
+		p.DestShard() < 0 || p.DestShard() >= len(g.engines) {
+		panic(fmt.Sprintf("sim: boundary port shards (%d->%d) out of range",
+			p.SrcShard(), p.DestShard()))
+	}
+	if p.Delay() <= 0 {
+		panic("sim: boundary port needs positive propagation delay for lookahead")
+	}
+	g.ports = append(g.ports, p)
+	d := &Dirty{g: g, src: p.SrcShard(), idx: len(g.ports) - 1}
+	g.marks = append(g.marks, d)
+	return d
+}
+
+// NumBoundaries returns the number of registered crossing ports.
+func (g *ShardGroup) NumBoundaries() int { return len(g.ports) }
+
+// Lookahead returns the conservative synchronization window: the minimum
+// propagation delay over all boundary ports, or 0 if there are none (shards
+// are then fully independent and epochs are unbounded).
+func (g *ShardGroup) Lookahead() Time {
+	var la Time
+	for _, p := range g.ports {
+		if d := p.Delay(); la == 0 || d < la {
+			la = d
+		}
+	}
+	return la
+}
+
+// Now returns the group's common barrier time (the maximum engine clock;
+// engines share it at every barrier).
+func (g *ShardGroup) Now() Time {
+	var t Time
+	for _, e := range g.engines {
+		if e.Now() > t {
+			t = e.Now()
+		}
+	}
+	return t
+}
+
+// Pending returns the number of scheduled events across all shards.
+func (g *ShardGroup) Pending() int {
+	n := 0
+	for _, e := range g.engines {
+		n += e.Pending()
+	}
+	return n
+}
+
+// drain merges every boundary mailbox into the destination engines in
+// deterministic order. Runs single-threaded at a barrier: all shard
+// goroutines are parked, so touching any shard's engine and packet pool is
+// safe, and the barrier's synchronization orders these writes before the
+// next epoch's reads.
+func (g *ShardGroup) drain() {
+	evts := g.evts[:0]
+	for src, list := range g.dirty {
+		for _, pi := range list {
+			// Re-arm the mark before flushing so the port re-registers for
+			// the next barrier when it parks again.
+			g.marks[pi].marked = false
+			p := g.ports[pi]
+			g.stampBuf = p.FlushStamps(g.stampBuf[:0])
+			for i, s := range g.stampBuf {
+				evts = append(evts, crossEvt{at: s.At, ins: s.Ins, src: src, port: pi, idx: i})
+			}
+		}
+		g.dirty[src] = list[:0]
+	}
+	sortCross(evts)
+	for _, ev := range evts {
+		p := g.ports[ev.port]
+		h, arg := p.Transfer()
+		g.engines[p.DestShard()].scheduleCrossing(ev.at, ev.ins, h, arg)
+	}
+	g.evts = evts[:0]
+}
+
+// crossLess orders crossings by (deliver time, emission time, source shard,
+// port, FIFO index) — a total order independent of goroutine scheduling.
+// Per-port stamps are monotone in (at, ins), so the merge preserves each
+// port's FIFO order and Transfer can pop sequentially.
+func crossLess(a, b crossEvt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.ins != b.ins {
+		return a.ins < b.ins
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	if a.port != b.port {
+		return a.port < b.port
+	}
+	return a.idx < b.idx
+}
+
+// sortCross sorts a barrier's crossings. Typical barriers carry a handful,
+// so insertion sort runs allocation-free; big fan-in barriers fall back to
+// the standard sort.
+func sortCross(evts []crossEvt) {
+	if len(evts) <= 32 {
+		for i := 1; i < len(evts); i++ {
+			for j := i; j > 0 && crossLess(evts[j], evts[j-1]); j-- {
+				evts[j], evts[j-1] = evts[j-1], evts[j]
+			}
+		}
+		return
+	}
+	sort.Slice(evts, func(i, j int) bool { return crossLess(evts[i], evts[j]) })
+}
+
+// earliest returns the minimum pending-event time across shards. Stopped
+// engines are skipped: their events will never run (matching Engine.Run's
+// prompt return after Stop), so counting them would spin the epoch loop
+// without progress.
+func (g *ShardGroup) earliest() (Time, bool) {
+	var min Time
+	found := false
+	for _, e := range g.engines {
+		if e.stopped {
+			continue
+		}
+		if t, ok := e.peekTime(); ok && (!found || t < min) {
+			min, found = t, true
+		}
+	}
+	return min, found
+}
+
+// advanceAll moves every running engine clock forward to t (never
+// backward; stopped engines keep their clocks, like Engine.RunUntil).
+func (g *ShardGroup) advanceAll(t Time) {
+	for _, e := range g.engines {
+		if !e.stopped && e.now < t {
+			e.now = t
+		}
+	}
+}
+
+// epochRunner runs one epoch on every shard, on parked worker goroutines
+// when parallelism is enabled. Workers live for one Run/RunUntil call.
+type epochRunner struct {
+	g      *ShardGroup
+	reqs   []chan epochReq
+	counts []int
+	wg     sync.WaitGroup
+}
+
+type epochReq struct {
+	deadline  Time
+	inclusive bool
+	runAll    bool // drain the shard completely (Engine.Run) instead
+}
+
+func (g *ShardGroup) newRunner() *epochRunner {
+	r := &epochRunner{g: g, counts: make([]int, len(g.engines))}
+	if !g.Parallel || len(g.engines) < 2 {
+		return r
+	}
+	r.reqs = make([]chan epochReq, len(g.engines))
+	for i := range g.engines {
+		ch := make(chan epochReq, 1)
+		r.reqs[i] = ch
+		// The worker ranges over its captured channel, never over r.reqs:
+		// stop() nils r.reqs concurrently with worker startup.
+		go func(i int, e *Engine, ch chan epochReq) {
+			for req := range ch {
+				if req.runAll {
+					r.counts[i] += e.Run()
+				} else {
+					r.counts[i] += e.runTo(req.deadline, req.inclusive)
+				}
+				r.wg.Done()
+			}
+		}(i, g.engines[i], ch)
+	}
+	return r
+}
+
+// epoch advances every shard to deadline and returns at the barrier.
+func (r *epochRunner) epoch(deadline Time, inclusive bool) {
+	r.dispatch(epochReq{deadline: deadline, inclusive: inclusive})
+}
+
+// epochAll drains every shard completely — only valid with no boundaries.
+func (r *epochRunner) epochAll() {
+	r.dispatch(epochReq{runAll: true})
+}
+
+func (r *epochRunner) dispatch(req epochReq) {
+	if r.reqs == nil {
+		for i, e := range r.g.engines {
+			if req.runAll {
+				r.counts[i] += e.Run()
+			} else {
+				r.counts[i] += e.runTo(req.deadline, req.inclusive)
+			}
+		}
+		return
+	}
+	r.wg.Add(len(r.reqs))
+	for _, ch := range r.reqs {
+		ch <- req
+	}
+	r.wg.Wait()
+}
+
+// stop releases the worker goroutines and returns the total event count.
+// It is idempotent and runs deferred, so workers are not leaked when a
+// simulation event handler panics out of an epoch.
+func (r *epochRunner) stop() int {
+	if r.reqs != nil {
+		for _, ch := range r.reqs {
+			close(ch)
+		}
+		r.reqs = nil
+	}
+	n := 0
+	for _, c := range r.counts {
+		n += c
+	}
+	return n
+}
+
+// RunUntil advances the whole group to the deadline: every event with
+// timestamp <= deadline in every shard is processed, crossings included,
+// and every engine clock ends at the deadline. It returns the number of
+// events processed, which matches what a single merged engine would report.
+func (g *ShardGroup) RunUntil(deadline Time) int {
+	la := g.Lookahead()
+	r := g.newRunner()
+	defer r.stop() // idempotent: releases workers even if a handler panics
+	for {
+		g.drain()
+		next, ok := g.earliest()
+		if !ok || next > deadline {
+			break
+		}
+		if la == 0 {
+			// No boundaries: shards are independent; one inclusive epoch.
+			r.epoch(deadline, true)
+			continue
+		}
+		// The epoch may extend a full lookahead past the first pending
+		// event: nothing can be emitted before that event fires, so no
+		// crossing can deliver before next+la. Idle stretches thus cost one
+		// barrier per lookahead of *busy* time, not of wall virtual time.
+		// An epoch boundary falling exactly on the deadline still runs
+		// exclusive: a crossing can deliver at that very instant and must be
+		// drained before any shard processes it, or same-instant events
+		// would fire out of insertion order. Only when no crossing can land
+		// at or before the deadline (next+la > deadline) is the final
+		// inclusive epoch safe.
+		if end := next + la; end <= deadline {
+			r.epoch(end, false)
+		} else {
+			r.epoch(deadline, true)
+		}
+	}
+	g.advanceAll(deadline)
+	return r.stop()
+}
+
+// Run processes events until no shard has any left and all mailboxes are
+// empty, then aligns every engine clock to the time of the last event. It
+// returns the number of events processed.
+func (g *ShardGroup) Run() int {
+	la := g.Lookahead()
+	r := g.newRunner()
+	defer r.stop() // idempotent: releases workers even if a handler panics
+	for {
+		g.drain()
+		next, ok := g.earliest()
+		if !ok {
+			break
+		}
+		if la == 0 {
+			r.epochAll()
+			continue
+		}
+		r.epoch(next+la, false)
+	}
+	// Align every clock to the group's last barrier (with boundaries) or the
+	// latest shard clock (without); unlike Engine.Run, the group's clocks end
+	// epoch-aligned rather than exactly at the last event's timestamp.
+	g.advanceAll(g.Now())
+	return r.stop()
+}

@@ -1,0 +1,276 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fakePort is a minimal BoundaryPort: crossings carry an int payload and a
+// recording handler fires in the destination shard.
+type fakePort struct {
+	src, dst int
+	delay    Time
+	stamps   []BoundaryStamp
+	payload  []int
+	head     int
+	sink     *crossSink
+	dirty    *Dirty
+}
+
+type crossSink struct {
+	eng *Engine
+	log *[]string
+	// next payload handed over by Transfer, consumed by Handle.
+	queue []int
+}
+
+func (p *fakePort) SrcShard() int  { return p.src }
+func (p *fakePort) DestShard() int { return p.dst }
+func (p *fakePort) Delay() Time    { return p.delay }
+
+func (p *fakePort) FlushStamps(buf []BoundaryStamp) []BoundaryStamp {
+	buf = append(buf, p.stamps...)
+	p.stamps = p.stamps[:0]
+	return buf
+}
+
+func (p *fakePort) Transfer() (Handler, uint64) {
+	v := p.payload[p.head]
+	p.head++
+	if p.head == len(p.payload) {
+		p.payload = p.payload[:0]
+		p.head = 0
+	}
+	p.sink.queue = append(p.sink.queue, v)
+	return p.sink, 0
+}
+
+func (s *crossSink) Handle(uint64) {
+	v := s.queue[0]
+	s.queue = s.queue[1:]
+	*s.log = append(*s.log, fmt.Sprintf("recv %d @%d", v, s.eng.Now()))
+}
+
+func (p *fakePort) send(now Time, v int) {
+	p.stamps = append(p.stamps, BoundaryStamp{At: now + p.delay, Ins: now})
+	p.payload = append(p.payload, v)
+	p.dirty.Mark()
+}
+
+// TestShardGroupCrossing ping-pongs a value between two shards over a
+// 10 ns-lookahead boundary and checks delivery times and determinism.
+func TestShardGroupCrossing(t *testing.T) {
+	run := func(parallel bool) []string {
+		var log []string
+		e0, e1 := New(1), New(2)
+		g := NewShardGroup([]*Engine{e0, e1})
+		g.Parallel = parallel
+		p01 := &fakePort{src: 0, dst: 1, delay: 10}
+		p10 := &fakePort{src: 1, dst: 0, delay: 10}
+		p01.sink = &crossSink{eng: e1, log: &log}
+		p10.sink = &crossSink{eng: e0, log: &log}
+		p01.dirty = g.AddBoundary(p01)
+		p10.dirty = g.AddBoundary(p10)
+
+		// Shard 0 emits at t=5 and t=7; shard 1 bounces every arrival back.
+		e0.At(5, func() { p01.send(e0.Now(), 100) })
+		e0.At(7, func() { p01.send(e0.Now(), 200) })
+		// A local shard-1 event at the exact arrival instant of value 100,
+		// inserted earlier in virtual time (ins=0): must fire before it.
+		e1.At(15, func() { log = append(log, fmt.Sprintf("local @%d", e1.Now())) })
+		g.RunUntil(40)
+		return log
+	}
+
+	seq := run(false)
+	want := []string{"local @15", "recv 100 @15", "recv 200 @17"}
+	if fmt.Sprint(seq) != fmt.Sprint(want) {
+		t.Fatalf("sequential crossing log = %v, want %v", seq, want)
+	}
+	if par := run(true); fmt.Sprint(par) != fmt.Sprint(seq) {
+		t.Fatalf("parallel log %v != sequential log %v", par, seq)
+	}
+}
+
+// TestShardGroupMergeOrder drains simultaneous crossings from two source
+// shards and checks the deterministic (at, ins, src, port, idx) merge.
+func TestShardGroupMergeOrder(t *testing.T) {
+	var log []string
+	e0, e1, e2 := New(1), New(2), New(3)
+	g := NewShardGroup([]*Engine{e0, e1, e2})
+	g.Parallel = false
+	p02 := &fakePort{src: 0, dst: 2, delay: 10}
+	p12 := &fakePort{src: 1, dst: 2, delay: 10}
+	p02.sink = &crossSink{eng: e2, log: &log}
+	p12.sink = &crossSink{eng: e2, log: &log}
+	p02.dirty = g.AddBoundary(p02)
+	p12.dirty = g.AddBoundary(p12)
+
+	// Both shards emit at t=3 (same At, same Ins): source shard breaks the
+	// tie, so shard 0's value delivers first; the t=2 emission from shard 1
+	// has an earlier Ins and beats both despite equal delivery... it has
+	// At=12 < 13, so it simply delivers first by time.
+	e1.At(2, func() { p12.send(e1.Now(), 902) })
+	e0.At(3, func() { p02.send(e0.Now(), 3) })
+	e1.At(3, func() { p12.send(e1.Now(), 903) })
+	g.RunUntil(30)
+
+	want := []string{"recv 902 @12", "recv 3 @13", "recv 903 @13"}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Fatalf("merge order = %v, want %v", log, want)
+	}
+}
+
+// TestShardGroupDeadlineOnEpochBoundary pins the end==deadline case: a
+// crossing delivering exactly at the RunUntil deadline must still be
+// ordered by insertion stamp against local events of that instant (the
+// barrier drain has to happen before the instant is processed).
+func TestShardGroupDeadlineOnEpochBoundary(t *testing.T) {
+	var log []string
+	e0, e1 := New(1), New(2)
+	g := NewShardGroup([]*Engine{e0, e1})
+	g.Parallel = false
+	p01 := &fakePort{src: 0, dst: 1, delay: 10}
+	p01.sink = &crossSink{eng: e1, log: &log}
+	p01.dirty = g.AddBoundary(p01)
+
+	// Crossing emitted at t=5 delivers at t=15 with ins=5; the local event
+	// at t=15 is inserted at t=10 (ins=10), so the crossing fires first.
+	e0.At(5, func() { p01.send(e0.Now(), 1) })
+	e1.At(10, func() {
+		e1.At(15, func() { log = append(log, fmt.Sprintf("local @%d", e1.Now())) })
+	})
+	g.RunUntil(15) // deadline == 5 + lookahead: epoch boundary on the deadline
+	want := []string{"recv 1 @15", "local @15"}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Fatalf("deadline-on-boundary order = %v, want %v", log, want)
+	}
+}
+
+// TestShardGroupRunIndependent covers the no-boundary path: shards drain
+// fully and clocks settle at the latest shard's last event.
+func TestShardGroupRunIndependent(t *testing.T) {
+	e0, e1 := New(1), New(2)
+	g := NewShardGroup([]*Engine{e0, e1})
+	fired := 0
+	e0.At(10, func() { fired++ })
+	e1.At(25, func() { fired++ })
+	if n := g.Run(); n != 2 || fired != 2 {
+		t.Fatalf("Run processed %d events (fired %d), want 2", n, fired)
+	}
+	if g.Now() != 25 {
+		t.Fatalf("group clock = %d, want 25", g.Now())
+	}
+}
+
+// TestShardGroupStoppedShard: stopping one shard's engine mid-run must not
+// livelock the group loop — its remaining events are abandoned (as with
+// Engine.Run after Stop) while other shards keep running to the deadline.
+func TestShardGroupStoppedShard(t *testing.T) {
+	e0, e1 := New(1), New(2)
+	g := NewShardGroup([]*Engine{e0, e1})
+	g.Parallel = false
+	p01 := &fakePort{src: 0, dst: 1, delay: 10}
+	var log []string
+	p01.sink = &crossSink{eng: e1, log: &log}
+	p01.dirty = g.AddBoundary(p01)
+
+	fired := 0
+	e0.At(5, func() { e0.Stop() })
+	e0.At(6, func() { fired++ }) // never runs: the shard stopped
+	e1.At(8, func() { fired++ })
+	g.RunUntil(20) // must return despite shard 0's abandoned event
+	if fired != 1 {
+		t.Fatalf("fired = %d, want only shard 1's event", fired)
+	}
+	if e1.Now() != 20 {
+		t.Fatalf("running shard clock = %d, want 20", e1.Now())
+	}
+}
+
+// TestShardGroupParallelEmptyRun: a parallel group with nothing to do must
+// return cleanly — stop() races worker startup if workers re-read shared
+// state instead of their captured channel (regression: index-out-of-range
+// on zero-epoch runs).
+func TestShardGroupParallelEmptyRun(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		g := NewShardGroup([]*Engine{New(1), New(2)})
+		g.Parallel = true
+		if n := g.RunUntil(10); n != 0 {
+			t.Fatalf("empty RunUntil processed %d events", n)
+		}
+		g2 := NewShardGroup([]*Engine{New(1), New(2)})
+		g2.Parallel = true
+		if n := g2.Run(); n != 0 {
+			t.Fatalf("empty Run processed %d events", n)
+		}
+	}
+}
+
+// TestShardGroupResume checks that RunUntil is resumable: crossings parked
+// near a deadline deliver correctly on the next call.
+func TestShardGroupResume(t *testing.T) {
+	var log []string
+	e0, e1 := New(1), New(2)
+	g := NewShardGroup([]*Engine{e0, e1})
+	p01 := &fakePort{src: 0, dst: 1, delay: 10}
+	p01.sink = &crossSink{eng: e1, log: &log}
+	p01.dirty = g.AddBoundary(p01)
+
+	e0.At(18, func() { p01.send(e0.Now(), 7) }) // delivers at 28
+	g.RunUntil(20)
+	if len(log) != 0 {
+		t.Fatalf("crossing delivered early: %v", log)
+	}
+	if e0.Now() != 20 || e1.Now() != 20 {
+		t.Fatalf("clocks at (%d,%d), want (20,20)", e0.Now(), e1.Now())
+	}
+	g.RunUntil(30)
+	if want := []string{"recv 7 @28"}; fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Fatalf("after resume log = %v, want %v", log, want)
+	}
+}
+
+// TestRunToExclusive pins the epoch primitive: events at exactly the
+// deadline stay pending, and the clock still advances to the deadline.
+func TestRunToExclusive(t *testing.T) {
+	e := New(1)
+	fired := []Time{}
+	e.At(5, func() { fired = append(fired, 5) })
+	e.At(10, func() { fired = append(fired, 10) })
+	if n := e.runTo(10, false); n != 1 {
+		t.Fatalf("exclusive runTo processed %d events, want 1", n)
+	}
+	if e.Now() != 10 || e.Pending() != 1 {
+		t.Fatalf("now=%d pending=%d, want 10/1", e.Now(), e.Pending())
+	}
+	if n := e.runTo(10, true); n != 1 {
+		t.Fatalf("inclusive runTo processed %d events, want 1", n)
+	}
+	if fmt.Sprint(fired) != "[5 10]" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+// TestCrossingInsertionOrder pins the tie-break the sharded runtime relies
+// on: an event re-scheduled late (at a barrier) with an early insertion
+// stamp fires before same-instant events inserted later in virtual time.
+func TestCrossingInsertionOrder(t *testing.T) {
+	e := New(1)
+	var order []string
+	e.At(4, func() { // inserted at virtual time 4
+		e.At(20, func() { order = append(order, "ins4") })
+	})
+	e.RunUntil(10)
+	// Simulates a barrier drain: the crossing was emitted at time 2.
+	e.scheduleCrossing(20, 2, handlerFunc(func() { order = append(order, "crossing-ins2") }), 0)
+	e.Run()
+	if fmt.Sprint(order) != "[crossing-ins2 ins4]" {
+		t.Fatalf("order = %v, want crossing first (earlier insertion stamp)", order)
+	}
+}
+
+// handlerFunc adapts a closure to sim.Handler for tests.
+type handlerFunc func()
+
+func (f handlerFunc) Handle(uint64) { f() }

@@ -1,0 +1,99 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"minions/internal/link"
+)
+
+// TestFatTreeLargeNoNodeIDCollision is the regression test for the switch
+// node-ID collision: a k=16 fat-tree has 1024 hosts, which under the old
+// fixed SwitchNodeBase=1000 silently aliased hosts 1000..1024 with switch
+// addresses (misrouting their traffic). FatTree now derives the base from
+// the host count.
+func TestFatTreeLargeNoNodeIDCollision(t *testing.T) {
+	n := New(1)
+	pods := FatTree(n, 16, 1000)
+	if len(n.Hosts) != 1024 {
+		t.Fatalf("k=16 fat-tree has %d hosts, want 1024", len(n.Hosts))
+	}
+	seen := make(map[link.NodeID]bool)
+	for _, h := range n.Hosts {
+		if seen[h.ID()] {
+			t.Fatalf("duplicate host NodeID %d", h.ID())
+		}
+		seen[h.ID()] = true
+	}
+	for _, sw := range n.Switches {
+		if seen[sw.NodeID()] {
+			t.Fatalf("switch NodeID %d collides with a host", sw.NodeID())
+		}
+		seen[sw.NodeID()] = true
+	}
+	// Host 1024 (the old collision zone) must actually be routable: its
+	// edge switch needs a host route distinct from any switch address.
+	last := pods[len(pods)-1]
+	h := last[len(last)-1]
+	if h.ID() != 1024 {
+		t.Fatalf("last host ID = %d, want 1024", h.ID())
+	}
+	for _, sw := range n.Switches {
+		if e := sw.Route(h.ID()); e == nil && sw.NodeID() != h.ID() {
+			t.Fatalf("switch %d has no route to host %d", sw.ID(), h.ID())
+		}
+	}
+}
+
+// TestEnsureSwitchBase pins the derivation and its failure modes.
+func TestEnsureSwitchBase(t *testing.T) {
+	n := New(1)
+	n.EnsureSwitchBase(5000)
+	sw := n.AddSwitch(2)
+	if sw.NodeID() != 5001 {
+		t.Fatalf("switch NodeID = %d, want base 5000 + id 1", sw.NodeID())
+	}
+
+	// Raising the base after switches exist must fail loudly.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("EnsureSwitchBase after AddSwitch must panic")
+			}
+		}()
+		n.EnsureSwitchBase(10_000)
+	}()
+}
+
+// TestHostAtSwitchBaseIsLegal: host IDs up to and including the base are
+// collision-free (switch NodeIDs start at base+1), so exactly
+// SwitchNodeBase hosts must not trip the guard.
+func TestHostAtSwitchBaseIsLegal(t *testing.T) {
+	n := New(1)
+	n.AddSwitch(2)
+	for i := 0; i < SwitchNodeBase; i++ {
+		n.AddHost()
+	}
+	if got := n.Hosts[len(n.Hosts)-1].ID(); got != SwitchNodeBase {
+		t.Fatalf("last host ID = %d, want %d", got, SwitchNodeBase)
+	}
+}
+
+// TestAddHostCollisionPanics: creating enough hosts to pass the switch
+// base without EnsureSwitchBase fails loudly instead of aliasing addresses.
+func TestAddHostCollisionPanics(t *testing.T) {
+	n := New(1)
+	n.AddSwitch(2)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("host/switch NodeID collision must panic")
+		}
+		if !strings.Contains(r.(string), "EnsureSwitchBase") {
+			t.Fatalf("panic %q should point at EnsureSwitchBase", r)
+		}
+	}()
+	for i := 0; i < SwitchNodeBase+1; i++ {
+		n.AddHost()
+	}
+}

@@ -1,0 +1,164 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// cutEdges counts edges whose endpoints land in different shards.
+func cutEdges(g PartGraph, assign []int) int {
+	cut := 0
+	for _, e := range g.Edges {
+		if assign[e[0]] != assign[e[1]] {
+			cut++
+		}
+	}
+	return cut
+}
+
+// dumbbellGraph mirrors Dumbbell's creation order: left(0), right(1), hosts.
+func dumbbellGraph(hosts int) PartGraph {
+	g := PartGraph{N: hosts + 2, Edges: [][2]int{{0, 1}}}
+	for i := 0; i < hosts; i++ {
+		sw := 0
+		if i >= hosts/2 {
+			sw = 1
+		}
+		g.Edges = append(g.Edges, [2]int{2 + i, sw})
+	}
+	return g
+}
+
+func TestPartitionGraphDumbbellMinCut(t *testing.T) {
+	g := dumbbellGraph(6)
+	assign := PartitionGraph(g, 2)
+	// The minimum balanced cut severs only the inter-switch link: each
+	// switch stays with its own hosts.
+	if cut := cutEdges(g, assign); cut != 1 {
+		t.Fatalf("dumbbell 2-shard cut = %d edges (assign %v), want 1", cut, assign)
+	}
+	sizes := map[int]int{}
+	for _, s := range assign {
+		sizes[s]++
+	}
+	if sizes[0] != 4 || sizes[1] != 4 {
+		t.Fatalf("unbalanced partition: %v", sizes)
+	}
+	for i := 0; i < 3; i++ {
+		if assign[2+i] != assign[0] {
+			t.Fatalf("host %d split from its switch: %v", i, assign)
+		}
+		if assign[5+i] != assign[1] {
+			t.Fatalf("host %d split from its switch: %v", 3+i, assign)
+		}
+	}
+}
+
+func TestPartitionGraphDeterministic(t *testing.T) {
+	g := dumbbellGraph(10)
+	a := PartitionGraph(g, 3)
+	for i := 0; i < 5; i++ {
+		if b := PartitionGraph(g, 3); !reflect.DeepEqual(a, b) {
+			t.Fatalf("partition not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestPartitionGraphNoEmptyShards: every shard must receive at least one
+// node whenever shards <= N (regression: ceil chunking left trailing
+// shards empty, e.g. the 9-node chain at 4 shards).
+func TestPartitionGraphNoEmptyShards(t *testing.T) {
+	chain := PartGraph{N: 9, Edges: [][2]int{
+		{3, 0}, {4, 0}, {5, 1}, {6, 2}, {7, 1}, {8, 2}, {0, 1}, {1, 2},
+	}}
+	for shards := 2; shards <= 9; shards++ {
+		assign := PartitionGraph(chain, shards)
+		sizes := make([]int, shards)
+		for _, s := range assign {
+			sizes[s]++
+		}
+		for s, n := range sizes {
+			if n == 0 {
+				t.Fatalf("shards=%d: shard %d empty (sizes %v)", shards, s, sizes)
+			}
+		}
+	}
+}
+
+// TestPlanPartitionMismatchPanics: a builder whose creation count diverges
+// from its planned PartGraph must fail loudly at ComputeRoutes, not
+// silently mis-assign shards.
+func TestPlanPartitionMismatchPanics(t *testing.T) {
+	n := NewSharded(1, 2)
+	n.PlanPartition([]int{0, 1, 1}) // plan says 3 nodes
+	n.AddSwitch(2)
+	n.AddHost() // ... but only 2 were created
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ComputeRoutes must panic on an unconsumed partition plan")
+		}
+	}()
+	n.ComputeRoutes()
+}
+
+func TestPartitionGraphSingleShard(t *testing.T) {
+	g := dumbbellGraph(4)
+	for _, s := range PartitionGraph(g, 1) {
+		if s != 0 {
+			t.Fatal("1-shard partition must map everything to shard 0")
+		}
+	}
+}
+
+func TestFatTreePartitionPodAligned(t *testing.T) {
+	const k, shards = 4, 2
+	half := k / 2
+	assign := FatTreePartition(k, shards)
+	wantLen := half*half + k*(2*half+half*half)
+	if len(assign) != wantLen {
+		t.Fatalf("assignment length %d, want %d", len(assign), wantLen)
+	}
+	// Every node of a pod shares one shard; pods split contiguously.
+	idx := half * half
+	for p := 0; p < k; p++ {
+		want := p * shards / k
+		for i := 0; i < 2*half+half*half; i++ {
+			if assign[idx] != want {
+				t.Fatalf("pod %d node %d on shard %d, want %d", p, i, assign[idx], want)
+			}
+			idx++
+		}
+	}
+	// Cores round-robin.
+	for c := 0; c < half*half; c++ {
+		if assign[c] != c%shards {
+			t.Fatalf("core %d on shard %d, want %d", c, assign[c], c%shards)
+		}
+	}
+}
+
+// TestFatTreeShardedCutIsAggCoreOnly checks that a sharded fat-tree only
+// cuts pod-core links: the boundary count equals the pod-to-remote-core
+// adjacencies, and every intra-pod link stays local.
+func TestFatTreeShardedCutIsAggCoreOnly(t *testing.T) {
+	n := NewSharded(1, 2)
+	pods := FatTree(n, 4, 1000)
+	if n.Group() == nil {
+		t.Fatal("sharded network missing group")
+	}
+	// k=4, 2 shards: each of the 8 aggs has 2 core uplinks and cores
+	// alternate shards, so 8 agg-core pairs cross — 16 unidirectional
+	// boundary links — and no intra-pod link is cut.
+	if got := n.Group().NumBoundaries(); got != 16 {
+		t.Fatalf("boundary links = %d, want 16 (agg-core only)", got)
+	}
+	// Every host of a pod shares the pod's shard.
+	for p, hosts := range pods {
+		want := p * 2 / 4
+		for _, h := range hosts {
+			if got := n.ShardOf(h.ID()); got != want {
+				t.Fatalf("pod %d host %d on shard %d, want %d", p, h.ID(), got, want)
+			}
+		}
+	}
+}

@@ -15,12 +15,20 @@ import (
 	"minions/internal/sim"
 )
 
-// SwitchNodeBase offsets switch node IDs away from host IDs.
+// SwitchNodeBase is the default offset of switch node IDs away from host
+// IDs. Networks whose host count reaches it derive a larger base instead
+// (see EnsureSwitchBase); creating a host whose ID would collide with an
+// existing switch fails loudly rather than silently aliasing addresses.
 const SwitchNodeBase = 1000
 
-// Network is a wired simulation: engine, control plane, nodes and links.
+// Network is a wired simulation: engines (one per topology shard), control
+// plane, nodes and links. With one shard (the default) it behaves exactly
+// like the original single-engine simulator; with more, nodes are assigned
+// to shards (see PlanPartition) and the shards advance in conservative
+// lookahead epochs synchronized by a sim.ShardGroup, exchanging boundary
+// packets at epoch barriers.
 type Network struct {
-	Eng      *sim.Engine
+	Eng      *sim.Engine // shard 0's engine (setup-time scheduling, 1-shard runs)
 	CP       *host.ControlPlane
 	Switches []*device.Switch
 	Hosts    []*host.Host
@@ -29,7 +37,15 @@ type Network struct {
 	edges    map[link.NodeID][]edge
 	links    []*link.Link
 	nextLink uint32
-	pool     *link.Pool
+
+	engines []*sim.Engine
+	pools   []*link.Pool
+	group   *sim.ShardGroup // nil for single-shard networks
+
+	shardOf    map[link.NodeID]int
+	plan       []int // planned shard per upcoming node, in creation order
+	planNext   int
+	switchBase link.NodeID
 }
 
 // edge records one directed adjacency for route computation.
@@ -38,43 +54,172 @@ type edge struct {
 	port int // sender-side port the edge leaves from
 }
 
-// New creates an empty network with a deterministic engine.
-func New(seed int64) *Network {
-	return &Network{
-		Eng:      sim.New(seed),
-		CP:       host.NewControlPlane(),
-		nextPort: make(map[link.NodeID]int),
-		edges:    make(map[link.NodeID][]edge),
-		pool:     link.NewPool(),
+// New creates an empty single-shard network with a deterministic engine.
+func New(seed int64) *Network { return NewSharded(seed, 1) }
+
+// NewSharded creates an empty network whose nodes will be spread over
+// shards topology shards, each with its own engine, RNG stream and packet
+// pool. Shard 0's engine is seeded with seed itself, so a one-shard network
+// is byte-identical to the historical single-engine simulator; further
+// shards get distinct deterministic streams derived from seed.
+func NewSharded(seed int64, shards int) *Network {
+	if shards < 1 {
+		shards = 1
 	}
+	engines := make([]*sim.Engine, shards)
+	pools := make([]*link.Pool, shards)
+	for i := range engines {
+		s := seed
+		if i > 0 {
+			// Distinct per-shard RNG streams: a large odd stride keeps the
+			// seeds unique for any base seed.
+			s = seed + int64(i)*0x4E3779B97F4A7C15
+		}
+		engines[i] = sim.New(s)
+		pools[i] = link.NewPool()
+	}
+	n := &Network{
+		Eng:        engines[0],
+		CP:         host.NewControlPlane(),
+		nextPort:   make(map[link.NodeID]int),
+		edges:      make(map[link.NodeID][]edge),
+		engines:    engines,
+		pools:      pools,
+		shardOf:    make(map[link.NodeID]int),
+		switchBase: SwitchNodeBase,
+	}
+	if shards > 1 {
+		n.group = sim.NewShardGroup(engines)
+	}
+	return n
 }
 
-// PacketPool returns the network-wide packet free list every host draws
-// from. Steady-state traffic recycles packets through it, so the forward
-// path allocates nothing per packet (see link.Pool for ownership rules).
-func (n *Network) PacketPool() *link.Pool { return n.pool }
+// Shards returns the shard count (1 for the classic single-engine network).
+func (n *Network) Shards() int { return len(n.engines) }
+
+// ShardEngine returns shard i's engine.
+func (n *Network) ShardEngine(i int) *sim.Engine { return n.engines[i] }
+
+// ShardOf returns the shard a node was assigned to.
+func (n *Network) ShardOf(id link.NodeID) int { return n.shardOf[id] }
+
+// Group returns the shard synchronizer, nil for single-shard networks.
+func (n *Network) Group() *sim.ShardGroup { return n.group }
+
+// PlanPartition queues the shard assignment for the next len(assign) nodes
+// created, in creation order — how topology builders apply a partition
+// computed before any node exists (see PartitionGraph/FatTreePartition).
+// Nodes created beyond the plan default to shard 0.
+func (n *Network) PlanPartition(assign []int) {
+	n.plan = assign
+	n.planNext = 0
+}
+
+// nextShard consumes the next planned shard assignment.
+func (n *Network) nextShard() int {
+	s := 0
+	if n.planNext < len(n.plan) {
+		s = n.plan[n.planNext]
+	}
+	n.planNext++
+	if s < 0 || s >= len(n.engines) {
+		panic(fmt.Sprintf("topo: planned shard %d out of range (%d shards)", s, len(n.engines)))
+	}
+	return s
+}
+
+// PacketPool returns shard 0's packet free list — the network-wide list for
+// single-shard networks. Steady-state traffic recycles packets through the
+// per-shard pools, so the forward path allocates nothing per packet (see
+// link.Pool for ownership rules).
+func (n *Network) PacketPool() *link.Pool { return n.pools[0] }
+
+// PoolStats sums (gets, puts, news) over every shard's packet pool.
+func (n *Network) PoolStats() (gets, puts, news uint64) {
+	for _, p := range n.pools {
+		g, pu, ne := p.Stats()
+		gets += g
+		puts += pu
+		news += ne
+	}
+	return
+}
+
+// EnsureSwitchBase raises the switch node-ID base to accommodate maxHosts
+// hosts. Builders call it up front (host counts are known before wiring);
+// it panics if switches were already created with the smaller base, because
+// their addresses are already wired into links and routes.
+func (n *Network) EnsureSwitchBase(maxHosts int) {
+	// Host IDs run 1..maxHosts and switch IDs start at base+1, so a base of
+	// exactly maxHosts is already collision-free.
+	need := link.NodeID(maxHosts)
+	if need <= n.switchBase {
+		return
+	}
+	if len(n.Switches) > 0 {
+		panic(fmt.Sprintf("topo: EnsureSwitchBase(%d) after %d switches were created at base %d",
+			maxHosts, len(n.Switches), n.switchBase))
+	}
+	n.switchBase = need
+}
 
 // AddSwitch creates a switch with numPorts ports.
 func (n *Network) AddSwitch(numPorts int) *device.Switch {
 	id := uint32(len(n.Switches) + 1)
-	sw := device.New(n.Eng, device.Config{
+	shard := n.nextShard()
+	sw := device.New(n.engines[shard], device.Config{
 		ID:       id,
 		NumPorts: numPorts,
-		NodeID:   link.NodeID(SwitchNodeBase + id),
+		NodeID:   n.switchBase + link.NodeID(id),
 		VendorID: 0xACE1,
 	})
 	sw.SetWritePolicy(n.CP.SwitchWritePolicy())
 	n.Switches = append(n.Switches, sw)
+	n.shardOf[sw.NodeID()] = shard
 	return sw
 }
 
 // AddHost creates a host. Host node IDs start at 1.
 func (n *Network) AddHost() *host.Host {
+	// Switch NodeIDs start at switchBase+1, so host IDs up to and including
+	// the base are collision-free.
 	id := link.NodeID(len(n.Hosts) + 1)
-	h := host.New(n.Eng, id, n.CP)
-	h.SetPool(n.pool)
+	if id > n.switchBase {
+		panic(fmt.Sprintf(
+			"topo: host NodeID %d collides with switch base %d; call EnsureSwitchBase(hosts) before creating switches",
+			id, n.switchBase))
+	}
+	shard := n.nextShard()
+	h := host.New(n.engines[shard], id, n.CP)
+	h.SetPool(n.pools[shard])
 	n.Hosts = append(n.Hosts, h)
+	n.shardOf[id] = shard
 	return h
+}
+
+// Run processes events until none remain anywhere, returning the count.
+func (n *Network) Run() int {
+	if n.group == nil {
+		return n.Eng.Run()
+	}
+	return n.group.Run()
+}
+
+// RunUntil processes all events with timestamps <= deadline across every
+// shard, advancing all clocks to the deadline, and returns the count.
+func (n *Network) RunUntil(deadline sim.Time) int {
+	if n.group == nil {
+		return n.Eng.RunUntil(deadline)
+	}
+	return n.group.RunUntil(deadline)
+}
+
+// Now returns the network's virtual clock (the common shard barrier time).
+func (n *Network) Now() sim.Time {
+	if n.group == nil {
+		return n.Eng.Now()
+	}
+	return n.group.Now()
 }
 
 // nodeID returns the network address of a host or switch.
@@ -110,16 +255,26 @@ func (n *Network) allocPort(v any) int {
 }
 
 // Connect wires a and b with a bidirectional link pair of the given config
-// and returns the two unidirectional links (a->b, b->a).
+// and returns the two unidirectional links (a->b, b->a). Each unidirectional
+// link lives in its transmitter's shard; when the endpoints sit in different
+// shards, both directions become boundary links whose deliveries cross at
+// epoch barriers (and whose propagation delay feeds the group's lookahead).
 func (n *Network) Connect(a, b any, cfg link.Config) (*link.Link, *link.Link) {
 	pa, pb := n.allocPort(a), n.allocPort(b)
 
-	lab := link.New(n.Eng, cfg, receiver(b), pb)
-	lba := link.New(n.Eng, cfg, receiver(a), pa)
+	ida, idb := nodeID(a), nodeID(b)
+	sa, sb := n.shardOf[ida], n.shardOf[idb]
+	lab := link.New(n.engines[sa], cfg, receiver(b), pb)
+	lba := link.New(n.engines[sb], cfg, receiver(a), pa)
+	if sa != sb {
+		bab := lab.BindBoundary(sa, sb, n.pools[sb])
+		bab.SetDirty(n.group.AddBoundary(bab))
+		bba := lba.BindBoundary(sb, sa, n.pools[sa])
+		bba.SetDirty(n.group.AddBoundary(bba))
+	}
 	n.attach(a, pa, lab)
 	n.attach(b, pb, lba)
 
-	ida, idb := nodeID(a), nodeID(b)
 	n.edges[ida] = append(n.edges[ida], edge{peer: idb, port: pa})
 	n.edges[idb] = append(n.edges[idb], edge{peer: ida, port: pb})
 	n.links = append(n.links, lab, lba)
@@ -143,7 +298,22 @@ func (n *Network) Links() []*link.Link { return n.links }
 // switch, for every host and switch destination. Equal-cost next hops all
 // land in the route's port group; switches hash flows (and the path tag)
 // across them.
+//
+// It also closes out any pending partition plan: a plan is positional (the
+// i-th planned shard binds to the i-th node created), so a builder that
+// created more or fewer nodes than its PartGraph described would silently
+// mis-assign every subsequent node — fail loudly instead. Nodes created
+// after this point intentionally default to shard 0.
 func (n *Network) ComputeRoutes() {
+	if len(n.plan) > 0 {
+		if n.planNext != len(n.plan) {
+			panic(fmt.Sprintf(
+				"topo: partition plan covers %d nodes but %d were created — builder creation order diverged from its PartGraph",
+				len(n.plan), n.planNext))
+		}
+		n.plan = nil
+		n.planNext = 0
+	}
 	dests := make([]link.NodeID, 0, len(n.Hosts)+len(n.Switches))
 	for _, h := range n.Hosts {
 		dests = append(dests, h.ID())
@@ -204,6 +374,19 @@ func HostLink(rateMbps int) link.Config {
 // Dumbbell builds the Figure 1 topology: two switches joined by one link,
 // half the hosts on each side. All links run at rateMbps.
 func Dumbbell(n *Network, hosts, rateMbps int) ([]*host.Host, *device.Switch, *device.Switch) {
+	n.EnsureSwitchBase(hosts)
+	if s := n.Shards(); s > 1 {
+		// Creation order: left(0), right(1), hosts 2..hosts+1.
+		g := PartGraph{N: hosts + 2, Edges: [][2]int{{0, 1}}}
+		for i := 0; i < hosts; i++ {
+			sw := 0
+			if i >= hosts/2 {
+				sw = 1
+			}
+			g.Edges = append(g.Edges, [2]int{2 + i, sw})
+		}
+		n.PlanPartition(PartitionGraph(g, s))
+	}
 	left := n.AddSwitch(hosts/2 + 2)
 	right := n.AddSwitch(hosts - hosts/2 + 2)
 	cfg := HostLink(rateMbps)
@@ -228,6 +411,13 @@ func Dumbbell(n *Network, hosts, rateMbps int) ([]*host.Host, *device.Switch, *d
 // c (host2 at S2 -> host5 at S3) the second. Host links run 10x faster so
 // the shared links are the bottlenecks.
 func Chain(n *Network, rateMbps int) ([]*host.Host, []*device.Switch) {
+	if s := n.Shards(); s > 1 {
+		// Creation order: s1(0) s2(1) s3(2), hosts a,b,c,da,db,dc at 3..8.
+		g := PartGraph{N: 9, Edges: [][2]int{
+			{3, 0}, {4, 0}, {5, 1}, {6, 2}, {7, 1}, {8, 2}, {0, 1}, {1, 2},
+		}}
+		n.PlanPartition(PartitionGraph(g, s))
+	}
 	s1 := n.AddSwitch(6)
 	s2 := n.AddSwitch(6)
 	s3 := n.AddSwitch(6)
@@ -253,6 +443,14 @@ func Chain(n *Network, rateMbps int) ([]*host.Host, []*device.Switch) {
 // confined to the S0 path (the paper: "the flow from L0 to L2 uses only one
 // path") by a post-route fixup; L1's flows may use both spines.
 func Conga(n *Network, rateMbps int) (hosts []*host.Host, leaves, spines []*device.Switch) {
+	if s := n.Shards(); s > 1 {
+		// Creation order: l0,l1,l2 (0-2), s0,s1 (3-4), h0,h1,h2 (5-7).
+		g := PartGraph{N: 8, Edges: [][2]int{
+			{5, 0}, {6, 1}, {7, 2},
+			{0, 3}, {0, 4}, {1, 3}, {1, 4}, {2, 3}, {2, 4},
+		}}
+		n.PlanPartition(PartitionGraph(g, s))
+	}
 	l0, l1, l2 := n.AddSwitch(4), n.AddSwitch(4), n.AddSwitch(4)
 	s0, s1 := n.AddSwitch(4), n.AddSwitch(4)
 	cfg := HostLink(rateMbps)
@@ -287,6 +485,11 @@ func FatTree(n *Network, k, rateMbps int) [][]*host.Host {
 		panic("topo: fat-tree arity must be even")
 	}
 	half := k / 2
+	hosts, _ := FatTreeDims(k)
+	n.EnsureSwitchBase(hosts)
+	if s := n.Shards(); s > 1 {
+		n.PlanPartition(FatTreePartition(k, s))
+	}
 	cfg := HostLink(rateMbps)
 
 	cores := make([]*device.Switch, half*half)

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"math/rand"
+
 	"minions/internal/host"
 	"minions/internal/link"
 	"minions/internal/sim"
@@ -46,8 +48,11 @@ type TCPFlow struct {
 	// nextSendAt paces transmissions with a small random jitter. A perfectly
 	// deterministic simulator otherwise phase-locks drop-tail queues and
 	// starves one of two synchronized flows — an artifact real NIC/OS noise
-	// prevents.
+	// prevents. The jitter draws from the flow's own RNG (seeded from its
+	// 4-tuple), not the engine's, so TCP behavior is identical at any
+	// topology shard count — engine RNG streams are per shard.
 	nextSendAt sim.Time
+	jitter     *rand.Rand
 
 	// DelayedAckEvery mirrors receiver behavior for overhead accounting
 	// (set on the receiving sink, recorded here for symmetric config).
@@ -62,6 +67,12 @@ type TCPFlow struct {
 // NewTCPFlow creates a sender toward dst:dport. Size the transfer with
 // SetMessage, or leave unbounded for a long-lived flow.
 func NewTCPFlow(h *host.Host, dst link.NodeID, sport, dport uint16, mss int) *TCPFlow {
+	// 64-bit seed from two independently tagged 32-bit hashes of the
+	// 4-tuple: a single 32-bit hash invites birthday collisions at ~10k
+	// flows, and two flows with equal jitter streams can phase-lock on a
+	// shared queue — the artifact the jitter exists to prevent.
+	key := link.FlowKey{Src: h.ID(), Dst: dst, SrcPort: sport, DstPort: dport, Proto: link.ProtoTCP}
+	seed := int64(uint64(key.Hash(0))<<32 | uint64(key.Hash(1)))
 	return &TCPFlow{
 		h: h, dst: dst, sport: sport, dport: dport,
 		MSS:      mss,
@@ -69,6 +80,7 @@ func NewTCPFlow(h *host.Host, dst link.NodeID, sport, dport uint16, mss int) *TC
 		ssthresh: 64,
 		rto:      20 * sim.Millisecond,
 		sendTime: make(map[uint32]sim.Time),
+		jitter:   rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -136,7 +148,7 @@ func (f *TCPFlow) sendData(seq uint32, fresh bool) {
 	if f.nextSendAt > at {
 		at = f.nextSendAt
 	}
-	at += sim.Time(eng.Rand().Int63n(int64(4 * sim.Microsecond)))
+	at += sim.Time(f.jitter.Int63n(int64(4 * sim.Microsecond)))
 	f.nextSendAt = at // monotone per flow: no intra-flow reordering
 	f.sendQ.Push(p)
 	eng.Schedule(at, (*tcpSendArm)(f), 0)

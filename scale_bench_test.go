@@ -12,30 +12,50 @@ import (
 	"minions/testbed"
 )
 
-// BenchmarkScaleFatTree drives a k=4 fat-tree (16 hosts, 20 switches) with
-// 128 TPP-instrumented CBR flows and reports simulator throughput: packet-
-// hops and events per wall-clock second, wall nanoseconds per simulated
-// packet-hop, and heap allocations per packet-hop (~0 in steady state).
+// BenchmarkScaleFatTree drives TPP-instrumented CBR flows over fat-trees
+// and reports simulator throughput: packet-hops and events per wall-clock
+// second, wall nanoseconds per simulated packet-hop, and heap allocations
+// per packet-hop (~0 in single-shard steady state). The k=8 sub-benchmarks
+// sweep the shard count — the parallel-scaling curve of the conservative
+// PDES runtime. Shard speedup requires real cores: with GOMAXPROCS=1 the
+// sharded runs measure pure barrier/re-homing overhead instead.
 func BenchmarkScaleFatTree(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := testbed.RunScaleFatTree(testbed.ScaleConfig{
-			K:        4,
-			Flows:    128,
-			Duration: 100 * testbed.Millisecond,
-			WithTPP:  true,
-			Seed:     1,
+	cases := []struct {
+		name   string
+		k      int
+		flows  int
+		shards int
+	}{
+		{"k4/shards=1", 4, 128, 1},
+		{"k8/shards=1", 8, 256, 1},
+		{"k8/shards=2", 8, 256, 2},
+		{"k8/shards=4", 8, 256, 4},
+		{"k8/shards=8", 8, 256, 8},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := testbed.RunScaleFatTree(testbed.ScaleConfig{
+					K:        c.k,
+					Flows:    c.flows,
+					Duration: 100 * testbed.Millisecond,
+					WithTPP:  true,
+					Seed:     1,
+					Shards:   c.shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.PktHopsPerSec()/1e6, "Mpkt-hops/s")
+					b.ReportMetric(res.EventsPerSec()/1e6, "Mevents/s")
+					b.ReportMetric(res.NsPerPktHop(), "ns/pkt-hop")
+					b.ReportMetric(res.AllocsPerPktHop(), "allocs/pkt-hop")
+					b.ReportMetric(float64(res.Delivered), "pkts-delivered")
+					b.Log("\n" + res.Table())
+				}
+			}
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(res.PktHopsPerSec()/1e6, "Mpkt-hops/s")
-			b.ReportMetric(res.EventsPerSec()/1e6, "Mevents/s")
-			b.ReportMetric(res.NsPerPktHop(), "ns/pkt-hop")
-			b.ReportMetric(res.AllocsPerPktHop(), "allocs/pkt-hop")
-			b.ReportMetric(float64(res.Delivered), "pkts-delivered")
-			b.Log("\n" + res.Table())
-		}
 	}
 }
 

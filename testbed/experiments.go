@@ -32,6 +32,7 @@ type Fig1Config struct {
 	Load     float64 // 0.30
 	Duration Time    // 2 s
 	Seed     int64
+	Shards   int // topology shards simulated in parallel (default 1)
 }
 
 // Fig1QueueStat summarizes one monitored queue.
@@ -72,7 +73,7 @@ func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
 	if cfg.Duration == 0 {
 		cfg.Duration = 2 * Second
 	}
-	n := New(cfg.Seed + 3)
+	n := NewSharded(cfg.Seed+3, cfg.Shards)
 	hosts, _, _ := n.Dumbbell(cfg.Hosts, cfg.RateMbps)
 	mon, err := microburst.Deploy(n.CP, hosts, host.FilterSpec{Proto: link.ProtoUDP}, 1, 5)
 	if err != nil {
@@ -84,7 +85,7 @@ func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
 		Duration: cfg.Duration,
 		Seed:     cfg.Seed + 11,
 	})
-	n.Eng.RunUntil(cfg.Duration + 100*Millisecond)
+	n.RunUntil(cfg.Duration + 100*Millisecond)
 
 	res := &Fig1Result{TotalSamples: mon.Samples(), OverheadBytes: mon.Overhead()}
 	for _, q := range mon.Queues() {
@@ -147,9 +148,15 @@ type Fig2Result struct {
 // RunFig2 reproduces Figure 2: flows a (2 links), b, c (1 link each) at the
 // given duration per panel.
 func RunFig2(duration Time, seed int64) (*Fig2Result, error) {
+	return RunFig2Sharded(duration, seed, 1)
+}
+
+// RunFig2Sharded is RunFig2 over a sharded simulation; results are
+// byte-identical to the single-shard run for the same seed.
+func RunFig2Sharded(duration Time, seed int64, shards int) (*Fig2Result, error) {
 	res := &Fig2Result{}
 	run := func(alpha float64) ([]Fig2Point, [3]float64, error) {
-		n := New(seed + 5)
+		n := NewSharded(seed+5, shards)
 		hosts, _ := n.Chain(100)
 		sys, err := rcp.NewSystem(n.CP, rcp.Config{Alpha: alpha, CapacityMbps: 100})
 		if err != nil {
@@ -174,7 +181,7 @@ func RunFig2(duration Time, seed int64) (*Fig2Result, error) {
 		var prev [3]uint64
 		step := 250 * Millisecond
 		for at := step; at <= duration; at += step {
-			n.Eng.RunUntil(at)
+			n.RunUntil(at)
 			var pt Fig2Point
 			pt.T = at.Seconds()
 			for i, s := range sinks {
@@ -254,7 +261,7 @@ func RunSec22(flowCounts []int, duration Time, seed int64) ([]Sec22Row, error) {
 			flows = append(flows, fl)
 			fl.Start()
 		}
-		n.Eng.RunUntil(duration)
+		n.RunUntil(duration)
 		var ctrl, data uint64
 		for i, fl := range flows {
 			fl.Stop()
@@ -278,7 +285,7 @@ func RunSec22(flowCounts []int, duration Time, seed int64) ([]Sec22Row, error) {
 			f := transport.NewTCPFlow(n2.Hosts[1], hosts2[4].ID(), port, port, 1440)
 			f.Start()
 		}
-		n2.Eng.RunUntil(duration)
+		n2.RunUntil(duration)
 		var acks uint64
 		for _, s := range tsinks {
 			acks += s.AckBytes
@@ -321,8 +328,14 @@ type Fig4Result struct {
 
 // RunFig4 reproduces the Figure 4 example.
 func RunFig4(duration Time, seed int64) (*Fig4Result, error) {
+	return RunFig4Sharded(duration, seed, 1)
+}
+
+// RunFig4Sharded is RunFig4 over a sharded simulation; results are
+// byte-identical to the single-shard run for the same seed.
+func RunFig4Sharded(duration Time, seed int64, shards int) (*Fig4Result, error) {
 	run := func(useConga bool) (Fig4Cell, error) {
-		n := New(seed + 13)
+		n := NewSharded(seed+13, shards)
 		hosts, _, _ := n.LeafSpine(100)
 		h0, h1, h2 := hosts[0], hosts[1], hosts[2]
 		sink0 := transport.NewSink(h2, 7100, link.ProtoUDP)
@@ -353,13 +366,13 @@ func RunFig4(duration Time, seed int64) (*Fig4Result, error) {
 		if warm < Second {
 			warm = duration / 2
 		}
-		n.Eng.RunUntil(warm)
+		n.RunUntil(warm)
 		b0, b1 := sink0.Bytes, sink1.Bytes
 		maxPm := uint32(0)
 		steps := 10
 		stepDur := (duration - warm) / Time(steps)
 		for i := 0; i < steps; i++ {
-			n.Eng.RunUntil(warm + Time(i+1)*stepDur)
+			n.RunUntil(warm + Time(i+1)*stepDur)
 			for _, l := range n.Links() {
 				if l.RateMbps() != 100 {
 					continue
@@ -376,7 +389,7 @@ func RunFig4(duration Time, seed int64) (*Fig4Result, error) {
 			MaxUtilPerm: float64(maxPm),
 		}
 		if bal != nil {
-			cell.ProbeMbps = float64(bal.ProbeBytes) * 8 / n.Eng.Now().Seconds() / 1e6
+			cell.ProbeMbps = float64(bal.ProbeBytes) * 8 / n.Now().Seconds() / 1e6
 			bal.Stop()
 		}
 		f0.Stop()
@@ -433,7 +446,7 @@ func RunSec23() (*Sec23Result, error) {
 	for i := 0; i < 50; i++ {
 		h0.Send(h0.NewPacket(h3.ID(), 1000, 8000, link.ProtoUDP, 800))
 	}
-	n.Eng.Run()
+	n.Run()
 	total := netsight.OverheadBytes(netsight.DefaultHops)
 	return &Sec23Result{
 		HeaderBytes: core.HeaderLen,
@@ -487,11 +500,11 @@ func RunSec25() (*Sec25Result, error) {
 			src.Send(src.NewPacket(h0.ID(), uint16(1000+k%50), 8000, link.ProtoUDP, 600))
 		}
 	}
-	n.Eng.RunUntil(Second)
+	n.RunUntil(Second)
 	for _, a := range agents {
 		a.Stop()
 	}
-	n.Eng.Run()
+	n.Run()
 
 	best := 0.0
 	for _, k := range mon.Links() {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"minions/internal/link"
@@ -37,12 +38,14 @@ type ScaleConfig struct {
 	Warmup       Time  // simulated warmup before measuring (default 20 ms)
 	Seed         int64 // default 1
 	WithTPP      bool  // attach a 2-word/hop telemetry TPP to every data packet
+	Shards       int   // topology shards simulated in parallel (default 1)
 }
 
 // ScaleResult is one fat-tree scale measurement. Traffic counters cover the
 // measured window only (warmup excluded).
 type ScaleResult struct {
 	K, Hosts, Switches, Links, Flows int
+	Shards                           int
 
 	SimDuration   Time
 	Events        int    // engine events processed
@@ -88,8 +91,8 @@ func (r *ScaleResult) AllocsPerPktHop() float64 {
 // Table renders the result.
 func (r *ScaleResult) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "fat-tree k=%d: %d hosts, %d switches, %d links, %d flows, TPP records %d\n",
-		r.K, r.Hosts, r.Switches, r.Links, r.Flows, r.TPPHopRecords)
+	fmt.Fprintf(&b, "fat-tree k=%d (%d shards): %d hosts, %d switches, %d links, %d flows, TPP records %d\n",
+		r.K, r.Shards, r.Hosts, r.Switches, r.Links, r.Flows, r.TPPHopRecords)
 	fmt.Fprintf(&b, "simulated %.0f ms: %d pkt-hops, %d delivered (%.1f MB), %d drops, %d events\n",
 		r.SimDuration.Seconds()*1e3, r.PktHops, r.Delivered, r.DeliveredMB, r.Drops, r.Events)
 	fmt.Fprintf(&b, "wall %.1f ms: %.2fM pkt-hops/s, %.2fM events/s, %.0f ns/pkt-hop, %.4f allocs/pkt-hop\n",
@@ -141,8 +144,17 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	// The pod-aligned partition caps useful shards at k (one pod is the
+	// smallest indivisible unit); clamp here so ScaleResult.Shards reports
+	// what actually ran instead of idle engines.
+	if cfg.Shards > cfg.K {
+		cfg.Shards = cfg.K
+	}
 
-	net := New(cfg.Seed)
+	net := NewSharded(cfg.Seed, cfg.Shards)
 	pods := net.FatTree(cfg.K, cfg.RateMbps)
 	var hosts []*Host
 	for _, pod := range pods {
@@ -151,6 +163,7 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 
 	res := &ScaleResult{
 		K:           cfg.K,
+		Shards:      cfg.Shards,
 		Hosts:       len(hosts),
 		Switches:    len(net.Switches),
 		Links:       len(net.Links()),
@@ -159,6 +172,10 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 	}
 
 	const dstPort = 9100
+	// Aggregators run on every shard's goroutine; the hop-record tally is an
+	// atomic because additions commute — the sum is deterministic no matter
+	// how shard execution interleaves.
+	var hopRecords atomic.Uint64
 	if cfg.WithTPP {
 		// Longest fat-tree path is edge-agg-core-agg-edge = 5 switch hops;
 		// size one extra so resized topologies don't silently truncate.
@@ -173,7 +190,7 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 			}
 			// Consume views without copying: count collected hop records.
 			h.RegisterAggregator(app.Wire, func(p *Packet, view tpp.Section) {
-				res.TPPHopRecords += uint64(view.HopOrSP()) / 2
+				hopRecords.Add(uint64(view.HopOrSP()) / 2)
 			})
 		}
 	}
@@ -196,10 +213,10 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 		sinkPktsBefore += s.Packets
 		sinkBytesBefore += s.Bytes
 	}
-	getsBefore, _, newsBefore := net.PacketPool().Stats()
+	getsBefore, _, newsBefore := net.PoolStats()
 	// The aggregator accumulates from time zero; baseline it so
 	// TPPHopRecords covers the measured window like every other counter.
-	hopRecordsBefore := res.TPPHopRecords
+	hopRecordsBefore := hopRecords.Load()
 
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
@@ -217,9 +234,9 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 	}
 	res.Delivered -= sinkPktsBefore
 	res.DeliveredMB = (res.DeliveredMB - float64(sinkBytesBefore)) / 1e6
-	res.TPPHopRecords -= hopRecordsBefore
+	res.TPPHopRecords = hopRecords.Load() - hopRecordsBefore
 	res.Mallocs = m1.Mallocs - m0.Mallocs
-	getsAfter, _, newsAfter := net.PacketPool().Stats()
+	getsAfter, _, newsAfter := net.PoolStats()
 	res.PoolGets = getsAfter - getsBefore
 	res.PoolNews = newsAfter - newsBefore
 	return res, nil

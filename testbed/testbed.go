@@ -61,6 +61,13 @@ func New(seed int64) *Network {
 	return tppnet.NewNetwork(tppnet.WithSeed(seed))
 }
 
+// NewSharded creates an empty network split across shards topology shards
+// (see tppnet.WithShards); shards <= 1 yields the classic single-engine
+// network.
+func NewSharded(seed int64, shards int) *Network {
+	return tppnet.NewNetwork(tppnet.WithSeed(seed), tppnet.WithShards(shards))
+}
+
 // HostLink returns a standard link config at the given rate.
 func HostLink(rateMbps int) LinkConfig { return tppnet.HostLink(rateMbps) }
 

@@ -1,0 +1,57 @@
+package tppnet_test
+
+import (
+	"testing"
+
+	"minions/tppnet"
+)
+
+// runShardedDumbbell pushes CBR traffic across a dumbbell and returns the
+// delivered packet count per receiving host.
+func runShardedDumbbell(shards int) (delivered []uint64, net *tppnet.Network) {
+	net = tppnet.NewNetwork(tppnet.WithSeed(42), tppnet.WithShards(shards))
+	hosts, _, _ := net.Dumbbell(6, 100)
+
+	var sinks []*tppnet.Sink
+	for i := 0; i < 3; i++ {
+		dst := hosts[3+i]
+		sinks = append(sinks, tppnet.NewSink(dst, uint16(8000+i), tppnet.ProtoUDP))
+		f := tppnet.NewUDPFlow(hosts[i], dst.ID(), uint16(8000+i), uint16(8000+i), 1000)
+		f.SetRateBps(20_000_000)
+		f.Start()
+	}
+	net.RunFor(50 * tppnet.Millisecond)
+	for _, s := range sinks {
+		delivered = append(delivered, s.Packets)
+	}
+	return delivered, net
+}
+
+func TestWithShardsMatchesSingleEngine(t *testing.T) {
+	base, _ := runShardedDumbbell(1)
+	for _, shards := range []int{2, 3} {
+		got, net := runShardedDumbbell(shards)
+		if net.Shards() != shards {
+			t.Fatalf("Shards() = %d, want %d", net.Shards(), shards)
+		}
+		if net.Group() == nil || net.Group().NumBoundaries() == 0 {
+			t.Fatalf("shards=%d: expected boundary links, got none", shards)
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("shards=%d sink %d delivered %d packets, single-engine delivered %d",
+					shards, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestWithShardsDefaultIsSingleEngine(t *testing.T) {
+	net := tppnet.NewNetwork(tppnet.WithSeed(1))
+	if net.Shards() != 1 {
+		t.Fatalf("default Shards() = %d, want 1", net.Shards())
+	}
+	if net.Group() != nil {
+		t.Fatal("single-shard network must not carry a shard group")
+	}
+}

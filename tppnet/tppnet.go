@@ -126,7 +126,8 @@ type MapMemory = core.MapMemory
 
 // options collects functional-option state for NewNetwork.
 type options struct {
-	seed int64
+	seed   int64
+	shards int
 }
 
 // Option configures NewNetwork.
@@ -136,6 +137,22 @@ type Option func(*options)
 // same network with the same seed produces identical packet-level behavior.
 func WithSeed(seed int64) Option {
 	return func(o *options) { o.seed = seed }
+}
+
+// WithShards splits the network across n topology shards, each simulated by
+// its own engine (and goroutine, when GOMAXPROCS allows) and synchronized in
+// conservative lookahead epochs bounded by the minimum propagation delay of
+// any shard-crossing link. The default, 1, is the classic single-engine
+// simulator. The built-in topology methods partition automatically
+// (pod-aligned for fat-trees, min-cut-ish otherwise); manually wired nodes
+// land in shard 0 unless a partition is planned via PlanPartition.
+//
+// Results are deterministic for a given (seed, shard count) regardless of
+// goroutine scheduling, and match the single-shard run except in the
+// measure-zero case of two causally unrelated events in different shards
+// colliding on both firing and insertion instants (see sim.ShardGroup).
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
 }
 
 // Network is a wired simulation: a deterministic engine, the shared TPP-CP,
@@ -148,18 +165,19 @@ type Network struct {
 
 // NewNetwork creates an empty network.
 func NewNetwork(opts ...Option) *Network {
-	o := options{seed: 1}
+	o := options{seed: 1, shards: 1}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return &Network{Network: topo.New(o.seed)}
+	return &Network{Network: topo.NewSharded(o.seed, o.shards)}
 }
 
-// Run processes simulation events until none remain, returning the count.
-func (n *Network) Run() int { return n.Eng.Run() }
+// Run processes simulation events across every shard until none remain,
+// returning the count.
+func (n *Network) Run() int { return n.Network.Run() }
 
 // RunFor processes events for d of virtual time, returning the count.
-func (n *Network) RunFor(d Time) int { return n.Eng.RunUntil(n.Eng.Now() + d) }
+func (n *Network) RunFor(d Time) int { return n.Network.RunUntil(n.Now() + d) }
 
 // Dumbbell wires the Figure 1 topology: two switches joined by one link,
 // half the hosts on each side, all links at rateMbps. Routes are computed.
