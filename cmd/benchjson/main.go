@@ -19,7 +19,10 @@ import (
 	"runtime"
 	"time"
 
+	"minions/internal/core"
+	"minions/internal/mem"
 	"minions/testbed"
+	"minions/tppnet"
 )
 
 // report is the file schema. Metrics are flat key→value so downstream
@@ -50,7 +53,21 @@ func main() {
 	shards := flag.Int("shards", 1, "topology shards for the default fat-tree scenarios")
 	scaleK := flag.Int("scale-k", 8, "fat-tree arity for the shard-scaling sweep (0 disables)")
 	scaleFlows := flag.Int("scale-flows", 256, "flows for the shard-scaling sweep")
+	schedName := flag.String("scheduler", "wheel", "engine event scheduler for the default scenarios: wheel or heap")
+	schedSweep := flag.Bool("sched-sweep", true, "record the A/B scenarios: heap-vs-wheel fat-tree and e2e hop, plus the PUSH-fusion curve")
+	strictAllocs := flag.Bool("strict-allocs", false, "exit non-zero if any single-shard forward-path scenario reports allocs/op > 0")
+	repeat := flag.Int("repeat", 3, "runs per scenario; the fastest is recorded (wall-clock noise rejection)")
 	flag.Parse()
+
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	runs = *repeat
+
+	sched, err := tppnet.ParseScheduler(*schedName)
+	if err != nil {
+		fatal(err)
+	}
 
 	rep := report{
 		Date:      time.Now().Format("2006-01-02"),
@@ -65,13 +82,14 @@ func main() {
 		if withTPP {
 			name += "+tpp"
 		}
-		res, err := testbed.RunScaleFatTree(testbed.ScaleConfig{
-			K:        *k,
-			Flows:    *flows,
-			Duration: testbed.Time(*durationMs) * testbed.Millisecond,
-			Seed:     *seed,
-			WithTPP:  withTPP,
-			Shards:   *shards,
+		res, err := bestScale(testbed.ScaleConfig{
+			K:         *k,
+			Flows:     *flows,
+			Duration:  testbed.Time(*durationMs) * testbed.Millisecond,
+			Seed:      *seed,
+			WithTPP:   withTPP,
+			Shards:    *shards,
+			Scheduler: sched,
 		})
 		if err != nil {
 			fatal(err)
@@ -79,7 +97,35 @@ func main() {
 		rep.Scenarios = append(rep.Scenarios, scaleScenario(name, res, map[string]any{
 			"k": *k, "flows": *flows, "duration_ms": *durationMs,
 			"seed": *seed, "with_tpp": withTPP, "shards": *shards,
+			"scheduler": sched.String(),
 		}))
+	}
+
+	// The engine-core comparison: the same single-shard fat-tree workload on
+	// the timing wheel and on the reference heap. Simulated behavior is
+	// byte-identical (the scheduler-determinism guards pin it); only the
+	// wall-clock columns move.
+	if *schedSweep {
+		for _, s := range []tppnet.Scheduler{tppnet.SchedulerWheel, tppnet.SchedulerHeap} {
+			res, err := bestScale(testbed.ScaleConfig{
+				K:         *k,
+				Flows:     *flows,
+				Duration:  testbed.Time(*durationMs) * testbed.Millisecond,
+				Seed:      *seed,
+				WithTPP:   true,
+				Shards:    1,
+				Scheduler: s,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			rep.Scenarios = append(rep.Scenarios, scaleScenario(
+				"fat-tree-sched-"+s.String(), res, map[string]any{
+					"k": *k, "flows": *flows, "duration_ms": *durationMs,
+					"seed": *seed, "with_tpp": true, "shards": 1,
+					"scheduler": s.String(),
+				}))
+		}
 	}
 
 	// The parallel-scaling curve: the same k>=8 fat-tree workload at 1, 2,
@@ -89,7 +135,7 @@ func main() {
 	// measure barrier + boundary re-homing overhead.
 	if *scaleK > 0 {
 		for _, sh := range []int{1, 2, 4, 8} {
-			res, err := testbed.RunScaleFatTree(testbed.ScaleConfig{
+			res, err := bestScale(testbed.ScaleConfig{
 				K:        *scaleK,
 				Flows:    *scaleFlows,
 				Duration: testbed.Time(*durationMs) * testbed.Millisecond,
@@ -117,18 +163,47 @@ func main() {
 		if withTPP {
 			name += "+tpp"
 		}
-		ns, allocs, err := measureHop(withTPP, *hopPkts)
+		ns, allocs, err := measureHop(withTPP, sched, *hopPkts)
 		if err != nil {
 			fatal(err)
 		}
 		rep.Scenarios = append(rep.Scenarios, scenario{
 			Name:   name,
-			Config: map[string]any{"packets": *hopPkts, "with_tpp": withTPP},
+			Config: map[string]any{"packets": *hopPkts, "with_tpp": withTPP, "scheduler": sched.String()},
 			Metrics: map[string]float64{
 				"ns_per_pkt":     ns,
 				"allocs_per_pkt": allocs,
 			},
 		})
+	}
+
+	if *schedSweep {
+		for _, s := range []tppnet.Scheduler{tppnet.SchedulerWheel, tppnet.SchedulerHeap} {
+			ns, allocs, err := measureHop(true, s, *hopPkts)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Scenarios = append(rep.Scenarios, scenario{
+				Name:   "e2e-hop-sched-" + s.String(),
+				Config: map[string]any{"packets": *hopPkts, "with_tpp": true, "scheduler": s.String()},
+				Metrics: map[string]float64{
+					"ns_per_pkt":     ns,
+					"allocs_per_pkt": allocs,
+				},
+			})
+		}
+	}
+
+	// The PUSH-fusion executor curve: ns per TCPU hop for all-PUSH stat-copy
+	// programs of 2..5 statistics, fused superinstruction vs per-instruction
+	// dispatch. Scheduler-independent, so it rides the same flag as the
+	// other A/B scenarios — a scheduler-focused re-run need not repeat it.
+	if *schedSweep {
+		rep.Scenarios = append(rep.Scenarios, fusionScenario())
+	}
+
+	if *strictAllocs {
+		enforceZeroAllocs(rep)
 	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")
@@ -145,6 +220,28 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println("wrote", path)
+}
+
+// runs is the per-scenario repetition count (set from -repeat).
+var runs = 1
+
+// bestScale runs the scale scenario `runs` times and returns the run with
+// the fastest wall clock. Simulated behavior is deterministic — every run
+// yields identical traffic counters — so taking the fastest only rejects
+// wall-clock noise (scheduler preemption, frequency scaling) from the
+// committed snapshot.
+func bestScale(cfg testbed.ScaleConfig) (*testbed.ScaleResult, error) {
+	var best *testbed.ScaleResult
+	for i := 0; i < runs; i++ {
+		res, err := testbed.RunScaleFatTree(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Wall < best.Wall {
+			best = res
+		}
+	}
+	return best, nil
 }
 
 // scaleScenario flattens a ScaleResult into the report schema.
@@ -167,25 +264,110 @@ func scaleScenario(name string, res *testbed.ScaleResult, cfg map[string]any) sc
 }
 
 // measureHop times n steady-state forward cycles through the end-to-end
-// harness, returning wall ns and heap allocations per packet.
-func measureHop(withTPP bool, n int) (nsPerPkt, allocsPerPkt float64, err error) {
-	e, err := testbed.NewE2EHarness(withTPP)
+// harness over `runs` repetitions, returning the fastest repetition's wall
+// ns and its heap allocations per packet.
+func measureHop(withTPP bool, sched tppnet.Scheduler, n int) (nsPerPkt, allocsPerPkt float64, err error) {
+	e, err := testbed.NewE2EHarnessScheduler(withTPP, sched)
 	if err != nil {
 		return 0, 0, err
 	}
 	for i := 0; i < 1000; i++ {
 		e.Step()
 	}
-	var m0, m1 runtime.MemStats
-	runtime.ReadMemStats(&m0)
-	t0 := time.Now()
-	for i := 0; i < n; i++ {
-		e.Step()
+	best := false
+	for r := 0; r < runs; r++ {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			e.Step()
+		}
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		ns := float64(wall.Nanoseconds()) / float64(n)
+		if !best || ns < nsPerPkt {
+			best = true
+			nsPerPkt = ns
+			allocsPerPkt = float64(m1.Mallocs-m0.Mallocs) / float64(n)
+		}
 	}
-	wall := time.Since(t0)
-	runtime.ReadMemStats(&m1)
-	return float64(wall.Nanoseconds()) / float64(n),
-		float64(m1.Mallocs-m0.Mallocs) / float64(n), nil
+	return nsPerPkt, allocsPerPkt, nil
+}
+
+// fusionScenario measures the decoded-insn-cache PUSH-run superinstruction:
+// wall ns per executed hop for all-PUSH programs of 2..5 statistics against
+// an array-backed register file, fused and unfused.
+func fusionScenario() scenario {
+	addrs := []mem.Addr{
+		mem.SwSwitchID,
+		mem.DynOutQueueBase + mem.QueueOccPackets,
+		mem.DynPacketBase + mem.PktOutputPort,
+		mem.SwClockLo,
+		mem.LinkAddr(1, mem.LinkTXBytes),
+	}
+	regs := core.NewRegisterFile()
+	for i, a := range addrs {
+		regs.Set(a, uint32(i+1))
+	}
+	metrics := map[string]float64{}
+	const iters = 400_000
+	for n := 2; n <= 5; n++ {
+		p := &core.Program{Mode: core.AddrStack, MemWords: 3 * n}
+		for i := 0; i < n; i++ {
+			p.Insns = append(p.Insns, core.Instruction{Op: core.OpPUSH, Addr: addrs[i%len(addrs)]})
+		}
+		s, err := p.Encode()
+		if err != nil {
+			fatal(err)
+		}
+		for _, fused := range []bool{true, false} {
+			ex := core.NewExecutor(core.Env{Mem: regs})
+			ex.SetPushFusion(fused)
+			ex.Exec(s) // warm the decoded-insn cache
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				s.SetHopOrSP(0)
+				ex.Exec(s)
+			}
+			key := fmt.Sprintf("ns_per_hop_push%d_unfused", n)
+			if fused {
+				key = fmt.Sprintf("ns_per_hop_push%d_fused", n)
+			}
+			metrics[key] = float64(time.Since(t0).Nanoseconds()) / iters
+		}
+	}
+	return scenario{
+		Name:    "executor-push-fusion",
+		Config:  map[string]any{"iters": iters, "mode": "stack"},
+		Metrics: metrics,
+	}
+}
+
+// enforceZeroAllocs fails the run when a single-shard forward-path scenario
+// allocated per packet — the CI gate behind the bench-smoke job. Sharded
+// scenarios are exempt (epoch barriers and worker goroutines allocate off
+// the forward path). Both schedulers measure a literal 0 on a quiet
+// machine; the tiny floor only filters stray background-runtime
+// allocations on shared CI hosts — any real per-packet allocation shows up
+// as >= 1 alloc/op, four orders of magnitude above it.
+func enforceZeroAllocs(rep report) {
+	bad := false
+	for _, sc := range rep.Scenarios {
+		if shards, ok := sc.Config["shards"]; ok {
+			if n, ok := shards.(int); !ok || n != 1 {
+				continue
+			}
+		}
+		for _, key := range []string{"allocs_per_pkt", "allocs_per_pkt_hop"} {
+			if v, ok := sc.Metrics[key]; ok && v > 1e-4 {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %s = %g, want 0\n", sc.Name, key, v)
+				bad = true
+			}
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"minions/testbed"
+	"minions/tppnet"
 )
 
 func main() { os.Exit(run()) }
@@ -30,7 +31,14 @@ func run() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	shards := flag.Int("shards", 1, "topology shards for the simulation-driven figures (fig1, fig2, fig4); results are byte-identical to -shards 1")
+	schedName := flag.String("scheduler", "wheel", "engine event scheduler for the simulation-driven figures: wheel (default) or heap; results are byte-identical either way")
 	flag.Parse()
+
+	sched, err := tppnet.ParseScheduler(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 
 	// Profiling hooks so perf work can profile the exact experiment
 	// workloads: go tool pprof ./experiments cpu.pprof
@@ -91,14 +99,14 @@ func run() int {
 
 	section("sec21", func() (string, error) { return testbed.Sec21Table(), nil })
 	section("fig1", func() (string, error) {
-		r, err := testbed.RunFig1(testbed.Fig1Config{Duration: simSecs / 4, Shards: *shards})
+		r, err := testbed.RunFig1(testbed.Fig1Config{Duration: simSecs / 4, Shards: *shards, Scheduler: sched})
 		if err != nil {
 			return "", err
 		}
 		return r.Table(), nil
 	})
 	section("fig2", func() (string, error) {
-		r, err := testbed.RunFig2Sharded(simSecs, 1, *shards)
+		r, err := testbed.RunFig2Scheduler(simSecs, 1, *shards, sched)
 		if err != nil {
 			return "", err
 		}
@@ -123,7 +131,7 @@ func run() int {
 		return r.Table(), nil
 	})
 	section("fig4", func() (string, error) {
-		r, err := testbed.RunFig4Sharded(simSecs/2, 1, *shards)
+		r, err := testbed.RunFig4Scheduler(simSecs/2, 1, *shards, sched)
 		if err != nil {
 			return "", err
 		}

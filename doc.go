@@ -18,7 +18,11 @@
 //     tppnet.WithShards(n) runs the network as n topology shards under a
 //     conservative parallel discrete-event scheme — one engine, packet pool
 //     and goroutine per shard, synchronized in lookahead epochs — with
-//     results byte-identical to the single-engine simulation.
+//     results byte-identical to the single-engine simulation. Each engine
+//     schedules events on a hierarchical timing wheel with amortized O(1)
+//     push/pop (tppnet.WithScheduler selects the O(log n) binary-heap
+//     reference instead); scheduler choice moves wall-clock speed only,
+//     never simulated behavior.
 //
 //   - minions/testbed — the reproduction harness on top of both: the
 //     paper's four applications (RCP*, CONGA*, NetSight, OpenSketch

@@ -152,6 +152,10 @@ func (b *Balancer) Start() {
 // Stop halts probing.
 func (b *Balancer) Stop() { b.running = false }
 
+// Handle implements sim.Handler: the balancer is its own resident probe
+// timer, so the periodic loop re-arms without a per-round closure.
+func (b *Balancer) Handle(uint64) { b.loop() }
+
 func (b *Balancer) loop() {
 	if !b.running {
 		return
@@ -160,7 +164,7 @@ func (b *Balancer) loop() {
 	for _, p := range b.sortedPaths() {
 		b.probe(p.tag)
 	}
-	b.h.Engine().After(b.cfg.ProbePeriod, b.loop)
+	b.h.Engine().ScheduleAfter(b.cfg.ProbePeriod, b, 0)
 }
 
 func (b *Balancer) probe(tag uint16) {

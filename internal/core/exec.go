@@ -118,6 +118,35 @@ func (m MemFunc) Write(a mem.Addr, v uint32) bool {
 	return m.WriteFn(a, v)
 }
 
+// RegisterFile is an array-backed SwitchMemory resembling a hardware
+// register file: constant-cost access over the full 16-bit address space,
+// no hashing. It is the memory to benchmark the executor against (MapMemory
+// lookups would dominate the measurement); like MapMemory, only addresses
+// installed with Set are readable, and only installed addresses accept
+// writes.
+type RegisterFile struct {
+	val [1 << 16]uint32
+	ok  [1 << 16]bool
+}
+
+// NewRegisterFile returns an empty register file.
+func NewRegisterFile() *RegisterFile { return &RegisterFile{} }
+
+// Set installs (or overwrites) a register.
+func (r *RegisterFile) Set(a mem.Addr, v uint32) { r.val[a], r.ok[a] = v, true }
+
+// Read implements SwitchMemory.
+func (r *RegisterFile) Read(a mem.Addr) (uint32, bool) { return r.val[a], r.ok[a] }
+
+// Write implements SwitchMemory; only installed registers are writable.
+func (r *RegisterFile) Write(a mem.Addr, v uint32) bool {
+	if !r.ok[a] {
+		return false
+	}
+	r.val[a] = v
+	return true
+}
+
 // MapMemory is a SwitchMemory backed by a plain map, for tests and examples.
 type MapMemory map[mem.Addr]uint32
 

@@ -15,10 +15,17 @@ import (
 type ExecContext struct {
 	insns [MaxInsns]Instruction // decoded-insn cache
 	words [MaxInsns]uint32      // raw words the cache was decoded from
-	n     int
-	hdr   uint32 // packed bytes 0 (ver|mode), 1 (#insns), 2 (memwords), 4 (perhop)
-	min   int    // minimum section length the cached shape requires
-	valid bool
+	// pushRun[i] is the length (>= 2) of the maximal run of consecutive
+	// PUSH instructions starting at i, or 0 when i is not the head of one.
+	// Runs are fused into one bulk stat-copy superinstruction at execution:
+	// the paper's flagship collection programs (PUSH [QSize] PUSH [TxBytes]
+	// ...) are all-PUSH runs, so the interpreter dispatches once per program
+	// instead of once per statistic.
+	pushRun [MaxInsns]uint8
+	n       int
+	hdr     uint32 // packed bytes 0 (ver|mode), 1 (#insns), 2 (memwords), 4 (perhop)
+	min     int    // minimum section length the cached shape requires
+	valid   bool
 }
 
 // packHdr packs the shape-defining header bytes. Bytes 3 (hop/SP), 5 (flags)
@@ -42,7 +49,8 @@ func (c *ExecContext) match(s Section) bool {
 	return true
 }
 
-// fill decodes s (already validated) into the cache.
+// fill decodes s (already validated) into the cache and marks fusable PUSH
+// runs.
 func (c *ExecContext) fill(s Section) {
 	c.n = s.InsnCount()
 	for i := 0; i < c.n; i++ {
@@ -50,6 +58,21 @@ func (c *ExecContext) fill(s Section) {
 		w := binary.BigEndian.Uint32(s[off : off+4])
 		c.words[i] = w
 		c.insns[i] = DecodeInsn(w)
+	}
+	c.pushRun = [MaxInsns]uint8{}
+	for i := 0; i < c.n; {
+		if c.insns[i].Op != OpPUSH {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < c.n && c.insns[j].Op == OpPUSH {
+			j++
+		}
+		if j-i >= 2 {
+			c.pushRun[i] = uint8(j - i)
+		}
+		i = j
 	}
 	c.hdr = packHdr(s)
 	c.min = HeaderLen + c.n*InsnSize + s.MemWords()*WordSize
@@ -68,12 +91,18 @@ func (c *ExecContext) Reset() { c.valid = false }
 // An Executor is not safe for concurrent use; give each switch (or worker)
 // its own.
 type Executor struct {
-	env Env
-	ctx ExecContext
+	env    Env
+	ctx    ExecContext
+	noFuse bool
 }
 
 // NewExecutor returns an Executor bound to env.
 func NewExecutor(env Env) *Executor { return &Executor{env: env} }
+
+// SetPushFusion toggles the PUSH-run superinstruction (on by default).
+// Semantics are identical either way; the switch exists so benchmarks can
+// measure the fused-vs-unfused dispatch cost on the same executor.
+func (e *Executor) SetPushFusion(on bool) { e.noFuse = !on }
 
 // Env returns the executor's environment for in-place adjustment (e.g.
 // repointing Mem between packets). Mutating it does not invalidate the
@@ -180,6 +209,53 @@ loop:
 			res.Executed++
 
 		case OpPUSH:
+			// A fused run executes every PUSH of the superinstruction in one
+			// tight loop — same per-instruction semantics (range halt, skip
+			// on absent memory, SP advance), one dispatch. The stat-copy
+			// programs of §2 are all-PUSH, so they interpret in a single
+			// case.
+			if n := int(e.ctx.pushRun[i]); n > 1 && !e.noFuse {
+				// The bulk copy hoists what the per-instruction path pays per
+				// PUSH: the packet-memory region is sliced once and words are
+				// written at direct offsets instead of re-deriving the region
+				// from the header on every store.
+				run := e.ctx.insns[i : i+n]
+				pm := s.Memory()
+				if mode == AddrStack {
+					for k := range run {
+						if hop >= memWords {
+							res.Halted = true
+							res.Reason = HaltMemoryExhausted
+							break loop
+						}
+						if v, ok := env.Mem.Read(run[k].Addr); ok {
+							binary.BigEndian.PutUint32(pm[hop*WordSize:], v)
+							hop++
+							res.Executed++
+						} else {
+							res.Skipped++
+						}
+					}
+				} else {
+					base := hop * perHop
+					for k := range run {
+						w := base + int(run[k].A)
+						if w >= memWords {
+							res.Halted = true
+							res.Reason = HaltMemoryExhausted
+							break loop
+						}
+						if v, ok := env.Mem.Read(run[k].Addr); ok {
+							binary.BigEndian.PutUint32(pm[w*WordSize:], v)
+							res.Executed++
+						} else {
+							res.Skipped++
+						}
+					}
+				}
+				i += n - 1
+				continue
+			}
 			var w int
 			var inRange bool
 			if mode == AddrStack {

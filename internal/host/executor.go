@@ -74,7 +74,6 @@ func (pe *pendingExec) fail(err error) {
 func (pe *pendingExec) sendAttempt() {
 	pe.attempt++
 	pe.gen++
-	gen := pe.gen
 	p := pe.h.NewPacket(pe.dst, pe.port, core.UDPPortTPP, link.ProtoUDP, standaloneOverhead+len(pe.template))
 	tpp := p.SectionBuf(len(pe.template))
 	copy(tpp, pe.template)
@@ -82,18 +81,26 @@ func (pe *pendingExec) sendAttempt() {
 	p.Standalone = true
 	p.PathTag = pe.opts.PathTag
 	pe.h.sendRaw(p)
-	pe.h.eng.After(pe.opts.Timeout, func() {
-		if pe.done || pe.gen != gen {
-			return
-		}
-		if pe.attempt >= pe.opts.MaxAttempts {
-			pe.fail(fmt.Errorf("%w after %d attempts to %d", ErrTimeout, pe.attempt, pe.dst))
-			return
-		}
-		// §4.4 "Reliable execution": retry idempotent TPPs. (Stores are made
-		// idempotent by the caller conditioning on a read value.)
-		pe.sendAttempt()
-	})
+	// The retry timer is a typed resident event carrying the attempt
+	// generation, not a closure: reliable executions are the warm path of
+	// every control loop (RCP rounds, CONGA probes), so their timers must
+	// not allocate per attempt.
+	pe.h.eng.ScheduleAfter(pe.opts.Timeout, pe, uint64(pe.gen))
+}
+
+// Handle implements sim.Handler: the per-attempt echo timeout. A stale
+// generation means the attempt already completed or was superseded.
+func (pe *pendingExec) Handle(gen uint64) {
+	if pe.done || uint64(pe.gen) != gen {
+		return
+	}
+	if pe.attempt >= pe.opts.MaxAttempts {
+		pe.fail(fmt.Errorf("%w after %d attempts to %d", ErrTimeout, pe.attempt, pe.dst))
+		return
+	}
+	// §4.4 "Reliable execution": retry idempotent TPPs. (Stores are made
+	// idempotent by the caller conditioning on a read value.)
+	pe.sendAttempt()
 }
 
 // ExecuteTPP sends prog as a standalone TPP to dst (a host, which echoes it,

@@ -204,7 +204,11 @@ type linkPrev struct {
 	at      sim.Time
 }
 
-// Flow is one RCP* rate controller driving a rate-limited UDP flow.
+// Flow is one RCP* rate controller driving a rate-limited UDP flow. It is
+// its own sim.Handler: the periodic control round re-arms by scheduling the
+// flow itself, and the collect/update completion callbacks are allocated
+// once at construction — so a running controller schedules its warm path
+// (one round per ~RTT, per flow) without per-round closure allocations.
 type Flow struct {
 	sys  *System
 	h    *host.Host
@@ -216,6 +220,11 @@ type Flow struct {
 	caps map[uint32]float64 // per-hop link capacity, discovered at start
 
 	running bool
+	sentAt  sim.Time // dispatch time of the in-flight collect probe
+	// collectCb and discardCb are the resident ExecuteTPP completions,
+	// built once in NewFlow.
+	collectCb func(view core.Section, err error)
+	discardCb func(core.Section, error)
 	// Telemetry for tests and plots.
 	LastHops    []HopState
 	LastRate    float64
@@ -231,8 +240,23 @@ func NewFlow(sys *System, h *host.Host, dst link.NodeID, udp *transport.UDPFlow)
 		prev: make(map[uint32]linkPrev),
 		caps: make(map[uint32]float64),
 	}
+	f.collectCb = func(view core.Section, err error) {
+		if err == nil {
+			f.onCollect(view, f.h.Engine().Now()-f.sentAt)
+		}
+		f.armNextRound()
+	}
+	f.discardCb = func(core.Section, error) {}
 	udp.SetRateBps(int64(f.cfg.InitialRateMbps * 1e6))
 	return f
+}
+
+// Handle implements sim.Handler: one scheduled control round.
+func (f *Flow) Handle(uint64) { f.controlRound() }
+
+// armNextRound schedules the next control round as a typed resident event.
+func (f *Flow) armNextRound() {
+	f.h.Engine().ScheduleAfter(f.nextPeriod(), f, 0)
 }
 
 // Start begins the control loop and the underlying UDP stream. The first
@@ -286,21 +310,16 @@ func (f *Flow) controlRound() {
 	if !f.running {
 		return
 	}
-	sent := f.h.Engine().Now()
+	f.sentAt = f.h.Engine().Now()
 	prog := f.sys.collectProgram()
 	err := f.h.ExecuteTPP(f.sys.App, prog, f.dst, host.ExecOpts{
 		Timeout:     4 * f.cfg.Period,
 		MaxAttempts: 1,
-	}, func(view core.Section, err error) {
-		if err == nil {
-			f.onCollect(view, f.h.Engine().Now()-sent)
-		}
-		f.h.Engine().After(f.nextPeriod(), f.controlRound)
-	})
+	}, f.collectCb)
 	f.CtrlPackets++
 	f.CtrlBytes += uint64(42 + prog.WireLen())
 	if err != nil {
-		f.h.Engine().After(f.nextPeriod(), f.controlRound)
+		f.armNextRound()
 	}
 }
 
@@ -378,7 +397,7 @@ func (f *Flow) onCollect(view core.Section, rtt sim.Time) {
 	if err := f.h.ExecuteTPP(f.sys.App, upd, f.dst, host.ExecOpts{
 		Timeout:     4 * f.cfg.Period,
 		MaxAttempts: 1,
-	}, func(core.Section, error) {}); err == nil {
+	}, f.discardCb); err == nil {
 		f.CtrlPackets++
 		f.CtrlBytes += uint64(42 + upd.WireLen())
 		f.Updates++

@@ -10,9 +10,19 @@
 // shard-crossing link and exchange boundary traffic at deterministic epoch
 // barriers, so a sharded run produces the same results as a single-engine
 // run of the same seed — on as many cores as there are shards.
+//
+// Pending events live in a pluggable scheduler. The default is a
+// hierarchical timing wheel (wheel.go) with amortized O(1) push/pop; a
+// binary min-heap is retained as the O(log n) reference implementation.
+// Both fire events in identical (firing time, insertion time, sequence)
+// order — the determinism contract every figure in this repository pins —
+// so scheduler choice moves wall-clock time only, never simulated behavior.
 package sim
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // Time is virtual time in nanoseconds since simulation start.
 type Time int64
@@ -58,19 +68,56 @@ type event struct {
 	fn  func()
 }
 
+// scheduler is the engine's pending-event store. Both implementations obey
+// the same contract: pop returns the minimum pending event by (at, ins, seq)
+// and peek its firing time without removing it. The timing wheel (wheel.go)
+// is the default; the binary heap below is retained as the reference
+// implementation, selectable via NewWithScheduler for equivalence testing
+// and as the worst-case-robust fallback.
+type scheduler interface {
+	push(ev event)
+	pop() event
+	peek() (Time, bool)
+	len() int
+}
+
+// Scheduler selects the engine's pending-event structure.
+type Scheduler uint8
+
+const (
+	// SchedulerWheel is the default: a hierarchical timing wheel with
+	// amortized O(1) scheduling (see wheel.go).
+	SchedulerWheel Scheduler = iota
+	// SchedulerHeap is the reference O(log n) binary min-heap.
+	SchedulerHeap
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	if s == SchedulerHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+// ParseScheduler resolves a -scheduler flag value ("wheel" or "heap").
+func ParseScheduler(name string) (Scheduler, error) {
+	switch name {
+	case "wheel", "":
+		return SchedulerWheel, nil
+	case "heap":
+		return SchedulerHeap, nil
+	}
+	return 0, fmt.Errorf("sim: unknown scheduler %q (want wheel or heap)", name)
+}
+
 // eventHeap is a hand-rolled binary min-heap. container/heap would box every
 // event into an interface on Push — one allocation per scheduled event, paid
 // on every packet transmission — so the sift operations are inlined here.
 type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].ins != h[j].ins {
-		return h[i].ins < h[j].ins
-	}
-	return h[i].seq < h[j].seq
+	return eventLess(&h[i], &h[j])
 }
 
 // push appends the event and restores the heap invariant.
@@ -114,18 +161,49 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
+// peek returns the earliest pending firing time.
+func (h *eventHeap) peek() (Time, bool) {
+	if len(*h) == 0 {
+		return 0, false
+	}
+	return (*h)[0].at, true
+}
+
+// len returns the number of pending events.
+func (h *eventHeap) len() int { return len(*h) }
+
 // Engine runs events in virtual-time order.
 type Engine struct {
 	now     Time
-	events  eventHeap
+	sched   scheduler
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
 }
 
-// New returns an engine at time zero with a deterministic RNG.
-func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+// New returns an engine at time zero with a deterministic RNG and the
+// default timing-wheel scheduler.
+func New(seed int64) *Engine { return NewWithScheduler(seed, SchedulerWheel) }
+
+// NewWithScheduler returns an engine using the given pending-event
+// structure. Behavior is identical for either scheduler — the equivalence
+// tests pin it — only the wall-clock cost of scheduling differs.
+func NewWithScheduler(seed int64, s Scheduler) *Engine {
+	e := &Engine{rng: rand.New(rand.NewSource(seed))}
+	if s == SchedulerHeap {
+		e.sched = new(eventHeap)
+	} else {
+		e.sched = newTimingWheel()
+	}
+	return e
+}
+
+// Scheduler reports which pending-event structure the engine runs on.
+func (e *Engine) Scheduler() Scheduler {
+	if _, ok := e.sched.(*eventHeap); ok {
+		return SchedulerHeap
+	}
+	return SchedulerWheel
 }
 
 // Now returns the current virtual time.
@@ -141,7 +219,7 @@ func (e *Engine) At(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	e.events.push(event{at: t, ins: e.now, seq: e.seq, fn: fn})
+	e.sched.push(event{at: t, ins: e.now, seq: e.seq, fn: fn})
 }
 
 // After schedules fn d nanoseconds from now.
@@ -155,7 +233,7 @@ func (e *Engine) Schedule(t Time, h Handler, arg uint64) {
 		t = e.now
 	}
 	e.seq++
-	e.events.push(event{at: t, ins: e.now, seq: e.seq, h: h, arg: arg})
+	e.sched.push(event{at: t, ins: e.now, seq: e.seq, h: h, arg: arg})
 }
 
 // scheduleCrossing enqueues an event whose insertion stamp is in this
@@ -169,7 +247,7 @@ func (e *Engine) scheduleCrossing(at, ins Time, h Handler, arg uint64) {
 		at = e.now
 	}
 	e.seq++
-	e.events.push(event{at: at, ins: ins, seq: e.seq, h: h, arg: arg})
+	e.sched.push(event{at: at, ins: ins, seq: e.seq, h: h, arg: arg})
 }
 
 // ScheduleAfter schedules h.Handle(arg) d nanoseconds from now.
@@ -213,8 +291,8 @@ func (e *Engine) Stop() { e.stopped = true }
 // number of events processed.
 func (e *Engine) Run() int {
 	n := 0
-	for len(e.events) > 0 && !e.stopped {
-		ev := e.events.pop()
+	for e.sched.len() > 0 && !e.stopped {
+		ev := e.sched.pop()
 		e.now = ev.at
 		if ev.h != nil {
 			ev.h.Handle(ev.arg)
@@ -240,12 +318,12 @@ func (e *Engine) RunUntil(deadline Time) int {
 // of that instant.
 func (e *Engine) runTo(deadline Time, inclusive bool) int {
 	n := 0
-	for len(e.events) > 0 && !e.stopped {
-		at := e.events[0].at
-		if at > deadline || (!inclusive && at == deadline) {
+	for !e.stopped {
+		at, ok := e.sched.peek()
+		if !ok || at > deadline || (!inclusive && at == deadline) {
 			break
 		}
-		ev := e.events.pop()
+		ev := e.sched.pop()
 		e.now = ev.at
 		if ev.h != nil {
 			ev.h.Handle(ev.arg)
@@ -260,13 +338,11 @@ func (e *Engine) runTo(deadline Time, inclusive bool) int {
 	return n
 }
 
-// peekTime returns the firing time of the earliest pending event.
-func (e *Engine) peekTime() (Time, bool) {
-	if len(e.events) == 0 {
-		return 0, false
-	}
-	return e.events[0].at, true
-}
+// peekTime returns the firing time of the earliest pending event without
+// removing it — the "earliest pending <= deadline" query ShardGroup epochs
+// are built on. Both schedulers answer it cheaply: the heap from its root,
+// the wheel from its occupancy bitmaps and per-bucket minima (no sorting).
+func (e *Engine) peekTime() (Time, bool) { return e.sched.peek() }
 
 // Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.sched.len() }

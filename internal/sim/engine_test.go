@@ -249,19 +249,55 @@ func TestScheduleZeroAlloc(t *testing.T) {
 	}
 }
 
+// BenchmarkEngineScheduleHandler measures the raw schedule+fire cycle on
+// both pending-event structures — the heap-vs-wheel engine-core comparison.
 func BenchmarkEngineScheduleHandler(b *testing.B) {
-	e := New(1)
-	r := &recorder{eng: e}
-	r.args = make([]uint64, 0, 2048)
-	r.at = make([]Time, 0, 2048)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		e.ScheduleAfter(Time(i%100), r, uint64(i))
-		if e.Pending() > 1024 {
-			r.args = r.args[:0]
-			r.at = r.at[:0]
-			e.RunUntil(e.Now() + 50)
-		}
+	for _, sched := range []Scheduler{SchedulerWheel, SchedulerHeap} {
+		b.Run(sched.String(), func(b *testing.B) {
+			e := NewWithScheduler(1, sched)
+			r := &recorder{eng: e}
+			r.args = make([]uint64, 0, 2048)
+			r.at = make([]Time, 0, 2048)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.ScheduleAfter(Time(i%100), r, uint64(i))
+				if e.Pending() > 1024 {
+					r.args = r.args[:0]
+					r.at = r.at[:0]
+					e.RunUntil(e.Now() + 50)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineHotMix approximates the simulator's scheduling mix — short
+// transmit/delivery delays with a long-tail of pacing timers over a standing
+// event population — on both schedulers.
+func BenchmarkEngineHotMix(b *testing.B) {
+	for _, sched := range []Scheduler{SchedulerWheel, SchedulerHeap} {
+		b.Run(sched.String(), func(b *testing.B) {
+			e := NewWithScheduler(1, sched)
+			r := &recorder{eng: e}
+			r.args = make([]uint64, 0, 4096)
+			r.at = make([]Time, 0, 4096)
+			// Standing population: pacing-style timers spread over 1 ms.
+			for i := 0; i < 512; i++ {
+				e.Schedule(Time(i)*1953, r, uint64(i))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.ScheduleAfter(11_200, r, 1) // transmit done at 1 Gb/s
+				e.ScheduleAfter(5_000, r, 2)  // propagation delay
+				e.ScheduleAfter(560_000, r, 3)
+				e.RunUntil(e.Now() + 12_000)
+				if len(r.args) > 2048 {
+					r.args = r.args[:0]
+					r.at = r.at[:0]
+				}
+			}
+		})
 	}
 }
 

@@ -239,10 +239,15 @@ func sortCross(evts []crossEvt) {
 	sort.Slice(evts, func(i, j int) bool { return crossLess(evts[i], evts[j]) })
 }
 
-// earliest returns the minimum pending-event time across shards. Stopped
-// engines are skipped: their events will never run (matching Engine.Run's
-// prompt return after Stop), so counting them would spin the epoch loop
-// without progress.
+// earliest returns the minimum pending-event time across shards — the
+// "earliest pending <= deadline" query every epoch starts with. It runs
+// once per epoch on every engine, so it must not sort or drain anything:
+// the heap answers from its root, the timing wheel from its occupancy
+// bitmaps and per-bucket minima (peek may refill the wheel's ready run,
+// which is safe here — barriers are single-threaded, all shard goroutines
+// parked). Stopped engines are skipped: their events will never run
+// (matching Engine.Run's prompt return after Stop), so counting them would
+// spin the epoch loop without progress.
 func (g *ShardGroup) earliest() (Time, bool) {
 	var min Time
 	found := false

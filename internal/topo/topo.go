@@ -59,10 +59,18 @@ func New(seed int64) *Network { return NewSharded(seed, 1) }
 
 // NewSharded creates an empty network whose nodes will be spread over
 // shards topology shards, each with its own engine, RNG stream and packet
-// pool. Shard 0's engine is seeded with seed itself, so a one-shard network
-// is byte-identical to the historical single-engine simulator; further
-// shards get distinct deterministic streams derived from seed.
+// pool, on the default timing-wheel scheduler.
 func NewSharded(seed int64, shards int) *Network {
+	return NewShardedScheduler(seed, shards, sim.SchedulerWheel)
+}
+
+// NewShardedScheduler is NewSharded with an explicit engine scheduler.
+// Shard 0's engine is seeded with seed itself, so a one-shard network is
+// byte-identical to the historical single-engine simulator; further shards
+// get distinct deterministic streams derived from seed. Scheduler choice
+// never changes simulated behavior (see sim's determinism contract), only
+// the wall-clock cost of event scheduling.
+func NewShardedScheduler(seed int64, shards int, sched sim.Scheduler) *Network {
 	if shards < 1 {
 		shards = 1
 	}
@@ -75,7 +83,7 @@ func NewSharded(seed int64, shards int) *Network {
 			// seeds unique for any base seed.
 			s = seed + int64(i)*0x4E3779B97F4A7C15
 		}
-		engines[i] = sim.New(s)
+		engines[i] = sim.NewWithScheduler(s, sched)
 		pools[i] = link.NewPool()
 	}
 	n := &Network{

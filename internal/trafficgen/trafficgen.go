@@ -23,6 +23,47 @@ type AllToAllConfig struct {
 	Seed     int64
 }
 
+// allToAllSender is one host's Poisson message generator, resident in the
+// engine as its own typed Handler: each firing picks a destination, bursts
+// one message, and re-arms itself — no per-message closure allocation, so a
+// warmed all-to-all workload runs the engine's zero-allocation fast path
+// (guarded by TestTrafficgenZeroAllocs).
+type allToAllSender struct {
+	eng      *sim.Engine
+	hosts    []*host.Host
+	src      *host.Host
+	rng      *rand.Rand
+	meanGap  float64
+	msgBytes int
+	pktSize  int
+	sport    uint16
+	dport    uint16
+	duration sim.Time
+}
+
+// arm schedules the next message arrival with an exponential gap.
+func (s *allToAllSender) arm() {
+	gap := sim.Time(s.rng.ExpFloat64() * s.meanGap)
+	if gap < 1 {
+		gap = 1
+	}
+	s.eng.ScheduleAfter(gap, s, 0)
+}
+
+// Handle implements sim.Handler: burst one message to a uniformly random
+// other host and re-arm, stopping once the configured duration has passed.
+func (s *allToAllSender) Handle(uint64) {
+	if s.eng.Now() >= s.duration {
+		return
+	}
+	dst := s.hosts[s.rng.Intn(len(s.hosts))]
+	for dst == s.src {
+		dst = s.hosts[s.rng.Intn(len(s.hosts))]
+	}
+	transport.SendBurst(s.src, dst.ID(), s.sport, s.dport, s.msgBytes, s.pktSize)
+	s.arm()
+}
+
 // AllToAll schedules Poisson message arrivals on every host, each message
 // bursted to a uniformly random other host, and returns the sinks (one per
 // host) counting deliveries.
@@ -38,34 +79,25 @@ func AllToAll(hosts []*host.Host, cfg AllToAllConfig) []*transport.Sink {
 		sinks[i] = transport.NewSink(h, cfg.DstPort, 17)
 	}
 	for i, h := range hosts {
-		h := h
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
 		nicBps := float64(h.NIC().RateBps())
 		msgsPerSec := cfg.Load * nicBps / (float64(cfg.MsgBytes) * 8)
 		if msgsPerSec <= 0 {
 			continue
 		}
-		meanGap := float64(sim.Second) / msgsPerSec
-		eng := h.Engine()
-		var schedule func()
-		schedule = func() {
-			gap := sim.Time(rng.ExpFloat64() * meanGap)
-			if gap < 1 {
-				gap = 1
-			}
-			eng.After(gap, func() {
-				if eng.Now() >= cfg.Duration {
-					return
-				}
-				dst := hosts[rng.Intn(len(hosts))]
-				for dst == h {
-					dst = hosts[rng.Intn(len(hosts))]
-				}
-				transport.SendBurst(h, dst.ID(), uint16(10000+i), cfg.DstPort, cfg.MsgBytes, cfg.PktSize)
-				schedule()
-			})
+		s := &allToAllSender{
+			eng:      h.Engine(),
+			hosts:    hosts,
+			src:      h,
+			rng:      rng,
+			meanGap:  float64(sim.Second) / msgsPerSec,
+			msgBytes: cfg.MsgBytes,
+			pktSize:  cfg.PktSize,
+			sport:    uint16(10000 + i),
+			dport:    cfg.DstPort,
+			duration: cfg.Duration,
 		}
-		schedule()
+		s.arm()
 	}
 	return sinks
 }

@@ -53,6 +53,31 @@ func TestAllToAllZeroLoad(t *testing.T) {
 	}
 }
 
+// TestTrafficgenZeroAllocs guards the de-closured pacing path: a warmed
+// all-to-all workload — Poisson arrivals, destination draws, burst sends,
+// deliveries, drops — runs entirely on typed resident handlers and pooled
+// packets, so advancing the simulation allocates nothing.
+func TestTrafficgenZeroAllocs(t *testing.T) {
+	n := topo.New(1)
+	hosts, _, _ := topo.Dumbbell(n, 6, 100)
+	trafficgen.AllToAll(hosts, trafficgen.AllToAllConfig{
+		MsgBytes: 10_000,
+		Load:     0.30,
+		Duration: 3600 * sim.Second, // longer than any window measured below
+		Seed:     42,
+	})
+	// Warm pools, rings, wheel buckets and the sinks.
+	n.Eng.RunUntil(500 * sim.Millisecond)
+	window := sim.Time(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		window += 2 * sim.Millisecond
+		n.Eng.RunUntil(500*sim.Millisecond + window)
+	})
+	if allocs != 0 {
+		t.Fatalf("all-to-all steady state allocated %.2f per 2 ms window, want 0", allocs)
+	}
+}
+
 func TestPermutationFlows(t *testing.T) {
 	n := topo.New(1)
 	hosts, _, _ := topo.Dumbbell(n, 4, 100)

@@ -25,23 +25,27 @@ func BenchmarkScaleFatTree(b *testing.B) {
 		k      int
 		flows  int
 		shards int
+		sched  testbed.Scheduler
 	}{
-		{"k4/shards=1", 4, 128, 1},
-		{"k8/shards=1", 8, 256, 1},
-		{"k8/shards=2", 8, 256, 2},
-		{"k8/shards=4", 8, 256, 4},
-		{"k8/shards=8", 8, 256, 8},
+		{"k4/shards=1", 4, 128, 1, testbed.SchedulerWheel},
+		{"k4/shards=1/sched=heap", 4, 128, 1, testbed.SchedulerHeap},
+		{"k8/shards=1", 8, 256, 1, testbed.SchedulerWheel},
+		{"k8/shards=1/sched=heap", 8, 256, 1, testbed.SchedulerHeap},
+		{"k8/shards=2", 8, 256, 2, testbed.SchedulerWheel},
+		{"k8/shards=4", 8, 256, 4, testbed.SchedulerWheel},
+		{"k8/shards=8", 8, 256, 8, testbed.SchedulerWheel},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res, err := testbed.RunScaleFatTree(testbed.ScaleConfig{
-					K:        c.k,
-					Flows:    c.flows,
-					Duration: 100 * testbed.Millisecond,
-					WithTPP:  true,
-					Seed:     1,
-					Shards:   c.shards,
+					K:         c.k,
+					Flows:     c.flows,
+					Duration:  100 * testbed.Millisecond,
+					WithTPP:   true,
+					Seed:      1,
+					Shards:    c.shards,
+					Scheduler: c.sched,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -61,19 +65,25 @@ func BenchmarkScaleFatTree(b *testing.B) {
 
 // BenchmarkEndToEndHop measures one steady-state forward cycle — host send
 // with TPP attachment → switch hop with TCPU execution → terminal delivery
-// and packet recycle. allocs/op is the headline: 0 in steady state.
+// and packet recycle — on both engine schedulers. allocs/op is the
+// headline: 0 in steady state; the wheel/heap delta is the engine-core
+// scheduling tax.
 func BenchmarkEndToEndHop(b *testing.B) {
-	e, err := testbed.NewE2EHarness(true)
-	if err != nil {
-		b.Fatal(err)
-	}
-	for i := 0; i < 200; i++ {
-		e.Step()
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.Step()
+	for _, sched := range []testbed.Scheduler{testbed.SchedulerWheel, testbed.SchedulerHeap} {
+		b.Run("sched="+sched.String(), func(b *testing.B) {
+			e, err := testbed.NewE2EHarnessScheduler(true, sched)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				e.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
 	}
 }
 

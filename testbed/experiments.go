@@ -33,6 +33,9 @@ type Fig1Config struct {
 	Duration Time    // 2 s
 	Seed     int64
 	Shards   int // topology shards simulated in parallel (default 1)
+	// Scheduler selects the engine's pending-event structure (default:
+	// timing wheel); results are byte-identical across schedulers.
+	Scheduler Scheduler
 }
 
 // Fig1QueueStat summarizes one monitored queue.
@@ -73,7 +76,7 @@ func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
 	if cfg.Duration == 0 {
 		cfg.Duration = 2 * Second
 	}
-	n := NewSharded(cfg.Seed+3, cfg.Shards)
+	n := NewShardedScheduler(cfg.Seed+3, cfg.Shards, cfg.Scheduler)
 	hosts, _, _ := n.Dumbbell(cfg.Hosts, cfg.RateMbps)
 	mon, err := microburst.Deploy(n.CP, hosts, host.FilterSpec{Proto: link.ProtoUDP}, 1, 5)
 	if err != nil {
@@ -154,9 +157,15 @@ func RunFig2(duration Time, seed int64) (*Fig2Result, error) {
 // RunFig2Sharded is RunFig2 over a sharded simulation; results are
 // byte-identical to the single-shard run for the same seed.
 func RunFig2Sharded(duration Time, seed int64, shards int) (*Fig2Result, error) {
+	return RunFig2Scheduler(duration, seed, shards, SchedulerWheel)
+}
+
+// RunFig2Scheduler is RunFig2Sharded with an explicit engine scheduler;
+// results are byte-identical across schedulers.
+func RunFig2Scheduler(duration Time, seed int64, shards int, sched Scheduler) (*Fig2Result, error) {
 	res := &Fig2Result{}
 	run := func(alpha float64) ([]Fig2Point, [3]float64, error) {
-		n := NewSharded(seed+5, shards)
+		n := NewShardedScheduler(seed+5, shards, sched)
 		hosts, _ := n.Chain(100)
 		sys, err := rcp.NewSystem(n.CP, rcp.Config{Alpha: alpha, CapacityMbps: 100})
 		if err != nil {
@@ -334,8 +343,14 @@ func RunFig4(duration Time, seed int64) (*Fig4Result, error) {
 // RunFig4Sharded is RunFig4 over a sharded simulation; results are
 // byte-identical to the single-shard run for the same seed.
 func RunFig4Sharded(duration Time, seed int64, shards int) (*Fig4Result, error) {
+	return RunFig4Scheduler(duration, seed, shards, SchedulerWheel)
+}
+
+// RunFig4Scheduler is RunFig4Sharded with an explicit engine scheduler;
+// results are byte-identical across schedulers.
+func RunFig4Scheduler(duration Time, seed int64, shards int, sched Scheduler) (*Fig4Result, error) {
 	run := func(useConga bool) (Fig4Cell, error) {
-		n := NewSharded(seed+13, shards)
+		n := NewShardedScheduler(seed+13, shards, sched)
 		hosts, _, _ := n.LeafSpine(100)
 		h0, h1, h2 := hosts[0], hosts[1], hosts[2]
 		sink0 := transport.NewSink(h2, 7100, link.ProtoUDP)

@@ -39,6 +39,10 @@ type ScaleConfig struct {
 	Seed         int64 // default 1
 	WithTPP      bool  // attach a 2-word/hop telemetry TPP to every data packet
 	Shards       int   // topology shards simulated in parallel (default 1)
+	// Scheduler selects the engine's pending-event structure (default:
+	// timing wheel). Simulated behavior is identical across schedulers —
+	// the determinism guards pin it — only wall-clock metrics move.
+	Scheduler Scheduler
 }
 
 // ScaleResult is one fat-tree scale measurement. Traffic counters cover the
@@ -154,7 +158,7 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 		cfg.Shards = cfg.K
 	}
 
-	net := NewSharded(cfg.Seed, cfg.Shards)
+	net := NewShardedScheduler(cfg.Seed, cfg.Shards, cfg.Scheduler)
 	pods := net.FatTree(cfg.K, cfg.RateMbps)
 	var hosts []*Host
 	for _, pod := range pods {
@@ -272,7 +276,13 @@ type E2EHarness struct {
 // telemetry program on the send path and a non-copying aggregator on the
 // receive path.
 func NewE2EHarness(withTPP bool) (*E2EHarness, error) {
-	net := New(1)
+	return NewE2EHarnessScheduler(withTPP, SchedulerWheel)
+}
+
+// NewE2EHarnessScheduler is NewE2EHarness with an explicit engine scheduler,
+// for heap-vs-wheel A/B measurements of the same forward path.
+func NewE2EHarnessScheduler(withTPP bool, sched Scheduler) (*E2EHarness, error) {
+	net := NewShardedScheduler(1, 1, sched)
 	sw := net.AddSwitch(2)
 	src, dst := net.AddHost(), net.AddHost()
 	cfg := HostLink(10_000)

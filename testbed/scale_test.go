@@ -2,38 +2,53 @@ package testbed
 
 import "testing"
 
+// schedulers are the engine cores every forward-path guard runs against:
+// the zero-allocation steady state must hold on the default timing wheel
+// and on the reference heap alike.
+var schedulers = []Scheduler{SchedulerWheel, SchedulerHeap}
+
 // The acceptance bar of the zero-allocation hot path: a steady-state
-// host-send → TPP switch hop → delivery cycle allocates nothing.
+// host-send → TPP switch hop → delivery cycle allocates nothing — on either
+// scheduler.
 func TestForwardPathZeroAllocs(t *testing.T) {
-	e, err := NewE2EHarness(true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Warm pools, rings, heap, and the switch's decoded-program cache.
-	for i := 0; i < 200; i++ {
-		e.Step()
-	}
-	allocs := testing.AllocsPerRun(500, e.Step)
-	if allocs != 0 {
-		t.Fatalf("forward path allocated %.2f per packet, want 0", allocs)
-	}
-	if e.Sink.Packets == 0 || e.HopRecords == 0 {
-		t.Fatalf("harness delivered %d packets, %d hop records — not exercising the path",
-			e.Sink.Packets, e.HopRecords)
+	for _, sched := range schedulers {
+		t.Run(sched.String(), func(t *testing.T) {
+			e, err := NewE2EHarnessScheduler(true, sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm pools, rings, wheel buckets, and the switch's
+			// decoded-program cache.
+			for i := 0; i < 200; i++ {
+				e.Step()
+			}
+			allocs := testing.AllocsPerRun(500, e.Step)
+			if allocs != 0 {
+				t.Fatalf("forward path allocated %.2f per packet, want 0", allocs)
+			}
+			if e.Sink.Packets == 0 || e.HopRecords == 0 {
+				t.Fatalf("harness delivered %d packets, %d hop records — not exercising the path",
+					e.Sink.Packets, e.HopRecords)
+			}
+		})
 	}
 }
 
 // Same bar without TPP attachment: plain forwarding is also allocation-free.
 func TestForwardPathZeroAllocsNoTPP(t *testing.T) {
-	e, err := NewE2EHarness(false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 200; i++ {
-		e.Step()
-	}
-	if allocs := testing.AllocsPerRun(500, e.Step); allocs != 0 {
-		t.Fatalf("plain forward path allocated %.2f per packet, want 0", allocs)
+	for _, sched := range schedulers {
+		t.Run(sched.String(), func(t *testing.T) {
+			e, err := NewE2EHarnessScheduler(false, sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				e.Step()
+			}
+			if allocs := testing.AllocsPerRun(500, e.Step); allocs != 0 {
+				t.Fatalf("plain forward path allocated %.2f per packet, want 0", allocs)
+			}
+		})
 	}
 }
 

@@ -39,6 +39,8 @@ type (
 	LinkConfig = tppnet.LinkConfig
 	// Time is virtual simulation time in nanoseconds.
 	Time = tppnet.Time
+	// Scheduler selects the engine's pending-event structure.
+	Scheduler = tppnet.Scheduler
 	// UDPFlow is a rate-limited CBR sender.
 	UDPFlow = tppnet.UDPFlow
 	// TCPFlow is the TCP-like AIMD transport.
@@ -56,6 +58,12 @@ const (
 	Second      = tppnet.Second
 )
 
+// Scheduler choices, re-exported for experiment configs and benchmarks.
+const (
+	SchedulerWheel = tppnet.SchedulerWheel
+	SchedulerHeap  = tppnet.SchedulerHeap
+)
+
 // New creates an empty network with a deterministic engine seeded with seed.
 func New(seed int64) *Network {
 	return tppnet.NewNetwork(tppnet.WithSeed(seed))
@@ -66,6 +74,12 @@ func New(seed int64) *Network {
 // network.
 func NewSharded(seed int64, shards int) *Network {
 	return tppnet.NewNetwork(tppnet.WithSeed(seed), tppnet.WithShards(shards))
+}
+
+// NewShardedScheduler is NewSharded with an explicit engine scheduler (see
+// tppnet.WithScheduler); results are byte-identical across schedulers.
+func NewShardedScheduler(seed int64, shards int, sched Scheduler) *Network {
+	return tppnet.NewNetwork(tppnet.WithSeed(seed), tppnet.WithShards(shards), tppnet.WithScheduler(sched))
 }
 
 // HostLink returns a standard link config at the given rate.

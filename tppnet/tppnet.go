@@ -124,10 +124,27 @@ var (
 // Host.SetLocalMemory and in tests.
 type MapMemory = core.MapMemory
 
+// Scheduler selects the engine's pending-event structure (see WithScheduler).
+type Scheduler = sim.Scheduler
+
+// Scheduler choices.
+const (
+	// SchedulerWheel is the default hierarchical timing wheel: amortized
+	// O(1) event scheduling, the engine core of the simulator's hot path.
+	SchedulerWheel = sim.SchedulerWheel
+	// SchedulerHeap is the O(log n) binary-heap reference implementation,
+	// kept for equivalence testing and A/B benchmarking.
+	SchedulerHeap = sim.SchedulerHeap
+)
+
+// ParseScheduler resolves a -scheduler flag value ("wheel" or "heap").
+func ParseScheduler(name string) (Scheduler, error) { return sim.ParseScheduler(name) }
+
 // options collects functional-option state for NewNetwork.
 type options struct {
 	seed   int64
 	shards int
+	sched  Scheduler
 }
 
 // Option configures NewNetwork.
@@ -137,6 +154,15 @@ type Option func(*options)
 // same network with the same seed produces identical packet-level behavior.
 func WithSeed(seed int64) Option {
 	return func(o *options) { o.seed = seed }
+}
+
+// WithScheduler selects the pending-event structure of every shard engine:
+// the default timing wheel, or the reference binary heap. The choice moves
+// wall-clock performance only — simulated behavior is byte-identical either
+// way, a contract pinned by the scheduler-equivalence and determinism guard
+// tests.
+func WithScheduler(s Scheduler) Option {
+	return func(o *options) { o.sched = s }
 }
 
 // WithShards splits the network across n topology shards, each simulated by
@@ -169,7 +195,7 @@ func NewNetwork(opts ...Option) *Network {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return &Network{Network: topo.NewSharded(o.seed, o.shards)}
+	return &Network{Network: topo.NewShardedScheduler(o.seed, o.shards, o.sched)}
 }
 
 // Run processes simulation events across every shard until none remain,
