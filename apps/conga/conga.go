@@ -12,6 +12,9 @@
 // and steer each flowlet onto the least congested path by setting the tag.
 // The ECMP baseline is the same network with no balancer: switches hash
 // flows statically.
+//
+// Balancer implements the app.App contract: New(cfg) → Attach → Start, then
+// install Tagger on the flows to balance.
 package conga
 
 import (
@@ -21,9 +24,10 @@ import (
 
 	"minions/internal/core"
 	"minions/internal/host"
-	"minions/internal/link"
 	"minions/internal/mem"
 	"minions/internal/sim"
+	"minions/tppnet"
+	"minions/tppnet/app"
 )
 
 // Aggregation folds per-link congestion into a path metric.
@@ -39,8 +43,13 @@ const (
 
 // Config tunes a balancer.
 type Config struct {
-	ProbePeriod sim.Time    // per-path probe interval (paper: 1 ms)
-	FlowletGap  sim.Time    // idle gap that opens a new flowlet (500 us)
+	// Host is the sending host the balancer runs on.
+	Host *tppnet.Host
+	// Dst is the destination whose paths are balanced.
+	Dst tppnet.NodeID
+
+	ProbePeriod tppnet.Time // per-path probe interval (paper: 1 ms)
+	FlowletGap  tppnet.Time // idle gap that opens a new flowlet (500 us)
 	Agg         Aggregation // metric aggregation
 	CandTags    int         // path tags explored during discovery (default 8)
 	Hops        int         // TPP memory budget in hops (default 4)
@@ -50,7 +59,7 @@ type Config struct {
 	// MoveInterval rate-limits path changes to one flowlet per interval so
 	// stale metrics cannot stampede every flowlet at once (default
 	// ProbePeriod).
-	MoveInterval sim.Time
+	MoveInterval tppnet.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -86,17 +95,18 @@ type pathInfo struct {
 // Balancer performs CONGA* load balancing from one host toward one
 // destination. Attach it to flows via Tagger.
 type Balancer struct {
-	h    *host.Host
-	app  *host.App
-	dst  link.NodeID
+	app.Base
+	h    *tppnet.Host
+	dst  tppnet.NodeID
 	cfg  Config
 	prog *core.Program
 
 	paths   map[string]*pathInfo
 	byTag   map[uint16]*pathInfo
-	flowlet map[link.FlowKey]*flowletState
+	flowlet map[tppnet.FlowKey]*flowletState
 
 	running  bool
+	gen      uint64 // invalidates stale probe-loop events across Stop/Start
 	lastMove sim.Time
 	anyMove  bool
 	// ProbesSent and ProbeBytes account the balancing overhead.
@@ -125,21 +135,35 @@ func probeProgram(hops int) *core.Program {
 	}
 }
 
-// NewBalancer creates a balancer for traffic from h to dst.
-func NewBalancer(h *host.Host, app *host.App, dst link.NodeID, cfg Config) *Balancer {
+// New creates a balancer for traffic from cfg.Host to cfg.Dst; Attach
+// registers it with the control plane.
+func New(cfg Config) *Balancer {
 	cfg = cfg.withDefaults()
 	return &Balancer{
-		h: h, app: app, dst: dst, cfg: cfg,
+		Base: app.MakeBase("conga"),
+		h:    cfg.Host, dst: cfg.Dst, cfg: cfg,
 		prog:    probeProgram(cfg.Hops),
 		paths:   make(map[string]*pathInfo),
 		byTag:   make(map[uint16]*pathInfo),
-		flowlet: make(map[link.FlowKey]*flowletState),
+		flowlet: make(map[tppnet.FlowKey]*flowletState),
 	}
 }
 
-// Start launches path discovery and the periodic probe loop.
-func (b *Balancer) Start() {
+// Attach implements app.App: it registers the application identity. The
+// balancer's probes are standalone read-only TPPs, so no write grants are
+// needed.
+func (b *Balancer) Attach(n *tppnet.Network, cp *tppnet.ControlPlane) error {
+	return b.Provision(b, n, cp)
+}
+
+// Start implements app.App: it launches path discovery and the periodic
+// probe loop.
+func (b *Balancer) Start() error {
+	if err := b.Base.Start(); err != nil {
+		return err
+	}
 	b.running = true
+	b.gen++
 	// Discovery: probe every candidate tag once; distinct link-ID
 	// signatures identify distinct paths ("the header of the echoed TPP
 	// also contains the path ID"). Tag 0 means "untagged" and is skipped.
@@ -147,14 +171,25 @@ func (b *Balancer) Start() {
 		b.probe(uint16(tag))
 	}
 	b.loop()
+	return nil
 }
 
-// Stop halts probing.
-func (b *Balancer) Stop() { b.running = false }
+// Stop implements app.App: it halts probing.
+func (b *Balancer) Stop() error {
+	b.running = false
+	return b.Base.Stop()
+}
 
 // Handle implements sim.Handler: the balancer is its own resident probe
-// timer, so the periodic loop re-arms without a per-round closure.
-func (b *Balancer) Handle(uint64) { b.loop() }
+// timer, so the periodic loop re-arms without a per-round closure. Events
+// from a generation before the latest Start are stale (the engine cannot
+// cancel events, so a Stop/Start cycle must not double the probe cadence).
+func (b *Balancer) Handle(gen uint64) {
+	if gen != b.gen {
+		return
+	}
+	b.loop()
+}
 
 func (b *Balancer) loop() {
 	if !b.running {
@@ -164,12 +199,12 @@ func (b *Balancer) loop() {
 	for _, p := range b.sortedPaths() {
 		b.probe(p.tag)
 	}
-	b.h.Engine().ScheduleAfter(b.cfg.ProbePeriod, b, 0)
+	b.h.Engine().ScheduleAfter(b.cfg.ProbePeriod, b, b.gen)
 }
 
 func (b *Balancer) probe(tag uint16) {
 	clone := *b.prog
-	err := b.h.ExecuteTPP(b.app, &clone, b.dst, host.ExecOpts{
+	err := b.h.ExecuteTPP(b.ID(), &clone, b.dst, host.ExecOpts{
 		Timeout:     5 * b.cfg.ProbePeriod,
 		MaxAttempts: 1,
 		PathTag:     tag,
@@ -234,14 +269,20 @@ func (b *Balancer) sortedPaths() []*pathInfo {
 // NumPaths returns the number of distinct paths discovered.
 func (b *Balancer) NumPaths() int { return len(b.paths) }
 
-// bestTag picks the representative tag of the least congested path.
-func (b *Balancer) bestTag() (uint16, bool) {
+// bestPath returns the least congested path (nil before discovery).
+func (b *Balancer) bestPath() *pathInfo {
 	var best *pathInfo
 	for _, p := range b.sortedPaths() {
 		if best == nil || p.metric < best.metric {
 			best = p
 		}
 	}
+	return best
+}
+
+// bestTag picks the representative tag of the least congested path.
+func (b *Balancer) bestTag() (uint16, bool) {
+	best := b.bestPath()
 	if best == nil {
 		return 0, false
 	}
@@ -263,12 +304,7 @@ func (b *Balancer) maybeMove(st *flowletState, now sim.Time) {
 		}
 		return
 	}
-	var best *pathInfo
-	for _, p := range b.sortedPaths() {
-		if best == nil || p.metric < best.metric {
-			best = p
-		}
-	}
+	best := b.bestPath()
 	if best == nil || best == cur {
 		return
 	}
@@ -284,8 +320,8 @@ func (b *Balancer) maybeMove(st *flowletState, now sim.Time) {
 // install it as the flow's Tagger. A new flowlet opens when the flow has
 // been idle longer than FlowletGap; it is pinned to the currently least
 // congested path.
-func (b *Balancer) Tagger() func(p *link.Packet) {
-	return func(p *link.Packet) {
+func (b *Balancer) Tagger() func(p *tppnet.Packet) {
+	return func(p *tppnet.Packet) {
 		now := b.h.Engine().Now()
 		st := b.flowlet[p.Flow]
 		if st == nil {

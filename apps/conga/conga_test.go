@@ -3,12 +3,22 @@ package conga_test
 import (
 	"testing"
 
-	"minions/internal/conga"
-	"minions/internal/link"
-	"minions/internal/sim"
-	"minions/internal/topo"
-	"minions/internal/transport"
+	"minions/apps/conga"
+	"minions/tppnet"
 )
+
+// balancer creates, attaches and starts a CONGA* balancer from h1 to h2.
+func balancer(t *testing.T, n *tppnet.Network, cfg conga.Config) *conga.Balancer {
+	t.Helper()
+	b := conga.New(cfg)
+	if err := b.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
 
 // figure4 runs the §2.4 experiment: demands 50 Mb/s (L0->L2, single path)
 // and 120 Mb/s (L1->L2, two paths), with or without CONGA*. It returns the
@@ -16,27 +26,25 @@ import (
 // permille.
 func figure4(t *testing.T, useConga bool, agg conga.Aggregation) (thr0, thr1, maxUtil float64) {
 	t.Helper()
-	n := topo.New(9)
-	hosts, _, _ := topo.Conga(n, 100)
+	n := tppnet.NewNetwork(tppnet.WithSeed(9))
+	hosts, _, _ := n.LeafSpine(100)
 	h0, h1, h2 := hosts[0], hosts[1], hosts[2]
 
-	sink0 := transport.NewSink(h2, 7100, link.ProtoUDP)
-	sink1 := transport.NewSink(h2, 7200, link.ProtoUDP)
+	sink0 := tppnet.NewSink(h2, 7100, tppnet.ProtoUDP)
+	sink1 := tppnet.NewSink(h2, 7200, tppnet.ProtoUDP)
 
 	// Demand 50: one flow. Demand 120: eight 15 Mb/s subflows.
-	f0 := transport.NewUDPFlow(h0, h2.ID(), 7100, 7100, 1500)
+	f0 := tppnet.NewUDPFlow(h0, h2.ID(), 7100, 7100, 1500)
 	f0.SetRateBps(50_000_000)
-	var subs []*transport.UDPFlow
+	var subs []*tppnet.UDPFlow
 	for i := 0; i < 8; i++ {
-		f := transport.NewUDPFlow(h1, h2.ID(), uint16(7200+i), 7200, 1500)
+		f := tppnet.NewUDPFlow(h1, h2.ID(), uint16(7200+i), 7200, 1500)
 		f.SetRateBps(15_000_000)
 		subs = append(subs, f)
 	}
 
 	if useConga {
-		app := n.CP.RegisterApp("conga")
-		b := conga.NewBalancer(h1, app, h2.ID(), conga.Config{Agg: agg})
-		b.Start()
+		b := balancer(t, n, conga.Config{Host: h1, Dst: h2.ID(), Agg: agg})
 		tagger := b.Tagger()
 		for _, f := range subs {
 			f.Tagger = tagger
@@ -50,14 +58,14 @@ func figure4(t *testing.T, useConga bool, agg conga.Aggregation) (thr0, thr1, ma
 	}
 
 	const secs = 3
-	warm := sim.Time(secs-1) * sim.Second
-	n.Eng.RunUntil(warm)
+	warm := tppnet.Time(secs-1) * tppnet.Second
+	n.RunUntil(warm)
 	b0, b1 := sink0.Bytes, sink1.Bytes
 
 	// Sample fabric utilization during the steady window.
 	maxPm := uint32(0)
 	for i := 0; i < 10; i++ {
-		n.Eng.RunUntil(warm + sim.Time(i+1)*100*sim.Millisecond)
+		n.RunUntil(warm + tppnet.Time(i+1)*100*tppnet.Millisecond)
 		for _, l := range n.Links() {
 			if l.RateMbps() != 100 {
 				continue // fabric links only
@@ -112,12 +120,10 @@ func TestCongaMeetsDemandsAndLowersUtil(t *testing.T) {
 }
 
 func TestCongaDiscoversBothPaths(t *testing.T) {
-	n := topo.New(9)
-	hosts, _, _ := topo.Conga(n, 100)
-	app := n.CP.RegisterApp("conga")
-	b := conga.NewBalancer(hosts[1], app, hosts[2].ID(), conga.Config{})
-	b.Start()
-	n.Eng.RunUntil(100 * sim.Millisecond)
+	n := tppnet.NewNetwork(tppnet.WithSeed(9))
+	hosts, _, _ := n.LeafSpine(100)
+	b := balancer(t, n, conga.Config{Host: hosts[1], Dst: hosts[2].ID()})
+	n.RunUntil(100 * tppnet.Millisecond)
 	b.Stop()
 	if b.NumPaths() != 2 {
 		t.Errorf("discovered %d paths, want 2 (via S0 and S1)", b.NumPaths())
@@ -128,12 +134,10 @@ func TestProbeOverheadSmall(t *testing.T) {
 	// §2.4: "the overhead introduced by TPP packets was minimal (<1% of
 	// the total traffic)".
 	thr0, thr1, _ := figure4(t, true, conga.AggSum)
-	n := topo.New(9)
-	hosts, _, _ := topo.Conga(n, 100)
-	app := n.CP.RegisterApp("conga")
-	b := conga.NewBalancer(hosts[1], app, hosts[2].ID(), conga.Config{})
-	b.Start()
-	n.Eng.RunUntil(sim.Second)
+	n := tppnet.NewNetwork(tppnet.WithSeed(9))
+	hosts, _, _ := n.LeafSpine(100)
+	b := balancer(t, n, conga.Config{Host: hosts[1], Dst: hosts[2].ID()})
+	n.RunUntil(tppnet.Second)
 	b.Stop()
 	probeMbps := float64(b.ProbeBytes) * 8 / 1e6
 	totalMbps := thr0 + thr1
@@ -152,22 +156,67 @@ func TestAggregationModes(t *testing.T) {
 }
 
 func TestFlowletStickinessUnderGap(t *testing.T) {
-	n := topo.New(9)
-	hosts, _, _ := topo.Conga(n, 100)
-	app := n.CP.RegisterApp("conga")
-	b := conga.NewBalancer(hosts[1], app, hosts[2].ID(), conga.Config{
-		FlowletGap: sim.Second, // enormous gap: the flow must never move
+	n := tppnet.NewNetwork(tppnet.WithSeed(9))
+	hosts, _, _ := n.LeafSpine(100)
+	b := balancer(t, n, conga.Config{
+		Host: hosts[1], Dst: hosts[2].ID(),
+		FlowletGap: tppnet.Second, // enormous gap: the flow must never move
 	})
-	b.Start()
-	f := transport.NewUDPFlow(hosts[1], hosts[2].ID(), 7300, 7300, 1500)
+	f := tppnet.NewUDPFlow(hosts[1], hosts[2].ID(), 7300, 7300, 1500)
 	f.SetRateBps(20_000_000)
 	f.Tagger = b.Tagger()
-	transport.NewSink(hosts[2], 7300, link.ProtoUDP)
+	tppnet.NewSink(hosts[2], 7300, tppnet.ProtoUDP)
 	f.Start()
-	n.Eng.RunUntil(2 * sim.Second)
+	n.RunUntil(2 * tppnet.Second)
 	f.Stop()
 	b.Stop()
 	if b.Moves != 0 {
 		t.Errorf("flow moved %d times despite 1 s flowlet gap", b.Moves)
+	}
+}
+
+// TestCloseWhileRunningStopsProbes: Close on a running balancer must halt
+// the probe loop through the balancer's own Stop override.
+func TestCloseWhileRunningStopsProbes(t *testing.T) {
+	n := tppnet.NewNetwork(tppnet.WithSeed(9))
+	hosts, _, _ := n.LeafSpine(100)
+	b := balancer(t, n, conga.Config{Host: hosts[1], Dst: hosts[2].ID()})
+	n.RunUntil(50 * tppnet.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sent := b.ProbesSent
+	if sent == 0 {
+		t.Fatal("balancer never probed before Close")
+	}
+	n.Run() // drain: a closed balancer generates no further probes
+	if b.ProbesSent != sent {
+		t.Errorf("closed balancer kept probing: %d -> %d", sent, b.ProbesSent)
+	}
+}
+
+// TestLifecycleRestart: a stopped balancer can start probing again.
+func TestLifecycleRestart(t *testing.T) {
+	n := tppnet.NewNetwork(tppnet.WithSeed(9))
+	hosts, _, _ := n.LeafSpine(100)
+	b := balancer(t, n, conga.Config{Host: hosts[1], Dst: hosts[2].ID()})
+	n.RunUntil(50 * tppnet.Millisecond)
+	if err := b.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	sent := b.ProbesSent
+	n.RunUntil(100 * tppnet.Millisecond)
+	if b.ProbesSent != sent {
+		t.Fatal("stopped balancer kept probing")
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n.RunUntil(150 * tppnet.Millisecond)
+	if b.ProbesSent == sent {
+		t.Fatal("restarted balancer never probed")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

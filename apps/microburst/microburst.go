@@ -10,6 +10,10 @@
 // yields a sample taken at the instant it traversed each queue, bursts that
 // a polling monitor would miss (the paper's point: one queue is empty at 80%
 // of packet arrivals, so sampling misses the bursts) are captured exactly.
+//
+// Monitor implements the app.App contract: New(cfg) → Attach → (run
+// traffic) → Close. It is a passive application — collection begins as soon
+// as instrumented traffic flows, so Start is only the lifecycle transition.
 package microburst
 
 import (
@@ -19,9 +23,10 @@ import (
 
 	"minions/internal/asm"
 	"minions/internal/core"
-	"minions/internal/host"
-	"minions/internal/link"
 	"minions/internal/stats"
+	"minions/tpp"
+	"minions/tppnet"
+	"minions/tppnet/app"
 )
 
 // Program is the micro-burst TPP, verbatim from §2.1.
@@ -43,53 +48,107 @@ type QueueKey struct {
 // String renders the key.
 func (k QueueKey) String() string { return fmt.Sprintf("s%d.p%d", k.SwitchID, k.Port) }
 
+// Sample is one per-packet queue-occupancy snapshot, as published on the
+// monitor's telemetry stream.
+type Sample struct {
+	Queue     QueueKey
+	Occupancy float64
+	At        tppnet.Time
+}
+
+// Config parameterizes a monitor; zero values take the paper's defaults.
+type Config struct {
+	// Filter selects the traffic to instrument (Figure 1: all UDP).
+	Filter tppnet.FilterSpec
+	// SampleFreq instruments one in N matching packets (default 1 = all,
+	// as in Figure 1).
+	SampleFreq int
+	// Hops sizes the TPP's packet memory (default 5, the paper's network
+	// diameter example).
+	Hops int
+	// Hosts limits installation to a subset; nil instruments every host of
+	// the attached network.
+	Hosts []*tppnet.Host
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleFreq == 0 {
+		c.SampleFreq = 1
+	}
+	if c.Hops == 0 {
+		c.Hops = 5
+	}
+	return c
+}
+
 // Monitor aggregates queue-occupancy samples network-wide. Aggregators on
 // hosts in different topology shards feed it concurrently, so ingestion is
 // mutex-guarded; the aggregation itself (sample multisets, counts) is
 // order-insensitive, which keeps sharded runs byte-identical to
 // single-engine ones.
 type Monitor struct {
-	App  *host.App
-	Hops int
+	app.Base
+	cfg Config
 
 	mu      sync.Mutex
 	cdfs    map[QueueKey]*stats.CDF
 	series  map[QueueKey]*stats.TimeSeries
 	samples uint64
+	stream  app.Stream[Sample]
 }
 
-// Deploy registers the application, installs the TPP on every source host's
-// matching traffic (sampleFreq = 1 instruments every packet, as in Figure 1),
-// and registers aggregators on every host.
-func Deploy(cp *host.ControlPlane, hosts []*host.Host, spec host.FilterSpec, sampleFreq, hops int) (*Monitor, error) {
-	app := cp.RegisterApp("microburst")
-	m := &Monitor{
-		App:    app,
-		Hops:   hops,
+// New creates a monitor; Attach installs it on the network.
+func New(cfg Config) *Monitor {
+	return &Monitor{
+		Base:   app.MakeBase("microburst"),
+		cfg:    cfg.withDefaults(),
 		cdfs:   make(map[QueueKey]*stats.CDF),
 		series: make(map[QueueKey]*stats.TimeSeries),
 	}
-	for _, h := range hosts {
-		prog, err := asm.Assemble(fmt.Sprintf(".hops %d\n%s", hops, Program))
-		if err != nil {
-			return nil, err
-		}
-		if _, err := h.AddTPP(app, spec, prog, sampleFreq, 10); err != nil {
-			return nil, err
-		}
-		h := h
-		h.RegisterAggregator(app.Wire, func(p *link.Packet, view core.Section) {
-			m.ingest(h, view)
-		})
-	}
-	return m, nil
 }
 
+// Attach implements app.App: it registers the application identity,
+// installs the §2.1 TPP on every selected host's matching traffic, and
+// registers the per-host aggregators feeding this monitor.
+func (m *Monitor) Attach(n *tppnet.Network, cp *tppnet.ControlPlane) error {
+	if err := m.Provision(m, n, cp); err != nil {
+		return err
+	}
+	hosts := m.cfg.Hosts
+	if hosts == nil {
+		hosts = n.Hosts
+	}
+	for _, h := range hosts {
+		prog, err := asm.Assemble(fmt.Sprintf(".hops %d\n%s", m.cfg.Hops, Program))
+		if err != nil {
+			return err
+		}
+		if _, err := m.InstallTPP(h, m.cfg.Filter, prog, m.cfg.SampleFreq, 10); err != nil {
+			return err
+		}
+		h := h
+		if err := m.Aggregate(h, func(p *tppnet.Packet, view tpp.Section) {
+			m.ingest(h, view)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SampleStream returns the monitor's typed telemetry stream: one event per
+// ingested queue snapshot. Subscribe before traffic starts to see every
+// sample; the aggregate accessors (CDF, Series, ...) cover the full run
+// either way.
+func (m *Monitor) SampleStream() *app.Stream[Sample] { return &m.stream }
+
 // ingest records one fully executed TPP's snapshots.
-func (m *Monitor) ingest(h *host.Host, view core.Section) {
+func (m *Monitor) ingest(h *tppnet.Host, view core.Section) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	now := h.Engine().Now().Seconds()
+	now := h.Engine().Now()
+	sec := now.Seconds()
+	publish := m.stream.HasSubscribers()
 	for _, hop := range view.StackView(WordsPerHop) {
 		key := QueueKey{SwitchID: hop.Words[0], Port: hop.Words[1]}
 		occ := float64(hop.Words[2])
@@ -100,8 +159,11 @@ func (m *Monitor) ingest(h *host.Host, view core.Section) {
 			m.series[key] = stats.NewTimeSeries(0.01) // 10 ms bins
 		}
 		cdf.Add(occ)
-		m.series[key].Add(now, occ)
+		m.series[key].Add(sec, occ)
 		m.samples++
+		if publish {
+			m.stream.Publish(Sample{Queue: key, Occupancy: occ, At: now})
+		}
 	}
 }
 
@@ -152,5 +214,5 @@ func (m *Monitor) MaxBurst(k QueueKey) float64 {
 // configured hop budget: the §2.1 arithmetic (12-byte header + 12 bytes of
 // instructions + per-hop statistics).
 func (m *Monitor) Overhead() int {
-	return core.HeaderLen + 3*core.InsnSize + m.Hops*WordsPerHop*core.WordSize
+	return core.HeaderLen + 3*core.InsnSize + m.cfg.Hops*WordsPerHop*core.WordSize
 }

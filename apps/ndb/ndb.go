@@ -1,5 +1,5 @@
-// Package netsight refactors the NetSight troubleshooting platform onto the
-// TPP interface (§2.3). A trusted per-host agent inserts
+// Package ndb refactors the NetSight troubleshooting platform onto the TPP
+// interface (§2.3). A trusted per-host agent inserts
 //
 //	PUSH [Switch:ID]
 //	PUSH [PacketMetadata:MatchedEntryID]
@@ -10,9 +10,13 @@
 // switch forwarding state applied to the packet" — without the network ever
 // creating extra packet copies. On top of the history store this package
 // provides the paper's four applications: netshark (network-wide tcpdump
-// with queries), ndb (interactive debugger with backtraces), netwatch
-// (live policy checking) and loss localization via drop notifications.
-package netsight
+// with queries), ndb (interactive debugger with backtraces, the package's
+// namesake), netwatch (live policy checking via a typed violation stream)
+// and loss localization via drop notifications.
+//
+// Deployment implements the app.App contract: New(cfg) → Attach → (run
+// traffic) → Close. Collection is passive; Watch attaches live policies.
+package ndb
 
 import (
 	"fmt"
@@ -20,10 +24,8 @@ import (
 
 	"minions/internal/asm"
 	"minions/internal/core"
-	"minions/internal/device"
-	"minions/internal/host"
-	"minions/internal/link"
-	"minions/internal/sim"
+	"minions/tppnet"
+	"minions/tppnet/app"
 )
 
 // Program is the packet-history TPP of §2.3.
@@ -48,8 +50,8 @@ type HopRecord struct {
 
 // History is a packet history.
 type History struct {
-	At      sim.Time
-	Flow    link.FlowKey
+	At      tppnet.Time
+	Flow    tppnet.FlowKey
 	PktID   uint64
 	Hops    []HopRecord
 	Dropped bool // true when reconstructed from a drop notification
@@ -68,20 +70,21 @@ func (h History) Path() string {
 	return b.String()
 }
 
-// Collector is the central service receiving histories from all hosts.
+// Collector is the central service receiving histories from all hosts. Its
+// live feed is a typed stream: Stream().Subscribe for every arrival.
 type Collector struct {
 	histories []History
-	// OnHistory, when set, observes each arrival (netwatch live mode).
-	OnHistory func(History)
+	stream    app.Stream[History]
 }
 
-// Add appends a history.
+// Add appends a history and publishes it on the live stream.
 func (c *Collector) Add(h History) {
 	c.histories = append(c.histories, h)
-	if c.OnHistory != nil {
-		c.OnHistory(h)
-	}
+	c.stream.Publish(h)
 }
+
+// Stream returns the live history feed.
+func (c *Collector) Stream() *app.Stream[History] { return &c.stream }
 
 // Len returns the number of stored histories.
 func (c *Collector) Len() int { return len(c.histories) }
@@ -100,7 +103,7 @@ func (c *Collector) Query(pred func(History) bool) []History {
 
 // ByFlow returns the histories of one flow, in arrival order (ndb's
 // backtrace for a flow).
-func (c *Collector) ByFlow(f link.FlowKey) []History {
+func (c *Collector) ByFlow(f tppnet.FlowKey) []History {
 	return c.Query(func(h History) bool { return h.Flow == f })
 }
 
@@ -121,48 +124,143 @@ func (c *Collector) Drops() []History {
 	return c.Query(func(h History) bool { return h.Dropped })
 }
 
+// Config parameterizes a deployment; zero values take the paper's defaults.
+type Config struct {
+	// Filter selects the traffic whose histories are collected.
+	Filter tppnet.FilterSpec
+	// SampleFreq collects one in N matching packets (default 1 = all).
+	SampleFreq int
+	// Hops sizes the TPP's packet memory (default DefaultHops).
+	Hops int
+	// Hosts limits installation to a subset; nil instruments every host.
+	Hosts []*tppnet.Host
+	// Switches limits drop mirroring to a subset; nil mirrors every switch.
+	Switches []*tppnet.Switch
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleFreq == 0 {
+		c.SampleFreq = 1
+	}
+	if c.Hops == 0 {
+		c.Hops = DefaultHops
+	}
+	return c
+}
+
 // Deployment wires the application: TPPs on sources, aggregators on
 // receivers, drop mirroring on switches.
 type Deployment struct {
-	App       *host.App
+	app.Base
+	cfg Config
+	// Collector is the central history store and live stream.
 	Collector *Collector
-	Hops      int
+	// Hops is the deployed per-TPP hop budget.
+	Hops int
+
+	closed     bool
+	violations app.Stream[Violation]
+	watching   bool
+	policies   []Policy
 }
 
-// Deploy installs packet-history collection across the network.
-func Deploy(cp *host.ControlPlane, hosts []*host.Host, switches []*device.Switch, spec host.FilterSpec, sampleFreq int) (*Deployment, error) {
-	app := cp.RegisterApp("netsight")
-	col := &Collector{}
-	d := &Deployment{App: app, Collector: col, Hops: DefaultHops}
+// New creates a packet-history deployment; Attach installs it.
+func New(cfg Config) *Deployment {
+	cfg = cfg.withDefaults()
+	return &Deployment{
+		Base:      app.MakeBase("netsight"),
+		cfg:       cfg,
+		Collector: &Collector{},
+		Hops:      cfg.Hops,
+	}
+}
 
-	src := fmt.Sprintf(".hops %d\n.flags dropnotify\n%s", DefaultHops, Program)
+// Attach implements app.App: it registers the application identity,
+// installs the history TPP (with drop notification) on every selected
+// host's matching traffic, registers history-reconstructing aggregators,
+// and hooks §2.6 loss localization into every selected switch's drop path.
+func (d *Deployment) Attach(n *tppnet.Network, cp *tppnet.ControlPlane) error {
+	if err := d.Provision(d, n, cp); err != nil {
+		return err
+	}
+	hosts := d.cfg.Hosts
+	if hosts == nil {
+		hosts = n.Hosts
+	}
+	switches := d.cfg.Switches
+	if switches == nil {
+		switches = n.Switches
+	}
+	col := d.Collector
+	src := fmt.Sprintf(".hops %d\n.flags dropnotify\n%s", d.cfg.Hops, Program)
 	for _, h := range hosts {
 		prog, err := asm.Assemble(src)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if _, err := h.AddTPP(app, spec, prog, sampleFreq, 20); err != nil {
-			return nil, err
+		if _, err := d.InstallTPP(h, d.cfg.Filter, prog, d.cfg.SampleFreq, 20); err != nil {
+			return err
 		}
 		h := h
-		h.RegisterAggregator(app.Wire, func(p *link.Packet, view core.Section) {
+		if err := d.Aggregate(h, func(p *tppnet.Packet, view core.Section) {
 			col.Add(historyFrom(h.Engine().Now(), p, view, false, 0))
-		})
+		}); err != nil {
+			return err
+		}
 	}
-	// §2.6 loss localization: switches mirror dropped DropNotify TPPs.
+	// §2.6 loss localization: switches mirror dropped DropNotify TPPs. The
+	// installed hook chains: packets that are not this deployment's (or
+	// arrive after Close) fall through to whatever collector was installed
+	// before Attach, so composed deployments all see their own drops and
+	// teardown in any order never severs another app's hook.
+	wire := d.ID().Wire
 	for _, sw := range switches {
 		sw := sw
-		sw.DropCollector = func(p *link.Packet, reason device.DropReason) {
-			if p.TPP == nil || p.TPP.AppID() != app.Wire {
+		prev := sw.DropCollector
+		sw.DropCollector = func(p *tppnet.Packet, reason tppnet.DropReason) {
+			if d.closed || p.TPP == nil || p.TPP.AppID() != wire {
+				if prev != nil {
+					prev(p, reason)
+				}
 				return
 			}
 			col.Add(historyFrom(0, p, p.TPP, true, sw.ID()))
 		}
 	}
-	return d, nil
+	return nil
 }
 
-func historyFrom(at sim.Time, p *link.Packet, view core.Section, dropped bool, dropAt uint32) History {
+// Close deactivates the switch drop hooks (they become transparent
+// pass-throughs to the previously installed collectors), then releases the
+// app's filters, aggregators and control-plane state.
+func (d *Deployment) Close() error {
+	d.closed = true
+	return d.Base.Close()
+}
+
+// Watch attaches live policy checking (the paper's netwatch): every
+// incoming history is checked against the policies, and violations are
+// published on the returned typed stream. Call it any number of times;
+// use app.Collect to accumulate violations into a slice.
+func (d *Deployment) Watch(policies ...Policy) *app.Stream[Violation] {
+	if !d.watching {
+		d.watching = true
+		d.Collector.Stream().Subscribe(func(h History) {
+			for _, p := range d.policies {
+				if v := p(h); v != nil {
+					d.violations.Publish(*v)
+				}
+			}
+		})
+	}
+	d.policies = append(d.policies, policies...)
+	return &d.violations
+}
+
+// Violations returns the live violation stream fed by Watch.
+func (d *Deployment) Violations() *app.Stream[Violation] { return &d.violations }
+
+func historyFrom(at tppnet.Time, p *tppnet.Packet, view core.Section, dropped bool, dropAt uint32) History {
 	h := History{At: at, Flow: p.Flow, PktID: p.ID, Dropped: dropped, DropAt: dropAt}
 	for _, hop := range view.StackView(WordsPerHop) {
 		h.Hops = append(h.Hops, HopRecord{
@@ -190,26 +288,9 @@ type Violation struct {
 // Policy checks a packet history; nil means conforming.
 type Policy func(History) *Violation
 
-// Netwatch attaches live policy checking to a collector.
-func Netwatch(c *Collector, policies ...Policy) *[]Violation {
-	violations := &[]Violation{}
-	prev := c.OnHistory
-	c.OnHistory = func(h History) {
-		if prev != nil {
-			prev(h)
-		}
-		for _, p := range policies {
-			if v := p(h); v != nil {
-				*violations = append(*violations, *v)
-			}
-		}
-	}
-	return violations
-}
-
 // IsolationPolicy flags any flow between the two host groups (tenant
 // isolation, the paper's netwatch example).
-func IsolationPolicy(groupA, groupB map[link.NodeID]bool) Policy {
+func IsolationPolicy(groupA, groupB map[tppnet.NodeID]bool) Policy {
 	return func(h History) *Violation {
 		cross := (groupA[h.Flow.Src] && groupB[h.Flow.Dst]) ||
 			(groupB[h.Flow.Src] && groupA[h.Flow.Dst])

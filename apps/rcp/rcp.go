@@ -14,6 +14,11 @@
 // (equation 2): R = (Σ Ri^-α)^(-1/α); α→∞ recovers max-min (R = min Ri) and
 // α=1 is proportional fairness — chosen at deployment time, exactly the
 // flexibility the paper argues hardware RCP would have foreclosed.
+//
+// System implements the app.App contract: New(cfg) → Attach (registers the
+// application, allocates the two per-link registers network-wide and seeds
+// every switch port) → NewFlow per sender → Start. Each Flow may also be
+// started and stopped individually.
 package rcp
 
 import (
@@ -21,12 +26,11 @@ import (
 	"math"
 
 	"minions/internal/core"
-	"minions/internal/device"
 	"minions/internal/host"
-	"minions/internal/link"
 	"minions/internal/mem"
 	"minions/internal/sim"
-	"minions/internal/transport"
+	"minions/tppnet"
+	"minions/tppnet/app"
 )
 
 // Config tunes the controller.
@@ -35,7 +39,7 @@ type Config struct {
 	// proportional fairness (Kelly et al.).
 	Alpha float64
 	// Period is the control interval T (default 10 ms ~ a few RTTs).
-	Period sim.Time
+	Period tppnet.Time
 	// CapacityMbps is each network link's capacity C.
 	CapacityMbps float64
 	// A, B are the RCP gain parameters (defaults 0.5, 0.25).
@@ -78,43 +82,63 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// RateSample is one flow's freshly aggregated sending rate, as published on
+// the system's telemetry stream after each completed control round.
+type RateSample struct {
+	Flow     *Flow
+	At       tppnet.Time
+	RateMbps float64
+}
+
 // System is the network-wide RCP* deployment: one app registration and two
 // AppSpecific registers per link ("The network control plane allocates two
 // memory addresses per link").
 type System struct {
-	App     *host.App
+	app.Base
 	cfg     Config
 	verReg  mem.Addr // dynamic out-link address of the version register
 	rateReg mem.Addr // dynamic out-link address of the fair-rate register
 	regIdx  int
+	flows   []*Flow
+	rates   app.Stream[RateSample]
 }
 
 // rate wire unit: kilobits per second (fits 32 bits up to 4 Tb/s).
 func mbpsToWire(m float64) uint32 { return uint32(m * 1000) }
 func wireToMbps(w uint32) float64 { return float64(w) / 1000 }
 
-// NewSystem registers the RCP application and allocates its link registers.
-func NewSystem(cp *host.ControlPlane, cfg Config) (*System, error) {
-	cfg = cfg.withDefaults()
-	app := cp.RegisterApp("rcp")
-	idx, err := cp.AllocLinkRegisters(app, 2)
-	if err != nil {
-		return nil, fmt.Errorf("rcp: %w", err)
+// New creates an RCP* system; Attach registers it and seeds the switches.
+func New(cfg Config) *System {
+	return &System{Base: app.MakeBase("rcp"), cfg: cfg.withDefaults()}
+}
+
+// Attach implements app.App: it registers the application identity,
+// allocates the two per-link AppSpecific registers network-wide, and seeds
+// every switch port's fair-share register with that port's link capacity
+// (the control-plane step before flows start).
+func (s *System) Attach(n *tppnet.Network, cp *tppnet.ControlPlane) error {
+	if err := s.Provision(s, n, cp); err != nil {
+		return err
 	}
-	return &System{
-		App:     app,
-		cfg:     cfg,
-		regIdx:  idx,
-		verReg:  mem.DynOutLinkBase + mem.LinkAppSpecific0 + mem.Addr(idx),
-		rateReg: mem.DynOutLinkBase + mem.LinkAppSpecific0 + mem.Addr(idx+1),
-	}, nil
+	idx, err := s.ControlPlane().AllocLinkRegisters(s.ID(), 2)
+	if err != nil {
+		return fmt.Errorf("rcp: %w", err)
+	}
+	s.regIdx = idx
+	s.verReg = mem.DynOutLinkBase + mem.LinkAppSpecific0 + mem.Addr(idx)
+	s.rateReg = mem.DynOutLinkBase + mem.LinkAppSpecific0 + mem.Addr(idx+1)
+	for _, sw := range n.Switches {
+		s.InitSwitch(sw)
+	}
+	return nil
 }
 
 // InitSwitch seeds every connected port's fair-share register with that
-// port's own link capacity (the control-plane step before flows start).
-// Heterogeneous capacities matter: a receiver's fast host link must not
-// dilute the α-fair aggregate of the slow network links.
-func (s *System) InitSwitch(sw *device.Switch) {
+// port's own link capacity. Attach does this for every switch already
+// wired; call it for switches added later. Heterogeneous capacities
+// matter: a receiver's fast host link must not dilute the α-fair aggregate
+// of the slow network links.
+func (s *System) InitSwitch(sw *tppnet.Switch) {
 	for i := 0; i < sw.NumPorts(); i++ {
 		p := sw.Port(i)
 		if p.Out == nil {
@@ -123,6 +147,41 @@ func (s *System) InitSwitch(sw *device.Switch) {
 		p.SetAppSpecific(s.regIdx, 0) // version
 		p.SetAppSpecific(s.regIdx+1, mbpsToWire(float64(p.Out.RateMbps())))
 	}
+}
+
+// NewFlow wraps an existing UDP flow with an RCP* controller and registers
+// it with the system: System.Start starts it (and every other registered
+// flow) in registration order.
+func (s *System) NewFlow(h *tppnet.Host, dst tppnet.NodeID, udp *tppnet.UDPFlow) *Flow {
+	f := newFlow(s, h, dst, udp)
+	s.flows = append(s.flows, f)
+	return f
+}
+
+// Flows returns the registered controllers in registration order.
+func (s *System) Flows() []*Flow { return s.flows }
+
+// Rates returns the telemetry stream of per-round aggregated flow rates.
+func (s *System) Rates() *app.Stream[RateSample] { return &s.rates }
+
+// Start implements app.App: every registered flow begins its control loop
+// and underlying UDP stream, in registration order.
+func (s *System) Start() error {
+	if err := s.Base.Start(); err != nil {
+		return err
+	}
+	for _, f := range s.flows {
+		f.Start()
+	}
+	return nil
+}
+
+// Stop implements app.App: every running flow halts.
+func (s *System) Stop() error {
+	for _, f := range s.flows {
+		f.Stop()
+	}
+	return s.Base.Stop()
 }
 
 // capacityProgram is the one-time capacity-discovery TPP each flow sends at
@@ -211,18 +270,20 @@ type linkPrev struct {
 // (one round per ~RTT, per flow) without per-round closure allocations.
 type Flow struct {
 	sys  *System
-	h    *host.Host
-	dst  link.NodeID
-	udp  *transport.UDPFlow
+	h    *tppnet.Host
+	dst  tppnet.NodeID
+	udp  *tppnet.UDPFlow
 	cfg  Config
 	rttE sim.Time // EWMA of probe RTT (the control law's d)
 	prev map[uint32]linkPrev
 	caps map[uint32]float64 // per-hop link capacity, discovered at start
 
 	running bool
+	gen     uint64   // invalidates stale round events across Stop/Start
+	sentGen uint64   // generation the in-flight collect probe belongs to
 	sentAt  sim.Time // dispatch time of the in-flight collect probe
 	// collectCb and discardCb are the resident ExecuteTPP completions,
-	// built once in NewFlow.
+	// built once in newFlow.
 	collectCb func(view core.Section, err error)
 	discardCb func(core.Section, error)
 	// Telemetry for tests and plots.
@@ -233,8 +294,8 @@ type Flow struct {
 	CtrlBytes   uint64
 }
 
-// NewFlow wraps an existing UDP flow with an RCP* controller.
-func NewFlow(sys *System, h *host.Host, dst link.NodeID, udp *transport.UDPFlow) *Flow {
+// newFlow wraps an existing UDP flow with an RCP* controller.
+func newFlow(sys *System, h *tppnet.Host, dst tppnet.NodeID, udp *tppnet.UDPFlow) *Flow {
 	f := &Flow{
 		sys: sys, h: h, dst: dst, udp: udp, cfg: sys.cfg,
 		prev: make(map[uint32]linkPrev),
@@ -244,28 +305,45 @@ func NewFlow(sys *System, h *host.Host, dst link.NodeID, udp *transport.UDPFlow)
 		if err == nil {
 			f.onCollect(view, f.h.Engine().Now()-f.sentAt)
 		}
-		f.armNextRound()
+		// Re-arm only for the probe's own generation: a probe completing
+		// across a Stop/Start cycle must not spawn a second round train.
+		if f.sentGen == f.gen {
+			f.armNextRound()
+		}
 	}
 	f.discardCb = func(core.Section, error) {}
 	udp.SetRateBps(int64(f.cfg.InitialRateMbps * 1e6))
 	return f
 }
 
-// Handle implements sim.Handler: one scheduled control round.
-func (f *Flow) Handle(uint64) { f.controlRound() }
+// Handle implements sim.Handler: one scheduled control round. Events from
+// a generation before the latest Start are stale — the engine cannot
+// cancel events, so a Stop/Start cycle must not double the round cadence.
+func (f *Flow) Handle(gen uint64) {
+	if gen != f.gen {
+		return
+	}
+	f.controlRound()
+}
 
 // armNextRound schedules the next control round as a typed resident event.
 func (f *Flow) armNextRound() {
-	f.h.Engine().ScheduleAfter(f.nextPeriod(), f, 0)
+	f.h.Engine().ScheduleAfter(f.nextPeriod(), f, f.gen)
 }
 
 // Start begins the control loop and the underlying UDP stream. The first
-// round discovers per-hop link capacities.
+// round discovers per-hop link capacities. Starting a running flow is a
+// no-op.
 func (f *Flow) Start() {
+	if f.running {
+		return
+	}
 	f.running = true
+	f.gen++
+	gen := f.gen
 	f.udp.Start()
 	prog := f.sys.capacityProgram()
-	err := f.h.ExecuteTPP(f.sys.App, prog, f.dst, host.ExecOpts{}, func(view core.Section, err error) {
+	err := f.h.ExecuteTPP(f.sys.ID(), prog, f.dst, host.ExecOpts{}, func(view core.Section, err error) {
 		if err == nil {
 			for _, hv := range view.HopViews() {
 				if hv.Words[1] > 0 {
@@ -273,7 +351,9 @@ func (f *Flow) Start() {
 				}
 			}
 		}
-		f.controlRound()
+		if gen == f.gen {
+			f.controlRound()
+		}
 	})
 	if err != nil {
 		f.controlRound()
@@ -311,8 +391,9 @@ func (f *Flow) controlRound() {
 		return
 	}
 	f.sentAt = f.h.Engine().Now()
+	f.sentGen = f.gen
 	prog := f.sys.collectProgram()
-	err := f.h.ExecuteTPP(f.sys.App, prog, f.dst, host.ExecOpts{
+	err := f.h.ExecuteTPP(f.sys.ID(), prog, f.dst, host.ExecOpts{
 		Timeout:     4 * f.cfg.Period,
 		MaxAttempts: 1,
 	}, f.collectCb)
@@ -394,7 +475,7 @@ func (f *Flow) onCollect(view core.Section, rtt sim.Time) {
 
 	// Phase 3: asynchronous versioned write-back.
 	upd := f.sys.updateProgram(hops, newRates)
-	if err := f.h.ExecuteTPP(f.sys.App, upd, f.dst, host.ExecOpts{
+	if err := f.h.ExecuteTPP(f.sys.ID(), upd, f.dst, host.ExecOpts{
 		Timeout:     4 * f.cfg.Period,
 		MaxAttempts: 1,
 	}, f.discardCb); err == nil {
@@ -415,6 +496,9 @@ func (f *Flow) onCollect(view core.Section, rtt sim.Time) {
 		f.LastRate = f.cfg.MinRateMbps
 	}
 	f.udp.SetRateBps(int64(f.LastRate * 1e6))
+	if f.sys.rates.HasSubscribers() {
+		f.sys.rates.Publish(RateSample{Flow: f, At: now, RateMbps: f.LastRate})
+	}
 }
 
 // Aggregate applies equation 2 to the per-link fair rates.

@@ -1,0 +1,255 @@
+package rcp_test
+
+import (
+	"math"
+	"testing"
+
+	"minions/apps/rcp"
+	"minions/tppnet"
+)
+
+// figure2 runs the paper's Figure 2 experiment at the given alpha and
+// returns the three flows' steady-state rates in Mb/s (measured over the
+// final second by receiver byte counts).
+func figure2(t *testing.T, alpha float64, secs int) (a, b, c float64) {
+	t.Helper()
+	n := tppnet.NewNetwork(tppnet.WithSeed(5))
+	hosts, _ := n.Chain(100)
+	sys := rcp.New(rcp.Config{
+		Alpha:        alpha,
+		CapacityMbps: 100,
+	})
+	if err := sys.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(src, dst int, sport uint16) (*rcp.Flow, *tppnet.Sink) {
+		sink := tppnet.NewSink(n.Hosts[dst], sport, 17)
+		udp := tppnet.NewUDPFlow(n.Hosts[src], hosts[dst].ID(), sport, sport, 1500)
+		fl := sys.NewFlow(n.Hosts[src], hosts[dst].ID(), udp)
+		return fl, sink
+	}
+	// a: host0 -> host3 (both links); b: host1 -> host4 (link 1);
+	// c: host2 -> host5 (link 2).
+	_, sa := mk(0, 3, 7001)
+	_, sb := mk(1, 4, 7002)
+	_, sc := mk(2, 5, 7003)
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := tppnet.Time(secs-1) * tppnet.Second
+	n.RunUntil(warm)
+	a0, b0, c0 := sa.Bytes, sb.Bytes, sc.Bytes
+	n.RunUntil(tppnet.Time(secs) * tppnet.Second)
+	if err := sys.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	toMbps := func(d uint64) float64 { return float64(d) * 8 / 1e6 }
+	return toMbps(sa.Bytes - a0), toMbps(sb.Bytes - b0), toMbps(sc.Bytes - c0)
+}
+
+func TestMaxMinFairness(t *testing.T) {
+	// Figure 2 left: max-min should allocate ~50 Mb/s to every flow
+	// (each 100 Mb/s link carries two flows).
+	a, b, c := figure2(t, math.Inf(1), 8)
+	for name, got := range map[string]float64{"a": a, "b": b, "c": c} {
+		if got < 35 || got > 62 {
+			t.Errorf("flow %s = %.1f Mb/s, want ~50", name, got)
+		}
+	}
+}
+
+func TestProportionalFairness(t *testing.T) {
+	// Figure 2 right: the two-link flow gets ~1/3 of each link, the
+	// one-link flows ~2/3.
+	a, b, c := figure2(t, 1, 8)
+	if a < 20 || a > 45 {
+		t.Errorf("flow a = %.1f Mb/s, want ~33", a)
+	}
+	if b < 52 || b > 80 {
+		t.Errorf("flow b = %.1f Mb/s, want ~67", b)
+	}
+	if c < 52 || c > 80 {
+		t.Errorf("flow c = %.1f Mb/s, want ~67", c)
+	}
+	// Ordering: a must clearly receive less than b and c.
+	if a >= b || a >= c {
+		t.Errorf("proportional ordering violated: a=%.1f b=%.1f c=%.1f", a, b, c)
+	}
+}
+
+func TestFairnessCriteriaDiffer(t *testing.T) {
+	aMM, _, _ := figure2(t, math.Inf(1), 6)
+	aPF, bPF, _ := figure2(t, 1, 6)
+	if aPF >= aMM {
+		t.Errorf("alpha=1 should squeeze the long flow: maxmin a=%.1f, prop a=%.1f", aMM, aPF)
+	}
+	if bPF <= aPF {
+		t.Errorf("short flow should exceed long flow under prop fairness")
+	}
+}
+
+func TestAggregateEquation(t *testing.T) {
+	hops := []rcp.HopState{{RateMbps: 40}, {RateMbps: 60}}
+	// Max-min: the min.
+	if got := rcp.Aggregate(hops, math.Inf(1)); got != 40 {
+		t.Errorf("maxmin aggregate = %v", got)
+	}
+	// alpha=1: harmonic combination (1/40 + 1/60)^-1 = 24.
+	if got := rcp.Aggregate(hops, 1); math.Abs(got-24) > 1e-9 {
+		t.Errorf("alpha=1 aggregate = %v", got)
+	}
+	// Large alpha approaches the min from above.
+	if got := rcp.Aggregate(hops, 8); got < 39 || got > 41.5 {
+		t.Errorf("alpha=8 aggregate = %v", got)
+	}
+	if got := rcp.Aggregate(nil, 1); got != 0 {
+		t.Errorf("empty aggregate = %v", got)
+	}
+}
+
+func TestVersionedUpdatesDontClobber(t *testing.T) {
+	// Two flows sharing a link must converge to a single stored rate; the
+	// CSTORE versioning serializes their updates. We assert the register
+	// monotonically versions up and the stored rate stays within capacity.
+	n := tppnet.NewNetwork(tppnet.WithSeed(5))
+	hosts, sws := n.Chain(100)
+	sys := rcp.New(rcp.Config{CapacityMbps: 100})
+	if err := sys.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(src, dst int, sport uint16) *rcp.Flow {
+		tppnet.NewSink(n.Hosts[dst], sport, 17)
+		udp := tppnet.NewUDPFlow(n.Hosts[src], hosts[dst].ID(), sport, sport, 1500)
+		return sys.NewFlow(n.Hosts[src], hosts[dst].ID(), udp)
+	}
+	fa := mk(0, 3, 7001)
+	fb := mk(1, 4, 7002)
+	fa.Start()
+	fb.Start()
+	n.RunUntil(3 * tppnet.Second)
+
+	// The shared link is s1's port toward s2. Find it: s1 routes to
+	// hosts[3] via that port.
+	s1 := sws[0]
+	e := s1.Route(hosts[3].ID())
+	port := s1.Port(e.Ports[0])
+	stored := port.AppSpecific(1)
+	if stored == 0 || stored > 100_000 {
+		t.Errorf("stored fair rate = %d kbps, outside (0, 100000]", stored)
+	}
+	if ver := port.AppSpecific(0); ver == 0 {
+		t.Error("version register never advanced")
+	}
+	if fa.Updates == 0 || fb.Updates == 0 {
+		t.Error("flows performed no updates")
+	}
+}
+
+func TestControlOverheadSmall(t *testing.T) {
+	// §2.2: "the bandwidth overhead imposed by TPP control packets was
+	// about 1.0-6.0% of the flows' rate".
+	n := tppnet.NewNetwork(tppnet.WithSeed(5))
+	hosts, _ := n.Chain(100)
+	sys := rcp.New(rcp.Config{CapacityMbps: 100})
+	if err := sys.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	sink := tppnet.NewSink(n.Hosts[4], 7002, 17)
+	udp := tppnet.NewUDPFlow(n.Hosts[1], hosts[4].ID(), 7002, 7002, 1500)
+	fl := sys.NewFlow(n.Hosts[1], hosts[4].ID(), udp)
+	fl.Start()
+	n.RunUntil(5 * tppnet.Second)
+	fl.Stop()
+
+	data := float64(sink.Bytes)
+	ctrl := float64(fl.CtrlBytes)
+	frac := ctrl / data
+	if frac <= 0 || frac > 0.08 {
+		t.Errorf("control overhead = %.2f%%, want small (paper: 1-6%%)", frac*100)
+	}
+}
+
+// TestRateStreamPublishes covers the typed telemetry stream: each completed
+// control round publishes the flow's aggregated rate.
+func TestRateStreamPublishes(t *testing.T) {
+	n := tppnet.NewNetwork(tppnet.WithSeed(5))
+	hosts, _ := n.Chain(100)
+	sys := rcp.New(rcp.Config{CapacityMbps: 100})
+	if err := sys.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	var samples int
+	var last rcp.RateSample
+	sys.Rates().Subscribe(func(s rcp.RateSample) { samples++; last = s })
+	tppnet.NewSink(n.Hosts[4], 7002, 17)
+	udp := tppnet.NewUDPFlow(n.Hosts[1], hosts[4].ID(), 7002, 7002, 1500)
+	fl := sys.NewFlow(n.Hosts[1], hosts[4].ID(), udp)
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n.RunUntil(2 * tppnet.Second)
+	if err := sys.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if samples == 0 {
+		t.Fatal("rate stream published nothing over 2 s of control rounds")
+	}
+	if last.Flow != fl || last.RateMbps <= 0 {
+		t.Errorf("last sample = %+v, want positive rate on the flow", last)
+	}
+}
+
+// TestCloseWhileRunningStopsFlows: Close on a running system must halt the
+// flows and control rounds through the system's own Stop — traffic and
+// probes must not continue under a released app identity.
+func TestCloseWhileRunningStopsFlows(t *testing.T) {
+	n := tppnet.NewNetwork(tppnet.WithSeed(5))
+	hosts, _ := n.Chain(100)
+	sys := rcp.New(rcp.Config{CapacityMbps: 100})
+	if err := sys.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	sink := tppnet.NewSink(n.Hosts[4], 7002, 17)
+	udp := tppnet.NewUDPFlow(n.Hosts[1], hosts[4].ID(), 7002, 7002, 1500)
+	fl := sys.NewFlow(n.Hosts[1], hosts[4].ID(), udp)
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n.RunUntil(500 * tppnet.Millisecond)
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bytes, ctrl := sink.Bytes, fl.CtrlPackets
+	if bytes == 0 || ctrl == 0 {
+		t.Fatal("flow never ran before Close")
+	}
+	// Drain. A still-running flow would pace forever and never drain; only
+	// packets already in flight at Close may still arrive (≤ a handful).
+	n.Run()
+	if sink.Bytes > bytes+3*1500 {
+		t.Errorf("closed system kept sending: %d -> %d bytes", bytes, sink.Bytes)
+	}
+	if fl.CtrlPackets != ctrl {
+		t.Errorf("closed system kept probing: %d -> %d control packets", ctrl, fl.CtrlPackets)
+	}
+}
+
+// TestLifecycleCloseReleasesRegisters: after Close, the link registers are
+// free for the next tenant — eight consecutive systems can attach to one
+// network only if each release returns its two registers.
+func TestLifecycleCloseReleasesRegisters(t *testing.T) {
+	n := tppnet.NewNetwork(tppnet.WithSeed(1))
+	n.Chain(100)
+	for i := 0; i < 8; i++ {
+		sys := rcp.New(rcp.Config{CapacityMbps: 100})
+		if err := sys.Attach(n, nil); err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+		if err := sys.Close(); err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+	}
+}

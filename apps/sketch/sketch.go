@@ -10,18 +10,24 @@
 // Varghese: estimate = b·ln(b/z) for b bits with z unset) and periodically
 // pushes changed bitmaps to a central link-monitoring service, which ORs
 // them — the sketch's commutativity makes end-host distribution exact.
+//
+// System implements the app.App contract: New(cfg) → Attach (TPPs and
+// per-host agents installed) → Start (periodic bitmap uploads begin) →
+// Stop/Close (final flush, uploads halt).
 package sketch
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"minions/internal/asm"
 	"minions/internal/core"
-	"minions/internal/host"
 	"minions/internal/link"
 	"minions/internal/sim"
+	"minions/tppnet"
+	"minions/tppnet/app"
 )
 
 // Program is the routing-context TPP of §2.5.
@@ -67,18 +73,9 @@ func (m *Bitmap) Add(element uint64) {
 func (m *Bitmap) Zeros() int {
 	z := m.b
 	for _, w := range m.bits {
-		z -= popcount(w)
+		z -= bits.OnesCount64(w)
 	}
 	return z
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
 }
 
 // Estimate returns the cardinality estimate b·ln(b/z) (§2.5, [13]). A full
@@ -171,40 +168,120 @@ func (mon *Monitor) Links() []LinkKey {
 // per-link bitmap for every hop in the TPP, and pushes dirty bitmaps to the
 // monitor every interval.
 type Agent struct {
-	h       *host.Host
+	h       *tppnet.Host
 	mon     *Monitor
 	bits    int
 	local   map[LinkKey]*Bitmap
 	dirty   map[LinkKey]bool
-	ticker  *sim.Ticker
+	timer   *app.Periodic
 	stopped bool
 }
 
-// Deploy registers the measurement app network-wide: TPPs on every host's
-// traffic (sampleFreq as in §2.5's 1-in-10 discussion), agents on every
-// host, one shared monitor.
-func Deploy(cp *host.ControlPlane, hosts []*host.Host, spec host.FilterSpec, sampleFreq, bitsPerLink int, pushEvery sim.Time) (*Monitor, []*Agent, error) {
-	app := cp.RegisterApp("opensketch")
-	mon := NewMonitor(bitsPerLink)
-	var agents []*Agent
+// Config parameterizes a measurement deployment.
+type Config struct {
+	// Filter selects the traffic to instrument.
+	Filter tppnet.FilterSpec
+	// SampleFreq instruments one in N matching packets (default 1; the
+	// paper discusses 1-in-10).
+	SampleFreq int
+	// BitsPerLink sizes each link's bitmap (default 1024, the paper's
+	// 1 kbit/link).
+	BitsPerLink int
+	// PushEvery is the dirty-bitmap upload interval (default 10 s, the
+	// paper's example; experiments use shorter).
+	PushEvery tppnet.Time
+	// Hosts limits installation to a subset; nil instruments every host.
+	Hosts []*tppnet.Host
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleFreq == 0 {
+		c.SampleFreq = 1
+	}
+	if c.BitsPerLink == 0 {
+		c.BitsPerLink = 1024
+	}
+	if c.PushEvery == 0 {
+		c.PushEvery = 10 * sim.Second
+	}
+	return c
+}
+
+// System is the network-wide measurement deployment: TPPs on every selected
+// host's traffic, one agent per host, one shared central monitor.
+type System struct {
+	app.Base
+	cfg Config
+	// Monitor is the central link-monitoring service.
+	Monitor *Monitor
+	agents  []*Agent
+}
+
+// New creates a measurement system; Attach installs it.
+func New(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	return &System{
+		Base:    app.MakeBase("opensketch"),
+		cfg:     cfg,
+		Monitor: NewMonitor(cfg.BitsPerLink),
+	}
+}
+
+// Attach implements app.App: it registers the application identity and, per
+// selected host, installs the routing-context TPP, an ingesting agent, and
+// the periodic upload timer (armed by Start).
+func (s *System) Attach(n *tppnet.Network, cp *tppnet.ControlPlane) error {
+	if err := s.Provision(s, n, cp); err != nil {
+		return err
+	}
+	hosts := s.cfg.Hosts
+	if hosts == nil {
+		hosts = n.Hosts
+	}
 	for _, h := range hosts {
 		prog, err := asm.Assemble(Program)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		if _, err := h.AddTPP(app, spec, prog, sampleFreq, 30); err != nil {
-			return nil, nil, err
+		if _, err := s.InstallTPP(h, s.cfg.Filter, prog, s.cfg.SampleFreq, 30); err != nil {
+			return err
 		}
 		a := &Agent{
-			h: h, mon: mon, bits: bitsPerLink,
+			h: h, mon: s.Monitor, bits: s.cfg.BitsPerLink,
 			local: make(map[LinkKey]*Bitmap),
 			dirty: make(map[LinkKey]bool),
 		}
-		h.RegisterAggregator(app.Wire, a.ingest)
-		a.ticker = h.Engine().Every(pushEvery, pushEvery, a.push)
-		agents = append(agents, a)
+		if err := s.Aggregate(h, a.ingest); err != nil {
+			return err
+		}
+		a.timer = s.Base.NewPeriodic(h.Engine(), s.cfg.PushEvery, a.push)
+		s.agents = append(s.agents, a)
 	}
-	return mon, agents, nil
+	return nil
+}
+
+// Agents returns the per-host agents in installation order.
+func (s *System) Agents() []*Agent { return s.agents }
+
+// Start implements app.App: the periodic upload timers arm and every agent
+// resumes uploading (a restarted system measures again after Stop).
+func (s *System) Start() error {
+	if err := s.Base.Start(); err != nil {
+		return err
+	}
+	for _, a := range s.agents {
+		a.stopped = false
+	}
+	return nil
+}
+
+// Stop implements app.App: every agent flushes its dirty bitmaps and the
+// upload timers halt.
+func (s *System) Stop() error {
+	for _, a := range s.agents {
+		a.Stop()
+	}
+	return s.Base.Stop()
 }
 
 // ingest implements the paper's pseudo-code:
@@ -238,9 +315,12 @@ func (a *Agent) push() {
 
 // Stop pushes any dirty state and halts the periodic upload.
 func (a *Agent) Stop() {
+	if a.stopped {
+		return
+	}
 	a.push()
 	a.stopped = true
-	a.ticker.Stop()
+	a.timer.Stop()
 }
 
 // MemoryPerServer returns the §2.5 sizing: total bytes a server needs to

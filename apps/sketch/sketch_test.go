@@ -1,0 +1,300 @@
+package sketch_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"minions/apps/sketch"
+	"minions/internal/topo"
+	"minions/tppnet"
+)
+
+func TestBitmapEstimateAccuracy(t *testing.T) {
+	// The b·ln(b/z) estimator should be within ~15% for n <= b/2.
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{50, 200, 400} {
+		bm := sketch.NewBitmap(1024)
+		seen := map[uint64]bool{}
+		for len(seen) < n {
+			v := rng.Uint64()
+			if !seen[v] {
+				seen[v] = true
+				bm.Add(v)
+			}
+		}
+		est := bm.Estimate()
+		if math.Abs(est-float64(n))/float64(n) > 0.15 {
+			t.Errorf("n=%d: estimate %.1f off by >15%%", n, est)
+		}
+	}
+}
+
+func TestBitmapDuplicatesDontInflate(t *testing.T) {
+	bm := sketch.NewBitmap(256)
+	for i := 0; i < 1000; i++ {
+		bm.Add(42) // same element
+	}
+	if est := bm.Estimate(); est > 2 {
+		t.Errorf("1000 duplicates estimated as %.1f uniques", est)
+	}
+}
+
+func TestBitmapMergeCommutative(t *testing.T) {
+	f := func(seedsA, seedsB []uint16) bool {
+		a1, b1 := sketch.NewBitmap(256), sketch.NewBitmap(256)
+		a2, b2 := sketch.NewBitmap(256), sketch.NewBitmap(256)
+		for _, s := range seedsA {
+			a1.Add(uint64(s))
+			a2.Add(uint64(s))
+		}
+		for _, s := range seedsB {
+			b1.Add(uint64(s))
+			b2.Add(uint64(s))
+		}
+		a1.Merge(b1) // A | B
+		b2.Merge(a2) // B | A
+		return a1.Zeros() == b2.Zeros() && a1.Estimate() == b2.Estimate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitmapMergeEqualsUnion(t *testing.T) {
+	union := sketch.NewBitmap(512)
+	parts := make([]*sketch.Bitmap, 4)
+	rng := rand.New(rand.NewSource(3))
+	for i := range parts {
+		parts[i] = sketch.NewBitmap(512)
+	}
+	for i := 0; i < 200; i++ {
+		v := rng.Uint64()
+		union.Add(v)
+		parts[i%4].Add(v)
+	}
+	merged := sketch.NewBitmap(512)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Zeros() != union.Zeros() {
+		t.Error("distributed merge differs from centralized union")
+	}
+}
+
+func TestBitmapSaturation(t *testing.T) {
+	bm := sketch.NewBitmap(64)
+	for i := uint64(0); i < 10000; i++ {
+		bm.Add(i)
+	}
+	if bm.Zeros() != 0 {
+		t.Fatal("bitmap should saturate")
+	}
+	if est := bm.Estimate(); math.IsInf(est, 1) || math.IsNaN(est) {
+		t.Errorf("saturated estimate = %v", est)
+	}
+}
+
+func TestEndToEndLinkCardinality(t *testing.T) {
+	// Six hosts all talk to host 0; the monitor's estimate of unique
+	// sources on host 0's ingress link should be ~5.
+	n := tppnet.NewNetwork(tppnet.WithSeed(4))
+	hosts, _, _ := n.Dumbbell(6, 1000)
+	sys := sketch.New(sketch.Config{
+		Filter:      tppnet.FilterSpec{Proto: tppnet.ProtoUDP},
+		BitsPerLink: 256,
+		PushEvery:   100 * tppnet.Millisecond,
+		Hosts:       hosts,
+	})
+	if err := sys.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h0 := n.Hosts[0]
+	h0.Bind(8000, tppnet.ProtoUDP, func(p *tppnet.Packet) {})
+	for i := 1; i < 6; i++ {
+		src := n.Hosts[i]
+		for k := 0; k < 20; k++ {
+			src.Send(src.NewPacket(h0.ID(), uint16(1000+k), 8000, tppnet.ProtoUDP, 400))
+		}
+	}
+	n.RunUntil(500 * tppnet.Millisecond)
+	if err := sys.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+
+	// Find the link into h0: switch 1, the port facing host 0.
+	mon := sys.Monitor
+	var bestKey sketch.LinkKey
+	bestEst := 0.0
+	for _, k := range mon.Links() {
+		if e := mon.Estimate(k); e > bestEst {
+			bestEst, bestKey = e, k
+		}
+	}
+	if bestEst < 4 || bestEst > 7 {
+		t.Errorf("unique-source estimate on %v = %.1f, want ~5", bestKey, bestEst)
+	}
+	if mon.Pushes == 0 {
+		t.Error("agents never pushed to the monitor")
+	}
+}
+
+func TestMemorySizing(t *testing.T) {
+	// §2.5: "If we use 1kbit memory per link, the total memory usage for
+	// all 65536 links is about 8MB/server."
+	hostsN, coreLinks := topo.FatTreeDims(64)
+	if hostsN != 65536 {
+		t.Fatalf("fat-tree hosts = %d", hostsN)
+	}
+	if got := sketch.MemoryPerServer(coreLinks, 1024); got != 8*1024*1024 {
+		t.Errorf("memory per server = %d bytes, want 8 MiB", got)
+	}
+}
+
+func TestSamplingOverheadUnderOnePercent(t *testing.T) {
+	// §2.5: sampling 1 in 10 packets keeps TPP bandwidth overhead <1%.
+	n := tppnet.NewNetwork(tppnet.WithSeed(4))
+	hosts, _, _ := n.Dumbbell(4, 1000)
+	sys := sketch.New(sketch.Config{
+		Filter:      tppnet.FilterSpec{Proto: tppnet.ProtoUDP},
+		SampleFreq:  10,
+		BitsPerLink: 256,
+		PushEvery:   50 * tppnet.Millisecond,
+		Hosts:       hosts,
+	})
+	if err := sys.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h0, h3 := n.Hosts[0], n.Hosts[3]
+	h3.Bind(8000, tppnet.ProtoUDP, func(p *tppnet.Packet) {})
+	for i := 0; i < 1000; i++ {
+		h0.Send(h0.NewPacket(h3.ID(), 1000, 8000, tppnet.ProtoUDP, 1000))
+	}
+	n.RunUntil(200 * tppnet.Millisecond)
+	st := h0.Stats()
+	frac := float64(st.TPPBytesAdded) / float64(st.TxBytes)
+	if frac > 0.01 {
+		t.Errorf("TPP bandwidth overhead %.2f%% with 1-in-10 sampling, want <1%%", frac*100)
+	}
+	if st.TPPsAttached == 0 {
+		t.Error("nothing instrumented")
+	}
+}
+
+// TestStopFlushesDirtyBitmaps: Stop must upload outstanding dirty bitmaps
+// even when no push interval ever elapsed.
+func TestStopFlushesDirtyBitmaps(t *testing.T) {
+	n := tppnet.NewNetwork(tppnet.WithSeed(4))
+	hosts, _, _ := n.Dumbbell(4, 1000)
+	sys := sketch.New(sketch.Config{
+		Filter:      tppnet.FilterSpec{Proto: tppnet.ProtoUDP},
+		BitsPerLink: 256,
+		PushEvery:   10 * tppnet.Second, // longer than the run: only Stop flushes
+		Hosts:       hosts,
+	})
+	if err := sys.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h0, h3 := n.Hosts[0], n.Hosts[3]
+	h3.Bind(8000, tppnet.ProtoUDP, func(p *tppnet.Packet) {})
+	for i := 0; i < 20; i++ {
+		h0.Send(h0.NewPacket(h3.ID(), 1000, 8000, tppnet.ProtoUDP, 600))
+	}
+	n.RunUntil(50 * tppnet.Millisecond)
+	if sys.Monitor.Pushes != 0 {
+		t.Fatalf("pushed %d bitmaps before any interval elapsed", sys.Monitor.Pushes)
+	}
+	if err := sys.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Monitor.Pushes == 0 {
+		t.Error("Stop did not flush dirty bitmaps")
+	}
+}
+
+// TestCloseWhileRunningFlushes: Close without an explicit Stop must still
+// flush dirty bitmaps — teardown routes through the system's own Stop.
+func TestCloseWhileRunningFlushes(t *testing.T) {
+	n := tppnet.NewNetwork(tppnet.WithSeed(4))
+	hosts, _, _ := n.Dumbbell(4, 1000)
+	sys := sketch.New(sketch.Config{
+		Filter:      tppnet.FilterSpec{Proto: tppnet.ProtoUDP},
+		BitsPerLink: 256,
+		PushEvery:   10 * tppnet.Second, // longer than the run: only Close flushes
+		Hosts:       hosts,
+	})
+	if err := sys.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h0, h3 := n.Hosts[0], n.Hosts[3]
+	h3.Bind(8000, tppnet.ProtoUDP, func(p *tppnet.Packet) {})
+	for i := 0; i < 20; i++ {
+		h0.Send(h0.NewPacket(h3.ID(), 1000, 8000, tppnet.ProtoUDP, 600))
+	}
+	n.RunFor(50 * tppnet.Millisecond)
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Monitor.Pushes == 0 {
+		t.Error("Close on a running system did not flush dirty bitmaps")
+	}
+}
+
+// TestRestartResumesUploads: a Stop/Start cycle must leave the agents
+// uploading again — Stop's permanent-looking agent halt is cleared by the
+// next Start.
+func TestRestartResumesUploads(t *testing.T) {
+	n := tppnet.NewNetwork(tppnet.WithSeed(4))
+	hosts, _, _ := n.Dumbbell(4, 1000)
+	sys := sketch.New(sketch.Config{
+		Filter:      tppnet.FilterSpec{Proto: tppnet.ProtoUDP},
+		BitsPerLink: 256,
+		PushEvery:   20 * tppnet.Millisecond,
+		Hosts:       hosts,
+	})
+	if err := sys.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h0, h3 := n.Hosts[0], n.Hosts[3]
+	h3.Bind(8000, tppnet.ProtoUDP, func(p *tppnet.Packet) {})
+	send := func(count int) {
+		for i := 0; i < count; i++ {
+			h0.Send(h0.NewPacket(h3.ID(), 1000, 8000, tppnet.ProtoUDP, 600))
+		}
+	}
+	send(10)
+	n.RunFor(50 * tppnet.Millisecond)
+	if err := sys.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	flushed := sys.Monitor.Pushes
+	if flushed == 0 {
+		t.Fatal("no uploads before restart")
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	send(10)
+	n.RunFor(50 * tppnet.Millisecond)
+	if sys.Monitor.Pushes <= flushed {
+		t.Errorf("restarted system never uploaded: pushes %d before, %d after",
+			flushed, sys.Monitor.Pushes)
+	}
+}

@@ -267,7 +267,7 @@ func scaleScenario(name string, res *testbed.ScaleResult, cfg map[string]any) sc
 // harness over `runs` repetitions, returning the fastest repetition's wall
 // ns and its heap allocations per packet.
 func measureHop(withTPP bool, sched tppnet.Scheduler, n int) (nsPerPkt, allocsPerPkt float64, err error) {
-	e, err := testbed.NewE2EHarnessScheduler(withTPP, sched)
+	e, err := testbed.NewE2EHarnessWith(withTPP, testbed.SimOpts{Scheduler: sched})
 	if err != nil {
 		return 0, 0, err
 	}

@@ -106,7 +106,7 @@ func run() int {
 		return r.Table(), nil
 	})
 	section("fig2", func() (string, error) {
-		r, err := testbed.RunFig2Scheduler(simSecs, 1, *shards, sched)
+		r, err := testbed.RunFig2With(simSecs, testbed.SimOpts{Seed: 1, Shards: *shards, Scheduler: sched})
 		if err != nil {
 			return "", err
 		}
@@ -131,7 +131,7 @@ func run() int {
 		return r.Table(), nil
 	})
 	section("fig4", func() (string, error) {
-		r, err := testbed.RunFig4Scheduler(simSecs/2, 1, *shards, sched)
+		r, err := testbed.RunFig4With(simSecs/2, testbed.SimOpts{Seed: 1, Shards: *shards, Scheduler: sched})
 		if err != nil {
 			return "", err
 		}

@@ -2,7 +2,7 @@
 // Minions: Using Packets for Low Latency Network Programming and Visibility"
 // (Jeyakumar, Alizadeh, Geng, Kim, Mazières — SIGCOMM 2014).
 //
-// The public API is layered across three packages:
+// The public API is layered across four package groups, lowest first:
 //
 //   - minions/tpp — the tiny packet program itself: wire format and
 //     instruction set, the typed Builder and exported switch-memory address
@@ -16,22 +16,37 @@
 //     topologies, created with functional options
 //     (tppnet.NewNetwork(tppnet.WithSeed(1)), net.Dumbbell(6, 100)).
 //     tppnet.WithShards(n) runs the network as n topology shards under a
-//     conservative parallel discrete-event scheme — one engine, packet pool
-//     and goroutine per shard, synchronized in lookahead epochs — with
-//     results byte-identical to the single-engine simulation. Each engine
-//     schedules events on a hierarchical timing wheel with amortized O(1)
-//     push/pop (tppnet.WithScheduler selects the O(log n) binary-heap
-//     reference instead); scheduler choice moves wall-clock speed only,
-//     never simulated behavior.
+//     conservative parallel discrete-event scheme with results
+//     byte-identical to the single-engine simulation; each engine schedules
+//     events on an amortized-O(1) hierarchical timing wheel
+//     (tppnet.WithScheduler selects the binary-heap reference instead).
+//     Its subpackage minions/tppnet/app is the application framework: the
+//     app.App contract every minion application implements (Attach → Start
+//     → Stop → Close), the resource-tracking app.Base, allocation-free
+//     app.Periodic probe timers, and typed app.Stream telemetry. Writing
+//     your own minion is a supported, first-class use — see
+//     Example_customApp in tppnet/app.
 //
-//   - minions/testbed — the reproduction harness on top of both: the
-//     paper's four applications (RCP*, CONGA*, NetSight, OpenSketch
-//     refactorings) and one runner per table/figure of the evaluation.
+//   - minions/apps/* — the five §2 applications of the paper as public
+//     packages on the app contract, each with the uniform New(cfg) →
+//     Attach → Start shape: apps/rcp (RCP* rate control, §2.2), apps/conga
+//     (CONGA* flowlet load balancing, §2.4), apps/microburst (per-packet
+//     queue visibility, §2.1), apps/ndb (NetSight packet histories,
+//     netwatch policy checking and loss localization, §2.3) and
+//     apps/sketch (OpenSketch-style distributed measurement, §2.5).
+//     Several applications run concurrently on one network under the
+//     control plane's memory-grant isolation.
+//
+//   - minions/testbed — the reproduction harness on top of all three: one
+//     runner per table/figure of the evaluation, parameterized by a single
+//     SimOpts option struct (seed, shards, scheduler).
 //
 // The benchmarks in bench_test.go regenerate every table and figure; run
 //
 //	go test -bench=. -benchmem
 //
 // or use cmd/experiments for paper-style table output. EXPERIMENTS.md
-// records paper-vs-measured values per figure and table.
+// records paper-vs-measured values per figure and table, plus the
+// performance, parallel-scaling, scheduler and application-layer notes of
+// later PRs.
 package minions

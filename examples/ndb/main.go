@@ -1,36 +1,46 @@
 // Network debugging with packet histories (§2.3): collect NetSight-style
-// histories via TPPs, query them like ndb, check policies like netwatch,
-// and localize packet drops from drop notifications.
+// histories via the public apps/ndb minion, query them like ndb, check
+// policies live through the typed violation stream, and localize packet
+// drops from drop notifications.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"minions/testbed"
+	"minions/apps/ndb"
+	"minions/tppnet"
+	"minions/tppnet/app"
 )
 
 func main() {
-	n := testbed.New(7)
-	hosts, left, _ := testbed.Dumbbell(n, 4, 100)
-	d, err := testbed.DeployNetSight(n.CP, hosts, n.Switches, testbed.FilterSpec{Proto: 17}, 1)
-	if err != nil {
+	n := tppnet.NewNetwork(tppnet.WithSeed(7))
+	hosts, left, _ := n.Dumbbell(4, 100)
+
+	// Deploy the packet-history minion on every host's UDP traffic:
+	// New(cfg) → Attach is the uniform shape of every apps/* application.
+	d := ndb.New(ndb.Config{
+		Filter: tppnet.FilterSpec{Proto: tppnet.ProtoUDP},
+		Hosts:  hosts,
+	})
+	if err := d.Attach(n, nil); err != nil {
 		log.Fatal(err)
 	}
 
-	// netwatch: live isolation policy between host 0 and host 3.
-	violations := testbed.Netwatch(d.Collector, testbed.IsolationPolicy(
-		map[testbed.NodeID]bool{hosts[0].ID(): true},
-		map[testbed.NodeID]bool{hosts[3].ID(): true},
-	))
+	// netwatch: live isolation policy between host 0 and host 3, consumed
+	// from the typed violation stream.
+	violations := app.Collect(d.Watch(ndb.IsolationPolicy(
+		map[tppnet.NodeID]bool{hosts[0].ID(): true},
+		map[tppnet.NodeID]bool{hosts[3].ID(): true},
+	)))
 
 	for _, h := range hosts {
-		h.Bind(9000, 17, func(p *testbed.Packet) {})
+		h.Bind(9000, tppnet.ProtoUDP, func(p *tppnet.Packet) {})
 	}
 	// Legitimate same-side traffic plus a policy-violating cross flow.
-	hosts[0].Send(hosts[0].NewPacket(hosts[1].ID(), 100, 9000, 17, 400))
-	hosts[0].Send(hosts[0].NewPacket(hosts[3].ID(), 101, 9000, 17, 400))
-	hosts[2].Send(hosts[2].NewPacket(hosts[3].ID(), 102, 9000, 17, 400))
+	hosts[0].Send(hosts[0].NewPacket(hosts[1].ID(), 100, 9000, tppnet.ProtoUDP, 400))
+	hosts[0].Send(hosts[0].NewPacket(hosts[3].ID(), 101, 9000, tppnet.ProtoUDP, 400))
+	hosts[2].Send(hosts[2].NewPacket(hosts[3].ID(), 102, 9000, tppnet.ProtoUDP, 400))
 	n.Run()
 
 	fmt.Printf("collected %d packet histories\n", d.Collector.Len())

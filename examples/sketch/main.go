@@ -1,19 +1,64 @@
 // Distributed measurement (§2.5): end-hosts hash in software, TPPs supply
 // the routing context, and a central monitor ORs the per-link bitmap
-// sketches — OpenSketch functionality with no sketch hardware in switches.
+// sketches — OpenSketch functionality with no sketch hardware in switches,
+// deployed through the public apps/sketch minion.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"minions/testbed"
+	"minions/apps/sketch"
+	"minions/tppnet"
 )
 
 func main() {
-	res, err := testbed.RunSec25()
-	if err != nil {
+	n := tppnet.NewNetwork(tppnet.WithSeed(21))
+	hosts, _, _ := n.Dumbbell(6, 1000)
+
+	// New(cfg) → Attach → Start: TPPs on 1-in-10 packets, one agent per
+	// host, dirty bitmaps pushed to the central monitor every 100 ms.
+	sys := sketch.New(sketch.Config{
+		Filter:      tppnet.FilterSpec{Proto: tppnet.ProtoUDP},
+		SampleFreq:  10,
+		BitsPerLink: 1024,
+		PushEvery:   100 * tppnet.Millisecond,
+		Hosts:       hosts,
+	})
+	if err := sys.Attach(n, nil); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(res.Table())
+	if err := sys.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Five distinct sources all talk to host 0.
+	h0 := n.Hosts[0]
+	h0.Bind(8000, tppnet.ProtoUDP, func(p *tppnet.Packet) {})
+	const srcs = 5
+	for i := 1; i <= srcs; i++ {
+		src := n.Hosts[i]
+		for k := 0; k < 200; k++ {
+			src.Send(src.NewPacket(h0.ID(), uint16(1000+k%50), 8000, tppnet.ProtoUDP, 600))
+		}
+	}
+	n.RunUntil(tppnet.Second)
+	if err := sys.Stop(); err != nil { // final flush of dirty bitmaps
+		log.Fatal(err)
+	}
+	n.Run()
+
+	best, bestKey := 0.0, sketch.LinkKey{}
+	for _, k := range sys.Monitor.Links() {
+		if e := sys.Monitor.Estimate(k); e > best {
+			best, bestKey = e, k
+		}
+	}
+	ftHosts, ftLinks := tppnet.FatTreeDims(64)
+	fmt.Printf("unique sources on busiest link (s%d.p%d): true %d, estimated %.1f\n",
+		bestKey.SwitchID, bestKey.Port, srcs, best)
+	fmt.Printf("monitor received %d bitmap pushes (%d bytes)\n",
+		sys.Monitor.Pushes, sys.Monitor.PushedBytes)
+	fmt.Printf("k=64 fat-tree sizing: %d servers, %d core links; 1 kbit/link => %d MB/server\n",
+		ftHosts, ftLinks, sketch.MemoryPerServer(ftLinks, 1024)/(1024*1024))
 }

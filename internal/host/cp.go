@@ -42,12 +42,26 @@ func NewControlPlane() *ControlPlane {
 // Policy exposes the access-control table (for inspection and test setup).
 func (cp *ControlPlane) Policy() *mem.Policy { return cp.policy }
 
-// RegisterApp creates an application identity.
+// RegisterApp creates an application identity. The 64-bit ID is never
+// reused; the compact wire handle is the lowest free one, so handles
+// released by ReleaseApp recycle instead of marching toward the uint16
+// wrap — where a colliding handle would alias two live applications in
+// every TPP header and dataplane policy lookup.
 func (cp *ControlPlane) RegisterApp(name string) *App {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	cp.nextID++
-	app := &App{Name: name, ID: cp.nextID<<16 | 0x5EED, Wire: uint16(cp.nextID)}
+	wire := uint16(0)
+	for w := uint16(1); w != 0; w++ {
+		if _, used := cp.byWire[w]; !used {
+			wire = w
+			break
+		}
+	}
+	if wire == 0 {
+		panic("host: all 65535 wire app handles in use")
+	}
+	app := &App{Name: name, ID: cp.nextID<<16 | 0x5EED, Wire: wire}
 	cp.apps[app.ID] = app
 	cp.byWire[app.Wire] = app
 	return app
@@ -88,10 +102,18 @@ func (cp *ControlPlane) GrantWrite(app *App, start, end mem.Addr) {
 	cp.policy.Grant(mem.Segment{AppID: app.ID, Op: mem.OpRead | mem.OpWrite, Start: start, End: end})
 }
 
-// ReleaseApp frees every grant and register owned by the application.
+// ReleaseApp frees every grant and register owned by the application:
+// policy segments are revoked (so no stale grant can validate a successor's
+// program), AppSpecific link registers return to the allocator, and the
+// wire handle becomes free for reuse. Releasing an already-released app is
+// a no-op — in particular it cannot disturb a successor that has since been
+// issued the same wire handle.
 func (cp *ControlPlane) ReleaseApp(app *App) {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
+	if _, live := cp.apps[app.ID]; !live {
+		return
+	}
 	cp.policy.Revoke(app.ID)
 	cp.alloc.Free(app.ID)
 	delete(cp.apps, app.ID)

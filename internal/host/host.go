@@ -169,6 +169,12 @@ func (h *Host) RegisterAggregator(wireApp uint16, agg Aggregator) {
 	h.aggs[wireApp] = agg
 }
 
+// UnregisterAggregator removes the application's consumer, part of app
+// teardown: executed TPPs for the wire handle count as unclaimed afterwards.
+func (h *Host) UnregisterAggregator(wireApp uint16) {
+	delete(h.aggs, wireApp)
+}
+
 // SetLocalMemory gives the shim its own switch-memory view. When non-nil,
 // the transmit filter path executes hop 0 of every attached TPP locally, so
 // collected per-hop records start with the sending host's state. Pass nil to

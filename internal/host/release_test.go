@@ -1,0 +1,120 @@
+package host_test
+
+import (
+	"testing"
+
+	"minions/internal/core"
+	"minions/internal/host"
+	"minions/internal/mem"
+)
+
+// writeProgram builds a one-STORE program targeting the dynamic out-link
+// alias of AppSpecific register idx — the shape RCP's update TPP writes.
+func writeProgram(idx int) *core.Program {
+	return &core.Program{
+		Mode:     core.AddrStack,
+		MemWords: 1,
+		Insns: []core.Instruction{
+			{Op: core.OpSTORE, A: 0, Addr: mem.DynOutLinkBase + mem.LinkAppSpecific0 + mem.Addr(idx)},
+		},
+	}
+}
+
+// TestReleaseAppRevokesGrantsAndRegisters pins the teardown contract:
+// ReleaseApp must revoke every write grant and return the app's link
+// registers to the allocator.
+func TestReleaseAppRevokesGrantsAndRegisters(t *testing.T) {
+	cp := host.NewControlPlane()
+	a := cp.RegisterApp("tenant-a")
+	idx, err := cp.AllocLinkRegisters(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := writeProgram(idx)
+	if err := cp.ValidateProgram(a, prog); err != nil {
+		t.Fatalf("granted write rejected before release: %v", err)
+	}
+	reg := mem.DynOutLinkBase + mem.LinkAppSpecific0 + mem.Addr(idx)
+	if !cp.Policy().Allowed(a.ID, mem.OpWrite, reg) {
+		t.Fatal("write grant missing before release")
+	}
+
+	cp.ReleaseApp(a)
+
+	if cp.Policy().Allowed(a.ID, mem.OpWrite, reg) {
+		t.Error("write grant survived ReleaseApp")
+	}
+	if err := cp.ValidateProgram(a, prog); err == nil {
+		t.Error("released app still passes static analysis for its old register")
+	}
+	if cp.App(a.Wire) != nil {
+		t.Error("wire handle still resolves after release")
+	}
+	// The registers must be reusable: a full-width allocation succeeds only
+	// if release freed them.
+	b := cp.RegisterApp("tenant-b")
+	if _, err := cp.AllocLinkRegisters(b, 8); err != nil {
+		t.Errorf("link registers not freed by ReleaseApp: %v", err)
+	}
+}
+
+// TestWireReuseCannotInheritStaleGrants covers the §4.1 isolation hazard
+// the wire-handle recycler must not introduce: after ReleaseApp, a new app
+// that is issued the SAME wire handle must not pass ValidateProgram (or the
+// dataplane write filter) against the released app's grants.
+func TestWireReuseCannotInheritStaleGrants(t *testing.T) {
+	cp := host.NewControlPlane()
+	a := cp.RegisterApp("old")
+	idx, err := cp.AllocLinkRegisters(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := writeProgram(idx)
+	if err := cp.ValidateProgram(a, prog); err != nil {
+		t.Fatal(err)
+	}
+	reg := mem.DynOutLinkBase + mem.LinkAppSpecific0 + mem.Addr(idx)
+	allow := cp.SwitchWritePolicy()
+	if !allow(a.Wire, reg) {
+		t.Fatal("dataplane filter denies the live app's own register")
+	}
+
+	cp.ReleaseApp(a)
+	b := cp.RegisterApp("new")
+	if b.Wire != a.Wire {
+		t.Fatalf("wire handle not recycled: old %d, new %d", a.Wire, b.Wire)
+	}
+	if b.ID == a.ID {
+		t.Fatal("64-bit app IDs must never be reused")
+	}
+	// The successor holds the old wire handle but none of the old grants:
+	// static analysis and the dataplane filter must both deny.
+	if err := cp.ValidateProgram(b, prog); err == nil {
+		t.Error("successor with recycled wire handle passes static analysis against a stale grant")
+	}
+	if allow(b.Wire, reg) {
+		t.Error("dataplane write filter honors a stale grant for a recycled wire handle")
+	}
+	// Once the successor is granted its own registers, it validates — and
+	// the allocator may legitimately hand back the freed index.
+	idxB, err := cp.AllocLinkRegisters(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.ValidateProgram(b, writeProgram(idxB)); err != nil {
+		t.Errorf("successor's own grant rejected: %v", err)
+	}
+}
+
+// TestReleaseAppIdempotent: double release must not disturb a successor
+// that has since been issued the recycled wire handle.
+func TestReleaseAppIdempotent(t *testing.T) {
+	cp := host.NewControlPlane()
+	a := cp.RegisterApp("one")
+	cp.ReleaseApp(a)
+	b := cp.RegisterApp("two")
+	cp.ReleaseApp(a) // stale handle: must be a no-op
+	if cp.App(b.Wire) != b {
+		t.Fatal("double ReleaseApp evicted the successor holding the recycled wire handle")
+	}
+}

@@ -71,7 +71,7 @@ func BenchmarkScaleFatTree(b *testing.B) {
 func BenchmarkEndToEndHop(b *testing.B) {
 	for _, sched := range []testbed.Scheduler{testbed.SchedulerWheel, testbed.SchedulerHeap} {
 		b.Run("sched="+sched.String(), func(b *testing.B) {
-			e, err := testbed.NewE2EHarnessScheduler(true, sched)
+			e, err := testbed.NewE2EHarnessWith(true, testbed.SimOpts{Scheduler: sched})
 			if err != nil {
 				b.Fatal(err)
 			}

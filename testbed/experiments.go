@@ -7,16 +7,16 @@ import (
 	"sync"
 	"time"
 
-	"minions/internal/conga"
+	"minions/apps/conga"
+	"minions/apps/microburst"
+	"minions/apps/ndb"
+	"minions/apps/rcp"
+	"minions/apps/sketch"
 	"minions/internal/core"
 	"minions/internal/host"
 	"minions/internal/hwmodel"
 	"minions/internal/link"
-	"minions/internal/microburst"
-	"minions/internal/netsight"
-	"minions/internal/rcp"
 	"minions/internal/sim"
-	"minions/internal/sketch"
 	"minions/internal/trafficgen"
 	"minions/internal/transport"
 )
@@ -76,10 +76,13 @@ func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
 	if cfg.Duration == 0 {
 		cfg.Duration = 2 * Second
 	}
-	n := NewShardedScheduler(cfg.Seed+3, cfg.Shards, cfg.Scheduler)
+	n := NewNet(SimOpts{Seed: cfg.Seed + 3, Shards: cfg.Shards, Scheduler: cfg.Scheduler})
 	hosts, _, _ := n.Dumbbell(cfg.Hosts, cfg.RateMbps)
-	mon, err := microburst.Deploy(n.CP, hosts, host.FilterSpec{Proto: link.ProtoUDP}, 1, 5)
-	if err != nil {
+	mon := microburst.New(microburst.Config{
+		Filter: FilterSpec{Proto: link.ProtoUDP},
+		Hosts:  hosts,
+	})
+	if err := mon.Attach(n, nil); err != nil {
 		return nil, err
 	}
 	trafficgen.AllToAll(hosts, trafficgen.AllToAllConfig{
@@ -151,40 +154,44 @@ type Fig2Result struct {
 // RunFig2 reproduces Figure 2: flows a (2 links), b, c (1 link each) at the
 // given duration per panel.
 func RunFig2(duration Time, seed int64) (*Fig2Result, error) {
-	return RunFig2Sharded(duration, seed, 1)
+	return RunFig2With(duration, SimOpts{Seed: seed})
 }
 
-// RunFig2Sharded is RunFig2 over a sharded simulation; results are
-// byte-identical to the single-shard run for the same seed.
+// RunFig2Sharded is RunFig2 over a sharded simulation.
+//
+// Deprecated: use RunFig2With.
 func RunFig2Sharded(duration Time, seed int64, shards int) (*Fig2Result, error) {
-	return RunFig2Scheduler(duration, seed, shards, SchedulerWheel)
+	return RunFig2With(duration, SimOpts{Seed: seed, Shards: shards})
 }
 
-// RunFig2Scheduler is RunFig2Sharded with an explicit engine scheduler;
-// results are byte-identical across schedulers.
+// RunFig2Scheduler is RunFig2Sharded with an explicit engine scheduler.
+//
+// Deprecated: use RunFig2With.
 func RunFig2Scheduler(duration Time, seed int64, shards int, sched Scheduler) (*Fig2Result, error) {
+	return RunFig2With(duration, SimOpts{Seed: seed, Shards: shards, Scheduler: sched})
+}
+
+// RunFig2With runs Figure 2 with the given substrate options; results are
+// byte-identical across shard counts and schedulers for the same seed.
+func RunFig2With(duration Time, o SimOpts) (*Fig2Result, error) {
 	res := &Fig2Result{}
 	run := func(alpha float64) ([]Fig2Point, [3]float64, error) {
-		n := NewShardedScheduler(seed+5, shards, sched)
+		n := NewNet(SimOpts{Seed: o.Seed + 5, Shards: o.Shards, Scheduler: o.Scheduler})
 		hosts, _ := n.Chain(100)
-		sys, err := rcp.NewSystem(n.CP, rcp.Config{Alpha: alpha, CapacityMbps: 100})
-		if err != nil {
+		sys := rcp.New(rcp.Config{Alpha: alpha, CapacityMbps: 100})
+		if err := sys.Attach(n, nil); err != nil {
 			return nil, [3]float64{}, err
 		}
-		for _, sw := range n.Switches {
-			sys.InitSwitch(sw)
-		}
 		var sinks [3]*transport.Sink
-		var flows [3]*rcp.Flow
 		pairs := [3][2]int{{0, 3}, {1, 4}, {2, 5}}
 		for i, p := range pairs {
 			port := uint16(7001 + i)
 			sinks[i] = transport.NewSink(n.Hosts[p[1]], port, link.ProtoUDP)
 			udp := transport.NewUDPFlow(n.Hosts[p[0]], hosts[p[1]].ID(), port, port, 1500)
-			flows[i] = rcp.NewFlow(sys, n.Hosts[p[0]], hosts[p[1]].ID(), udp)
+			sys.NewFlow(n.Hosts[p[0]], hosts[p[1]].ID(), udp)
 		}
-		for _, f := range flows {
-			f.Start()
+		if err := sys.Start(); err != nil {
+			return nil, [3]float64{}, err
 		}
 		var series []Fig2Point
 		var prev [3]uint64
@@ -199,8 +206,8 @@ func RunFig2Scheduler(duration Time, seed int64, shards int, sched Scheduler) (*
 			}
 			series = append(series, pt)
 		}
-		for _, f := range flows {
-			f.Stop()
+		if err := sys.Stop(); err != nil {
+			return nil, [3]float64{}, err
 		}
 		final := series[len(series)-1].Mbps
 		return series, final, nil
@@ -253,12 +260,9 @@ func RunSec22(flowCounts []int, duration Time, seed int64) ([]Sec22Row, error) {
 		// once-per-RTT control packets.
 		n := New(seed + 7)
 		hosts, _ := n.Chain(100)
-		sys, err := rcp.NewSystem(n.CP, rcp.Config{CapacityMbps: 100, Period: 2 * Millisecond})
-		if err != nil {
+		sys := rcp.New(rcp.Config{CapacityMbps: 100, Period: 2 * Millisecond})
+		if err := sys.Attach(n, nil); err != nil {
 			return nil, err
-		}
-		for _, sw := range n.Switches {
-			sys.InitSwitch(sw)
 		}
 		var flows []*rcp.Flow
 		var sinks []*transport.Sink
@@ -266,7 +270,7 @@ func RunSec22(flowCounts []int, duration Time, seed int64) ([]Sec22Row, error) {
 			port := uint16(7000 + i)
 			sinks = append(sinks, transport.NewSink(n.Hosts[4], port, link.ProtoUDP))
 			udp := transport.NewUDPFlow(n.Hosts[1], hosts[4].ID(), port, port, 1500)
-			fl := rcp.NewFlow(sys, n.Hosts[1], hosts[4].ID(), udp)
+			fl := sys.NewFlow(n.Hosts[1], hosts[4].ID(), udp)
 			flows = append(flows, fl)
 			fl.Start()
 		}
@@ -337,20 +341,28 @@ type Fig4Result struct {
 
 // RunFig4 reproduces the Figure 4 example.
 func RunFig4(duration Time, seed int64) (*Fig4Result, error) {
-	return RunFig4Sharded(duration, seed, 1)
+	return RunFig4With(duration, SimOpts{Seed: seed})
 }
 
-// RunFig4Sharded is RunFig4 over a sharded simulation; results are
-// byte-identical to the single-shard run for the same seed.
+// RunFig4Sharded is RunFig4 over a sharded simulation.
+//
+// Deprecated: use RunFig4With.
 func RunFig4Sharded(duration Time, seed int64, shards int) (*Fig4Result, error) {
-	return RunFig4Scheduler(duration, seed, shards, SchedulerWheel)
+	return RunFig4With(duration, SimOpts{Seed: seed, Shards: shards})
 }
 
-// RunFig4Scheduler is RunFig4Sharded with an explicit engine scheduler;
-// results are byte-identical across schedulers.
+// RunFig4Scheduler is RunFig4Sharded with an explicit engine scheduler.
+//
+// Deprecated: use RunFig4With.
 func RunFig4Scheduler(duration Time, seed int64, shards int, sched Scheduler) (*Fig4Result, error) {
+	return RunFig4With(duration, SimOpts{Seed: seed, Shards: shards, Scheduler: sched})
+}
+
+// RunFig4With runs Figure 4 with the given substrate options; results are
+// byte-identical across shard counts and schedulers for the same seed.
+func RunFig4With(duration Time, o SimOpts) (*Fig4Result, error) {
 	run := func(useConga bool) (Fig4Cell, error) {
-		n := NewShardedScheduler(seed+13, shards, sched)
+		n := NewNet(SimOpts{Seed: o.Seed + 13, Shards: o.Shards, Scheduler: o.Scheduler})
 		hosts, _, _ := n.LeafSpine(100)
 		h0, h1, h2 := hosts[0], hosts[1], hosts[2]
 		sink0 := transport.NewSink(h2, 7100, link.ProtoUDP)
@@ -365,9 +377,13 @@ func RunFig4Scheduler(duration Time, seed int64, shards int, sched Scheduler) (*
 		}
 		var bal *conga.Balancer
 		if useConga {
-			app := n.CP.RegisterApp("conga")
-			bal = conga.NewBalancer(h1, app, h2.ID(), conga.Config{Agg: conga.AggMax})
-			bal.Start()
+			bal = conga.New(conga.Config{Host: h1, Dst: h2.ID(), Agg: conga.AggMax})
+			if err := bal.Attach(n, nil); err != nil {
+				return Fig4Cell{}, err
+			}
+			if err := bal.Start(); err != nil {
+				return Fig4Cell{}, err
+			}
 			tg := bal.Tagger()
 			for _, f := range subs {
 				f.Tagger = tg
@@ -452,8 +468,11 @@ type Sec23Result struct {
 func RunSec23() (*Sec23Result, error) {
 	n := New(17)
 	hosts, _, _ := n.Dumbbell(4, 1000)
-	d, err := netsight.Deploy(n.CP, hosts, n.Switches, host.FilterSpec{Proto: link.ProtoUDP}, 1)
-	if err != nil {
+	d := ndb.New(ndb.Config{
+		Filter: FilterSpec{Proto: link.ProtoUDP},
+		Hosts:  hosts,
+	})
+	if err := d.Attach(n, nil); err != nil {
 		return nil, err
 	}
 	h0, h3 := n.Hosts[0], n.Hosts[3]
@@ -462,12 +481,12 @@ func RunSec23() (*Sec23Result, error) {
 		h0.Send(h0.NewPacket(h3.ID(), 1000, 8000, link.ProtoUDP, 800))
 	}
 	n.Run()
-	total := netsight.OverheadBytes(netsight.DefaultHops)
+	total := ndb.OverheadBytes(ndb.DefaultHops)
 	return &Sec23Result{
 		HeaderBytes: core.HeaderLen,
 		InsnBytes:   3 * core.InsnSize,
-		PerHopBytes: netsight.WordsPerHop * core.WordSize,
-		Hops:        netsight.DefaultHops,
+		PerHopBytes: ndb.WordsPerHop * core.WordSize,
+		Hops:        ndb.DefaultHops,
 		Total:       total,
 		PctAt1000B:  float64(total) / 1000 * 100,
 		Collected:   d.Collector.Len(),
@@ -502,10 +521,20 @@ type Sec25Result struct {
 func RunSec25() (*Sec25Result, error) {
 	n := New(21)
 	hosts, _, _ := n.Dumbbell(6, 1000)
-	mon, agents, err := sketch.Deploy(n.CP, hosts, host.FilterSpec{Proto: link.ProtoUDP}, 10, 1024, 100*Millisecond)
-	if err != nil {
+	sys := sketch.New(sketch.Config{
+		Filter:      FilterSpec{Proto: link.ProtoUDP},
+		SampleFreq:  10,
+		BitsPerLink: 1024,
+		PushEvery:   100 * Millisecond,
+		Hosts:       hosts,
+	})
+	if err := sys.Attach(n, nil); err != nil {
 		return nil, err
 	}
+	if err := sys.Start(); err != nil {
+		return nil, err
+	}
+	mon := sys.Monitor
 	h0 := n.Hosts[0]
 	h0.Bind(8000, link.ProtoUDP, func(p *link.Packet) {})
 	srcs := 5
@@ -516,8 +545,8 @@ func RunSec25() (*Sec25Result, error) {
 		}
 	}
 	n.RunUntil(Second)
-	for _, a := range agents {
-		a.Stop()
+	if err := sys.Stop(); err != nil {
+		return nil, err
 	}
 	n.Run()
 

@@ -3,9 +3,9 @@ package testbed_test
 import (
 	"testing"
 
+	"minions/apps/ndb"
 	"minions/internal/host"
 	"minions/internal/mem"
-	"minions/internal/netsight"
 	"minions/testbed"
 	"minions/tpp"
 )
@@ -100,8 +100,8 @@ func TestInBandRerouteObservedByHistories(t *testing.T) {
 	v0 := s1.Version()
 
 	hosts := []*testbed.Host{h0, h1}
-	d, err := testbed.DeployNetSight(n.CP, hosts, n.Switches, testbed.FilterSpec{Proto: 17}, 1)
-	if err != nil {
+	d := ndb.New(ndb.Config{Filter: testbed.FilterSpec{Proto: 17}, Hosts: hosts})
+	if err := d.Attach(n, nil); err != nil {
 		t.Fatal(err)
 	}
 	h1.Bind(9000, 17, func(p *testbed.Packet) {})
@@ -138,7 +138,7 @@ func TestInBandRerouteObservedByHistories(t *testing.T) {
 	h0.Send(h0.NewPacket(h1.ID(), 101, 9000, 17, 400))
 	n.Eng.Run()
 
-	histories := d.Collector.Query(func(h netsight.History) bool { return !h.Dropped })
+	histories := d.Collector.Query(func(h ndb.History) bool { return !h.Dropped })
 	if len(histories) != 2 {
 		t.Fatalf("histories = %d", len(histories))
 	}

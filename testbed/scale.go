@@ -27,6 +27,14 @@ type RandomFlowsConfig = trafficgen.RandomFlowsConfig
 // distinct host pairs, re-exported from the traffic generator.
 var UniformRandomFlows = trafficgen.UniformRandomFlows
 
+// AllToAllConfig parameterizes AllToAll.
+type AllToAllConfig = trafficgen.AllToAllConfig
+
+// AllToAll starts the Figure 1 workload — every host sends Poisson message
+// bursts to every other host — re-exported so example code and external
+// users can drive app-layer experiments without internal packages.
+var AllToAll = trafficgen.AllToAll
+
 // ScaleConfig parameterizes a fat-tree scale run.
 type ScaleConfig struct {
 	K            int   // fat-tree arity, even (default 4)
@@ -158,7 +166,7 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 		cfg.Shards = cfg.K
 	}
 
-	net := NewShardedScheduler(cfg.Seed, cfg.Shards, cfg.Scheduler)
+	net := NewNet(SimOpts{Seed: cfg.Seed, Shards: cfg.Shards, Scheduler: cfg.Scheduler})
 	pods := net.FatTree(cfg.K, cfg.RateMbps)
 	var hosts []*Host
 	for _, pod := range pods {
@@ -276,13 +284,25 @@ type E2EHarness struct {
 // telemetry program on the send path and a non-copying aggregator on the
 // receive path.
 func NewE2EHarness(withTPP bool) (*E2EHarness, error) {
-	return NewE2EHarnessScheduler(withTPP, SchedulerWheel)
+	return NewE2EHarnessWith(withTPP, SimOpts{})
 }
 
-// NewE2EHarnessScheduler is NewE2EHarness with an explicit engine scheduler,
-// for heap-vs-wheel A/B measurements of the same forward path.
+// NewE2EHarnessScheduler is NewE2EHarness with an explicit engine scheduler.
+//
+// Deprecated: use NewE2EHarnessWith.
 func NewE2EHarnessScheduler(withTPP bool, sched Scheduler) (*E2EHarness, error) {
-	net := NewShardedScheduler(1, 1, sched)
+	return NewE2EHarnessWith(withTPP, SimOpts{Scheduler: sched})
+}
+
+// NewE2EHarnessWith is NewE2EHarness with explicit substrate options, for
+// heap-vs-wheel A/B measurements of the same forward path. A zero Seed
+// means the harness default (1); the three-node topology is always a
+// single shard.
+func NewE2EHarnessWith(withTPP bool, o SimOpts) (*E2EHarness, error) {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	net := NewNet(SimOpts{Seed: o.Seed, Scheduler: o.Scheduler})
 	sw := net.AddSwitch(2)
 	src, dst := net.AddHost(), net.AddHost()
 	cfg := HostLink(10_000)

@@ -13,7 +13,7 @@ var schedulers = []Scheduler{SchedulerWheel, SchedulerHeap}
 func TestForwardPathZeroAllocs(t *testing.T) {
 	for _, sched := range schedulers {
 		t.Run(sched.String(), func(t *testing.T) {
-			e, err := NewE2EHarnessScheduler(true, sched)
+			e, err := NewE2EHarnessWith(true, SimOpts{Scheduler: sched})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -38,7 +38,7 @@ func TestForwardPathZeroAllocs(t *testing.T) {
 func TestForwardPathZeroAllocsNoTPP(t *testing.T) {
 	for _, sched := range schedulers {
 		t.Run(sched.String(), func(t *testing.T) {
-			e, err := NewE2EHarnessScheduler(false, sched)
+			e, err := NewE2EHarnessWith(false, SimOpts{Scheduler: sched})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -60,7 +60,7 @@ func TestShardDeterminismFig1(t *testing.T) {
 func TestShardDeterminismFig2(t *testing.T) {
 	var base string
 	for _, shards := range []int{1, 2, 4} {
-		r, err := RunFig2Sharded(2*Second, 1, shards)
+		r, err := RunFig2With(2*Second, SimOpts{Seed: 1, Shards: shards})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,7 +76,7 @@ func TestShardDeterminismFig2(t *testing.T) {
 func TestShardDeterminismFig4(t *testing.T) {
 	var base string
 	for _, shards := range []int{1, 2, 4} {
-		r, err := RunFig4Sharded(2*Second, 1, shards)
+		r, err := RunFig4With(2*Second, SimOpts{Seed: 1, Shards: shards})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +94,7 @@ func TestShardDeterminismFig4(t *testing.T) {
 // (per-shard) engine RNG, so TCP behavior must also be shard-invariant.
 func TestShardDeterminismTCP(t *testing.T) {
 	run := func(shards int) string {
-		net := NewSharded(11, shards)
+		net := NewNet(SimOpts{Seed: 11, Shards: shards})
 		hosts, _, _ := net.Dumbbell(6, 100)
 		var flows []*TCPFlow
 		for i := 0; i < 3; i++ {
@@ -155,11 +155,11 @@ func TestSchedulerDeterminismFigures(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			r2, err := RunFig2Scheduler(1500*Millisecond, 1, shards, sched)
+			r2, err := RunFig2With(1500*Millisecond, SimOpts{Seed: 1, Shards: shards, Scheduler: sched})
 			if err != nil {
 				t.Fatal(err)
 			}
-			r4, err := RunFig4Scheduler(2*Second, 1, shards, sched)
+			r4, err := RunFig4With(2*Second, SimOpts{Seed: 1, Shards: shards, Scheduler: sched})
 			if err != nil {
 				t.Fatal(err)
 			}

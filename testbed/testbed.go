@@ -1,19 +1,19 @@
 // Package testbed is the reproduction harness: one runner per table/figure
-// of the paper's evaluation, built on the public tppnet network facade and
-// the tpp program API. cmd/experiments and the repository's benchmarks are
-// thin wrappers over these runners.
+// of the paper's evaluation, built on the public tppnet network facade, the
+// tpp program API and the public application layer under apps/ (RCP*,
+// CONGA*, micro-burst, ndb/NetSight, OpenSketch). cmd/experiments and the
+// repository's benchmarks are thin wrappers over these runners.
 //
 // The network substrate itself (hosts, switches, links, topologies) lives
-// in package tppnet; the aliases here exist so experiment code and older
-// callers need only one import.
+// in package tppnet and the applications in apps/*; the aliases here exist
+// so experiment code and older callers need only one import. Runners that
+// used to come in Sharded/Scheduler variants now take a single SimOpts
+// option struct (RunFig2With, RunFig4With, NewE2EHarnessWith); the old
+// variants remain as thin deprecated wrappers.
 package testbed
 
 import (
-	"minions/internal/conga"
-	"minions/internal/microburst"
-	"minions/internal/netsight"
-	"minions/internal/rcp"
-	"minions/internal/sketch"
+	"minions/apps/ndb"
 	"minions/tppnet"
 )
 
@@ -47,8 +47,8 @@ type (
 	TCPFlow = tppnet.TCPFlow
 	// Sink counts received traffic.
 	Sink = tppnet.Sink
-	// Violation is one netwatch policy violation (§2.3).
-	Violation = netsight.Violation
+	// Violation is one netwatch policy violation (§2.3), from apps/ndb.
+	Violation = ndb.Violation
 )
 
 // Time units.
@@ -64,22 +64,44 @@ const (
 	SchedulerHeap  = tppnet.SchedulerHeap
 )
 
-// New creates an empty network with a deterministic engine seeded with seed.
-func New(seed int64) *Network {
-	return tppnet.NewNetwork(tppnet.WithSeed(seed))
+// SimOpts bundles the simulation-substrate options every runner shares:
+// the deterministic seed, the topology shard count, and the engine's event
+// scheduler. The zero value means seed 0, single shard, timing wheel.
+// Shards and Scheduler never change simulated behavior — the determinism
+// guard tests pin byte-identical results across both — only wall-clock
+// performance.
+type SimOpts struct {
+	Seed      int64
+	Shards    int       // topology shards simulated in parallel (default 1)
+	Scheduler Scheduler // pending-event structure (default timing wheel)
 }
 
-// NewSharded creates an empty network split across shards topology shards
-// (see tppnet.WithShards); shards <= 1 yields the classic single-engine
-// network.
+// NewNet creates an empty network from the bundled options — the single
+// constructor behind every runner.
+func NewNet(o SimOpts) *Network {
+	return tppnet.NewNetwork(
+		tppnet.WithSeed(o.Seed),
+		tppnet.WithShards(o.Shards),
+		tppnet.WithScheduler(o.Scheduler),
+	)
+}
+
+// New creates an empty single-shard network with a deterministic engine
+// seeded with seed.
+func New(seed int64) *Network { return NewNet(SimOpts{Seed: seed}) }
+
+// NewSharded creates an empty network split across shards topology shards.
+//
+// Deprecated: use NewNet(SimOpts{Seed: seed, Shards: shards}).
 func NewSharded(seed int64, shards int) *Network {
-	return tppnet.NewNetwork(tppnet.WithSeed(seed), tppnet.WithShards(shards))
+	return NewNet(SimOpts{Seed: seed, Shards: shards})
 }
 
-// NewShardedScheduler is NewSharded with an explicit engine scheduler (see
-// tppnet.WithScheduler); results are byte-identical across schedulers.
+// NewShardedScheduler is NewSharded with an explicit engine scheduler.
+//
+// Deprecated: use NewNet with SimOpts.
 func NewShardedScheduler(seed int64, shards int, sched Scheduler) *Network {
-	return tppnet.NewNetwork(tppnet.WithSeed(seed), tppnet.WithShards(shards), tppnet.WithScheduler(sched))
+	return NewNet(SimOpts{Seed: seed, Shards: shards, Scheduler: sched})
 }
 
 // HostLink returns a standard link config at the given rate.
@@ -111,24 +133,8 @@ func FatTree(n *Network, k, rateMbps int) [][]*Host {
 // FatTreeDims sizes a k-ary fat-tree analytically.
 var FatTreeDims = tppnet.FatTreeDims
 
-// Application deployers, re-exported.
+// Transport helpers, re-exported.
 var (
-	// DeployMicroburst installs §2.1 queue monitoring.
-	DeployMicroburst = microburst.Deploy
-	// DeployNetSight installs §2.3 packet-history collection.
-	DeployNetSight = netsight.Deploy
-	// DeploySketch installs §2.5 sketch measurement.
-	DeploySketch = sketch.Deploy
-	// NewRCPSystem registers §2.2 RCP* and allocates its link registers.
-	NewRCPSystem = rcp.NewSystem
-	// NewRCPFlow wraps a UDP flow with an RCP* rate controller.
-	NewRCPFlow = rcp.NewFlow
-	// NewCongaBalancer creates a §2.4 CONGA* flowlet balancer.
-	NewCongaBalancer = conga.NewBalancer
-	// Netwatch attaches live §2.3 policy checking to a NetSight collector.
-	Netwatch = netsight.Netwatch
-	// IsolationPolicy flags packet histories crossing two host groups.
-	IsolationPolicy = netsight.IsolationPolicy
 	// NewUDPFlow creates a CBR sender.
 	NewUDPFlow = tppnet.NewUDPFlow
 	// NewTCPFlow creates a TCP-like sender.
@@ -140,3 +146,23 @@ var (
 	// SendBurst transmits a message as a back-to-back packet burst.
 	SendBurst = tppnet.SendBurst
 )
+
+// Netwatch attaches live §2.3 policy checking to an apps/ndb collector,
+// accumulating violations into the returned slice.
+//
+// Deprecated: use Deployment.Watch and app.Collect for the typed stream.
+func Netwatch(c *ndb.Collector, policies ...ndb.Policy) *[]Violation {
+	out := &[]Violation{}
+	c.Stream().Subscribe(func(h ndb.History) {
+		for _, p := range policies {
+			if v := p(h); v != nil {
+				*out = append(*out, *v)
+			}
+		}
+	})
+	return out
+}
+
+// IsolationPolicy flags packet histories crossing two host groups,
+// re-exported from apps/ndb.
+var IsolationPolicy = ndb.IsolationPolicy

@@ -1,0 +1,268 @@
+// Package app is the public application framework of the TPP stack: the
+// uniform contract every minion application implements, and the shared
+// runtime the five paper applications (apps/rcp, apps/conga,
+// apps/microburst, apps/ndb, apps/sketch) are built on.
+//
+// The paper's thesis is that TPPs make the network programmable by end-host
+// applications; this package is where "write your own minion" becomes a
+// supported use of the library. An application is any type satisfying App:
+//
+//	monitor := myapp.New(myapp.Config{...})      // configure
+//	err := monitor.Attach(net, nil)              // provision: identity, grants, filters
+//	err = monitor.Start()                        // go: probe loops, periodic TPPs
+//	...
+//	monitor.Close()                              // release every grant and filter
+//
+// Most applications embed Base, which implements the bookkeeping half of
+// the contract: it registers the application identity with TPP-CP in
+// Provision, records every installed filter, aggregator and periodic timer,
+// and undoes all of it in Close. Several applications can run concurrently
+// on one network; the control plane's memory-grant isolation keeps one
+// application's TPPs from touching another's switch registers, and
+// per-application wire IDs keep their telemetry from crossing.
+//
+// The package also provides the runtime pieces every minion needs and the
+// internal applications used to hand-roll: Periodic (allocation-free
+// resident timers for TPP injection loops) and Stream (typed, deterministic
+// telemetry fan-out replacing ad-hoc callback plumbing).
+package app
+
+import (
+	"fmt"
+
+	"minions/tpp"
+	"minions/tppnet"
+)
+
+// App is the uniform lifecycle contract of a minion application.
+//
+// The lifecycle is Attach → Start → Stop → Close. Attach provisions the
+// application on a network (identity registration, memory grants, shim
+// filters, aggregators) without injecting any traffic; Start begins active
+// behavior (probe loops, periodic TPPs); Stop halts active behavior but
+// leaves the app attached (it may Start again); Close stops the app if
+// needed and releases everything Attach acquired — write grants, link
+// registers, filters and aggregators — so the network is as if the app had
+// never been attached.
+type App interface {
+	// Name is the application's TPP-CP identity name.
+	Name() string
+	// Attach provisions the application on the network. cp selects the
+	// control plane to register with; nil means the network's own (n.CP),
+	// which is almost always what you want. Attach must be called exactly
+	// once, before Start.
+	Attach(n *tppnet.Network, cp *tppnet.ControlPlane) error
+	// Start begins active behavior. Passive applications (pure telemetry
+	// consumers) may treat Start as a no-op beyond the state transition.
+	Start() error
+	// Stop halts active behavior; the application remains attached.
+	Stop() error
+	// Close stops the application if running and releases every
+	// control-plane and host-side resource it holds.
+	Close() error
+}
+
+// State is an application's position in the Attach→Start→Stop→Close
+// lifecycle.
+type State int
+
+const (
+	// StateDetached: constructed, not yet attached to a network.
+	StateDetached State = iota
+	// StateAttached: provisioned (identity, grants, filters) but idle.
+	StateAttached
+	// StateRunning: actively probing / injecting TPPs.
+	StateRunning
+	// StateClosed: torn down; the instance cannot be reused.
+	StateClosed
+)
+
+// String renders the state.
+func (s State) String() string {
+	switch s {
+	case StateDetached:
+		return "detached"
+	case StateAttached:
+		return "attached"
+	case StateRunning:
+		return "running"
+	case StateClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// installedFilter records one shim interposition rule for teardown.
+type installedFilter struct {
+	host   *tppnet.Host
+	filter *tppnet.Filter
+}
+
+// aggregatorReg records one registered dataplane aggregator for teardown.
+type aggregatorReg struct {
+	host *tppnet.Host
+}
+
+// Base implements the bookkeeping half of the App contract. Embed it in an
+// application type, call Provision at the top of Attach, and acquire
+// resources through InstallTPP / Aggregate / NewPeriodic so Close can
+// release them. Base supplies Name, State accessors, and default
+// Start/Stop/Close; applications with active behavior override Start/Stop
+// and delegate to the embedded versions for the state transitions.
+type Base struct {
+	name  string
+	state State
+
+	// self is the embedding application, captured by Provision so Close
+	// can invoke the app's own Stop override: a plain b.Stop() inside
+	// Close would statically dispatch to Base.Stop and silently leave the
+	// app's active behavior (flows, probe loops) running after teardown.
+	self App
+
+	net *tppnet.Network
+	cp  *tppnet.ControlPlane
+	id  *tppnet.App
+
+	filters   []installedFilter
+	aggs      []aggregatorReg
+	periodics []*Periodic
+}
+
+// MakeBase returns a Base carrying the application's TPP-CP identity name.
+func MakeBase(name string) Base { return Base{name: name} }
+
+// Name returns the application name.
+func (b *Base) Name() string { return b.name }
+
+// State returns the lifecycle state.
+func (b *Base) State() State { return b.state }
+
+// Network returns the attached network (nil before Attach).
+func (b *Base) Network() *tppnet.Network { return b.net }
+
+// ControlPlane returns the control plane the app registered with.
+func (b *Base) ControlPlane() *tppnet.ControlPlane { return b.cp }
+
+// ID returns the registered application identity (nil before Attach). The
+// identity carries the wire handle stamped on every TPP the app installs.
+func (b *Base) ID() *tppnet.App { return b.id }
+
+// Provision performs the framework half of Attach: it validates the
+// lifecycle state, resolves the control plane (nil cp means n.CP) and
+// registers the application identity. Applications call it first in
+// Attach, passing themselves as self — that is how Close later reaches the
+// app's own Stop override — then acquire their grants and filters.
+func (b *Base) Provision(self App, n *tppnet.Network, cp *tppnet.ControlPlane) error {
+	if b.state != StateDetached {
+		return fmt.Errorf("app %q: Attach in state %v", b.name, b.state)
+	}
+	if self == nil {
+		return fmt.Errorf("app %q: Provision with a nil self", b.name)
+	}
+	if n == nil {
+		return fmt.Errorf("app %q: Attach to a nil network", b.name)
+	}
+	if cp == nil {
+		cp = n.CP
+	}
+	b.self = self
+	b.net, b.cp = n, cp
+	b.id = cp.RegisterApp(b.name)
+	b.state = StateAttached
+	return nil
+}
+
+// InstallTPP installs the application's program on one host's transmit shim
+// (the §4.1 add_tpp call), recording the filter so Close can remove it. The
+// program is validated against the app's memory grants before installation.
+func (b *Base) InstallTPP(h *tppnet.Host, spec tppnet.FilterSpec, prog *tpp.Program, sampleFreq, priority int) (*tppnet.Filter, error) {
+	if b.state == StateDetached || b.state == StateClosed {
+		return nil, fmt.Errorf("app %q: InstallTPP in state %v", b.name, b.state)
+	}
+	f, err := h.AddTPP(b.id, spec, prog, sampleFreq, priority)
+	if err != nil {
+		return nil, err
+	}
+	b.filters = append(b.filters, installedFilter{host: h, filter: f})
+	return f, nil
+}
+
+// Aggregate registers fn as the host's consumer of this application's
+// executed TPPs (the §4.5 aggregator), recording the registration so Close
+// can remove it. The packet and view passed to fn are valid only during the
+// call — copy what you keep.
+func (b *Base) Aggregate(h *tppnet.Host, fn tppnet.Aggregator) error {
+	if b.state == StateDetached || b.state == StateClosed {
+		return fmt.Errorf("app %q: Aggregate in state %v", b.name, b.state)
+	}
+	h.RegisterAggregator(b.id.Wire, fn)
+	b.aggs = append(b.aggs, aggregatorReg{host: h})
+	return nil
+}
+
+// NewPeriodic creates a Periodic owned by the application: Base.Start
+// starts it, Base.Stop stops it, Close forgets it. Use it for probe loops
+// and periodic TPP injection.
+func (b *Base) NewPeriodic(eng *tppnet.Engine, interval tppnet.Time, fn func()) *Periodic {
+	p := NewPeriodic(eng, interval, fn)
+	b.periodics = append(b.periodics, p)
+	return p
+}
+
+// Start transitions Attached→Running and starts every registered Periodic,
+// in registration order. Applications with their own probe loops override
+// Start and call this first.
+func (b *Base) Start() error {
+	if b.state != StateAttached {
+		return fmt.Errorf("app %q: Start in state %v", b.name, b.state)
+	}
+	b.state = StateRunning
+	for _, p := range b.periodics {
+		p.Start()
+	}
+	return nil
+}
+
+// Stop halts every registered Periodic and transitions back to Attached.
+// Stopping an app that is not running is a no-op.
+func (b *Base) Stop() error {
+	if b.state != StateRunning {
+		return nil
+	}
+	for _, p := range b.periodics {
+		p.Stop()
+	}
+	b.state = StateAttached
+	return nil
+}
+
+// Close stops the application if running — through the app's own Stop
+// override, so active behavior (flows, probe loops, upload flushes) halts
+// — removes every installed filter and aggregator, and releases the
+// application's control-plane state — write grants and link registers
+// included (ControlPlane.ReleaseApp). The instance cannot be reused
+// afterwards.
+func (b *Base) Close() error {
+	if b.state == StateClosed {
+		return nil
+	}
+	if b.state == StateDetached {
+		b.state = StateClosed
+		return nil
+	}
+	if err := b.self.Stop(); err != nil {
+		return err
+	}
+	for _, inst := range b.filters {
+		inst.host.RemoveTPP(inst.filter)
+	}
+	b.filters = nil
+	for _, reg := range b.aggs {
+		reg.host.UnregisterAggregator(b.id.Wire)
+	}
+	b.aggs = nil
+	b.periodics = nil
+	b.cp.ReleaseApp(b.id)
+	b.state = StateClosed
+	return nil
+}

@@ -1,0 +1,249 @@
+package app_test
+
+import (
+	"testing"
+
+	"minions/tpp"
+	"minions/tppnet"
+	"minions/tppnet/app"
+)
+
+// tinyNet wires h1 - s1 - s2 - h2 at 1 Gb/s.
+func tinyNet(t *testing.T) (*tppnet.Network, *tppnet.Host, *tppnet.Host) {
+	t.Helper()
+	n := tppnet.NewNetwork(tppnet.WithSeed(1))
+	s1, s2 := n.AddSwitch(4), n.AddSwitch(4)
+	h1, h2 := n.AddHost(), n.AddHost()
+	cfg := tppnet.HostLink(1000)
+	n.Connect(h1, s1, cfg)
+	n.Connect(h2, s2, cfg)
+	n.Connect(s1, s2, cfg)
+	n.ComputeRoutes()
+	return n, h1, h2
+}
+
+// probeApp is a minimal App built on Base: it installs a one-PUSH TPP on
+// UDP traffic and counts executed views.
+type probeApp struct {
+	app.Base
+	src, dst *tppnet.Host
+	Views    int
+}
+
+func newProbeApp(src, dst *tppnet.Host) *probeApp {
+	return &probeApp{Base: app.MakeBase("probe"), src: src, dst: dst}
+}
+
+func (a *probeApp) Attach(n *tppnet.Network, cp *tppnet.ControlPlane) error {
+	if err := a.Provision(a, n, cp); err != nil {
+		return err
+	}
+	prog, err := tpp.NewProgram().Push(tpp.SwitchID).Build()
+	if err != nil {
+		return err
+	}
+	if _, err := a.InstallTPP(a.src, tppnet.FilterSpec{Proto: tppnet.ProtoUDP}, prog, 1, 0); err != nil {
+		return err
+	}
+	return a.Aggregate(a.dst, func(p *tppnet.Packet, view tpp.Section) { a.Views++ })
+}
+
+func send(h *tppnet.Host, dst tppnet.NodeID, count int) {
+	for i := 0; i < count; i++ {
+		h.Send(h.NewPacket(dst, 5000, 9000, tppnet.ProtoUDP, 500))
+	}
+}
+
+func TestLifecycleStates(t *testing.T) {
+	n, h1, h2 := tinyNet(t)
+	a := newProbeApp(h1, h2)
+	if a.State() != app.StateDetached {
+		t.Fatalf("state = %v, want detached", a.State())
+	}
+	if err := a.Start(); err == nil {
+		t.Fatal("Start before Attach must fail")
+	}
+	if err := a.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != app.StateAttached {
+		t.Fatalf("state = %v, want attached", a.State())
+	}
+	if err := a.Attach(n, nil); err == nil {
+		t.Fatal("double Attach must fail")
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != app.StateRunning {
+		t.Fatalf("state = %v, want running", a.State())
+	}
+	if err := a.Start(); err == nil {
+		t.Fatal("double Start must fail")
+	}
+	if err := a.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != app.StateAttached {
+		t.Fatalf("state = %v, want attached after Stop", a.State())
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != app.StateClosed {
+		t.Fatalf("state = %v, want closed", a.State())
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("double Close must be a no-op")
+	}
+}
+
+func TestAttachedAppCollectsViews(t *testing.T) {
+	n, h1, h2 := tinyNet(t)
+	a := newProbeApp(h1, h2)
+	if err := a.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	h2.Bind(9000, tppnet.ProtoUDP, func(p *tppnet.Packet) {})
+	send(h1, h2.ID(), 5)
+	n.Run()
+	if a.Views != 5 {
+		t.Fatalf("aggregator saw %d views, want 5", a.Views)
+	}
+}
+
+func TestCloseRemovesFiltersAndAggregators(t *testing.T) {
+	n, h1, h2 := tinyNet(t)
+	a := newProbeApp(h1, h2)
+	if err := a.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h1.NumFilters() != 1 {
+		t.Fatalf("filters = %d, want 1", h1.NumFilters())
+	}
+	wire := a.ID().Wire
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if h1.NumFilters() != 0 {
+		t.Errorf("Close left %d filters installed", h1.NumFilters())
+	}
+	if n.CP.App(wire) != nil {
+		t.Error("Close left the app registered with TPP-CP")
+	}
+	h2.Bind(9000, tppnet.ProtoUDP, func(p *tppnet.Packet) {})
+	send(h1, h2.ID(), 3)
+	n.Run()
+	if a.Views != 0 {
+		t.Errorf("closed app still aggregated %d views", a.Views)
+	}
+	if h1.Stats().TPPsAttached != 0 {
+		t.Errorf("closed app still instrumented %d packets", h1.Stats().TPPsAttached)
+	}
+}
+
+func TestPeriodicStartStopAndCadence(t *testing.T) {
+	n, h1, _ := tinyNet(t)
+	fires := 0
+	p := app.NewPeriodic(h1.Engine(), 10*tppnet.Millisecond, func() { fires++ })
+	p.Start()
+	p.Start() // idempotent: must not double-arm
+	n.RunFor(105 * tppnet.Millisecond)
+	if fires != 10 {
+		t.Fatalf("fired %d times in 105 ms at 10 ms cadence, want 10", fires)
+	}
+	p.Stop()
+	n.RunFor(100 * tppnet.Millisecond)
+	if fires != 10 {
+		t.Fatalf("stopped periodic fired (total %d)", fires)
+	}
+	// Restartable.
+	p.Start()
+	n.RunFor(25 * tppnet.Millisecond)
+	if fires != 12 {
+		t.Fatalf("restarted periodic fired %d times total, want 12", fires)
+	}
+}
+
+// TestPeriodicRestartWithoutDrain: Stop immediately followed by Start
+// (no intervening event processing, as in an app's Stop/Start inside one
+// handler) must not leave the stale scheduled event alive as a second
+// firing train — the cadence stays one fire per interval.
+func TestPeriodicRestartWithoutDrain(t *testing.T) {
+	n, h1, _ := tinyNet(t)
+	fires := 0
+	p := app.NewPeriodic(h1.Engine(), 10*tppnet.Millisecond, func() { fires++ })
+	p.Start()
+	n.RunFor(15 * tppnet.Millisecond) // one fire; next armed at t=25ms
+	p.Stop()
+	p.Start() // stale t=25ms event must die; new train fires at 25,35,...
+	n.RunFor(81 * tppnet.Millisecond) // t=96ms: fires at 25,35,...,95 = 8
+	if fires != 9 {
+		t.Fatalf("fired %d times, want 9 — a stale event survived the restart", fires)
+	}
+}
+
+func TestBaseStartStartsPeriodics(t *testing.T) {
+	n, h1, h2 := tinyNet(t)
+	a := newProbeApp(h1, h2)
+	if err := a.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	ticks := 0
+	a.NewPeriodic(h1.Engine(), 5*tppnet.Millisecond, func() { ticks++ })
+	n.RunFor(20 * tppnet.Millisecond)
+	if ticks != 0 {
+		t.Fatalf("periodic fired %d times before Start", ticks)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n.RunFor(21 * tppnet.Millisecond)
+	if ticks != 4 {
+		t.Fatalf("periodic fired %d times after Start, want 4", ticks)
+	}
+	if err := a.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	n.RunFor(20 * tppnet.Millisecond)
+	if ticks != 4 {
+		t.Fatalf("periodic fired %d times after Stop, want 4", ticks)
+	}
+}
+
+func TestStreamSubscribeCancelCollect(t *testing.T) {
+	var s app.Stream[int]
+	if s.HasSubscribers() {
+		t.Fatal("zero-value stream reports subscribers")
+	}
+	all := app.Collect(&s)
+	var seen []int
+	cancel := s.Subscribe(func(v int) { seen = append(seen, v) })
+	s.Publish(1)
+	s.Publish(2)
+	cancel()
+	cancel() // idempotent
+	s.Publish(3)
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Errorf("cancelled subscriber saw %v", seen)
+	}
+	if len(*all) != 3 {
+		t.Errorf("Collect accumulated %v, want 3 events", *all)
+	}
+	if !s.HasSubscribers() {
+		t.Error("collector subscription not counted")
+	}
+}
+
+// TestStreamDeliveryOrder: subscribers see events in subscription order,
+// synchronously on the publisher's goroutine.
+func TestStreamDeliveryOrder(t *testing.T) {
+	var s app.Stream[string]
+	var order []string
+	s.Subscribe(func(v string) { order = append(order, "a:"+v) })
+	s.Subscribe(func(v string) { order = append(order, "b:"+v) })
+	s.Publish("x")
+	if len(order) != 2 || order[0] != "a:x" || order[1] != "b:x" {
+		t.Errorf("delivery order = %v", order)
+	}
+}

@@ -1,0 +1,56 @@
+package app
+
+import "minions/tppnet"
+
+// Periodic is a repeating timer for periodic TPP injection, implemented as
+// its own resident sim handler: each firing re-arms by scheduling the
+// Periodic itself, so a running loop costs no per-round closure allocations
+// — the same de-closured shape the RCP control round and CONGA probe loop
+// use. The callback runs before the re-arm, so work scheduled inside fn is
+// ordered ahead of the next tick at equal timestamps.
+type Periodic struct {
+	eng      *tppnet.Engine
+	interval tppnet.Time
+	fn       func()
+	running  bool
+	// gen invalidates in-flight scheduled events across Stop/Start cycles:
+	// the engine cannot cancel a scheduled event, so a restart must not let
+	// a stale event re-arm a second, parallel firing train.
+	gen uint64
+}
+
+// NewPeriodic creates a stopped periodic timer; Start arms it. Prefer
+// Base.NewPeriodic inside applications so the framework manages it across
+// Start/Stop/Close.
+func NewPeriodic(eng *tppnet.Engine, interval tppnet.Time, fn func()) *Periodic {
+	return &Periodic{eng: eng, interval: interval, fn: fn}
+}
+
+// Start arms the timer: the first firing is one interval from now. Starting
+// a running timer is a no-op.
+func (p *Periodic) Start() {
+	if p.running {
+		return
+	}
+	p.running = true
+	p.gen++
+	p.eng.ScheduleAfter(p.interval, p, p.gen)
+}
+
+// Stop cancels future firings. The timer can be started again.
+func (p *Periodic) Stop() { p.running = false }
+
+// Running reports whether the timer is armed.
+func (p *Periodic) Running() bool { return p.running }
+
+// Handle implements the engine's Handler interface: one firing. Events from
+// a generation before the latest Start are stale and ignored.
+func (p *Periodic) Handle(gen uint64) {
+	if !p.running || gen != p.gen {
+		return
+	}
+	p.fn()
+	if p.running && gen == p.gen {
+		p.eng.ScheduleAfter(p.interval, p, p.gen)
+	}
+}

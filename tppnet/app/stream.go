@@ -1,0 +1,57 @@
+package app
+
+// Stream is a typed telemetry stream: deterministic, synchronous fan-out
+// from an application to its subscribers. It replaces the ad-hoc callback
+// and pointer-to-slice plumbing the internal applications used to hand-roll
+// (e.g. the old Netwatch(c, ...) *[]Violation shape).
+//
+// Publish invokes every active subscriber in subscription order, on the
+// publisher's goroutine — in a discrete-event simulation that keeps results
+// reproducible, unlike channel-based delivery. A Stream's zero value is
+// ready to use.
+type Stream[T any] struct {
+	subs []*subscription[T]
+}
+
+type subscription[T any] struct {
+	fn     func(T)
+	active bool
+}
+
+// Subscribe registers fn to observe every subsequent Publish and returns a
+// cancel function. Cancel is idempotent; cancelled subscribers stop
+// receiving immediately but their slot is retained (subscription order of
+// the remaining subscribers never changes mid-run).
+func (s *Stream[T]) Subscribe(fn func(T)) (cancel func()) {
+	sub := &subscription[T]{fn: fn, active: true}
+	s.subs = append(s.subs, sub)
+	return func() { sub.active = false }
+}
+
+// Publish delivers v to every active subscriber, in subscription order.
+func (s *Stream[T]) Publish(v T) {
+	for _, sub := range s.subs {
+		if sub.active {
+			sub.fn(v)
+		}
+	}
+}
+
+// HasSubscribers reports whether any active subscriber remains; publishers
+// on warm paths check it to skip building events nobody consumes.
+func (s *Stream[T]) HasSubscribers() bool {
+	for _, sub := range s.subs {
+		if sub.active {
+			return true
+		}
+	}
+	return false
+}
+
+// Collect subscribes a slice accumulator to the stream and returns it: the
+// one-liner for tests and batch consumers that want every event.
+func Collect[T any](s *Stream[T]) *[]T {
+	out := &[]T{}
+	s.Subscribe(func(v T) { *out = append(*out, v) })
+	return out
+}

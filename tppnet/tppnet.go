@@ -2,8 +2,10 @@
 // substrate: hosts running the §4 end-host stack, TPP-capable switches,
 // rate/delay links, and the topologies of the paper's evaluation. It is the
 // package to import to stand up a network and push TPP-instrumented traffic
-// through it; package tpp provides the programs themselves, and package
-// testbed the ready-made experiment runners built on top of this facade.
+// through it; package tpp provides the programs themselves, subpackage
+// tppnet/app the framework minion applications are built on, apps/* the
+// paper's five applications on that framework, and package testbed the
+// ready-made experiment runners built on top of all of them.
 //
 // Networks are created with functional options and wired either manually or
 // with a topology method:
@@ -48,6 +50,9 @@ type (
 	Filter = host.Filter
 	// FilterSpec matches packets for TPP attachment, iptables-style.
 	FilterSpec = host.FilterSpec
+	// Aggregator consumes fully executed TPPs for one application (§4.5);
+	// registered per host via Host.RegisterAggregator or app.Base.Aggregate.
+	Aggregator = host.Aggregator
 	// ExecOpts tunes reliable TPP execution (timeout, retries, path tag).
 	ExecOpts = host.ExecOpts
 	// GatherResult is one switch's outcome in a ScatterGather.
