@@ -114,7 +114,23 @@ type Balancer struct {
 	ProbeBytes uint64
 	// Moves counts flowlet path changes.
 	Moves uint64
+
+	samples app.Stream[PathSample]
 }
+
+// PathSample is one probe's congestion measurement, published on the
+// balancer's telemetry stream as each probe returns: the path's tag, its
+// aggregated fabric metric (max or sum of per-hop utilization, per the
+// configured Agg), and how many hops the probe traversed.
+type PathSample struct {
+	At     sim.Time
+	Tag    uint16
+	Metric float64
+	Hops   int
+}
+
+// Paths returns the balancer's typed per-probe path telemetry stream.
+func (b *Balancer) Paths() *app.Stream[PathSample] { return &b.samples }
 
 type flowletState struct {
 	tag  uint16
@@ -254,6 +270,9 @@ func (b *Balancer) onProbe(tag uint16, view core.Section) {
 	}
 	p.metric = metric
 	p.seen = b.h.Engine().Now()
+	if b.samples.HasSubscribers() {
+		b.samples.Publish(PathSample{At: p.seen, Tag: tag, Metric: metric, Hops: len(hops)})
+	}
 }
 
 // sortedPaths returns paths in stable (signature) order.

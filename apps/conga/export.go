@@ -1,0 +1,20 @@
+package conga
+
+import "minions/telemetry"
+
+// Export bridges the balancer's per-probe path stream into a telemetry
+// pipeline as Records of App "conga", Kind "path": Node is the balancing
+// host, Val the path's aggregated congestion metric, Aux[0] the path tag
+// and Aux[1] the probe's hop count.
+func (b *Balancer) Export(pipe *telemetry.Pipeline) (cancel func()) {
+	return telemetry.Export(b.Paths(), pipe, func(s PathSample) telemetry.Record {
+		return telemetry.Record{
+			At:   int64(s.At),
+			App:  "conga",
+			Kind: "path",
+			Node: uint64(b.h.ID()),
+			Val:  s.Metric,
+			Aux:  [3]uint64{uint64(s.Tag), uint64(s.Hops), 0},
+		}
+	})
+}

@@ -1,0 +1,20 @@
+package microburst
+
+import "minions/telemetry"
+
+// Export bridges the monitor's sample stream into a telemetry pipeline as
+// Records of App "microburst", Kind "sample": Node is the switch ID, Val
+// the queue occupancy fraction, Aux[0] the output port. The encoder is a
+// plain field copy — with no sink attached it costs nothing.
+func (m *Monitor) Export(pipe *telemetry.Pipeline) (cancel func()) {
+	return telemetry.Export(m.SampleStream(), pipe, func(s Sample) telemetry.Record {
+		return telemetry.Record{
+			At:   int64(s.At),
+			App:  "microburst",
+			Kind: "sample",
+			Node: uint64(s.Queue.SwitchID),
+			Val:  s.Occupancy,
+			Aux:  [3]uint64{uint64(s.Queue.Port), 0, 0},
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package ndb
+
+import "minions/telemetry"
+
+// Export bridges the collector's history stream into a telemetry pipeline
+// as Records of App "ndb", Kind "history": Node is the flow's source, Val
+// the hop count, Aux[0] the packet ID, Aux[1] the destination node, and
+// Aux[2] is 1 for a history reconstructed from a drop notification.
+func (c *Collector) Export(pipe *telemetry.Pipeline) (cancel func()) {
+	return telemetry.Export(c.Stream(), pipe, func(h History) telemetry.Record {
+		r := telemetry.Record{
+			At:   int64(h.At),
+			App:  "ndb",
+			Kind: "history",
+			Node: uint64(h.Flow.Src),
+			Val:  float64(len(h.Hops)),
+			Aux:  [3]uint64{h.PktID, uint64(h.Flow.Dst), 0},
+		}
+		if h.Dropped {
+			r.Aux[2] = 1
+		}
+		return r
+	})
+}
+
+// ExportViolations bridges the deployment's violation stream into a
+// telemetry pipeline as Records of App "ndb", Kind "violation", with the
+// policy name in Note. Violations are rare by construction, so carrying the
+// name per record is fine here where it would not be on a hot path.
+func (d *Deployment) ExportViolations(pipe *telemetry.Pipeline) (cancel func()) {
+	return telemetry.Export(d.Violations(), pipe, func(v Violation) telemetry.Record {
+		return telemetry.Record{
+			At:   int64(v.History.At),
+			App:  "ndb",
+			Kind: "violation",
+			Node: uint64(v.History.Flow.Src),
+			Val:  float64(len(v.History.Hops)),
+			Aux:  [3]uint64{v.History.PktID, uint64(v.History.Flow.Dst), 0},
+			Note: v.Policy,
+		}
+	})
+}

@@ -1,0 +1,20 @@
+package rcp
+
+import "minions/telemetry"
+
+// Export bridges the system's rate stream into a telemetry pipeline as
+// Records of App "rcp", Kind "rate": Node is the sending host, Val the
+// flow's current rate in Mb/s, Aux[0] the destination node and Aux[1] the
+// flow's update count.
+func (s *System) Export(pipe *telemetry.Pipeline) (cancel func()) {
+	return telemetry.Export(s.Rates(), pipe, func(r RateSample) telemetry.Record {
+		return telemetry.Record{
+			At:   int64(r.At),
+			App:  "rcp",
+			Kind: "rate",
+			Node: uint64(r.Flow.Host().ID()),
+			Val:  r.RateMbps,
+			Aux:  [3]uint64{uint64(r.Flow.Dst()), r.Flow.Updates, 0},
+		}
+	})
+}

@@ -294,6 +294,12 @@ type Flow struct {
 	CtrlBytes   uint64
 }
 
+// Host returns the sending host the flow runs on.
+func (f *Flow) Host() *tppnet.Host { return f.h }
+
+// Dst returns the flow's destination node.
+func (f *Flow) Dst() tppnet.NodeID { return f.dst }
+
 // newFlow wraps an existing UDP flow with an RCP* controller.
 func newFlow(sys *System, h *tppnet.Host, dst tppnet.NodeID, udp *tppnet.UDPFlow) *Flow {
 	f := &Flow{

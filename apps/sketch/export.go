@@ -1,0 +1,21 @@
+package sketch
+
+import "minions/telemetry"
+
+// Export bridges the monitor's upload stream into a telemetry pipeline as
+// Records of App "opensketch", Kind "push": Node is the uploading host,
+// Val the monitor's merged cardinality estimate for the link after the
+// push, Aux[0]/Aux[1] the link's switch and port, Aux[2] the uploaded
+// sketch bytes.
+func (s *System) Export(pipe *telemetry.Pipeline) (cancel func()) {
+	return telemetry.Export(s.Monitor.PushStream(), pipe, func(e PushEvent) telemetry.Record {
+		return telemetry.Record{
+			At:   int64(e.At),
+			App:  "opensketch",
+			Kind: "push",
+			Node: uint64(e.Host),
+			Val:  e.Estimate,
+			Aux:  [3]uint64{uint64(e.Link.SwitchID), uint64(e.Link.Port), uint64(e.Bytes)},
+		}
+	})
+}

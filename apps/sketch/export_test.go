@@ -1,0 +1,81 @@
+package sketch_test
+
+import (
+	"testing"
+
+	"minions/apps/sketch"
+	"minions/telemetry"
+	"minions/tppnet"
+)
+
+// runExportOnce runs a small deployment with the push stream bridged into
+// a pipeline and returns the exported records.
+func runExportOnce(t *testing.T, seed int64) []telemetry.Record {
+	t.Helper()
+	n := tppnet.NewNetwork(tppnet.WithSeed(seed))
+	hosts, _, _ := n.Dumbbell(6, 1000)
+	sys := sketch.New(sketch.Config{
+		Filter:      tppnet.FilterSpec{Proto: tppnet.ProtoUDP},
+		BitsPerLink: 256,
+		PushEvery:   100 * tppnet.Millisecond,
+		Hosts:       hosts,
+	})
+	if err := sys.Attach(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	var sink telemetry.MemSink
+	pipe := telemetry.NewPipeline(telemetry.Config{Spool: 4096})
+	pipe.Attach(&sink)
+	sys.Export(pipe)
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	h0 := n.Hosts[0]
+	h0.Bind(8000, tppnet.ProtoUDP, func(p *tppnet.Packet) {})
+	for i := 1; i < 6; i++ {
+		src := n.Hosts[i]
+		for k := 0; k < 20; k++ {
+			src.Send(src.NewPacket(h0.ID(), uint16(1000+k), 8000, tppnet.ProtoUDP, 400))
+		}
+	}
+	n.RunUntil(500 * tppnet.Millisecond)
+	if err := sys.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	pipe.Flush()
+	return sink.Records
+}
+
+// TestExportPushEvents checks the exported push records carry the link
+// identity and merged estimate, and that upload order is deterministic
+// across runs of the same seed (the agents sort dirty links before
+// pushing — map order must never leak into the export).
+func TestExportPushEvents(t *testing.T) {
+	recs := runExportOnce(t, 4)
+	if len(recs) == 0 {
+		t.Fatal("no push records exported")
+	}
+	for _, r := range recs {
+		if r.App != "opensketch" || r.Kind != "push" {
+			t.Fatalf("record tagged %s/%s", r.App, r.Kind)
+		}
+		if r.Aux[2] != 256/8 {
+			t.Fatalf("pushed bytes = %d, want %d", r.Aux[2], 256/8)
+		}
+		if r.Val < 0 {
+			t.Fatalf("negative estimate %v", r.Val)
+		}
+	}
+
+	again := runExportOnce(t, 4)
+	if len(again) != len(recs) {
+		t.Fatalf("rerun exported %d records, first run %d", len(again), len(recs))
+	}
+	for i := range recs {
+		if recs[i] != again[i] {
+			t.Fatalf("record %d differs across identical runs:\n%+v\n%+v", i, recs[i], again[i])
+		}
+	}
+}

@@ -119,7 +119,23 @@ type Monitor struct {
 	links       map[LinkKey]*Bitmap
 	Pushes      uint64
 	PushedBytes uint64
+	pushes      app.Stream[PushEvent]
 }
+
+// PushEvent is one bitmap upload as observed by the monitor, published on
+// its telemetry stream: which host pushed which link's sketch, and the
+// monitor's merged cardinality estimate for that link afterwards.
+type PushEvent struct {
+	At       tppnet.Time
+	Host     tppnet.NodeID
+	Link     LinkKey
+	Bytes    int     // sketch bytes uploaded
+	Estimate float64 // merged estimate after this push
+}
+
+// PushStream returns the monitor's typed upload feed. Agents publish in
+// sorted link order, so the stream is deterministic across runs.
+func (mon *Monitor) PushStream() *app.Stream[PushEvent] { return &mon.pushes }
 
 // NewMonitor creates the central service.
 func NewMonitor(bitsPerLink int) *Monitor {
@@ -302,14 +318,34 @@ func (a *Agent) ingest(p *link.Packet, view core.Section) {
 	}
 }
 
-// push uploads changed bitmaps (the every-10-seconds step of §2.5).
+// push uploads changed bitmaps (the every-10-seconds step of §2.5), in
+// sorted link order: map iteration is nondeterministic, and the monitor's
+// push stream is part of the exported telemetry, which must be identical
+// across runs of the same seed.
 func (a *Agent) push() {
-	if a.stopped {
+	if a.stopped || len(a.dirty) == 0 {
 		return
 	}
+	keys := make([]LinkKey, 0, len(a.dirty))
 	for lk := range a.dirty {
+		keys = append(keys, lk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].SwitchID != keys[j].SwitchID {
+			return keys[i].SwitchID < keys[j].SwitchID
+		}
+		return keys[i].Port < keys[j].Port
+	})
+	publish := a.mon.pushes.HasSubscribers()
+	for _, lk := range keys {
 		a.mon.Push(lk, a.local[lk])
 		delete(a.dirty, lk)
+		if publish {
+			a.mon.pushes.Publish(PushEvent{
+				At: a.h.Engine().Now(), Host: a.h.ID(), Link: lk,
+				Bytes: a.bits / 8, Estimate: a.mon.Estimate(lk),
+			})
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -21,6 +22,7 @@ import (
 
 	"minions/internal/core"
 	"minions/internal/mem"
+	"minions/telemetry"
 	"minions/testbed"
 	"minions/tppnet"
 )
@@ -202,6 +204,8 @@ func main() {
 		rep.Scenarios = append(rep.Scenarios, fusionScenario())
 	}
 
+	rep.Scenarios = append(rep.Scenarios, telemetryScenario())
+
 	if *strictAllocs {
 		enforceZeroAllocs(rep)
 	}
@@ -343,6 +347,58 @@ func fusionScenario() scenario {
 	}
 }
 
+// telemetryScenario measures the export pipeline end to end: publish
+// scale-hop-shaped records into a Block-policy spool and drain them through
+// the NDJSON encoder into a discarded writer. Publishes overflow the spool
+// every 4096 records, so the measured window covers ring writes, inline
+// flushes and JSON encoding together — the cost an experiment pays per
+// exported record.
+func telemetryScenario() scenario {
+	const total = 1 << 20
+	const spool = 1 << 12
+	pipe := telemetry.NewPipeline(telemetry.Config{Spool: spool, Policy: telemetry.Block})
+	pipe.Attach(telemetry.NewNDJSONSink(io.Discard))
+	rec := telemetry.Record{App: "scale", Kind: "hop", Node: 42, Val: 3, Aux: [3]uint64{2, 17, 33}}
+	// Warm one spool's worth so the encode buffer reaches steady-state
+	// size before the first measured repetition.
+	for i := 0; i < spool; i++ {
+		pipe.Publish(rec)
+	}
+	pipe.Flush()
+	var nsPerRec, allocsPerRec float64
+	best := false
+	for r := 0; r < runs; r++ {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		for i := 0; i < total; i++ {
+			rec.At = int64(i)
+			pipe.Publish(rec)
+		}
+		pipe.Flush()
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		ns := float64(wall.Nanoseconds()) / total
+		if !best || ns < nsPerRec {
+			best = true
+			nsPerRec = ns
+			allocsPerRec = float64(m1.Mallocs-m0.Mallocs) / total
+		}
+	}
+	if err := pipe.Err(); err != nil {
+		fatal(err)
+	}
+	return scenario{
+		Name:   "telemetry-export",
+		Config: map[string]any{"records": total, "spool": spool, "policy": "block", "sink": "ndjson-discard"},
+		Metrics: map[string]float64{
+			"ns_per_record":     nsPerRec,
+			"records_per_sec":   1e9 / nsPerRec,
+			"allocs_per_record": allocsPerRec,
+		},
+	}
+}
+
 // enforceZeroAllocs fails the run when a single-shard forward-path scenario
 // allocated per packet — the CI gate behind the bench-smoke job. Sharded
 // scenarios are exempt (epoch barriers and worker goroutines allocate off
@@ -358,7 +414,7 @@ func enforceZeroAllocs(rep report) {
 				continue
 			}
 		}
-		for _, key := range []string{"allocs_per_pkt", "allocs_per_pkt_hop"} {
+		for _, key := range []string{"allocs_per_pkt", "allocs_per_pkt_hop", "allocs_per_record"} {
 			if v, ok := sc.Metrics[key]; ok && v > 1e-4 {
 				fmt.Fprintf(os.Stderr, "benchjson: %s: %s = %g, want 0\n", sc.Name, key, v)
 				bad = true

@@ -1,28 +1,70 @@
-// Command tppdump decodes Ethernet frames along the Figure 7a parse graph
-// (transparent ethertype 0x6666 and standalone UDP dport 0x6666 TPPs) and
-// pretty-prints any TPP it finds — a tcpdump for tiny packet programs.
+// Command tppdump decodes TPP traffic — a tcpdump for tiny packet programs.
+//
+// It reads either of two input forms, auto-detected:
+//
+//   - a binary trace captured by the testbed (telemetry/trace format,
+//     recognized by its leading "TPPTRACE" magic), or
+//   - whitespace-separated hex Ethernet frames, one per line, decoded along
+//     the Figure 7a parse graph (transparent ethertype 0x6666 and
+//     standalone UDP dport 0x6666 TPPs).
 //
 // Usage:
 //
-//	tppdump [file]
+//	tppdump [flags] [file]
 //
-// Input is whitespace-separated hex frames, one per line, from file or
-// stdin.
+// Input comes from file or stdin. Trace-mode flags:
+//
+//	-src N       only records sent by node N
+//	-dst N       only records addressed to node N
+//	-app N       only records whose TPP belongs to app ID N
+//	-standalone  only standalone TPP probes
+//	-from NS     only records at or after NS (virtual nanoseconds)
+//	-to NS       only records at or before NS
+//	-json        one JSON object per record instead of the human form
+//	-stats       print only a summary of the (filtered) trace
+//
+// Filters and output modes apply to binary traces; hex input is always
+// pretty-printed in full.
 package main
 
 import (
 	"bufio"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"minions/telemetry/trace"
 	"minions/tpp"
 )
 
+// options carries the parsed command line; fields use -1 for "any" so zero
+// IDs remain filterable.
+type options struct {
+	src, dst   int64
+	app        int64
+	standalone bool
+	from, to   int64
+	jsonOut    bool
+	stats      bool
+}
+
 func main() {
+	var o options
+	flag.Int64Var(&o.src, "src", -1, "only records sent by this node ID")
+	flag.Int64Var(&o.dst, "dst", -1, "only records addressed to this node ID")
+	flag.Int64Var(&o.app, "app", -1, "only records whose TPP belongs to this app ID")
+	flag.BoolVar(&o.standalone, "standalone", false, "only standalone TPP probes")
+	flag.Int64Var(&o.from, "from", -1, "only records at or after this virtual time (ns)")
+	flag.Int64Var(&o.to, "to", -1, "only records at or before this virtual time (ns)")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit one JSON object per record")
+	flag.BoolVar(&o.stats, "stats", false, "print only a trace summary")
 	flag.Parse()
+
 	in := os.Stdin
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
@@ -32,6 +74,211 @@ func main() {
 		defer f.Close()
 		in = f
 	}
+	if err := run(in, os.Stdout, os.Stderr, o); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tppdump:", err)
+	os.Exit(1)
+}
+
+// run dispatches on the input form. It is the testable entry point: main
+// only parses flags and opens files.
+func run(in io.Reader, out, errw io.Writer, o options) error {
+	br := bufio.NewReaderSize(in, 1<<16)
+	head, err := br.Peek(8)
+	if err != nil && err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return err
+	}
+	if trace.Magic(head) {
+		return dumpTrace(br, out, o)
+	}
+	return dumpHex(br, out, errw)
+}
+
+// keep reports whether a trace record passes the filter set.
+func (o *options) keep(rec *trace.Rec) bool {
+	if o.src >= 0 && int64(rec.Src) != o.src {
+		return false
+	}
+	if o.dst >= 0 && int64(rec.Dst) != o.dst {
+		return false
+	}
+	if o.standalone && !rec.Standalone() {
+		return false
+	}
+	if o.from >= 0 && rec.At < o.from {
+		return false
+	}
+	if o.to >= 0 && rec.At > o.to {
+		return false
+	}
+	if o.app >= 0 {
+		s := tpp.Section(rec.TPP)
+		if len(rec.TPP) == 0 || int64(s.AppID()) != o.app {
+			return false
+		}
+	}
+	return true
+}
+
+// jsonRec is the -json projection of one trace record. TPP bytes travel as
+// hex so every record is one self-contained line.
+type jsonRec struct {
+	Pkt        int    `json:"pkt"`
+	At         int64  `json:"at"`
+	Src        uint32 `json:"src"`
+	Dst        uint32 `json:"dst"`
+	SrcPort    uint16 `json:"sport"`
+	DstPort    uint16 `json:"dport"`
+	Proto      uint8  `json:"proto"`
+	Size       uint32 `json:"size"`
+	PathTag    uint16 `json:"tag,omitempty"`
+	TTL        uint8  `json:"ttl,omitempty"`
+	Seq        uint32 `json:"seq,omitempty"`
+	Ack        uint32 `json:"ack,omitempty"`
+	Standalone bool   `json:"standalone,omitempty"`
+	App        uint16 `json:"app,omitempty"`
+	TPP        string `json:"tpp,omitempty"`
+}
+
+// traceStats accumulates the -stats summary over the filtered records.
+type traceStats struct {
+	packets, bytes     uint64
+	withTPP            uint64
+	standalone         uint64
+	firstAt, lastAt    int64
+	perApp             map[uint16]uint64
+	checksumFailures   uint64
+	instructionsSeen   uint64
+	memoryWordsCarried uint64
+}
+
+func dumpTrace(r io.Reader, out io.Writer, o options) error {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return err
+	}
+	st := traceStats{firstAt: -1, perApp: make(map[uint16]uint64)}
+	enc := json.NewEncoder(out)
+	var rec trace.Rec
+	idx := -1
+	for {
+		if err := tr.Read(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return err
+		}
+		idx++
+		if !o.keep(&rec) {
+			continue
+		}
+		st.packets++
+		st.bytes += uint64(rec.Size)
+		if st.firstAt < 0 {
+			st.firstAt = rec.At
+		}
+		st.lastAt = rec.At
+		if rec.Standalone() {
+			st.standalone++
+		}
+		s := tpp.Section(rec.TPP)
+		if len(rec.TPP) > 0 {
+			st.withTPP++
+			st.perApp[s.AppID()]++
+			st.instructionsSeen += uint64(s.InsnCount())
+			st.memoryWordsCarried += uint64(s.MemWords())
+			if !s.VerifyChecksum() {
+				st.checksumFailures++
+			}
+		}
+		if o.stats {
+			continue
+		}
+		if o.jsonOut {
+			jr := jsonRec{
+				Pkt: idx, At: rec.At, Src: rec.Src, Dst: rec.Dst,
+				SrcPort: rec.SrcPort, DstPort: rec.DstPort, Proto: rec.Proto,
+				Size: rec.Size, PathTag: rec.PathTag, TTL: rec.TTL,
+				Seq: rec.Seq, Ack: rec.Ack, Standalone: rec.Standalone(),
+			}
+			if len(rec.TPP) > 0 {
+				jr.App = s.AppID()
+				jr.TPP = hex.EncodeToString(rec.TPP)
+			}
+			if err := enc.Encode(jr); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Fprintf(out, "pkt %d t=%dns %d->%d %d->%d proto=%d size=%d",
+			idx, rec.At, rec.Src, rec.Dst, rec.SrcPort, rec.DstPort, rec.Proto, rec.Size)
+		if rec.PathTag != 0 {
+			fmt.Fprintf(out, " tag=%d", rec.PathTag)
+		}
+		if rec.Standalone() {
+			fmt.Fprint(out, " standalone")
+		}
+		fmt.Fprintln(out)
+		if len(rec.TPP) > 0 {
+			printTPP(out, s)
+		}
+	}
+	if o.stats {
+		printStats(out, &st)
+	}
+	return nil
+}
+
+func printStats(out io.Writer, st *traceStats) {
+	fmt.Fprintf(out, "packets %d (%d with TPP, %d standalone), %d bytes\n",
+		st.packets, st.withTPP, st.standalone, st.bytes)
+	if st.packets > 0 {
+		fmt.Fprintf(out, "time span %dns .. %dns (%.6fs)\n",
+			st.firstAt, st.lastAt, float64(st.lastAt-st.firstAt)/1e9)
+	}
+	if st.withTPP > 0 {
+		fmt.Fprintf(out, "tpp: %d instructions, %d memory words, %d checksum failures\n",
+			st.instructionsSeen, st.memoryWordsCarried, st.checksumFailures)
+		// Sorted app listing keeps the output diffable.
+		for app := 0; app < 1<<16; app++ {
+			if n := st.perApp[uint16(app)]; n > 0 {
+				fmt.Fprintf(out, "app %d: %d packets\n", app, n)
+			}
+		}
+	}
+}
+
+// printTPP renders one decoded TPP section, shared by trace and hex modes.
+func printTPP(out io.Writer, s tpp.Section) {
+	fmt.Fprintf(out, "  tpp: mode=%s insns=%d mem=%dw hop/sp=%d appid=%d checksum-ok=%v\n",
+		s.Mode(), s.InsnCount(), s.MemWords(), s.HopOrSP(), s.AppID(), s.VerifyChecksum())
+	for i := 0; i < s.InsnCount(); i++ {
+		fmt.Fprintf(out, "    %s\n", s.Insn(i))
+	}
+	if s.Mode() == tpp.AddrHop {
+		for _, hv := range s.HopViews() {
+			fmt.Fprintf(out, "    hop %d: %v\n", hv.Hop, hv.Words)
+		}
+	} else if sp := s.HopOrSP(); sp > 0 {
+		if max := s.MemWords(); sp > max {
+			sp = max
+		}
+		words := make([]uint32, sp)
+		for i := 0; i < sp; i++ {
+			words[i] = s.Word(i)
+		}
+		fmt.Fprintf(out, "    stack[0:%d] = %v\n", sp, words)
+	}
+}
+
+// dumpHex pretty-prints hex frame lines. Malformed lines are reported to
+// errw and skipped; scanner failures (oversize lines, read errors) are
+// returned — dropping them would silently truncate the dump.
+func dumpHex(in io.Reader, out, errw io.Writer) error {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	lineNo := 0
@@ -43,49 +290,26 @@ func main() {
 		}
 		raw, err := hex.DecodeString(line)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "line %d: bad hex: %v\n", lineNo, err)
+			fmt.Fprintf(errw, "line %d: bad hex: %v\n", lineNo, err)
 			continue
 		}
 		frame, err := tpp.ParseFrame(raw)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "line %d: %v\n", lineNo, err)
+			fmt.Fprintf(errw, "line %d: %v\n", lineNo, err)
 			continue
 		}
-		fmt.Printf("frame %d: %s -> %s kind=%v", lineNo, frame.Eth.Src, frame.Eth.Dst, frame.Kind)
+		fmt.Fprintf(out, "frame %d: %s -> %s kind=%v", lineNo, frame.Eth.Src, frame.Eth.Dst, frame.Kind)
 		if frame.HasIP {
-			fmt.Printf(" ip %v->%v", frame.IP.Src, frame.IP.Dst)
+			fmt.Fprintf(out, " ip %v->%v", frame.IP.Src, frame.IP.Dst)
 		}
 		if frame.HasUDP {
-			fmt.Printf(" udp %d->%d", frame.UDP.SrcPort, frame.UDP.DstPort)
+			fmt.Fprintf(out, " udp %d->%d", frame.UDP.SrcPort, frame.UDP.DstPort)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 		if frame.TPP == nil {
 			continue
 		}
-		s := frame.TPP
-		fmt.Printf("  tpp: mode=%s insns=%d mem=%dw hop/sp=%d appid=%d checksum-ok=%v\n",
-			s.Mode(), s.InsnCount(), s.MemWords(), s.HopOrSP(), s.AppID(), s.VerifyChecksum())
-		for i := 0; i < s.InsnCount(); i++ {
-			fmt.Printf("    %s\n", s.Insn(i))
-		}
-		if s.Mode() == tpp.AddrHop {
-			for _, hv := range s.HopViews() {
-				fmt.Printf("    hop %d: %v\n", hv.Hop, hv.Words)
-			}
-		} else if sp := s.HopOrSP(); sp > 0 {
-			words := make([]uint32, sp)
-			for i := 0; i < sp; i++ {
-				words[i] = s.Word(i)
-			}
-			fmt.Printf("    stack[0:%d] = %v\n", sp, words)
-		}
+		printTPP(out, frame.TPP)
 	}
-	if err := sc.Err(); err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tppdump:", err)
-	os.Exit(1)
+	return sc.Err()
 }

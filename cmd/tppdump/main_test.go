@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"minions/telemetry/trace"
+	"minions/tpp"
+)
+
+// anyOpts is the zero filter set: keep everything, human output.
+var anyOpts = options{src: -1, dst: -1, app: -1, from: -1, to: -1}
+
+// testSection builds a small valid TPP section for trace records.
+func testSection(t *testing.T) []byte {
+	t.Helper()
+	s, err := tpp.NewProgram().Push(tpp.SwitchID).Push(tpp.QueueOccupancy).Hops(4).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []byte(s)
+}
+
+// testTrace writes a three-record trace: two plain packets from node 1 and
+// one standalone TPP probe from node 2.
+func testTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []trace.Rec{
+		{At: 1000, Src: 1, Dst: 4, SrcPort: 7001, DstPort: 7001, Proto: 17, Size: 1500},
+		{At: 2000, Src: 1, Dst: 4, SrcPort: 7001, DstPort: 7001, Proto: 17, Size: 1500, PathTag: 3},
+		{At: 3000, Src: 2, Dst: 5, SrcPort: 9000, DstPort: 0x6666, Proto: 17, Size: 84,
+			Flags: trace.FlagStandalone, TPP: testSection(t)},
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func runDump(t *testing.T, in []byte, o options) string {
+	t.Helper()
+	var out, errw bytes.Buffer
+	if err := run(bytes.NewReader(in), &out, &errw, o); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errw.String())
+	}
+	return out.String()
+}
+
+func TestTraceModeDumpsAllRecords(t *testing.T) {
+	out := runDump(t, testTrace(t), anyOpts)
+	for _, want := range []string{"pkt 0 ", "pkt 1 ", "pkt 2 ", "tag=3", "standalone", "tpp: mode="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceModeFilters(t *testing.T) {
+	tr := testTrace(t)
+	cases := []struct {
+		name string
+		o    options
+		want int
+	}{
+		{"src", func(o options) options { o.src = 2; return o }(anyOpts), 1},
+		{"dst", func(o options) options { o.dst = 4; return o }(anyOpts), 2},
+		{"standalone", func(o options) options { o.standalone = true; return o }(anyOpts), 1},
+		{"from", func(o options) options { o.from = 2000; return o }(anyOpts), 2},
+		{"to", func(o options) options { o.to = 1500; return o }(anyOpts), 1},
+		{"app-none", func(o options) options { o.app = 99; return o }(anyOpts), 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out := runDump(t, tr, c.o)
+			if got := strings.Count(out, "pkt "); got != c.want {
+				t.Fatalf("filter kept %d records, want %d:\n%s", got, c.want, out)
+			}
+		})
+	}
+}
+
+func TestTraceModeAppFilterMatchesTPP(t *testing.T) {
+	sec := tpp.Section(testSection(t))
+	o := anyOpts
+	o.app = int64(sec.AppID())
+	out := runDump(t, testTrace(t), o)
+	if got := strings.Count(out, "pkt "); got != 1 {
+		t.Fatalf("app filter kept %d records, want the 1 TPP probe:\n%s", got, out)
+	}
+}
+
+func TestTraceModeJSON(t *testing.T) {
+	o := anyOpts
+	o.jsonOut = true
+	out := runDump(t, testTrace(t), o)
+	dec := json.NewDecoder(strings.NewReader(out))
+	n := 0
+	var last jsonRec
+	for {
+		var jr jsonRec
+		if err := dec.Decode(&jr); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("record %d does not parse: %v\noutput:\n%s", n, err, out)
+		} else {
+			last = jr
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("decoded %d JSON records, want 3", n)
+	}
+	if !last.Standalone || last.TPP == "" {
+		t.Fatalf("probe record lost flags in JSON: %+v", last)
+	}
+	if raw, err := hex.DecodeString(last.TPP); err != nil || !bytes.Equal(raw, testSection(t)) {
+		t.Fatalf("TPP hex does not round-trip: %v", err)
+	}
+}
+
+func TestTraceModeStats(t *testing.T) {
+	o := anyOpts
+	o.stats = true
+	out := runDump(t, testTrace(t), o)
+	for _, want := range []string{"packets 3 (1 with TPP, 1 standalone), 3084 bytes", "time span 1000ns .. 3000ns"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "pkt 0") {
+		t.Fatalf("-stats printed per-record lines:\n%s", out)
+	}
+}
+
+func TestTraceModeTruncated(t *testing.T) {
+	tr := testTrace(t)
+	var out, errw bytes.Buffer
+	err := run(bytes.NewReader(tr[:len(tr)-10]), &out, &errw, anyOpts)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated trace: got %v, want unexpected EOF", err)
+	}
+}
+
+func TestHexModeDecodesTransparentFrame(t *testing.T) {
+	frame := make([]byte, 0, 128)
+	frame = append(frame, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA) // dst MAC
+	frame = append(frame, 0xBB, 0xBB, 0xBB, 0xBB, 0xBB, 0xBB) // src MAC
+	frame = append(frame, 0x66, 0x66)                         // transparent TPP ethertype
+	frame = append(frame, testSection(t)...)
+	in := hex.EncodeToString(frame) + "\n"
+	out := runDump(t, []byte(in), anyOpts)
+	if !strings.Contains(out, "kind=transparent") || !strings.Contains(out, "tpp: mode=") {
+		t.Fatalf("hex mode did not decode the TPP frame:\n%s", out)
+	}
+}
+
+func TestHexModeReportsBadLinesAndContinues(t *testing.T) {
+	in := "zz-not-hex\n"
+	var out, errw bytes.Buffer
+	if err := run(strings.NewReader(in), &out, &errw, anyOpts); err != nil {
+		t.Fatalf("bad hex line must be reported, not fatal: %v", err)
+	}
+	if !strings.Contains(errw.String(), "bad hex") {
+		t.Fatalf("stderr missing bad-hex report: %s", errw.String())
+	}
+}
+
+// The regression this command must never lose: a scanner failure (here an
+// oversize line) surfaces as an error instead of silently truncating the
+// dump.
+func TestHexModeScannerErrorPropagates(t *testing.T) {
+	huge := strings.Repeat("ab", 1<<20+8) // one line past the 1 MiB scanner cap
+	var out, errw bytes.Buffer
+	err := run(strings.NewReader(huge), &out, &errw, anyOpts)
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("oversize line: got %v, want bufio.ErrTooLong", err)
+	}
+}

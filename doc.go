@@ -2,7 +2,7 @@
 // Minions: Using Packets for Low Latency Network Programming and Visibility"
 // (Jeyakumar, Alizadeh, Geng, Kim, Mazières — SIGCOMM 2014).
 //
-// The public API is layered across four package groups, lowest first:
+// The public API is layered across five package groups, lowest first:
 //
 //   - minions/tpp — the tiny packet program itself: wire format and
 //     instruction set, the typed Builder and exported switch-memory address
@@ -37,9 +37,22 @@
 //     Several applications run concurrently on one network under the
 //     control plane's memory-grant isolation.
 //
-//   - minions/testbed — the reproduction harness on top of all three: one
+//   - minions/telemetry — the export layer: a bounded, allocation-free
+//     record pipeline (publisher → spool → sink) with NDJSON, UDP-datagram
+//     and in-memory sinks and Block/DropOldest/DropNewest backpressure
+//     policies; telemetry.Export bridges any typed app.Stream into it, and
+//     each apps/* package ships a canonical record encoder. Its subpackage
+//     minions/telemetry/trace is the versioned binary packet-trace format:
+//     trace.Start taps every host transmit of a running simulation, and a
+//     captured trace replays through internal/trafficgen into a rebuilt
+//     topology with byte-identical results. cmd/tppdump decodes, filters
+//     and summarizes trace files.
+//
+//   - minions/testbed — the reproduction harness on top of all four: one
 //     runner per table/figure of the evaluation, parameterized by a single
-//     SimOpts option struct (seed, shards, scheduler).
+//     SimOpts option struct (seed, shards, scheduler), with trace-captured
+//     and replayed variants of the Figure 2 and Figure 4 runners and a
+//     telemetry-export hook on the fat-tree scale harness.
 //
 // The benchmarks in bench_test.go regenerate every table and figure; run
 //

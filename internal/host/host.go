@@ -105,6 +105,13 @@ type Host struct {
 	// traffic p and view are valid only during the call — copy to retain.
 	PromiscTPP func(p *link.Packet, view core.Section)
 
+	// txTap, when set, observes every packet leaving the host — instrumented
+	// sends, executor probes and standalone echoes alike — after the shim
+	// has stamped SentAt and just before NIC enqueue. The packet is owned by
+	// the network from the moment the tap returns; taps copy what they keep.
+	// Used by telemetry/trace capture.
+	txTap func(*link.Packet)
+
 	// The shim's resident TCPU: when localMem is set, the filter path runs
 	// hop 0 of every TPP it attaches against the host's own memory view, so
 	// the end-host stack shows up in collected telemetry like any switch
@@ -271,6 +278,11 @@ func (h *Host) Send(p *link.Packet) {
 	h.sendRaw(p)
 }
 
+// Inject transmits a fully formed packet without shim interposition — the
+// entry point for trace replay, where the packet already carries whatever
+// TPP it left with in the recorded run and must not be re-instrumented.
+func (h *Host) Inject(p *link.Packet) { h.sendRaw(p) }
+
 // attachTPP applies the first matching filter, honoring sampling and MTU.
 func (h *Host) attachTPP(p *link.Packet) {
 	if p.TPP != nil {
@@ -315,10 +327,19 @@ func (h *Host) sendRaw(p *link.Packet) {
 	p.SentAt = h.eng.Now()
 	h.stats.TxPackets++
 	h.stats.TxBytes += uint64(p.Size)
+	if h.txTap != nil {
+		h.txTap(p)
+	}
 	if h.nic != nil {
 		h.nic.Enqueue(p)
 	}
 }
+
+// SetTxTap installs (or, with nil, removes) the host's transmit tap. The tap
+// sits below the shim in sendRaw, so it sees exactly the packets the NIC
+// sees: filter-attached TPP traffic, the executor's standalone probes, and
+// echoes of probes from other hosts. One tap per host.
+func (h *Host) SetTxTap(fn func(*link.Packet)) { h.txTap = fn }
 
 // Receive implements link.Receiver: the shim's receive path (§4.2).
 func (h *Host) Receive(p *link.Packet, port int) {

@@ -1,0 +1,26 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkAppendRecordJSON is the per-record encode cost every NDJSON and
+// UDP sink pays at flush time. The record shape matches the scale harness's
+// hop samples: small integral Val (integer fast path), constant App/Kind.
+func BenchmarkAppendRecordJSON(b *testing.B) {
+	r := Record{At: 123456789, App: "scale", Kind: "hop", Node: 1048576, Val: 3, Aux: [3]uint64{2, 17, 33}}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRecordJSON(buf[:0], &r)
+	}
+}
+
+// BenchmarkAppendRecordJSONFloat is the same with a fractional Val, forcing
+// the full shortest-form float formatter.
+func BenchmarkAppendRecordJSONFloat(b *testing.B) {
+	r := Record{At: 123456789, App: "scale", Kind: "hop", Node: 1048576, Val: 3.14159, Aux: [3]uint64{2, 17, 33}}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRecordJSON(buf[:0], &r)
+	}
+}

@@ -1,0 +1,20 @@
+package telemetry
+
+import "minions/tppnet/app"
+
+// Export bridges a typed application stream into a pipeline: every
+// published value is encoded to a Record by enc and spooled. It returns the
+// subscription's cancel function.
+//
+// The encoder runs on the publishing (simulation) goroutine, so it must be
+// cheap and allocation-free — flatten fields into the Record, don't format
+// strings. Applications whose events need gating beyond that should check
+// pipe.Active() themselves before building the value.
+func Export[T any](s *app.Stream[T], pipe *Pipeline, enc func(T) Record) (cancel func()) {
+	return s.Subscribe(func(v T) {
+		if !pipe.live {
+			return
+		}
+		pipe.Publish(enc(v))
+	})
+}

@@ -1,0 +1,58 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"minions/telemetry"
+	"minions/tppnet/app"
+)
+
+type sample struct {
+	at   int64
+	node uint64
+	occ  float64
+}
+
+func TestExportBridgesStream(t *testing.T) {
+	var s app.Stream[sample]
+	var m telemetry.MemSink
+	p := telemetry.NewPipeline(telemetry.Config{Spool: 16})
+	p.Attach(&m)
+
+	cancel := telemetry.Export(&s, p, func(v sample) telemetry.Record {
+		return telemetry.Record{At: v.at, App: "test", Kind: "occ", Node: v.node, Val: v.occ}
+	})
+
+	s.Publish(sample{at: 10, node: 3, occ: 0.5})
+	s.Publish(sample{at: 20, node: 4, occ: 0.9})
+	p.Flush()
+	if len(m.Records) != 2 {
+		t.Fatalf("exported %d records, want 2", len(m.Records))
+	}
+	if r := m.Records[1]; r.At != 20 || r.Node != 4 || r.Val != 0.9 {
+		t.Fatalf("record = %+v", r)
+	}
+
+	cancel()
+	s.Publish(sample{at: 30})
+	p.Flush()
+	if len(m.Records) != 2 {
+		t.Fatal("cancelled export still publishing")
+	}
+}
+
+// TestExportIdleZeroAlloc: a stream bridged into a pipeline with no sinks
+// must add nothing to the publisher's cost — the Export subscriber bails
+// before encoding.
+func TestExportIdleZeroAlloc(t *testing.T) {
+	var s app.Stream[sample]
+	p := telemetry.NewPipeline(telemetry.Config{})
+	telemetry.Export(&s, p, func(v sample) telemetry.Record {
+		return telemetry.Record{At: v.at, Val: v.occ}
+	})
+	v := sample{at: 5, occ: 0.25}
+	allocs := testing.AllocsPerRun(1000, func() { s.Publish(v) })
+	if allocs != 0 {
+		t.Fatalf("idle exported Publish allocates %.2f/event, want 0", allocs)
+	}
+}

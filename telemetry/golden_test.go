@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecords is a spread of representative records: integer and
+// fractional floats, zero and max-ish aux values, an empty note, a note
+// needing every escape class, and non-ASCII app text.
+var goldenRecords = []Record{
+	{At: 0, App: "microburst", Kind: "sample", Node: 0, Val: 0},
+	{At: 1_500_000, App: "microburst", Kind: "sample", Node: 12, Val: 0.75, Aux: [3]uint64{3, 0, 0}},
+	{At: 2_000_000, App: "rcp", Kind: "rate", Node: 7, Val: 96.875, Aux: [3]uint64{7001, 0, 0}},
+	{At: 3_141_592, App: "ndb", Kind: "violation", Node: 2, Val: 1, Aux: [3]uint64{42, 5, 1}, Note: "path deviated at hop 3"},
+	{At: 4_000_000, App: "conga", Kind: "path", Node: 1, Val: 12.5, Aux: [3]uint64{0xFFFF, 1, 2}},
+	{At: 5_000_000, App: "telemetry", Kind: "stats", Val: 6, Aux: [3]uint64{100, 94, 2}},
+	{At: 6_000_000, App: "esc", Kind: "note", Val: -1.25, Note: "quote\" slash\\ tab\t nl\n ctrl\x01 ünïcode"},
+	{At: 9_223_372_036_854_775_807, App: "edge", Kind: "max", Node: 18_446_744_073_709_551_615, Val: 1e-9, Aux: [3]uint64{1, 2, 3}},
+	// The integral fast path's boundary: the largest magnitudes it takes,
+	// the first values past it (where 'g' switches to exponent form), and
+	// negative zero, which must keep its sign via the float path.
+	{At: 7_000_000, App: "edge", Kind: "intmax", Val: 999_999, Aux: [3]uint64{0, 0, 0}},
+	{At: 7_000_001, App: "edge", Kind: "intmin", Val: -999_999},
+	{At: 7_000_002, App: "edge", Kind: "exp", Val: 1e6},
+	{At: 7_000_003, App: "edge", Kind: "expneg", Val: -1e6},
+	{At: 7_000_004, App: "edge", Kind: "negzero", Val: math.Copysign(0, -1)},
+}
+
+// TestNDJSONGolden pins the NDJSON schema byte for byte. The golden file is
+// the interop contract for external consumers; a diff here is a breaking
+// format change and needs a deliberate decision, not a test update.
+func TestNDJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewNDJSONSink(&buf)
+	if err := s.Write(goldenRecords); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "records.golden.ndjson")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("NDJSON output diverges from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestNDJSONIsValidJSON: every line the sink emits must parse with the
+// standard library decoder and round-trip the field values — the escaping
+// fast path may never produce invalid JSON.
+func TestNDJSONIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewNDJSONSink(&buf)
+	if err := s.Write(goldenRecords); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	for i := range goldenRecords {
+		var got struct {
+			At   int64     `json:"at"`
+			App  string    `json:"app"`
+			Kind string    `json:"kind"`
+			Node uint64    `json:"node"`
+			Val  float64   `json:"val"`
+			Aux  [3]uint64 `json:"aux"`
+			Note string    `json:"note"`
+		}
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("line %d does not parse: %v", i, err)
+		}
+		want := goldenRecords[i]
+		if got.At != want.At || got.App != want.App || got.Kind != want.Kind ||
+			got.Node != want.Node || got.Val != want.Val || got.Aux != want.Aux ||
+			got.Note != want.Note {
+			t.Fatalf("line %d round-trip mismatch:\ngot  %+v\nwant %+v", i, got, want)
+		}
+	}
+}

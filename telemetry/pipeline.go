@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"minions/internal/sim"
+)
+
+// Policy selects what Publish does when the spool ring is full. Whichever
+// policy is chosen, the pipeline accounts for it: Block shows up as extra
+// Batches, the drop policies as DroppedOldest/DroppedNewest in Stats.
+type Policy uint8
+
+const (
+	// Block flushes the spool inline on the publishing goroutine and then
+	// spools the record. Nothing is lost, at the price of sink latency
+	// intruding on the simulation thread. The default.
+	Block Policy = iota
+	// DropOldest overwrites the oldest unspooled record, keeping the
+	// newest data — the right policy for gauges where only the latest
+	// value matters.
+	DropOldest
+	// DropNewest discards the record being published, keeping the oldest
+	// data — the right policy for event logs where the earliest records
+	// establish context.
+	DropNewest
+)
+
+// String names the policy for flags and reports.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	case DropNewest:
+		return "drop-newest"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParsePolicy resolves a -policy flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	case "drop-newest":
+		return DropNewest, nil
+	}
+	return Block, fmt.Errorf("telemetry: unknown policy %q (want block, drop-oldest or drop-newest)", s)
+}
+
+// Config parameterizes a Pipeline. The zero value is usable: a 1024-record
+// spool, whole-spool batches, Block backpressure.
+type Config struct {
+	// Spool is the ring capacity in records (default 1024). This bounds
+	// the pipeline's memory: all spool storage is allocated up front.
+	Spool int
+	// Batch caps how many records one Sink.Write call receives (default:
+	// the spool size). Smaller batches bound sink call latency.
+	Batch int
+	// Policy is the backpressure policy when the spool fills.
+	Policy Policy
+}
+
+// Stats are the pipeline's self-telemetry counters, readable at any time
+// and emitted as a final Record (App "telemetry", Kind "stats") at Close so
+// drop behavior lands in the export itself.
+type Stats struct {
+	Published     uint64 // records accepted into the spool
+	Flushed       uint64 // records delivered to sinks
+	DroppedOldest uint64 // records overwritten under DropOldest
+	DroppedNewest uint64 // records discarded under DropNewest
+	Batches       uint64 // Sink.Write calls issued
+	SinkErrors    uint64 // Sink.Write calls that returned an error
+}
+
+// Pipeline is a bounded spool of Records draining to attached Sinks. It is
+// single-goroutine like the simulation itself: Publish, Flush and Close
+// must be called from one goroutine (in sharded runs, attach the pipeline
+// to single-shard experiments or serialize externally — see testbed).
+//
+// With no sink attached the pipeline is inert: Publish tests one bool and
+// returns, so a wired-but-idle pipeline costs nothing on the sim thread.
+type Pipeline struct {
+	cfg   Config
+	sinks []Sink
+	live  bool // len(sinks) > 0, checked first on every Publish
+
+	ring  []Record
+	head  int // index of oldest spooled record
+	count int // spooled records
+
+	stats   Stats
+	lastErr error
+}
+
+// NewPipeline creates a pipeline with cfg's spool, batch and policy.
+func NewPipeline(cfg Config) *Pipeline {
+	if cfg.Spool <= 0 {
+		cfg.Spool = 1024
+	}
+	if cfg.Batch <= 0 || cfg.Batch > cfg.Spool {
+		cfg.Batch = cfg.Spool
+	}
+	return &Pipeline{cfg: cfg, ring: make([]Record, cfg.Spool)}
+}
+
+// Attach adds a sink. Sinks receive batches in attachment order; a sink
+// error is counted and latched (Err) but does not stop delivery to others.
+func (p *Pipeline) Attach(s Sink) {
+	p.sinks = append(p.sinks, s)
+	p.live = true
+}
+
+// Active reports whether any sink is attached. Producers building records
+// beyond a plain field copy should gate on it.
+func (p *Pipeline) Active() bool { return p.live }
+
+// Publish spools one record. With no sink attached it returns immediately;
+// with the spool full it applies the configured Policy. Publish performs no
+// heap allocation on any path (the Block policy may spend sink I/O time
+// inline, but the record copy itself stays allocation-free).
+func (p *Pipeline) Publish(r Record) {
+	if !p.live {
+		return
+	}
+	if p.count == len(p.ring) {
+		switch p.cfg.Policy {
+		case Block:
+			p.Flush()
+		case DropOldest:
+			p.head++
+			if p.head == len(p.ring) {
+				p.head = 0
+			}
+			p.count--
+			p.stats.DroppedOldest++
+		case DropNewest:
+			p.stats.DroppedNewest++
+			return
+		}
+	}
+	i := p.head + p.count
+	if i >= len(p.ring) {
+		i -= len(p.ring)
+	}
+	p.ring[i] = r
+	p.count++
+	p.stats.Published++
+}
+
+// Flush drains the spool to every sink in batches of at most Config.Batch
+// records. Each batch is passed as one contiguous slice of the ring, so a
+// wrap-around drain takes two Write calls rather than copying.
+func (p *Pipeline) Flush() {
+	for p.count > 0 {
+		n := p.count
+		if n > p.cfg.Batch {
+			n = p.cfg.Batch
+		}
+		if tail := len(p.ring) - p.head; n > tail {
+			n = tail
+		}
+		batch := p.ring[p.head : p.head+n]
+		for _, s := range p.sinks {
+			p.stats.Batches++
+			if err := s.Write(batch); err != nil {
+				p.stats.SinkErrors++
+				p.lastErr = err
+			}
+		}
+		p.head += n
+		if p.head == len(p.ring) {
+			p.head = 0
+		}
+		p.count -= n
+		p.stats.Flushed += uint64(n)
+	}
+}
+
+// Stats returns a copy of the pipeline's counters.
+func (p *Pipeline) Stats() Stats { return p.stats }
+
+// Err returns the most recent sink error, if any. Errors are latched, not
+// fatal: the pipeline keeps flushing.
+func (p *Pipeline) Err() error { return p.lastErr }
+
+// Spooled returns the number of records currently buffered.
+func (p *Pipeline) Spooled() int { return p.count }
+
+// Close emits the pipeline's own Stats as a final self-telemetry record
+// (App "telemetry", Kind "stats": Val = records dropped, Aux = published /
+// flushed / batches), flushes, and closes every sink. The pipeline must not
+// be used after Close.
+func (p *Pipeline) Close() error {
+	if p.live {
+		p.Flush() // drain first so no drop policy can claim the stats record
+		st := p.stats
+		p.Publish(Record{
+			App:  "telemetry",
+			Kind: "stats",
+			Val:  float64(st.DroppedOldest + st.DroppedNewest),
+			Aux:  [3]uint64{st.Published, st.Flushed, st.Batches},
+		})
+		p.Flush()
+	}
+	err := p.lastErr
+	for _, s := range p.sinks {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	p.sinks = nil
+	p.live = false
+	return err
+}
+
+// flusher is the resident handler behind FlushEvery: a repeating flush on
+// the simulation clock with the same generation-stamp shape as app.Periodic,
+// so arming it costs no per-tick closures.
+type flusher struct {
+	p     *Pipeline
+	eng   *sim.Engine
+	every sim.Time
+	gen   uint64
+	on    bool
+}
+
+// Handle implements sim.Handler.
+func (f *flusher) Handle(gen uint64) {
+	if !f.on || gen != f.gen {
+		return
+	}
+	f.p.Flush()
+	if f.on && gen == f.gen {
+		f.eng.ScheduleAfter(f.every, f, f.gen)
+	}
+}
+
+// FlushEvery arms a periodic flush on eng's virtual clock and returns a stop
+// function. Periodic flushing keeps sink output fresh during long runs and
+// keeps the Block policy from ever engaging when the publish rate fits the
+// flush budget.
+func (p *Pipeline) FlushEvery(eng *sim.Engine, every sim.Time) (stop func()) {
+	f := &flusher{p: p, eng: eng, every: every, on: true}
+	f.gen = 1
+	eng.ScheduleAfter(every, f, f.gen)
+	return func() { f.on = false }
+}

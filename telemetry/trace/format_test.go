@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var goldenRecs = []Rec{
+	{At: 0, Src: 1, Dst: 2, SrcPort: 7001, DstPort: 7001, Proto: 17, Size: 1000},
+	{At: 1_500_000, Src: 1, Dst: 2, SrcPort: 7001, DstPort: 7001, Proto: 17,
+		TTL: 64, Seq: 42, Size: 1076, TPP: []byte{0x01, 0x02, 0x03, 0x04, 0xAA, 0xBB}},
+	{At: 2_000_000, Src: 3, Dst: 4, SrcPort: 49152, DstPort: 0x6666, Proto: 17,
+		Flags: FlagStandalone, PathTag: 7, TTL: 64, Size: 122,
+		TPP: bytes.Repeat([]byte{0x5A}, 80)},
+	{At: 9_223_372_036_854_775_807, Src: 0xFFFFFFFF, Dst: 0, SrcPort: 0xFFFF,
+		DstPort: 0xFFFF, Proto: 6, Flags: 0xFF, PathTag: 0xFFFF, TTL: 255,
+		TFlags: 0xFF, Seq: 0xFFFFFFFF, Ack: 0xFFFFFFFF, Size: 0xFFFFFFFF},
+}
+
+func encodeGolden(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range goldenRecs {
+		if err := w.Write(&goldenRecs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestTraceGolden pins the binary format byte for byte — version byte,
+// big-endian field order, header and record layout. A diff here is a
+// breaking format change, which requires a version bump, not a test edit.
+func TestTraceGolden(t *testing.T) {
+	got := encodeGolden(t)
+	path := filepath.Join("testdata", "trace.golden.bin")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace encoding diverges from golden file (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestTraceHeaderLayout spot-checks the pinned constants directly against
+// raw bytes, independent of Writer/Reader symmetry.
+func TestTraceHeaderLayout(t *testing.T) {
+	b := encodeGolden(t)
+	if string(b[:8]) != "TPPTRACE" {
+		t.Fatalf("magic = %q", b[:8])
+	}
+	if b[8] != 1 {
+		t.Fatalf("version byte = %d, want 1", b[8])
+	}
+	if got := binary.BigEndian.Uint16(b[10:12]); got != 40 {
+		t.Fatalf("record header length = %d, want 40", got)
+	}
+	// First record starts at 16; its At is 0, its Src (offset 8) is 1,
+	// big-endian.
+	if got := binary.BigEndian.Uint32(b[16+8 : 16+12]); got != 1 {
+		t.Fatalf("first record Src = %d, want 1 (endianness broken?)", got)
+	}
+	if !Magic(b) {
+		t.Fatal("Magic sniff failed on a valid trace")
+	}
+	if Magic([]byte("not a trace file")) {
+		t.Fatal("Magic sniff accepted junk")
+	}
+}
+
+// TestTraceRoundTrip: encode → decode → re-encode is byte-identical and
+// field-identical.
+func TestTraceRoundTrip(t *testing.T) {
+	b := encodeGolden(t)
+	got, err := ReadAll(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(goldenRecs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(goldenRecs))
+	}
+	for i := range got {
+		want := goldenRecs[i]
+		if want.TPP != nil && len(want.TPP) == 0 {
+			want.TPP = nil
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("record %d:\ngot  %+v\nwant %+v", i, got[i], want)
+		}
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if err := w.Write(&got[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(buf.Bytes(), b) {
+		t.Fatal("re-encoded trace is not byte-identical")
+	}
+}
+
+func TestTraceReaderRejectsJunk(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("GARBAGEGARBAGEGA"))); err == nil {
+		t.Fatal("reader accepted junk magic")
+	}
+	b := encodeGolden(t)
+	bad := append([]byte(nil), b...)
+	bad[8] = 99
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Fatal("reader accepted unknown version")
+	}
+	if _, err := NewReader(bytes.NewReader(b[:10])); err == nil {
+		t.Fatal("reader accepted truncated header")
+	}
+}
+
+// TestTraceTruncatedRecord: a stream cut mid-record surfaces
+// io.ErrUnexpectedEOF, never a silent clean EOF.
+func TestTraceTruncatedRecord(t *testing.T) {
+	b := encodeGolden(t)
+	for _, cut := range []int{len(b) - 1, 16 + 20, 16 + 40 + 3} {
+		_, err := ReadAll(bytes.NewReader(b[:cut]))
+		if err == nil || err == io.EOF {
+			t.Fatalf("cut at %d: err = %v, want unexpected-EOF", cut, err)
+		}
+	}
+	// A clean cut on a record boundary is a clean EOF.
+	recs, err := ReadAll(bytes.NewReader(b[:16+40]))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("boundary cut: %d recs, err %v", len(recs), err)
+	}
+}
+
+// TestTraceForwardCompat: a longer record header (future version appending
+// fields) decodes with the extra bytes skipped.
+func TestTraceForwardCompat(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&goldenRecs[1]); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Rewrite the header to claim 44-byte record headers and splice 4
+	// padding bytes between each record header and its TPP.
+	ext := append([]byte(nil), b[:16]...)
+	binary.BigEndian.PutUint16(ext[10:12], 44)
+	ext = append(ext, b[16:16+40]...)
+	ext = append(ext, 0xDE, 0xAD, 0xBE, 0xEF)
+	ext = append(ext, b[16+40:]...)
+	got, err := ReadAll(bytes.NewReader(ext))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("extended-header decode: %d recs, err %v", len(got), err)
+	}
+	if !bytes.Equal(got[0].TPP, goldenRecs[1].TPP) {
+		t.Fatal("extended-header decode corrupted TPP bytes")
+	}
+}
+
+// TestWriterZeroAlloc: the capture hot path — Writer.Write of a record with
+// a TPP — must not allocate in steady state.
+func TestWriterZeroAlloc(t *testing.T) {
+	w, err := NewWriter(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := goldenRecs[2]
+	w.Write(&r) // warm the buffer
+	allocs := testing.AllocsPerRun(1000, func() { w.Write(&r) })
+	if allocs != 0 {
+		t.Fatalf("Writer.Write allocates %.2f/record, want 0", allocs)
+	}
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// TestPublishIdleZeroAlloc pins the satellite guarantee: a wired-but-idle
+// pipeline (no sinks attached) costs nothing on the simulation thread.
+func TestPublishIdleZeroAlloc(t *testing.T) {
+	p := NewPipeline(Config{Spool: 64})
+	r := Record{At: 1, App: "guard", Kind: "idle", Val: 1.5, Aux: [3]uint64{1, 2, 3}}
+	allocs := testing.AllocsPerRun(1000, func() { p.Publish(r) })
+	if allocs != 0 {
+		t.Fatalf("idle Publish allocates %.2f/record, want 0", allocs)
+	}
+}
+
+// TestPublishSpoolZeroAlloc: spooling into the ring (no flush triggered) is
+// a plain copy.
+func TestPublishSpoolZeroAlloc(t *testing.T) {
+	var m MemSink
+	m.Records = make([]Record, 0, 1<<20)
+	p := NewPipeline(Config{Spool: 1 << 16})
+	p.Attach(&m)
+	r := Record{At: 1, App: "guard", Kind: "spool", Val: 1.5}
+	allocs := testing.AllocsPerRun(1000, func() { p.Publish(r) })
+	if allocs != 0 {
+		t.Fatalf("spooling Publish allocates %.2f/record, want 0", allocs)
+	}
+}
+
+// TestBatchingPathZeroAlloc drives full publish→flush→NDJSON-encode cycles
+// and requires the steady state to allocate nothing per record: the ring,
+// the encoder's line buffer and the sink path must all be reused.
+func TestBatchingPathZeroAlloc(t *testing.T) {
+	p := NewPipeline(Config{Spool: 64, Policy: Block})
+	p.Attach(NewNDJSONSink(io.Discard))
+	r := Record{At: 123456789, App: "guard", Kind: "batch", Node: 42, Val: 0.75, Aux: [3]uint64{7, 8, 9}}
+	// Warm up: let the encoder buffer grow to its steady-state size.
+	for i := 0; i < 256; i++ {
+		p.Publish(r)
+	}
+	p.Flush()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			p.Publish(r)
+		}
+		p.Flush()
+	})
+	if perRecord := allocs / 64; perRecord != 0 {
+		t.Fatalf("batching path allocates %.3f/record (%.1f/cycle), want 0", perRecord, allocs)
+	}
+}
+
+// TestUDPSinkZeroAlloc: the datagram-framing path is also reusable-buffer
+// only in steady state.
+func TestUDPSinkZeroAlloc(t *testing.T) {
+	p := NewPipeline(Config{Spool: 64, Policy: Block})
+	p.Attach(NewUDPSink(io.Discard, 0))
+	r := Record{At: 1, App: "guard", Kind: "udp", Val: 2.5}
+	for i := 0; i < 256; i++ {
+		p.Publish(r)
+	}
+	p.Flush()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			p.Publish(r)
+		}
+		p.Flush()
+	})
+	if perRecord := allocs / 64; perRecord != 0 {
+		t.Fatalf("UDP batching path allocates %.3f/record, want 0", perRecord)
+	}
+}

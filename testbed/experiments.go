@@ -7,7 +7,6 @@ import (
 	"sync"
 	"time"
 
-	"minions/apps/conga"
 	"minions/apps/microburst"
 	"minions/apps/ndb"
 	"minions/apps/rcp"
@@ -173,53 +172,9 @@ func RunFig2Scheduler(duration Time, seed int64, shards int, sched Scheduler) (*
 
 // RunFig2With runs Figure 2 with the given substrate options; results are
 // byte-identical across shard counts and schedulers for the same seed.
+// See capture.go for the trace-captured and replayed variants.
 func RunFig2With(duration Time, o SimOpts) (*Fig2Result, error) {
-	res := &Fig2Result{}
-	run := func(alpha float64) ([]Fig2Point, [3]float64, error) {
-		n := NewNet(SimOpts{Seed: o.Seed + 5, Shards: o.Shards, Scheduler: o.Scheduler})
-		hosts, _ := n.Chain(100)
-		sys := rcp.New(rcp.Config{Alpha: alpha, CapacityMbps: 100})
-		if err := sys.Attach(n, nil); err != nil {
-			return nil, [3]float64{}, err
-		}
-		var sinks [3]*transport.Sink
-		pairs := [3][2]int{{0, 3}, {1, 4}, {2, 5}}
-		for i, p := range pairs {
-			port := uint16(7001 + i)
-			sinks[i] = transport.NewSink(n.Hosts[p[1]], port, link.ProtoUDP)
-			udp := transport.NewUDPFlow(n.Hosts[p[0]], hosts[p[1]].ID(), port, port, 1500)
-			sys.NewFlow(n.Hosts[p[0]], hosts[p[1]].ID(), udp)
-		}
-		if err := sys.Start(); err != nil {
-			return nil, [3]float64{}, err
-		}
-		var series []Fig2Point
-		var prev [3]uint64
-		step := 250 * Millisecond
-		for at := step; at <= duration; at += step {
-			n.RunUntil(at)
-			var pt Fig2Point
-			pt.T = at.Seconds()
-			for i, s := range sinks {
-				pt.Mbps[i] = float64(s.Bytes-prev[i]) * 8 / step.Seconds() / 1e6
-				prev[i] = s.Bytes
-			}
-			series = append(series, pt)
-		}
-		if err := sys.Stop(); err != nil {
-			return nil, [3]float64{}, err
-		}
-		final := series[len(series)-1].Mbps
-		return series, final, nil
-	}
-	var err error
-	if res.MaxMin, res.FinalMaxMin, err = run(math.Inf(1)); err != nil {
-		return nil, err
-	}
-	if res.Proportional, res.FinalProp, err = run(1); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return runFig2(duration, o, nil, nil, nil, nil)
 }
 
 // Table renders both panels' steady states and time series.
@@ -360,84 +315,9 @@ func RunFig4Scheduler(duration Time, seed int64, shards int, sched Scheduler) (*
 
 // RunFig4With runs Figure 4 with the given substrate options; results are
 // byte-identical across shard counts and schedulers for the same seed.
+// See capture.go for the trace-captured and replayed variants.
 func RunFig4With(duration Time, o SimOpts) (*Fig4Result, error) {
-	run := func(useConga bool) (Fig4Cell, error) {
-		n := NewNet(SimOpts{Seed: o.Seed + 13, Shards: o.Shards, Scheduler: o.Scheduler})
-		hosts, _, _ := n.LeafSpine(100)
-		h0, h1, h2 := hosts[0], hosts[1], hosts[2]
-		sink0 := transport.NewSink(h2, 7100, link.ProtoUDP)
-		sink1 := transport.NewSink(h2, 7200, link.ProtoUDP)
-		f0 := transport.NewUDPFlow(h0, h2.ID(), 7100, 7100, 1500)
-		f0.SetRateBps(50_000_000)
-		var subs []*transport.UDPFlow
-		for i := 0; i < 8; i++ {
-			f := transport.NewUDPFlow(h1, h2.ID(), uint16(7200+i), 7200, 1500)
-			f.SetRateBps(15_000_000)
-			subs = append(subs, f)
-		}
-		var bal *conga.Balancer
-		if useConga {
-			bal = conga.New(conga.Config{Host: h1, Dst: h2.ID(), Agg: conga.AggMax})
-			if err := bal.Attach(n, nil); err != nil {
-				return Fig4Cell{}, err
-			}
-			if err := bal.Start(); err != nil {
-				return Fig4Cell{}, err
-			}
-			tg := bal.Tagger()
-			for _, f := range subs {
-				f.Tagger = tg
-			}
-		}
-		f0.Start()
-		for _, f := range subs {
-			f.Start()
-		}
-		warm := duration - Second
-		if warm < Second {
-			warm = duration / 2
-		}
-		n.RunUntil(warm)
-		b0, b1 := sink0.Bytes, sink1.Bytes
-		maxPm := uint32(0)
-		steps := 10
-		stepDur := (duration - warm) / Time(steps)
-		for i := 0; i < steps; i++ {
-			n.RunUntil(warm + Time(i+1)*stepDur)
-			for _, l := range n.Links() {
-				if l.RateMbps() != 100 {
-					continue
-				}
-				if pm := l.UtilPermille(); pm > maxPm {
-					maxPm = pm
-				}
-			}
-		}
-		window := (duration - warm).Seconds()
-		cell := Fig4Cell{
-			Thr0:        float64(sink0.Bytes-b0) * 8 / window / 1e6,
-			Thr1:        float64(sink1.Bytes-b1) * 8 / window / 1e6,
-			MaxUtilPerm: float64(maxPm),
-		}
-		if bal != nil {
-			cell.ProbeMbps = float64(bal.ProbeBytes) * 8 / n.Now().Seconds() / 1e6
-			bal.Stop()
-		}
-		f0.Stop()
-		for _, f := range subs {
-			f.Stop()
-		}
-		return cell, nil
-	}
-	var res Fig4Result
-	var err error
-	if res.ECMP, err = run(false); err != nil {
-		return nil, err
-	}
-	if res.Conga, err = run(true); err != nil {
-		return nil, err
-	}
-	return &res, nil
+	return runFig4(duration, o, nil, nil, nil, nil)
 }
 
 // Table renders the Figure 4 comparison table.

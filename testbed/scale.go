@@ -16,6 +16,7 @@ import (
 
 	"minions/internal/link"
 	"minions/internal/trafficgen"
+	"minions/telemetry"
 	"minions/tpp"
 	"minions/tppnet"
 )
@@ -51,6 +52,15 @@ type ScaleConfig struct {
 	// timing wheel). Simulated behavior is identical across schedulers —
 	// the determinism guards pin it — only wall-clock metrics move.
 	Scheduler Scheduler
+	// Export, when non-nil, publishes one telemetry Record per collected
+	// TPP hop sample into the pipeline (App "scale", Kind "hop", Node the
+	// switch ID, Val the queue occupancy, Aux the hop index and flow
+	// endpoints). Requires WithTPP and a single shard — the pipeline is
+	// single-goroutine and aggregators run on shard goroutines. The
+	// pipeline is flushed once after the measured window; inline flushes
+	// triggered by a full spool under the Block policy land inside the
+	// window and are measured, which is the honest number.
+	Export *telemetry.Pipeline
 }
 
 // ScaleResult is one fat-tree scale measurement. Traffic counters cover the
@@ -165,6 +175,14 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 	if cfg.Shards > cfg.K {
 		cfg.Shards = cfg.K
 	}
+	if cfg.Export != nil {
+		if !cfg.WithTPP {
+			return nil, fmt.Errorf("testbed: ScaleConfig.Export requires WithTPP (no hop records without the telemetry TPP)")
+		}
+		if cfg.Shards > 1 {
+			return nil, fmt.Errorf("testbed: ScaleConfig.Export requires a single shard (the pipeline is single-goroutine)")
+		}
+	}
 
 	net := NewNet(SimOpts{Seed: cfg.Seed, Shards: cfg.Shards, Scheduler: cfg.Scheduler})
 	pods := net.FatTree(cfg.K, cfg.RateMbps)
@@ -196,13 +214,35 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 			return nil, err
 		}
 		app := net.CP.RegisterApp("scale-telemetry")
+		pipe := cfg.Export
 		for _, h := range hosts {
 			if _, err := h.AddTPP(app, FilterSpec{Proto: tppnet.ProtoUDP, DstPort: dstPort}, prog, 1, 0); err != nil {
 				return nil, err
 			}
-			// Consume views without copying: count collected hop records.
+			// Consume views without copying: count collected hop records,
+			// and when exporting, publish one Record per hop straight off
+			// the section words (HopViews/StackView would allocate).
+			host := h
 			h.RegisterAggregator(app.Wire, func(p *Packet, view tpp.Section) {
-				hopRecords.Add(uint64(view.HopOrSP()) / 2)
+				words := view.HopOrSP()
+				if max := view.MemWords(); words > max {
+					words = max
+				}
+				hopRecords.Add(uint64(words) / 2)
+				if pipe == nil {
+					return
+				}
+				now := int64(host.Engine().Now())
+				for w := 0; w+1 < words; w += 2 {
+					pipe.Publish(telemetry.Record{
+						At:   now,
+						App:  "scale",
+						Kind: "hop",
+						Node: uint64(view.Word(w)),
+						Val:  float64(view.Word(w + 1)),
+						Aux:  [3]uint64{uint64(w / 2), uint64(p.Flow.Src), uint64(p.Flow.Dst)},
+					})
+				}
 			})
 		}
 	}
@@ -251,6 +291,12 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 	getsAfter, _, newsAfter := net.PoolStats()
 	res.PoolGets = getsAfter - getsBefore
 	res.PoolNews = newsAfter - newsBefore
+	if cfg.Export != nil {
+		cfg.Export.Flush()
+		if err := cfg.Export.Err(); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
 }
 

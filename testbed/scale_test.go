@@ -1,6 +1,11 @@
 package testbed
 
-import "testing"
+import (
+	"io"
+	"testing"
+
+	"minions/telemetry"
+)
 
 // schedulers are the engine cores every forward-path guard runs against:
 // the zero-allocation steady state must hold on the default timing wheel
@@ -98,6 +103,30 @@ func TestRunScaleFatTreeSmoke(t *testing.T) {
 	}
 	if res.Table() == "" {
 		t.Fatal("empty table")
+	}
+}
+
+// The telemetry acceptance bar: attaching an NDJSON export pipeline to the
+// scale run must not reintroduce per-packet allocation — every hop record
+// flows through Publish and the batched encoder without touching the heap.
+func TestRunScaleFatTreeExportZeroAlloc(t *testing.T) {
+	pipe := telemetry.NewPipeline(telemetry.Config{Spool: 1 << 15, Policy: telemetry.Block})
+	pipe.Attach(telemetry.NewNDJSONSink(io.Discard))
+	res, err := RunScaleFatTree(ScaleConfig{
+		K: 4, Flows: 100, Duration: 10 * Millisecond, Warmup: 5 * Millisecond,
+		WithTPP: true, Export: pipe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TPPHopRecords == 0 {
+		t.Fatal("TPP instrumentation collected nothing")
+	}
+	if st := pipe.Stats(); st.Published == 0 {
+		t.Fatal("pipeline saw no records")
+	}
+	if got := res.AllocsPerPktHop(); got > 0.1 {
+		t.Fatalf("scale run with NDJSON export allocates %.3f per packet-hop", got)
 	}
 }
 
