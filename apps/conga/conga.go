@@ -60,6 +60,20 @@ type Config struct {
 	// stale metrics cannot stampede every flowlet at once (default
 	// ProbePeriod).
 	MoveInterval tppnet.Time
+	// DeadAfter is the number of consecutive probe misses (timeouts) before
+	// a path is declared dead and excluded from balancing (default 3).
+	// Probes are TPPs and TPPs are unreliable by design; one loss is noise,
+	// a streak is a dead uplink.
+	DeadAfter int
+	// CongestedPm separates congestion loss from failure: probe timeouts
+	// on a path whose last reading had a hop at or above this utilization
+	// (permille) do not count toward DeadAfter — drop-tail losses on a
+	// saturated path are what the congestion metric already steers away
+	// from, not evidence the path is gone (default 900).
+	CongestedPm float64
+	// ReprobePeriod is the cadence at which dead paths are still probed so
+	// a restored link resurrects its path (default 5 x ProbePeriod).
+	ReprobePeriod tppnet.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +95,15 @@ func (c Config) withDefaults() Config {
 	if c.MoveInterval == 0 {
 		c.MoveInterval = 5 * c.ProbePeriod
 	}
+	if c.DeadAfter == 0 {
+		c.DeadAfter = 3
+	}
+	if c.ReprobePeriod == 0 {
+		c.ReprobePeriod = 5 * c.ProbePeriod
+	}
+	if c.CongestedPm == 0 {
+		c.CongestedPm = 900
+	}
 	return c
 }
 
@@ -90,6 +113,16 @@ type pathInfo struct {
 	tag    uint16 // representative tag steering onto this path
 	metric float64
 	seen   sim.Time
+
+	// Failure tracking: missed counts consecutive probe timeouts; DeadAfter
+	// of them declare the path dead until a probe comes back. maxUtil is
+	// the last probe's highest per-hop utilization, used to attribute
+	// timeouts on saturated paths to congestion instead of failure.
+	missed      int
+	dead        bool
+	deadSince   sim.Time
+	lastReprobe sim.Time
+	maxUtil     float64
 }
 
 // Balancer performs CONGA* load balancing from one host toward one
@@ -114,6 +147,13 @@ type Balancer struct {
 	ProbeBytes uint64
 	// Moves counts flowlet path changes.
 	Moves uint64
+	// PathDeaths and PathRevives count dead-path declarations and
+	// resurrections (reroute-around-failure activity).
+	PathDeaths  uint64
+	PathRevives uint64
+	// SigAnomalies counts echoed probes whose hop signature disagreed with
+	// the tag's known path — corrupted probe memory, discarded.
+	SigAnomalies uint64
 
 	samples app.Stream[PathSample]
 }
@@ -127,6 +167,9 @@ type PathSample struct {
 	Tag    uint16
 	Metric float64
 	Hops   int
+	// Dead marks samples published on a path's death (probe-timeout streak)
+	// or revival; the metric then is the last known one.
+	Dead bool
 }
 
 // Paths returns the balancer's typed per-probe path telemetry stream.
@@ -211,8 +254,17 @@ func (b *Balancer) loop() {
 	if !b.running {
 		return
 	}
-	// Steady state: probe one representative tag per distinct path.
+	now := b.h.Engine().Now()
+	// Steady state: probe one representative tag per distinct path. Dead
+	// paths drop to the slower re-probe cadence — still watched, so a
+	// restored link resurrects the path, but not at full probe cost.
 	for _, p := range b.sortedPaths() {
+		if p.dead {
+			if now-p.lastReprobe < b.cfg.ReprobePeriod {
+				continue
+			}
+			p.lastReprobe = now
+		}
 		b.probe(p.tag)
 	}
 	b.h.Engine().ScheduleAfter(b.cfg.ProbePeriod, b, b.gen)
@@ -227,11 +279,38 @@ func (b *Balancer) probe(tag uint16) {
 	}, func(view core.Section, err error) {
 		if err == nil {
 			b.onProbe(tag, view)
+		} else {
+			b.onProbeMiss(tag)
 		}
 	})
 	if err == nil {
 		b.ProbesSent++
 		b.ProbeBytes += uint64(42 + b.prog.WireLen())
+	}
+}
+
+// onProbeMiss counts a probe timeout against its path; a streak of
+// DeadAfter misses declares the path dead, publishing a Dead sample.
+func (b *Balancer) onProbeMiss(tag uint16) {
+	p := b.byTag[tag]
+	if p == nil {
+		return // discovery probe for a tag that never mapped to a path
+	}
+	if p.maxUtil >= b.cfg.CongestedPm {
+		// A saturated path sheds probes at its drop-tail; that is the
+		// congestion signal working, not a failure.
+		return
+	}
+	p.missed++
+	if p.dead || p.missed < b.cfg.DeadAfter {
+		return
+	}
+	p.dead = true
+	p.deadSince = b.h.Engine().Now()
+	p.lastReprobe = p.deadSince
+	b.PathDeaths++
+	if b.samples.HasSubscribers() {
+		b.samples.Publish(PathSample{At: p.deadSince, Tag: tag, Metric: p.metric, Dead: true})
 	}
 }
 
@@ -243,10 +322,14 @@ func (b *Balancer) onProbe(tag uint16, view core.Section) {
 	}
 	var sigB strings.Builder
 	metric := 0.0
+	maxUtil := 0.0
 	for i, hv := range hops {
 		sigB.WriteString(strconv.Itoa(int(hv.Words[0])))
 		sigB.WriteByte('-')
 		util := float64(hv.Words[1])
+		if util > maxUtil {
+			maxUtil = util
+		}
 		// Skip the final host-facing hop when summing: CONGA balances the
 		// switch-switch fabric hops (§2.4).
 		if i == len(hops)-1 && len(hops) > 1 {
@@ -262,6 +345,16 @@ func (b *Balancer) onProbe(tag uint16, view core.Section) {
 		}
 	}
 	sig := sigB.String()
+	if known := b.byTag[tag]; known != nil && known.sig != sig {
+		// The echo disagrees with the tag's known path. Tag steering is
+		// deterministic, so this is not rerouting — it is a corrupted
+		// SwitchID word (TPP packet memory is deliberately outside the
+		// header checksum; switches mutate it every hop). Folding it in
+		// would fork a phantom path that can never answer again and would
+		// sit dead in the table forever; drop the sample instead.
+		b.SigAnomalies++
+		return
+	}
 	p := b.paths[sig]
 	if p == nil {
 		p = &pathInfo{sig: sig, tag: tag}
@@ -269,7 +362,14 @@ func (b *Balancer) onProbe(tag uint16, view core.Section) {
 		b.byTag[tag] = p
 	}
 	p.metric = metric
+	p.maxUtil = maxUtil
 	p.seen = b.h.Engine().Now()
+	p.missed = 0
+	if p.dead {
+		// The path answers again: resurrect it.
+		p.dead = false
+		b.PathRevives++
+	}
 	if b.samples.HasSubscribers() {
 		b.samples.Publish(PathSample{At: p.seen, Tag: tag, Metric: metric, Hops: len(hops)})
 	}
@@ -288,13 +388,36 @@ func (b *Balancer) sortedPaths() []*pathInfo {
 // NumPaths returns the number of distinct paths discovered.
 func (b *Balancer) NumPaths() int { return len(b.paths) }
 
-// bestPath returns the least congested path (nil before discovery).
+// DeadPaths returns how many discovered paths are currently marked dead.
+func (b *Balancer) DeadPaths() int {
+	n := 0
+	for _, p := range b.paths {
+		if p.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// bestPath returns the least congested live path (nil before discovery).
+// Dead paths are excluded unless every path is dead, in which case the
+// least congested of them is returned — a deterministic fallback that
+// keeps traffic flowing the moment anything comes back.
 func (b *Balancer) bestPath() *pathInfo {
-	var best *pathInfo
+	var best, bestAny *pathInfo
 	for _, p := range b.sortedPaths() {
+		if bestAny == nil || p.metric < bestAny.metric {
+			bestAny = p
+		}
+		if p.dead {
+			continue
+		}
 		if best == nil || p.metric < best.metric {
 			best = p
 		}
+	}
+	if best == nil {
+		return bestAny
 	}
 	return best
 }
@@ -313,7 +436,14 @@ func (b *Balancer) bestTag() (uint16, bool) {
 // flowlet per MoveInterval (stale metrics otherwise stampede every flowlet
 // onto the same path at once).
 func (b *Balancer) maybeMove(st *flowletState, now sim.Time) {
-	if b.anyMove && now-b.lastMove < b.cfg.MoveInterval {
+	onDead := false
+	if cur, ok := b.byTag[st.tag]; ok && cur.dead {
+		onDead = true
+	}
+	// The move rate limit exists to stop stale-metric stampedes between
+	// live paths; escaping a dead path is not subject to it — a failure
+	// must not strand flowlets for a MoveInterval.
+	if !onDead && b.anyMove && now-b.lastMove < b.cfg.MoveInterval {
 		return
 	}
 	cur, ok := b.byTag[st.tag]
@@ -325,6 +455,16 @@ func (b *Balancer) maybeMove(st *flowletState, now sim.Time) {
 	}
 	best := b.bestPath()
 	if best == nil || best == cur {
+		return
+	}
+	if cur.dead {
+		// No hysteresis against a dead path: anything live wins.
+		if !best.dead {
+			st.tag = best.tag
+			b.Moves++
+			b.lastMove = now
+			b.anyMove = true
+		}
 		return
 	}
 	if best.metric < cur.metric-b.cfg.Hysteresis {
@@ -350,6 +490,10 @@ func (b *Balancer) Tagger() func(p *tppnet.Packet) {
 				st.tag = tag
 			}
 		} else if now-st.last > b.cfg.FlowletGap {
+			b.maybeMove(st, now)
+		} else if cur, ok := b.byTag[st.tag]; ok && cur.dead {
+			// Mid-flowlet escape: the path died under this flowlet, and
+			// packet order is already forfeit — reroute immediately.
 			b.maybeMove(st, now)
 		}
 		st.last = now

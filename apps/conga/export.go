@@ -4,17 +4,22 @@ import "minions/telemetry"
 
 // Export bridges the balancer's per-probe path stream into a telemetry
 // pipeline as Records of App "conga", Kind "path": Node is the balancing
-// host, Val the path's aggregated congestion metric, Aux[0] the path tag
-// and Aux[1] the probe's hop count.
+// host, Val the path's aggregated congestion metric, Aux[0] the path tag,
+// Aux[1] the probe's hop count and Aux[2] 1 on a dead/revive transition
+// sample (probe-timeout streak or resurrection).
 func (b *Balancer) Export(pipe *telemetry.Pipeline) (cancel func()) {
 	return telemetry.Export(b.Paths(), pipe, func(s PathSample) telemetry.Record {
+		var dead uint64
+		if s.Dead {
+			dead = 1
+		}
 		return telemetry.Record{
 			At:   int64(s.At),
 			App:  "conga",
 			Kind: "path",
 			Node: uint64(b.h.ID()),
 			Val:  s.Metric,
-			Aux:  [3]uint64{uint64(s.Tag), uint64(s.Hops), 0},
+			Aux:  [3]uint64{uint64(s.Tag), uint64(s.Hops), dead},
 		}
 	})
 }

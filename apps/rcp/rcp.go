@@ -52,6 +52,15 @@ type Config struct {
 	MeanPktBytes int
 	// Hops bounds the path length for TPP memory sizing.
 	Hops int
+	// DecayAfterMisses is the number of consecutive lost collect rounds
+	// after which the controller stops trusting its last computed rate and
+	// starts multiplicative decay toward MinRateMbps (default 2). Losing
+	// control packets is itself a congestion/failure signal: without the
+	// feedback loop the safe behaviour is to back off, not to keep blasting
+	// at the last good rate into a path that may no longer exist.
+	DecayAfterMisses int
+	// DecayFactor scales the rate on each decayed miss (default 0.5).
+	DecayFactor float64
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +87,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Hops == 0 {
 		c.Hops = 5
+	}
+	if c.DecayAfterMisses == 0 {
+		c.DecayAfterMisses = 2
+	}
+	if c.DecayFactor == 0 {
+		c.DecayFactor = 0.5
 	}
 	return c
 }
@@ -152,8 +167,15 @@ func (s *System) InitSwitch(sw *tppnet.Switch) {
 // NewFlow wraps an existing UDP flow with an RCP* controller and registers
 // it with the system: System.Start starts it (and every other registered
 // flow) in registration order.
+//
+// The flow is pinned to one network path: a per-flow path tag is stamped on
+// its data packets (via the UDP flow's Tagger) and on every control probe,
+// so multipath fabrics steer all of them onto the same ECMP bucket — the
+// §2.4 tag-steering trick. Without it, each probe's fresh ephemeral source
+// port would hash onto a different path, and the byte-counter deltas the
+// control law feeds on would compare unrelated links.
 func (s *System) NewFlow(h *tppnet.Host, dst tppnet.NodeID, udp *tppnet.UDPFlow) *Flow {
-	f := newFlow(s, h, dst, udp)
+	f := newFlow(s, h, dst, udp, uint16(len(s.flows)+1))
 	s.flows = append(s.flows, f)
 	return f
 }
@@ -273,6 +295,7 @@ type Flow struct {
 	h    *tppnet.Host
 	dst  tppnet.NodeID
 	udp  *tppnet.UDPFlow
+	tag  uint16 // path tag pinning data and probes to one ECMP bucket
 	cfg  Config
 	rttE sim.Time // EWMA of probe RTT (the control law's d)
 	prev map[uint32]linkPrev
@@ -286,12 +309,18 @@ type Flow struct {
 	// built once in newFlow.
 	collectCb func(view core.Section, err error)
 	discardCb func(core.Section, error)
+	// missedRounds counts consecutive collect probes lost in the network.
+	missedRounds int
 	// Telemetry for tests and plots.
 	LastHops    []HopState
 	LastRate    float64
 	Updates     uint64
 	CtrlPackets uint64
 	CtrlBytes   uint64
+	// MissedRoundsTotal and Decays count lost collect rounds and the
+	// resulting rate decays over the flow's lifetime.
+	MissedRoundsTotal uint64
+	Decays            uint64
 }
 
 // Host returns the sending host the flow runs on.
@@ -301,15 +330,18 @@ func (f *Flow) Host() *tppnet.Host { return f.h }
 func (f *Flow) Dst() tppnet.NodeID { return f.dst }
 
 // newFlow wraps an existing UDP flow with an RCP* controller.
-func newFlow(sys *System, h *tppnet.Host, dst tppnet.NodeID, udp *tppnet.UDPFlow) *Flow {
+func newFlow(sys *System, h *tppnet.Host, dst tppnet.NodeID, udp *tppnet.UDPFlow, tag uint16) *Flow {
 	f := &Flow{
-		sys: sys, h: h, dst: dst, udp: udp, cfg: sys.cfg,
+		sys: sys, h: h, dst: dst, udp: udp, tag: tag, cfg: sys.cfg,
 		prev: make(map[uint32]linkPrev),
 		caps: make(map[uint32]float64),
 	}
+	udp.Tagger = func(p *tppnet.Packet) { p.PathTag = f.tag }
 	f.collectCb = func(view core.Section, err error) {
 		if err == nil {
 			f.onCollect(view, f.h.Engine().Now()-f.sentAt)
+		} else {
+			f.onMiss()
 		}
 		// Re-arm only for the probe's own generation: a probe completing
 		// across a Stop/Start cycle must not spawn a second round train.
@@ -349,7 +381,7 @@ func (f *Flow) Start() {
 	gen := f.gen
 	f.udp.Start()
 	prog := f.sys.capacityProgram()
-	err := f.h.ExecuteTPP(f.sys.ID(), prog, f.dst, host.ExecOpts{}, func(view core.Section, err error) {
+	err := f.h.ExecuteTPP(f.sys.ID(), prog, f.dst, host.ExecOpts{PathTag: f.tag}, func(view core.Section, err error) {
 		if err == nil {
 			for _, hv := range view.HopViews() {
 				if hv.Words[1] > 0 {
@@ -402,6 +434,7 @@ func (f *Flow) controlRound() {
 	err := f.h.ExecuteTPP(f.sys.ID(), prog, f.dst, host.ExecOpts{
 		Timeout:     4 * f.cfg.Period,
 		MaxAttempts: 1,
+		PathTag:     f.tag,
 	}, f.collectCb)
 	f.CtrlPackets++
 	f.CtrlBytes += uint64(42 + prog.WireLen())
@@ -410,8 +443,38 @@ func (f *Flow) controlRound() {
 	}
 }
 
+// onMiss handles a lost collect round. The first DecayAfterMisses-1
+// consecutive misses are tolerated silently — a single drop is routine under
+// bursty loss — but from then on every further miss multiplies the sending
+// rate by DecayFactor, flooring at MinRateMbps, and discards the per-link
+// byte-counter history: after an outage the counter deltas span the whole
+// blackout and would yield a garbage arrival-rate estimate on the first
+// post-recovery sample. Losing the feedback loop is itself a signal; backing
+// off is the only safe response.
+func (f *Flow) onMiss() {
+	f.missedRounds++
+	f.MissedRoundsTotal++
+	if f.missedRounds < f.cfg.DecayAfterMisses {
+		return
+	}
+	for k := range f.prev {
+		delete(f.prev, k)
+	}
+	r := f.RateMbps() * f.cfg.DecayFactor
+	if r < f.cfg.MinRateMbps {
+		r = f.cfg.MinRateMbps
+	}
+	f.LastRate = r
+	f.udp.SetRateBps(int64(r * 1e6))
+	f.Decays++
+	if f.sys.rates.HasSubscribers() {
+		f.sys.rates.Publish(RateSample{Flow: f, At: f.h.Engine().Now(), RateMbps: r})
+	}
+}
+
 // onCollect is phases 2 and 3.
 func (f *Flow) onCollect(view core.Section, rtt sim.Time) {
+	f.missedRounds = 0
 	if f.rttE == 0 {
 		f.rttE = rtt
 	} else {
@@ -484,6 +547,7 @@ func (f *Flow) onCollect(view core.Section, rtt sim.Time) {
 	if err := f.h.ExecuteTPP(f.sys.ID(), upd, f.dst, host.ExecOpts{
 		Timeout:     4 * f.cfg.Period,
 		MaxAttempts: 1,
+		PathTag:     f.tag,
 	}, f.discardCb); err == nil {
 		f.CtrlPackets++
 		f.CtrlBytes += uint64(42 + upd.WireLen())

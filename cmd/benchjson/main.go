@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"time"
 
 	"minions/internal/core"
@@ -25,6 +26,7 @@ import (
 	"minions/telemetry"
 	"minions/testbed"
 	"minions/tppnet"
+	"minions/tppnet/faults"
 )
 
 // report is the file schema. Metrics are flat key→value so downstream
@@ -58,6 +60,7 @@ func main() {
 	schedName := flag.String("scheduler", "wheel", "engine event scheduler for the default scenarios: wheel or heap")
 	schedSweep := flag.Bool("sched-sweep", true, "record the A/B scenarios: heap-vs-wheel fat-tree and e2e hop, plus the PUSH-fusion curve")
 	strictAllocs := flag.Bool("strict-allocs", false, "exit non-zero if any single-shard forward-path scenario reports allocs/op > 0")
+	baseline := flag.String("baseline", "", "committed BENCH_*.json to hold the no-fault fat-tree rows against (2% tolerance on deterministic counters)")
 	repeat := flag.Int("repeat", 3, "runs per scenario; the fastest is recorded (wall-clock noise rejection)")
 	flag.Parse()
 
@@ -100,6 +103,33 @@ func main() {
 			"k": *k, "flows": *flows, "duration_ms": *durationMs,
 			"seed": *seed, "with_tpp": withTPP, "shards": *shards,
 			"scheduler": sched.String(),
+		}))
+	}
+
+	// The fault-plane scenario: the same fat-tree workload with a full chaos
+	// plan armed (flaps, Gilbert-Elliott loss, corruption, jitter), so the
+	// cost of an armed plan is visible next to the nil-plan rows. The
+	// nil-plan rows above are the ones -strict-allocs and -baseline hold to
+	// the zero-alloc / 2%-drift contract — arming a plan changes simulated
+	// behavior by design.
+	{
+		res, err := bestScale(testbed.ScaleConfig{
+			K:         *k,
+			Flows:     *flows,
+			Duration:  testbed.Time(*durationMs) * testbed.Millisecond,
+			Seed:      *seed,
+			WithTPP:   true,
+			Shards:    *shards,
+			Scheduler: sched,
+			Faults:    benchFaultPlan(*seed, testbed.Time(*durationMs)*testbed.Millisecond),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rep.Scenarios = append(rep.Scenarios, scaleScenario("fat-tree-faults", res, map[string]any{
+			"k": *k, "flows": *flows, "duration_ms": *durationMs,
+			"seed": *seed, "with_tpp": true, "shards": *shards,
+			"scheduler": sched.String(), "faults": true,
 		}))
 	}
 
@@ -208,6 +238,9 @@ func main() {
 
 	if *strictAllocs {
 		enforceZeroAllocs(rep)
+	}
+	if *baseline != "" {
+		enforceBaseline(rep, *baseline)
 	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")
@@ -414,6 +447,12 @@ func enforceZeroAllocs(rep report) {
 				continue
 			}
 		}
+		// The zero-alloc contract covers the nil-fault-plan forward path;
+		// arming a plan allocates its fault machines inside the measured
+		// window.
+		if on, ok := sc.Config["faults"]; ok && on == true {
+			continue
+		}
 		for _, key := range []string{"allocs_per_pkt", "allocs_per_pkt_hop", "allocs_per_record"} {
 			if v, ok := sc.Metrics[key]; ok && v > 1e-4 {
 				fmt.Fprintf(os.Stderr, "benchjson: %s: %s = %g, want 0\n", sc.Name, key, v)
@@ -424,6 +463,91 @@ func enforceZeroAllocs(rep report) {
 	if bad {
 		os.Exit(1)
 	}
+}
+
+// benchFaultPlan is the chaos plan the fat-tree-faults scenario arms: every
+// stochastic fault family at rates that exercise the machinery without
+// drowning the workload, restored by the measurement horizon so the run
+// drains cleanly.
+func benchFaultPlan(seed int64, horizon testbed.Time) *tppnet.FaultPlan {
+	return &tppnet.FaultPlan{
+		Seed:    seed,
+		Horizon: horizon,
+		Flap:    &faults.FlapSpec{MTTF: horizon / 4, MTTR: horizon / 20},
+		Loss:    &faults.LossSpec{Rate: 0.001, GoodToBad: 0.0005, BadToGood: 0.05, BadRate: 0.2},
+		Corrupt: &faults.CorruptSpec{Rate: 0.002},
+		Jitter:  &faults.JitterSpec{Rate: 0.02, Max: 20 * tppnet.Microsecond},
+	}
+}
+
+// enforceBaseline holds the fresh no-fault fat-tree rows against a committed
+// snapshot: for each baseline scenario of the same name whose config
+// matches, every deterministic counter must agree within 2%. The fault
+// plane's nil-plan checks in the forward path must not change simulated
+// behavior at all — drift here means the hot path is no longer the one the
+// committed numbers describe. Wall-clock metrics are not compared; they move
+// with the host.
+func enforceBaseline(rep report, path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	byName := make(map[string]scenario, len(base.Scenarios))
+	for _, sc := range base.Scenarios {
+		byName[sc.Name] = sc
+	}
+	deterministic := []string{"pkt_hops", "pkts_delivered", "events", "drops", "tpp_hop_records"}
+	bad := false
+	for _, sc := range rep.Scenarios {
+		if sc.Name != "fat-tree" && sc.Name != "fat-tree+tpp" {
+			continue
+		}
+		ref, ok := byName[sc.Name]
+		if !ok {
+			continue
+		}
+		// JSON round-trips config numbers as float64; fmt.Sprint unifies.
+		if fmt.Sprint(toSorted(ref.Config)) != fmt.Sprint(toSorted(sc.Config)) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: config differs from %s, skipping baseline check\n", sc.Name, path)
+			continue
+		}
+		for _, key := range deterministic {
+			got, want := sc.Metrics[key], ref.Metrics[key]
+			if want == 0 {
+				if got != 0 {
+					fmt.Fprintf(os.Stderr, "benchjson: %s: %s = %g, baseline 0\n", sc.Name, key, got)
+					bad = true
+				}
+				continue
+			}
+			if drift := (got - want) / want; drift > 0.02 || drift < -0.02 {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %s = %g drifts %.2f%% from baseline %g\n",
+					sc.Name, key, got, drift*100, want)
+				bad = true
+			}
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// toSorted renders a config map with deterministic key order for comparison.
+func toSorted(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("%s=%v", k, m[k])
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -1,9 +1,11 @@
 // Command tppdump decodes TPP traffic — a tcpdump for tiny packet programs.
 //
-// It reads either of two input forms, auto-detected:
+// It reads any of three input forms, auto-detected:
 //
 //   - a binary trace captured by the testbed (telemetry/trace format,
-//     recognized by its leading "TPPTRACE" magic), or
+//     recognized by its leading "TPPTRACE" magic),
+//   - NDJSON telemetry records as written by the telemetry pipeline's
+//     NDJSON sink (recognized by a leading '{'), or
 //   - whitespace-separated hex Ethernet frames, one per line, decoded along
 //     the Figure 7a parse graph (transparent ethertype 0x6666 and
 //     standalone UDP dport 0x6666 TPPs).
@@ -23,12 +25,15 @@
 //	-json        one JSON object per record instead of the human form
 //	-stats       print only a summary of the (filtered) trace
 //
-// Filters and output modes apply to binary traces; hex input is always
+// Filters and output modes apply to binary traces; NDJSON input honors
+// -from/-to, -json and -stats (which adds per-app/kind counts and, for
+// fault drop records, per-DropReason counts); hex input is always
 // pretty-printed in full.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -36,8 +41,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
+	"minions/telemetry"
 	"minions/telemetry/trace"
 	"minions/tpp"
 )
@@ -94,6 +101,9 @@ func run(in io.Reader, out, errw io.Writer, o options) error {
 	}
 	if trace.Magic(head) {
 		return dumpTrace(br, out, o)
+	}
+	if len(head) > 0 && head[0] == '{' {
+		return dumpNDJSON(br, out, errw, o)
 	}
 	return dumpHex(br, out, errw)
 }
@@ -250,6 +260,105 @@ func printStats(out io.Writer, st *traceStats) {
 			}
 		}
 	}
+}
+
+// dumpNDJSON reads telemetry records as NDJSON lines (the pipeline sink's
+// wire format). Records honor the -from/-to time filters; -json re-emits
+// them normalized through the sink encoder; -stats summarizes per-app/kind
+// counts and, for the fault plane's drop records, per-DropReason counts.
+// Malformed lines are reported to errw and skipped, mirroring hex mode.
+func dumpNDJSON(in io.Reader, out, errw io.Writer, o options) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	perKind := make(map[string]uint64)   // "app/kind" -> records
+	perReason := make(map[string]uint64) // drop reason name -> records
+	var kept uint64
+	firstAt, lastAt := int64(-1), int64(0)
+	var buf []byte
+	lineNo, idx := 0, -1
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec telemetry.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			fmt.Fprintf(errw, "line %d: bad record: %v\n", lineNo, err)
+			continue
+		}
+		idx++
+		if o.from >= 0 && rec.At < o.from {
+			continue
+		}
+		if o.to >= 0 && rec.At > o.to {
+			continue
+		}
+		kept++
+		// Min/max, not first/last: NDJSON streams need not be time-ordered
+		// (the pipeline's closing stats record carries at=0).
+		if kept == 1 || rec.At < firstAt {
+			firstAt = rec.At
+		}
+		if rec.At > lastAt {
+			lastAt = rec.At
+		}
+		perKind[rec.App+"/"+rec.Kind]++
+		if rec.App == "faults" && rec.Kind == "drop" {
+			reason := rec.Note
+			if reason == "" {
+				reason = fmt.Sprintf("drop(%d)", rec.Aux[0])
+			}
+			perReason[reason]++
+		}
+		if o.stats {
+			continue
+		}
+		if o.jsonOut {
+			buf = telemetry.AppendRecordJSON(buf[:0], &rec)
+			buf = append(buf, '\n')
+			if _, err := out.Write(buf); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Fprintf(out, "rec %d t=%dns app=%s kind=%s node=%d val=%g aux=%v",
+			idx, rec.At, rec.App, rec.Kind, rec.Node, rec.Val, rec.Aux)
+		if rec.Note != "" {
+			fmt.Fprintf(out, " note=%q", rec.Note)
+		}
+		fmt.Fprintln(out)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if o.stats {
+		fmt.Fprintf(out, "records %d\n", kept)
+		if kept > 0 {
+			fmt.Fprintf(out, "time span %dns .. %dns (%.6fs)\n",
+				firstAt, lastAt, float64(lastAt-firstAt)/1e9)
+		}
+		for _, k := range sortedKeys(perKind) {
+			fmt.Fprintf(out, "%s: %d records\n", k, perKind[k])
+		}
+		if len(perReason) > 0 {
+			fmt.Fprintln(out, "drops by reason:")
+			for _, k := range sortedKeys(perReason) {
+				fmt.Fprintf(out, "  %s: %d\n", k, perReason[k])
+			}
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns the map's keys in lexical order for diffable output.
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // printTPP renders one decoded TPP section, shared by trace and hex modes.

@@ -189,3 +189,82 @@ func TestHexModeScannerErrorPropagates(t *testing.T) {
 		t.Fatalf("oversize line: got %v, want bufio.ErrTooLong", err)
 	}
 }
+
+// testNDJSON is a small telemetry stream: two app samples and three fault
+// drop records across two reasons, as the pipeline's NDJSON sink writes
+// them.
+const testNDJSON = `{"at":1000,"app":"rcp","kind":"rate","node":3,"val":42.5,"aux":[0,0,0]}
+{"at":2000,"app":"faults","kind":"link-down","node":0,"val":0,"aux":[4,0,0]}
+{"at":3000,"app":"faults","kind":"drop","node":17,"val":1500,"aux":[6,0,0],"note":"fault-loss"}
+{"at":4000,"app":"faults","kind":"drop","node":17,"val":1500,"aux":[6,0,0],"note":"fault-loss"}
+{"at":5000,"app":"faults","kind":"drop","node":9,"val":84,"aux":[4,0,0],"note":"switch-halted"}
+`
+
+func TestNDJSONModeHuman(t *testing.T) {
+	out := runDump(t, []byte(testNDJSON), anyOpts)
+	if got := strings.Count(out, "rec "); got != 5 {
+		t.Fatalf("printed %d records, want 5:\n%s", got, out)
+	}
+	for _, want := range []string{"app=rcp kind=rate", "val=42.5", `note="fault-loss"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNDJSONModeTimeFilter(t *testing.T) {
+	o := anyOpts
+	o.from, o.to = 2000, 4000
+	out := runDump(t, []byte(testNDJSON), o)
+	if got := strings.Count(out, "rec "); got != 3 {
+		t.Fatalf("time filter kept %d records, want 3:\n%s", got, out)
+	}
+}
+
+func TestNDJSONModeStats(t *testing.T) {
+	o := anyOpts
+	o.stats = true
+	out := runDump(t, []byte(testNDJSON), o)
+	for _, want := range []string{
+		"records 5",
+		"time span 1000ns .. 5000ns",
+		"faults/drop: 3 records",
+		"faults/link-down: 1 records",
+		"rcp/rate: 1 records",
+		"drops by reason:",
+		"fault-loss: 2",
+		"switch-halted: 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "rec 0") {
+		t.Fatalf("-stats printed per-record lines:\n%s", out)
+	}
+}
+
+// -json round-trips NDJSON input byte-identically through the sink encoder,
+// so tppdump can normalize hand-edited record files.
+func TestNDJSONModeJSONRoundTrip(t *testing.T) {
+	o := anyOpts
+	o.jsonOut = true
+	out := runDump(t, []byte(testNDJSON), o)
+	if out != testNDJSON {
+		t.Fatalf("JSON round trip diverges:\n got: %q\nwant: %q", out, testNDJSON)
+	}
+}
+
+func TestNDJSONModeBadLineReportedAndSkipped(t *testing.T) {
+	in := `{"at":1000,"app":"rcp","kind":"rate","node":3,"val":1,"aux":[0,0,0]}` + "\n{broken\n"
+	var out, errw bytes.Buffer
+	if err := run(strings.NewReader(in), &out, &errw, anyOpts); err != nil {
+		t.Fatalf("bad NDJSON line must be reported, not fatal: %v", err)
+	}
+	if !strings.Contains(errw.String(), "bad record") {
+		t.Fatalf("stderr missing bad-record report: %s", errw.String())
+	}
+	if got := strings.Count(out.String(), "rec "); got != 1 {
+		t.Fatalf("kept %d records, want 1:\n%s", got, out.String())
+	}
+}

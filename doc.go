@@ -2,7 +2,7 @@
 // Minions: Using Packets for Low Latency Network Programming and Visibility"
 // (Jeyakumar, Alizadeh, Geng, Kim, Mazières — SIGCOMM 2014).
 //
-// The public API is layered across five package groups, lowest first:
+// The public API is layered across six package groups, lowest first:
 //
 //   - minions/tpp — the tiny packet program itself: wire format and
 //     instruction set, the typed Builder and exported switch-memory address
@@ -36,6 +36,20 @@
 //     apps/sketch (OpenSketch-style distributed measurement, §2.5).
 //     Several applications run concurrently on one network under the
 //     control plane's memory-grant isolation.
+//
+//   - minions/tppnet/faults — the deterministic fault-injection plane,
+//     sitting between the network facade and the applications: seedable
+//     link flaps (exponential MTTF/MTTR), Bernoulli and Gilbert-Elliott
+//     packet loss, TPP-memory corruption, serialization jitter, switch
+//     halt/restart and fixed-time scripted events, armed through
+//     tppnet.WithFaults(plan) and injected at the link transmit path and
+//     switch ingress behind nil checks that leave the no-fault hot path
+//     allocation-free. Identical (topology, workload, plan) tuples replay
+//     byte-identically across runs, shard counts and schedulers; the apps
+//     layer above is built to survive it (CONGA* dead-path reroute, RCP*
+//     missed-round rate decay, host executor retry with backoff), and
+//     faults.Export/ExportDrops make chaos runs observable through the
+//     telemetry layer below. testbed.RunChaos is the ready-made scenario.
 //
 //   - minions/telemetry — the export layer: a bounded, allocation-free
 //     record pipeline (publisher → spool → sink) with NDJSON, UDP-datagram

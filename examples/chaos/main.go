@@ -1,0 +1,37 @@
+// Chaos: the fault-tolerance story end to end. A k=4 fat-tree carries
+// RCP* flows and a CONGA*-balanced transfer while the deterministic fault
+// plane tears at it — background loss and jitter everywhere, a flapping
+// core uplink, then a scripted pod-0 uplink cut and a core switch halt —
+// until the horizon restores everything and the run measures recovery:
+// CONGA* must detect and route around the dead paths, RCP* must decay
+// stale rate state and re-converge, and not one pool packet may leak.
+//
+// The whole scenario is seeded. Re-running with the same -seed reproduces
+// the table byte for byte (testbed.RunChaos is the same scenario the
+// chaos-smoke CI job and TestChaosDeterminism pin); a different seed gives
+// a different — equally reproducible — storm:
+//
+//	go run ./examples/chaos
+//	go run ./examples/chaos -seed 42 -shards 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"minions/testbed"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "fault-plane seed; same seed, same table")
+	shards := flag.Int("shards", 1, "topology shards (behavior is identical across counts)")
+	flag.Parse()
+
+	res, err := testbed.RunChaos(testbed.ChaosConfig{Seed: *seed, Shards: *shards})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table())
+	fmt.Printf("\nfingerprint (stable for -seed %d):\n%s\n", *seed, res.Fingerprint())
+}

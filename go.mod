@@ -1,3 +1,3 @@
 module minions
 
-go 1.22
+go 1.24

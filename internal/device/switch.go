@@ -56,6 +56,14 @@ const (
 	DropTTLExpired
 	DropQueueFull
 	DropNoLink
+	// DropSwitchHalted: the fault plane halted this switch; ingress traffic
+	// is discarded until restart.
+	DropSwitchHalted
+	// DropLinkDown: the egress link was down (reported by the link).
+	DropLinkDown
+	// DropFaultLoss: the fault plane discarded the packet on the egress
+	// link (random or burst loss).
+	DropFaultLoss
 )
 
 // String names the reason.
@@ -69,6 +77,12 @@ func (d DropReason) String() string {
 		return "queue-full"
 	case DropNoLink:
 		return "no-link"
+	case DropSwitchHalted:
+		return "switch-halted"
+	case DropLinkDown:
+		return "link-down"
+	case DropFaultLoss:
+		return "fault-loss"
 	}
 	return "unknown"
 }
@@ -111,6 +125,11 @@ type Switch struct {
 	writePolicy func(appID uint16, a mem.Addr) bool
 	// denyAllWrites is the administrator kill switch of §4.3.
 	denyAllWrites bool
+
+	// halted marks a fault-plane switch halt: all ingress traffic drops
+	// until restart. Routing tables, registers and statistics survive the
+	// outage, like a dataplane stall rather than a cold reboot.
+	halted bool
 
 	// OnDrop observes every locally dropped packet.
 	OnDrop func(p *link.Packet, reason DropReason)
@@ -182,13 +201,25 @@ func (sw *Switch) AttachLink(i int, l *link.Link, linkID uint32) {
 	sw.ports[i].Out = l
 	sw.ports[i].LinkID = linkID
 	prev := l.OnDrop
-	l.OnDrop = func(p *link.Packet) {
-		sw.queueDrop(p)
+	l.OnDrop = func(p *link.Packet, reason link.DropReason) {
+		sw.linkDrop(p, reason)
 		if prev != nil {
-			prev(p)
+			prev(p, reason)
 		}
 	}
 }
+
+// Engine returns the engine this switch schedules on; fault injectors use
+// it to arm halt/restart events on the owning shard.
+func (sw *Switch) Engine() *sim.Engine { return sw.eng }
+
+// Halted reports whether the switch is halted by the fault plane.
+func (sw *Switch) Halted() bool { return sw.halted }
+
+// SetHalted halts or restarts the switch. A halted switch drops every
+// ingress packet (DropSwitchHalted); its forwarding state is preserved
+// across the outage.
+func (sw *Switch) SetHalted(v bool) { sw.halted = v }
 
 // Version returns the forwarding-state generation counter.
 func (sw *Switch) Version() uint32 { return sw.version }
@@ -234,22 +265,35 @@ func (sw *Switch) SetVendorReg(a mem.Addr, v uint32) {
 	sw.vendorMem[a] = v
 }
 
-// drop records a local drop and notifies observers.
+// drop records a switch-local drop and notifies observers. The drop is
+// terminal: the packet returns to its pool afterwards, so observers must
+// Clone what they keep.
 func (sw *Switch) drop(p *link.Packet, reason DropReason) {
 	sw.drops[reason]++
 	if sw.OnDrop != nil {
 		sw.OnDrop(p, reason)
 	}
 	sw.notifyDropCollector(p, reason)
+	p.Release()
 }
 
-// queueDrop handles output-queue (drop-tail) losses, which the link reports.
-func (sw *Switch) queueDrop(p *link.Packet) {
-	sw.drops[DropQueueFull]++
-	if sw.OnDrop != nil {
-		sw.OnDrop(p, DropQueueFull)
+// linkDrop accounts losses the egress link reports (drop-tail, down links,
+// fault losses), mapping the link's reason into the switch's space. The
+// link owns the release — this observer must not touch the packet after
+// returning.
+func (sw *Switch) linkDrop(p *link.Packet, r link.DropReason) {
+	reason := DropQueueFull
+	switch r {
+	case link.DropLinkDown:
+		reason = DropLinkDown
+	case link.DropFaultLoss:
+		reason = DropFaultLoss
 	}
-	sw.notifyDropCollector(p, DropQueueFull)
+	sw.drops[reason]++
+	if sw.OnDrop != nil {
+		sw.OnDrop(p, reason)
+	}
+	sw.notifyDropCollector(p, reason)
 }
 
 func (sw *Switch) notifyDropCollector(p *link.Packet, reason DropReason) {
@@ -271,6 +315,10 @@ func (sw *Switch) Receive(p *link.Packet, inPort int) {
 	port.rxBytes += uint64(p.Size)
 	port.rxPackets++
 
+	if sw.halted {
+		sw.drop(p, DropSwitchHalted)
+		return
+	}
 	if p.TTL == 0 {
 		sw.drop(p, DropTTLExpired)
 		return

@@ -543,7 +543,7 @@ func TestAttachLinkChainsAndIsIdempotent(t *testing.T) {
 	l := link.New(eng, link.Config{RateBps: 1_000_000, QueueBytes: 1000}, dst, 0)
 
 	observed := 0
-	l.OnDrop = func(p *link.Packet) { observed++ } // pre-wiring instrumentation
+	l.OnDrop = func(p *link.Packet, reason link.DropReason) { observed++ } // pre-wiring instrumentation
 	sw.AttachLink(0, l, 1)
 	sw.AttachLink(0, l, 2) // re-attach: must not add another queueDrop layer
 	if got := sw.Port(0).LinkID; got != 2 {

@@ -18,23 +18,30 @@ import (
 // ErrTimeout reports that every attempt of a reliable execution timed out.
 var ErrTimeout = errors.New("host: TPP execution timed out")
 
-// ExecOpts tunes the executor.
+// ExecOpts tunes the executor. Timeout and MaxAttempts are shorthands for
+// the corresponding RetryPolicy fields; Retry supplies the full policy
+// (backoff, cap, jitter). When both are set the shorthands win.
 type ExecOpts struct {
 	Timeout     sim.Time // per-attempt echo timeout (default 10 ms)
 	MaxAttempts int      // total attempts before giving up (default 3)
 	// PathTag is stamped on probe packets so multipath switches steer them
 	// onto a specific ECMP bucket (the §2.4 VLAN-tag trick).
 	PathTag uint16
+	// Retry is the full retry policy; zero-value fields fall back to the
+	// shorthands above, then to the policy defaults.
+	Retry RetryPolicy
 }
 
-func (o ExecOpts) withDefaults() ExecOpts {
-	if o.Timeout == 0 {
-		o.Timeout = 10 * sim.Millisecond
+// policy folds the shorthand fields into the retry policy.
+func (o ExecOpts) policy() RetryPolicy {
+	rp := o.Retry
+	if o.Timeout != 0 {
+		rp.Timeout = o.Timeout
 	}
-	if o.MaxAttempts == 0 {
-		o.MaxAttempts = 3
+	if o.MaxAttempts != 0 {
+		rp.MaxAttempts = o.MaxAttempts
 	}
-	return o
+	return rp.withDefaults()
 }
 
 // standaloneOverhead is Ethernet+IPv4+UDP framing around a standalone TPP.
@@ -46,7 +53,9 @@ type pendingExec struct {
 	port     uint16
 	template core.Section
 	dst      link.NodeID
-	opts     ExecOpts
+	pathTag  uint16
+	policy   RetryPolicy
+	appWire  uint16
 	attempt  int
 	gen      int
 	done     bool
@@ -68,6 +77,14 @@ func (pe *pendingExec) fail(err error) {
 	}
 	pe.done = true
 	delete(pe.h.pendingExec, pe.port)
+	// The give-up surface: chaos harnesses and resilient apps watch this
+	// stream instead of wrapping every callback.
+	if pe.h.execFailures.HasSubscribers() {
+		pe.h.execFailures.Publish(ExecFailure{
+			At: pe.h.eng.Now(), App: pe.appWire, Dst: pe.dst,
+			Attempts: pe.attempt, Err: err,
+		})
+	}
 	pe.cb(nil, err)
 }
 
@@ -79,13 +96,13 @@ func (pe *pendingExec) sendAttempt() {
 	copy(tpp, pe.template)
 	p.TPP = tpp
 	p.Standalone = true
-	p.PathTag = pe.opts.PathTag
+	p.PathTag = pe.pathTag
 	pe.h.sendRaw(p)
 	// The retry timer is a typed resident event carrying the attempt
 	// generation, not a closure: reliable executions are the warm path of
 	// every control loop (RCP rounds, CONGA probes), so their timers must
 	// not allocate per attempt.
-	pe.h.eng.ScheduleAfter(pe.opts.Timeout, pe, uint64(pe.gen))
+	pe.h.eng.ScheduleAfter(pe.policy.attemptTimeout(pe.attempt, pe.h.eng.Rand()), pe, uint64(pe.gen))
 }
 
 // Handle implements sim.Handler: the per-attempt echo timeout. A stale
@@ -94,12 +111,13 @@ func (pe *pendingExec) Handle(gen uint64) {
 	if pe.done || uint64(pe.gen) != gen {
 		return
 	}
-	if pe.attempt >= pe.opts.MaxAttempts {
+	if pe.attempt >= pe.policy.MaxAttempts {
 		pe.fail(fmt.Errorf("%w after %d attempts to %d", ErrTimeout, pe.attempt, pe.dst))
 		return
 	}
-	// §4.4 "Reliable execution": retry idempotent TPPs. (Stores are made
-	// idempotent by the caller conditioning on a read value.)
+	// §4.4 "Reliable execution": retry idempotent TPPs with the policy's
+	// backoff. (Stores are made idempotent by the caller conditioning on a
+	// read value.)
 	pe.sendAttempt()
 }
 
@@ -122,7 +140,8 @@ func (h *Host) ExecuteTPP(app *App, prog *core.Program, dst link.NodeID, opts Ex
 	pe := &pendingExec{
 		h: h, port: h.ephemeralPort(),
 		template: enc, dst: dst,
-		opts: opts.withDefaults(), cb: cb,
+		pathTag: opts.PathTag, policy: opts.policy(),
+		appWire: app.Wire, cb: cb,
 	}
 	h.pendingExec[pe.port] = pe
 	pe.sendAttempt()

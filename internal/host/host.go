@@ -13,6 +13,7 @@ import (
 	"minions/internal/core"
 	"minions/internal/link"
 	"minions/internal/sim"
+	"minions/internal/stream"
 )
 
 // MTU is the wire MTU the shim enforces when piggybacking TPPs; packets
@@ -111,6 +112,10 @@ type Host struct {
 	// the network from the moment the tap returns; taps copy what they keep.
 	// Used by telemetry/trace capture.
 	txTap func(*link.Packet)
+
+	// execFailures publishes reliable executions that exhausted their
+	// retry budget (see ExecFailures).
+	execFailures stream.Stream[ExecFailure]
 
 	// The shim's resident TCPU: when localMem is set, the filter path runs
 	// hop 0 of every TPP it attaches against the host's own memory view, so

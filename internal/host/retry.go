@@ -1,0 +1,78 @@
+package host
+
+import (
+	"math/rand"
+
+	"minions/internal/link"
+	"minions/internal/sim"
+	"minions/internal/stream"
+)
+
+// RetryPolicy shapes reliable-execution retries: per-attempt timeout,
+// attempt budget, exponential backoff and optional jitter. It generalizes
+// the executor's original fixed-timeout retry (§4.4 "Reliable execution")
+// into the policy every host control loop shares — under loss and link
+// flaps, fixed synchronized retries from many hosts re-collide; backoff
+// with jitter spreads them.
+//
+// The zero value resolves to the historical behavior: 10 ms fixed timeout,
+// 3 attempts, no backoff, no jitter.
+type RetryPolicy struct {
+	Timeout     sim.Time // first-attempt timeout (default 10 ms)
+	MaxAttempts int      // total attempts before giving up (default 3)
+	Backoff     float64  // timeout multiplier per attempt (<=1 or 0 = fixed)
+	MaxTimeout  sim.Time // cap on the backed-off timeout (0 = uncapped)
+	// JitterFrac spreads each attempt timeout uniformly over
+	// [t·(1−J), t·(1+J)]. Jitter draws from the engine RNG only when
+	// non-zero, so the default policy perturbs nothing.
+	JitterFrac float64
+}
+
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.Timeout == 0 {
+		rp.Timeout = 10 * sim.Millisecond
+	}
+	if rp.MaxAttempts == 0 {
+		rp.MaxAttempts = 3
+	}
+	if rp.Backoff < 1 {
+		rp.Backoff = 1
+	}
+	return rp
+}
+
+// attemptTimeout returns the timeout for the given 1-based attempt.
+func (rp RetryPolicy) attemptTimeout(attempt int, rng *rand.Rand) sim.Time {
+	t := float64(rp.Timeout)
+	for i := 1; i < attempt; i++ {
+		t *= rp.Backoff
+		if rp.MaxTimeout > 0 && t >= float64(rp.MaxTimeout) {
+			t = float64(rp.MaxTimeout)
+			break
+		}
+	}
+	if rp.JitterFrac > 0 {
+		t *= 1 + rp.JitterFrac*(2*rng.Float64()-1)
+	}
+	d := sim.Time(t)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// ExecFailure is the executor's give-up record: a reliable execution that
+// exhausted its retry budget. Hosts publish it on ExecFailures so
+// applications and chaos harnesses observe control-plane degradation as a
+// typed stream instead of scattered callbacks.
+type ExecFailure struct {
+	At       sim.Time
+	App      uint16 // wire application handle of the failed TPP
+	Dst      link.NodeID
+	Attempts int
+	Err      error
+}
+
+// ExecFailures is the host's stream of reliable executions that gave up
+// after exhausting their retries.
+func (h *Host) ExecFailures() *stream.Stream[ExecFailure] { return &h.execFailures }

@@ -142,6 +142,44 @@ type Config struct {
 // datacenter switch queue per port.
 const DefaultQueueBytes = 150_000
 
+// DropReason says why a link discarded a packet. Switches map these into
+// their own richer device.DropReason space when re-publishing queue drops.
+type DropReason uint8
+
+const (
+	// DropQueueFull: drop-tail at the output queue.
+	DropQueueFull DropReason = iota
+	// DropLinkDown: the link is administratively or fault-plane down.
+	DropLinkDown
+	// DropFaultLoss: the armed fault plane discarded the packet (random
+	// loss, burst loss) at the transmit path.
+	DropFaultLoss
+)
+
+// String renders the reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropQueueFull:
+		return "queue-full"
+	case DropLinkDown:
+		return "link-down"
+	case DropFaultLoss:
+		return "fault-loss"
+	}
+	return fmt.Sprintf("drop(%d)", uint8(r))
+}
+
+// TxFault is the fault plane's hook on a link's transmit path. FilterTx is
+// consulted once per packet as it is popped for serialization: returning
+// drop discards the packet (reason DropFaultLoss); otherwise stall is added
+// to the packet's serialization time (delay jitter). Jitter must be a
+// serialization stall — not a per-packet propagation delta — because the
+// link's inflight ring relies on delivery order equaling serialization
+// order. FilterTx may also mutate the packet in place (TPP corruption).
+type TxFault interface {
+	FilterTx(p *Packet) (drop bool, stall sim.Time)
+}
+
 // Link is a unidirectional link with an output (egress) queue at its sender.
 // Enqueue either queues the packet for serialization or drops it (drop-tail).
 type Link struct {
@@ -160,6 +198,11 @@ type Link struct {
 	txPkt      *Packet // packet currently serializing
 	queueBytes int
 	busy       bool
+	down       bool // fault plane: link refuses and drops traffic
+
+	// fault, when non-nil, is the armed fault plane's transmit-path hook.
+	// The nil check is the only hot-path cost when no plan is armed.
+	fault TxFault
 
 	stats Stats
 
@@ -178,9 +221,12 @@ type Link struct {
 	utilPm   uint32 // last completed window, in permille of capacity
 	arrPm    uint32 // last completed window's offered load, permille
 
-	// OnDrop, when set, observes every packet the queue rejects (used for
-	// §2.6 drop notifications and loss localization).
-	OnDrop func(p *Packet)
+	// OnDrop, when set, observes every packet the link discards — queue
+	// rejections, down-link drops and fault losses (used for §2.6 drop
+	// notifications and loss localization). Drops are terminal: the packet
+	// is returned to its pool after the observer runs, so observers must
+	// Clone what they keep.
+	OnDrop func(p *Packet, reason DropReason)
 	// OnTransmit, when set, observes every packet as it begins
 	// serialization (after its TPP would have executed).
 	OnTransmit func(p *Packet)
@@ -205,6 +251,51 @@ func (l *Link) RateMbps() uint32 { return uint32(l.cfg.RateBps / 1_000_000) }
 
 // Stats returns a snapshot of the statistics block.
 func (l *Link) Stats() Stats { return l.stats }
+
+// Engine returns the engine this link schedules on. Fault injectors use it
+// to arm per-target events on the owning shard's engine.
+func (l *Link) Engine() *sim.Engine { return l.eng }
+
+// IsDown reports whether the link is down.
+func (l *Link) IsDown() bool { return l.down }
+
+// SetDown moves the link between up and down. Taking a link down drains
+// its output queue (each packet dropped with DropLinkDown); a packet
+// mid-serialization is dropped when its serialization completes, while
+// packets already propagating still deliver — bits on the wire have left.
+// Bringing the link back up is instant; traffic flows on the next Enqueue.
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	if !down {
+		return
+	}
+	for {
+		p := l.queue.Pop()
+		if p == nil {
+			return
+		}
+		l.queueBytes -= p.Size
+		l.stats.DropBytes += uint64(p.Size)
+		l.stats.DropPackets++
+		l.dropPacket(p, DropLinkDown)
+	}
+}
+
+// SetTxFault installs (or clears, with nil) the fault plane's transmit
+// hook.
+func (l *Link) SetTxFault(f TxFault) { l.fault = f }
+
+// dropPacket is the terminal drop path: notify the observer, then return
+// the packet to its pool. Observers must Clone to retain.
+func (l *Link) dropPacket(p *Packet, reason DropReason) {
+	if l.OnDrop != nil {
+		l.OnDrop(p, reason)
+	}
+	p.Release()
+}
 
 // QueueLenPackets returns the current queue occupancy in packets.
 func (l *Link) QueueLenPackets() int { return l.queue.Len() }
@@ -257,20 +348,26 @@ func (l *Link) ArrivalUtilPermille() uint32 {
 	return l.arrPm
 }
 
-// Enqueue offers a packet to the output queue. It returns false on a
-// drop-tail drop (after invoking OnDrop).
+// Enqueue offers a packet to the output queue. It returns false when the
+// packet was dropped — drop-tail or a down link — in which case the link
+// has already notified OnDrop and returned the packet to its pool: the
+// caller must not touch it again.
 func (l *Link) Enqueue(p *Packet) bool {
 	if p.inPool {
 		panic("link: Enqueue of a packet already returned to its pool")
 	}
 	l.roll()
 	l.arrBytes += int64(p.Size)
+	if l.down {
+		l.stats.DropBytes += uint64(p.Size)
+		l.stats.DropPackets++
+		l.dropPacket(p, DropLinkDown)
+		return false
+	}
 	if l.queueBytes+p.Size > l.cfg.QueueBytes {
 		l.stats.DropBytes += uint64(p.Size)
 		l.stats.DropPackets++
-		if l.OnDrop != nil {
-			l.OnDrop(p)
-		}
+		l.dropPacket(p, DropQueueFull)
 		return false
 	}
 	l.queue.Push(p)
@@ -297,6 +394,15 @@ func (l *Link) Handle(arg uint64) {
 		// is free for the next head-of-line packet.
 		p := l.txPkt
 		l.txPkt = nil
+		if l.down {
+			// The link went down while this packet serialized; it never
+			// makes it onto the wire.
+			l.stats.DropBytes += uint64(p.Size)
+			l.stats.DropPackets++
+			l.dropPacket(p, DropLinkDown)
+			l.startTransmit()
+			return
+		}
 		if l.boundary != nil {
 			// The receiver lives in another shard: park the packet for the
 			// epoch-barrier drain instead of scheduling delivery here.
@@ -313,20 +419,40 @@ func (l *Link) Handle(arg uint64) {
 	}
 }
 
-// startTransmit serializes the head-of-line packet.
+// startTransmit serializes the head-of-line packet. With a fault plane
+// armed it keeps popping past fault-dropped packets until a survivor (or an
+// empty queue); the survivor's serialization may be stretched by the fault
+// plane's jitter stall.
 func (l *Link) startTransmit() {
-	p := l.queue.Pop()
-	if p == nil {
-		l.busy = false
-		return
+	var (
+		p     *Packet
+		stall sim.Time
+	)
+	for {
+		p = l.queue.Pop()
+		if p == nil {
+			l.busy = false
+			return
+		}
+		l.busy = true
+		l.queueBytes -= p.Size
+		if l.fault == nil {
+			break
+		}
+		drop, s := l.fault.FilterTx(p)
+		if !drop {
+			stall = s
+			break
+		}
+		l.stats.DropBytes += uint64(p.Size)
+		l.stats.DropPackets++
+		l.dropPacket(p, DropFaultLoss)
 	}
-	l.busy = true
-	l.queueBytes -= p.Size
 
 	if l.OnTransmit != nil {
 		l.OnTransmit(p)
 	}
-	txTime := sim.Time(int64(p.Size) * 8 * int64(sim.Second) / l.cfg.RateBps)
+	txTime := sim.Time(int64(p.Size)*8*int64(sim.Second)/l.cfg.RateBps) + stall
 	if txTime < 1 {
 		txTime = 1
 	}

@@ -75,7 +75,12 @@ func TestLinkDropTail(t *testing.T) {
 	dst := &collector{eng: eng}
 	l := New(eng, Config{RateBps: 1_000_000, QueueBytes: 3000}, dst, 0)
 	var dropped []*Packet
-	l.OnDrop = func(p *Packet) { dropped = append(dropped, p) }
+	l.OnDrop = func(p *Packet, reason DropReason) {
+		if reason != DropQueueFull {
+			t.Errorf("drop reason %v, want queue-full", reason)
+		}
+		dropped = append(dropped, p)
+	}
 
 	// 1000-byte packets; first serializes immediately (leaves queue), then
 	// 3 fit in the 3000-byte queue, 5th drops.

@@ -22,10 +22,12 @@ import "minions/internal/core"
 //     and TCP flows consuming ACKs) Release after their callbacks run, and
 //     the host shim Releases standalone TPP echoes after dispatching their
 //     views, as well as deliveries no handler claimed.
-//   - Dropped packets are NOT auto-returned: drop observers may retain them
-//     (for §2.6 collectors), so drops fall back to the garbage collector and
-//     the pool simply refills itself on later Gets. Steady-state zero-alloc
-//     forwarding therefore holds on the drop-free path.
+//   - Drops are terminal: every drop path (queue tail, down links, fault
+//     losses, halted switches) notifies its observer and then returns the
+//     packet to the pool. Observers that need the packet beyond the
+//     callback (§2.6 collectors, tracing) must Clone it. This makes
+//     Outstanding()==0 after a drained run an enforceable leak invariant,
+//     which the fault plane's chaos tests rely on.
 //   - Receive callbacks that retain a packet beyond the callback must not
 //     install a releasing sink for the same traffic; retaining and releasing
 //     the same packet corrupts the free list.
@@ -91,6 +93,11 @@ func (pl *Pool) Stats() (gets, puts, news uint64) { return pl.gets, pl.puts, pl.
 
 // FreeLen returns the current free-list length.
 func (pl *Pool) FreeLen() int { return len(pl.free) }
+
+// Outstanding returns gets − puts: the number of pool packets currently
+// owned outside the pool. After a fully drained run it must be zero — the
+// leak invariant the chaos tests assert after every fault.
+func (pl *Pool) Outstanding() int64 { return int64(pl.gets) - int64(pl.puts) }
 
 // Release returns the packet to its owning pool, if any. It is a no-op for
 // packets that were constructed directly rather than drawn from a pool, so

@@ -36,6 +36,7 @@ type Network struct {
 	nextPort map[link.NodeID]int
 	edges    map[link.NodeID][]edge
 	links    []*link.Link
+	linkEnds []LinkEnds // parallel to links: who transmits to whom
 	nextLink uint32
 
 	engines []*sim.Engine
@@ -151,6 +152,17 @@ func (n *Network) PoolStats() (gets, puts, news uint64) {
 		news += ne
 	}
 	return
+}
+
+// PoolOutstanding sums gets − puts over every shard's pool: the number of
+// pool packets currently owned outside the pools. Zero after a drained run
+// is the leak invariant chaos tests enforce.
+func (n *Network) PoolOutstanding() int64 {
+	var out int64
+	for _, p := range n.pools {
+		out += p.Outstanding()
+	}
+	return out
 }
 
 // EnsureSwitchBase raises the switch node-ID base to accommodate maxHosts
@@ -286,8 +298,24 @@ func (n *Network) Connect(a, b any, cfg link.Config) (*link.Link, *link.Link) {
 	n.edges[ida] = append(n.edges[ida], edge{peer: idb, port: pa})
 	n.edges[idb] = append(n.edges[idb], edge{peer: ida, port: pb})
 	n.links = append(n.links, lab, lba)
+	n.linkEnds = append(n.linkEnds, LinkEnds{Src: ida, Dst: idb}, LinkEnds{Src: idb, Dst: ida})
 	return lab, lba
 }
+
+// LinkEnds names the endpoints of one unidirectional link: Src transmits,
+// Dst receives. Fault plans use it to pick links by role (e.g. an
+// aggregation-to-core uplink) instead of by creation index.
+type LinkEnds struct {
+	Src, Dst link.NodeID
+}
+
+// LinkEndsOf returns the endpoints of link i (same indexing as Links()).
+func (n *Network) LinkEndsOf(i int) LinkEnds { return n.linkEnds[i] }
+
+// IsSwitchNode reports whether id addresses a switch (as opposed to a
+// host). Switch NodeIDs live above the host range, starting at
+// switchBase+1.
+func (n *Network) IsSwitchNode(id link.NodeID) bool { return id > n.switchBase }
 
 func (n *Network) attach(v any, port int, l *link.Link) {
 	n.nextLink++

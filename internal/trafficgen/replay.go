@@ -1,6 +1,7 @@
 package trafficgen
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -13,6 +14,12 @@ import (
 	"minions/internal/sim"
 	"minions/telemetry/trace"
 )
+
+// ErrTopologyMismatch reports a trace that cannot be replayed into the given
+// network: a record names a source or destination node the replay topology
+// does not have. Replay errors wrap it, so callers distinguish "wrong
+// topology" from I/O or decode failures with errors.Is.
+var ErrTopologyMismatch = errors.New("trace does not match replay topology")
 
 // ReplayStats tallies what a replay injected. Counters are atomic because
 // sharded replays inject from one goroutine per shard; read them after (or
@@ -110,8 +117,12 @@ func (r *replaySender) inject(rec *trace.Rec, h *host.Host) {
 
 // Replay schedules every record of a recorded trace for re-injection at its
 // recorded timestamp, on the engine of its recorded source host. Hosts are
-// looked up by node ID in hosts; a record whose source is unknown is an
-// error (the trace belongs to a different topology).
+// looked up by node ID in hosts; a record whose source is not a replay host
+// or whose destination is neither a replay host nor a listed extra
+// destination is an error wrapping ErrTopologyMismatch (the trace belongs
+// to a different topology). Destinations need not be hosts — debugging
+// probes target switches directly — so callers replaying such traces pass
+// the topology's switch NodeIDs as extraDests via ReplayTo.
 //
 // The returned stats are filled in as the simulation runs. Replay injects
 // below the shim (no filter interposition), so the replaying hosts need no
@@ -119,6 +130,13 @@ func (r *replaySender) inject(rec *trace.Rec, h *host.Host) {
 // along each path, standalone echoes at destinations — does the rest, which
 // is what makes a replayed run reproduce the original packet for packet.
 func Replay(hosts []*host.Host, recs []trace.Rec) (*ReplayStats, error) {
+	return ReplayTo(hosts, nil, recs)
+}
+
+// ReplayTo is Replay with extra valid destinations: node IDs (typically the
+// topology's switches) that records may target even though no replay host
+// answers to them.
+func ReplayTo(hosts []*host.Host, extraDests []link.NodeID, recs []trace.Rec) (*ReplayStats, error) {
 	byID := make(map[link.NodeID]*host.Host, len(hosts))
 	sharded := false
 	for _, h := range hosts {
@@ -127,9 +145,16 @@ func Replay(hosts []*host.Host, recs []trace.Rec) (*ReplayStats, error) {
 			sharded = true
 		}
 	}
+	destOK := make(map[link.NodeID]bool, len(extraDests))
+	for _, id := range extraDests {
+		destOK[id] = true
+	}
 	for _, rec := range recs {
 		if byID[link.NodeID(rec.Src)] == nil {
-			return nil, fmt.Errorf("trafficgen: trace record from node %d, which is not a replay host (wrong topology?)", rec.Src)
+			return nil, fmt.Errorf("trafficgen: record from node %d, which is not a replay host: %w", rec.Src, ErrTopologyMismatch)
+		}
+		if dst := link.NodeID(rec.Dst); byID[dst] == nil && !destOK[dst] {
+			return nil, fmt.Errorf("trafficgen: record to node %d, which is neither a replay host nor a listed destination: %w", rec.Dst, ErrTopologyMismatch)
 		}
 	}
 	stats := &ReplayStats{probeBytesByA: make(map[uint16]uint64)}
@@ -174,9 +199,14 @@ func Replay(hosts []*host.Host, recs []trace.Rec) (*ReplayStats, error) {
 
 // ReplayFrom decodes a whole trace stream and schedules it via Replay.
 func ReplayFrom(hosts []*host.Host, r io.Reader) (*ReplayStats, error) {
+	return ReplayFromTo(hosts, nil, r)
+}
+
+// ReplayFromTo decodes a whole trace stream and schedules it via ReplayTo.
+func ReplayFromTo(hosts []*host.Host, extraDests []link.NodeID, r io.Reader) (*ReplayStats, error) {
 	recs, err := trace.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	return Replay(hosts, recs)
+	return ReplayTo(hosts, extraDests, recs)
 }

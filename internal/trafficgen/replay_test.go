@@ -2,11 +2,13 @@ package trafficgen_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"minions/internal/asm"
 	"minions/internal/core"
 	"minions/internal/host"
+	"minions/internal/link"
 	"minions/internal/sim"
 	"minions/internal/topo"
 	"minions/internal/trafficgen"
@@ -113,7 +115,53 @@ func TestReplayWrongTopology(t *testing.T) {
 
 	n2 := topo.New(5)
 	smaller, _, _ := topo.Dumbbell(n2, 2, 100)
-	if _, err := trafficgen.ReplayFrom(smaller, bytes.NewReader(buf.Bytes())); err == nil {
+	_, err = trafficgen.ReplayFrom(smaller, bytes.NewReader(buf.Bytes()))
+	if err == nil {
 		t.Fatal("replay accepted a trace from a different topology")
+	}
+	if !errors.Is(err, trafficgen.ErrTopologyMismatch) {
+		t.Fatalf("error %v does not wrap ErrTopologyMismatch", err)
+	}
+}
+
+// TestReplayMissingDestination: a record addressed to a node the replay
+// topology cannot deliver to — here a switch — is rejected as a topology
+// mismatch unless the caller lists it via ReplayTo. Regression test for the
+// silent failure mode where such records were injected anyway and the
+// packets wandered until TTL death, skewing every replayed counter.
+func TestReplayMissingDestination(t *testing.T) {
+	n1, hosts1, _ := buildDumbbell(7)
+	app := n1.CP.RegisterApp("replay-dst-test")
+	prog := asm.MustAssemble(`PUSH [Switch:SwitchID]`)
+
+	var buf bytes.Buffer
+	cap, err := trace.Start(&buf, hosts1...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A debugging probe addressed to the left dumbbell switch itself.
+	swID := n1.Switches[0].NodeID()
+	err = hosts1[0].ExecuteTPP(app, prog, swID, host.ExecOpts{}, func(core.Section, error) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1.Eng.RunUntil(5 * sim.Millisecond)
+	if err := cap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("capture recorded no packets")
+	}
+
+	n2, hosts2, _ := buildDumbbell(7)
+	if _, err := trafficgen.Replay(hosts2, recs); !errors.Is(err, trafficgen.ErrTopologyMismatch) {
+		t.Fatalf("Replay with a switch-targeted record: err %v, want ErrTopologyMismatch", err)
+	}
+	if _, err := trafficgen.ReplayTo(hosts2, []link.NodeID{n2.Switches[0].NodeID()}, recs); err != nil {
+		t.Fatalf("ReplayTo with the switch listed: %v", err)
 	}
 }

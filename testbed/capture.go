@@ -32,6 +32,17 @@ import (
 // to one shard.
 var ErrShardedCapture = errors.New("testbed: trace capture and replay require a single-shard run")
 
+// switchDests lists the topology's switch NodeIDs so replays accept
+// switch-targeted records (debugging probes address switches directly);
+// trafficgen rejects any other unknown destination as a topology mismatch.
+func switchDests(n *Network) []link.NodeID {
+	ids := make([]link.NodeID, len(n.Switches))
+	for i, sw := range n.Switches {
+		ids[i] = sw.NodeID()
+	}
+	return ids
+}
+
 // RunFig2Captured is RunFig2With with every host transmit of each panel
 // recorded to the given writers (binary trace format, see telemetry/trace).
 // Either writer may be nil to skip capturing that panel.
@@ -100,7 +111,7 @@ func runFig2Panel(duration Time, o SimOpts, alpha float64, capW io.Writer, repR 
 		for i, p := range pairs {
 			sinks[i] = transport.NewSink(n.Hosts[p[1]], uint16(7001+i), link.ProtoUDP)
 		}
-		if _, err := trafficgen.ReplayFrom(n.Hosts, repR); err != nil {
+		if _, err := trafficgen.ReplayFromTo(n.Hosts, switchDests(n), repR); err != nil {
 			return nil, zero, err
 		}
 	}
@@ -213,7 +224,7 @@ func runFig4Cell(duration Time, o SimOpts, useConga bool, capW io.Writer, repR i
 		}
 	} else {
 		var err error
-		if replayStats, err = trafficgen.ReplayFrom(n.Hosts, repR); err != nil {
+		if replayStats, err = trafficgen.ReplayFromTo(n.Hosts, switchDests(n), repR); err != nil {
 			return Fig4Cell{}, err
 		}
 	}

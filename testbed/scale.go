@@ -52,6 +52,11 @@ type ScaleConfig struct {
 	// timing wheel). Simulated behavior is identical across schedulers —
 	// the determinism guards pin it — only wall-clock metrics move.
 	Scheduler Scheduler
+	// Faults optionally arms a deterministic fault plan on the fat-tree
+	// (see tppnet.WithFaults). Nil keeps the hot path fault-free: the
+	// forwarding cost of an unarmed network is a single nil check, a
+	// contract cmd/benchjson's fat-tree-faults scenario pins.
+	Faults *tppnet.FaultPlan
 	// Export, when non-nil, publishes one telemetry Record per collected
 	// TPP hop sample into the pipeline (App "scale", Kind "hop", Node the
 	// switch ID, Val the queue occupancy, Aux the hop index and flow
@@ -184,7 +189,7 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 		}
 	}
 
-	net := NewNet(SimOpts{Seed: cfg.Seed, Shards: cfg.Shards, Scheduler: cfg.Scheduler})
+	net := NewNet(SimOpts{Seed: cfg.Seed, Shards: cfg.Shards, Scheduler: cfg.Scheduler, Faults: cfg.Faults})
 	pods := net.FatTree(cfg.K, cfg.RateMbps)
 	var hosts []*Host
 	for _, pod := range pods {

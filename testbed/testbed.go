@@ -65,15 +65,20 @@ const (
 )
 
 // SimOpts bundles the simulation-substrate options every runner shares:
-// the deterministic seed, the topology shard count, and the engine's event
-// scheduler. The zero value means seed 0, single shard, timing wheel.
-// Shards and Scheduler never change simulated behavior — the determinism
-// guard tests pin byte-identical results across both — only wall-clock
-// performance.
+// the deterministic seed, the topology shard count, the engine's event
+// scheduler, and an optional fault plan. The zero value means seed 0,
+// single shard, timing wheel, no faults. Shards and Scheduler never change
+// simulated behavior — the determinism guard tests pin byte-identical
+// results across both — only wall-clock performance. Faults DOES change
+// simulated behavior, deterministically: the plan carries its own seed.
 type SimOpts struct {
 	Seed      int64
 	Shards    int       // topology shards simulated in parallel (default 1)
 	Scheduler Scheduler // pending-event structure (default timing wheel)
+	// Faults, when non-nil, arms the deterministic fault plan on the
+	// network (link flaps, loss, corruption, jitter, switch halts); see
+	// tppnet.WithFaults and testbed.RunChaos.
+	Faults *tppnet.FaultPlan
 }
 
 // NewNet creates an empty network from the bundled options — the single
@@ -83,6 +88,7 @@ func NewNet(o SimOpts) *Network {
 		tppnet.WithSeed(o.Seed),
 		tppnet.WithShards(o.Shards),
 		tppnet.WithScheduler(o.Scheduler),
+		tppnet.WithFaults(o.Faults),
 	)
 }
 

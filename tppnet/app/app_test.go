@@ -176,7 +176,7 @@ func TestPeriodicRestartWithoutDrain(t *testing.T) {
 	p.Start()
 	n.RunFor(15 * tppnet.Millisecond) // one fire; next armed at t=25ms
 	p.Stop()
-	p.Start() // stale t=25ms event must die; new train fires at 25,35,...
+	p.Start()                         // stale t=25ms event must die; new train fires at 25,35,...
 	n.RunFor(81 * tppnet.Millisecond) // t=96ms: fires at 25,35,...,95 = 8
 	if fires != 9 {
 		t.Fatalf("fired %d times, want 9 — a stale event survived the restart", fires)

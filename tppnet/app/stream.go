@@ -1,93 +1,25 @@
 package app
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "minions/internal/stream"
 
 // Stream is a typed telemetry stream: deterministic, synchronous fan-out
 // from an application to its subscribers. It replaces the ad-hoc callback
 // and pointer-to-slice plumbing the internal applications used to hand-roll
 // (e.g. the old Netwatch(c, ...) *[]Violation shape).
 //
+// The implementation lives in internal/stream so internal layers (the host
+// control plane's executor give-up surface, the fault plane's event feed)
+// can publish the same primitive without importing the public app
+// framework; this alias keeps the public import path stable.
+//
 // Publish invokes every active subscriber in subscription order, on the
 // publisher's goroutine — in a discrete-event simulation that keeps results
 // reproducible, unlike channel-based delivery. A Stream's zero value is
-// ready to use.
-//
-// Streams are safe for concurrent use: sharded simulations publish from one
-// goroutine per shard, and a subscription's cancel may race a publish from
-// another shard. Subscribe copies the subscriber list (copy-on-write under
-// a mutex) while Publish reads it with a single atomic load, so the publish
-// path stays lock-free and allocation-free. Cancellation is an atomic flag:
-// a subscriber cancelled concurrently with a publish either observes that
-// event or does not, but never a torn state. The subscriber callbacks
-// themselves are invoked on the publishing goroutine — a callback shared
-// across shards must do its own locking (see apps/microburst.Monitor for
-// the pattern).
-type Stream[T any] struct {
-	mu   sync.Mutex // serializes Subscribe's copy-on-write
-	subs atomic.Pointer[[]*subscription[T]]
-}
-
-type subscription[T any] struct {
-	fn     func(T)
-	active atomic.Bool
-}
-
-// Subscribe registers fn to observe every subsequent Publish and returns a
-// cancel function. Cancel is idempotent; cancelled subscribers stop
-// receiving immediately but their slot is retained (subscription order of
-// the remaining subscribers never changes mid-run).
-func (s *Stream[T]) Subscribe(fn func(T)) (cancel func()) {
-	sub := &subscription[T]{fn: fn}
-	sub.active.Store(true)
-	s.mu.Lock()
-	var next []*subscription[T]
-	if cur := s.subs.Load(); cur != nil {
-		next = make([]*subscription[T], len(*cur), len(*cur)+1)
-		copy(next, *cur)
-	}
-	next = append(next, sub)
-	s.subs.Store(&next)
-	s.mu.Unlock()
-	return func() { sub.active.Store(false) }
-}
-
-// Publish delivers v to every active subscriber, in subscription order.
-func (s *Stream[T]) Publish(v T) {
-	subs := s.subs.Load()
-	if subs == nil {
-		return
-	}
-	for _, sub := range *subs {
-		if sub.active.Load() {
-			sub.fn(v)
-		}
-	}
-}
-
-// HasSubscribers reports whether any active subscriber remains; publishers
-// on warm paths check it to skip building events nobody consumes.
-func (s *Stream[T]) HasSubscribers() bool {
-	subs := s.subs.Load()
-	if subs == nil {
-		return false
-	}
-	for _, sub := range *subs {
-		if sub.active.Load() {
-			return true
-		}
-	}
-	return false
-}
+// ready to use. See internal/stream for the concurrency contract.
+type Stream[T any] = stream.Stream[T]
 
 // Collect subscribes a slice accumulator to the stream and returns it: the
 // one-liner for tests and batch consumers that want every event. The
 // accumulator itself is not synchronized — use it where publishes are
 // serialized (single-shard runs, or a publisher that holds its own lock).
-func Collect[T any](s *Stream[T]) *[]T {
-	out := &[]T{}
-	s.Subscribe(func(v T) { *out = append(*out, v) })
-	return out
-}
+func Collect[T any](s *Stream[T]) *[]T { return stream.Collect(s) }

@@ -1,0 +1,74 @@
+package faults_test
+
+import (
+	"testing"
+
+	"minions/telemetry"
+	"minions/tppnet"
+	"minions/tppnet/faults"
+)
+
+// testChaosNet runs a dumbbell under heavy loss with both telemetry bridges
+// attached and returns the flushed records plus the injector's counts.
+func testChaosNet(t *testing.T) ([]telemetry.Record, faults.Counts) {
+	t.Helper()
+	plan := &tppnet.FaultPlan{
+		Seed:    5,
+		Horizon: 50 * tppnet.Millisecond,
+		Flap:    &faults.FlapSpec{MTTF: 10 * tppnet.Millisecond, MTTR: 3 * tppnet.Millisecond},
+		Loss:    &faults.LossSpec{Rate: 0.05},
+	}
+	n := tppnet.NewNetwork(tppnet.WithSeed(2), tppnet.WithFaults(plan))
+	hosts, _, _ := n.Dumbbell(4, 100)
+
+	var sink telemetry.MemSink
+	pipe := telemetry.NewPipeline(telemetry.Config{Spool: 1 << 14, Policy: telemetry.Block})
+	pipe.Attach(&sink)
+	defer faults.Export(n.ArmFaults(), pipe)()
+	defer faults.ExportDrops(n, pipe)()
+
+	for i, h := range hosts[:2] {
+		dst := hosts[2+i]
+		f := tppnet.NewUDPFlow(h, dst.ID(), uint16(9000+i), uint16(9000+i), 1000)
+		f.SetRateBps(40_000_000)
+		f.Start()
+		defer f.Stop()
+	}
+	n.RunUntil(60 * tppnet.Millisecond)
+	pipe.Flush()
+	return sink.Records, n.Faults().Counts()
+}
+
+// TestExportRecords checks both bridges: every fault-plane state change and
+// every loss-induced drop surfaces as a canonical record, with the drop
+// reason named in Note so collectors need not know the enum.
+func TestExportRecords(t *testing.T) {
+	recs, c := testChaosNet(t)
+
+	perKind := make(map[string]uint64)
+	perReason := make(map[string]uint64)
+	for _, r := range recs {
+		if r.App != "faults" {
+			t.Fatalf("record tagged app %q", r.App)
+		}
+		perKind[r.Kind]++
+		if r.Kind == "drop" {
+			perReason[r.Note]++
+			if r.Node == 0 || r.Val <= 0 {
+				t.Fatalf("drop record missing node/size: %+v", r)
+			}
+		}
+	}
+	if perKind["link-down"] != c.LinkDowns || perKind["link-up"] != c.LinkUps {
+		t.Errorf("flap events: exported %d/%d, counted %d/%d",
+			perKind["link-down"], perKind["link-up"], c.LinkDowns, c.LinkUps)
+	}
+	if c.LinkDowns == 0 || c.Losses == 0 {
+		t.Fatalf("chaos never engaged: %+v", c)
+	}
+	// Loss drops happen on the egress link and are re-published by the
+	// owning switch as fault-loss; downed links surface as link-down drops.
+	if perReason["fault-loss"] == 0 {
+		t.Errorf("no fault-loss drop records among %d drops (%v)", perKind["drop"], perReason)
+	}
+}

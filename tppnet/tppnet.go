@@ -23,6 +23,7 @@ package tppnet
 import (
 	"minions/internal/core"
 	"minions/internal/device"
+	"minions/internal/faults"
 	"minions/internal/host"
 	"minions/internal/link"
 	"minions/internal/sim"
@@ -86,6 +87,26 @@ type (
 	Sink = transport.Sink
 	// DropReason classifies switch-local packet drops.
 	DropReason = device.DropReason
+	// LinkEnds names the transmitter and receiver of one unidirectional
+	// link (same indexing as Links(); see Network.LinkEndsOf).
+	LinkEnds = topo.LinkEnds
+	// FaultPlan is a deterministic, seedable fault schedule: link flaps,
+	// packet loss (Bernoulli and Gilbert-Elliott burst), TPP corruption,
+	// serialization jitter and switch halts. Arm one with WithFaults; the
+	// subpackage tppnet/faults re-exports the spec types and the telemetry
+	// bridge.
+	FaultPlan = faults.Plan
+	// FaultInjector is an armed fault plan: counters and the event stream.
+	FaultInjector = faults.Injector
+	// FaultEvent is one fault-plane occurrence (link down/up, burst
+	// start/end, switch halt/restart).
+	FaultEvent = faults.Event
+	// ExecFailure is the executor's give-up record, published on
+	// Host.ExecFailures when a reliable execution exhausts its retries.
+	ExecFailure = host.ExecFailure
+	// RetryPolicy shapes executor retries: timeout, attempts, exponential
+	// backoff and jitter (ExecOpts.Retry).
+	RetryPolicy = host.RetryPolicy
 )
 
 // Time units.
@@ -150,6 +171,7 @@ type options struct {
 	seed   int64
 	shards int
 	sched  Scheduler
+	faults *faults.Plan
 }
 
 // Option configures NewNetwork.
@@ -186,12 +208,24 @@ func WithShards(n int) Option {
 	return func(o *options) { o.shards = n }
 }
 
+// WithFaults arms a fault plan on the network: the plan's fault events are
+// scheduled onto the topology the first time the network runs (the plan
+// needs the links and switches to exist, so arming is deferred past
+// wiring). A nil plan is a no-op — and an unarmed network pays nothing:
+// the forwarding hot path's only fault-plane cost is a nil check.
+func WithFaults(plan *FaultPlan) Option {
+	return func(o *options) { o.faults = plan }
+}
+
 // Network is a wired simulation: a deterministic engine, the shared TPP-CP,
 // and the hosts, switches and links connected so far. The embedded substrate
 // exposes AddHost, AddSwitch, Connect, ComputeRoutes, Links, CP and Eng
 // directly.
 type Network struct {
 	*topo.Network
+
+	faultPlan *faults.Plan
+	injector  *faults.Injector
 }
 
 // NewNetwork creates an empty network.
@@ -200,15 +234,50 @@ func NewNetwork(opts ...Option) *Network {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return &Network{Network: topo.NewShardedScheduler(o.seed, o.shards, o.sched)}
+	return &Network{
+		Network:   topo.NewShardedScheduler(o.seed, o.shards, o.sched),
+		faultPlan: o.faults,
+	}
 }
+
+// ArmFaults arms the WithFaults plan now (idempotent): topology wiring must
+// be complete. Run and RunFor arm automatically; call this earlier only to
+// subscribe to the injector's event stream before the first run. It panics
+// on an invalid plan (out-of-range target indices), which is a programming
+// error in the plan, and returns nil when no plan was configured.
+func (n *Network) ArmFaults() *FaultInjector {
+	if n.injector != nil || n.faultPlan == nil {
+		return n.injector
+	}
+	n.injector = faults.NewInjector(*n.faultPlan)
+	if err := n.injector.Arm(n.Links(), n.Switches); err != nil {
+		panic("tppnet: " + err.Error())
+	}
+	return n.injector
+}
+
+// Faults returns the armed fault injector, nil when no plan is configured
+// (or before the first Run/ArmFaults).
+func (n *Network) Faults() *FaultInjector { return n.injector }
 
 // Run processes simulation events across every shard until none remain,
 // returning the count.
-func (n *Network) Run() int { return n.Network.Run() }
+func (n *Network) Run() int {
+	n.ArmFaults()
+	return n.Network.Run()
+}
 
 // RunFor processes events for d of virtual time, returning the count.
-func (n *Network) RunFor(d Time) int { return n.Network.RunUntil(n.Now() + d) }
+func (n *Network) RunFor(d Time) int {
+	n.ArmFaults()
+	return n.Network.RunUntil(n.Now() + d)
+}
+
+// RunUntil processes events until virtual time t, returning the count.
+func (n *Network) RunUntil(t Time) int {
+	n.ArmFaults()
+	return n.Network.RunUntil(t)
+}
 
 // Dumbbell wires the Figure 1 topology: two switches joined by one link,
 // half the hosts on each side, all links at rateMbps. Routes are computed.
