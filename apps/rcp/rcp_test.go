@@ -134,8 +134,7 @@ func TestVersionedUpdatesDontClobber(t *testing.T) {
 	// The shared link is s1's port toward s2. Find it: s1 routes to
 	// hosts[3] via that port.
 	s1 := sws[0]
-	e := s1.Route(hosts[3].ID())
-	port := s1.Port(e.Ports[0])
+	port := s1.Port(s1.RoutePorts(hosts[3].ID())[0])
 	stored := port.AppSpecific(1)
 	if stored == 0 || stored > 100_000 {
 		t.Errorf("stored fair rate = %d kbps, outside (0, 100000]", stored)

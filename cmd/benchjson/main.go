@@ -19,10 +19,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"minions/internal/core"
 	"minions/internal/mem"
+	"minions/internal/topo"
 	"minions/telemetry"
 	"minions/testbed"
 	"minions/tppnet"
@@ -57,9 +60,11 @@ func main() {
 	shards := flag.Int("shards", 1, "topology shards for the default fat-tree scenarios")
 	scaleK := flag.Int("scale-k", 8, "fat-tree arity for the shard-scaling sweep (0 disables)")
 	scaleFlows := flag.Int("scale-flows", 256, "flows for the shard-scaling sweep")
+	bigK := flag.Int("big-k", 16, "fat-tree arity for the single-shard large-fabric row (0 disables)")
 	schedName := flag.String("scheduler", "wheel", "engine event scheduler for the default scenarios: wheel or heap")
 	schedSweep := flag.Bool("sched-sweep", true, "record the A/B scenarios: heap-vs-wheel fat-tree and e2e hop, plus the PUSH-fusion curve")
 	strictAllocs := flag.Bool("strict-allocs", false, "exit non-zero if any single-shard forward-path scenario reports allocs/op > 0")
+	buildKs := flag.String("build-k", "4,8,16", "comma-separated fat-tree arities for the topology build/route scenarios (empty disables)")
 	baseline := flag.String("baseline", "", "committed BENCH_*.json to hold the no-fault fat-tree rows against (2% tolerance on deterministic counters)")
 	repeat := flag.Int("repeat", 3, "runs per scenario; the fastest is recorded (wall-clock noise rejection)")
 	flag.Parse()
@@ -190,6 +195,31 @@ func main() {
 		}
 	}
 
+	// The large-fabric row: a single-shard k=16 fat-tree (1,024 hosts,
+	// 12k+-entry route tables) under the same TPP workload. This is the
+	// scale point the dense split route tables exist for; allocs/pkt-hop
+	// stays 0 and -strict-allocs holds it there.
+	if *bigK > 0 {
+		res, err := bestScale(testbed.ScaleConfig{
+			K:         *bigK,
+			Flows:     *scaleFlows,
+			Duration:  testbed.Time(*durationMs) * testbed.Millisecond,
+			Seed:      *seed,
+			WithTPP:   true,
+			Shards:    1,
+			Scheduler: sched,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rep.Scenarios = append(rep.Scenarios, scaleScenario(
+			fmt.Sprintf("fat-tree-big-k%d", *bigK), res, map[string]any{
+				"k": *bigK, "flows": *scaleFlows, "duration_ms": *durationMs,
+				"seed": *seed, "with_tpp": true, "shards": 1,
+				"scheduler": sched.String(),
+			}))
+	}
+
 	for _, withTPP := range []bool{true, false} {
 		name := "e2e-hop"
 		if withTPP {
@@ -235,6 +265,16 @@ func main() {
 	}
 
 	rep.Scenarios = append(rep.Scenarios, telemetryScenario())
+
+	if *buildKs != "" {
+		for _, part := range strings.Split(*buildKs, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("-build-k: %w", err))
+			}
+			rep.Scenarios = append(rep.Scenarios, fatTreeBuildScenario(k))
+		}
+	}
 
 	if *strictAllocs {
 		enforceZeroAllocs(rep)
@@ -378,6 +418,46 @@ func fusionScenario() scenario {
 		Config:  map[string]any{"iters": iters, "mode": "stack"},
 		Metrics: metrics,
 	}
+}
+
+// fatTreeBuildScenario measures the topology-construction cost the scale
+// work cares about: wall time and HeapAlloc growth for wiring a k-ary
+// fat-tree (build) and installing its routing tables (route), reported per
+// node so arities are comparable. Routing uses the arithmetic pod-structure
+// builder behind ComputeRoutes; the route_bytes_per_node column is the
+// dense route-table footprint EXPERIMENTS.md tracks against the old
+// map-based representation.
+func fatTreeBuildScenario(k int) scenario {
+	heap := func() uint64 {
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return m.HeapAlloc
+	}
+	h0 := heap()
+	t0 := time.Now()
+	n := topo.New(1)
+	topo.FatTreeBuild(n, k, 1000)
+	build := time.Since(t0)
+	h1 := heap()
+	t1 := time.Now()
+	n.ComputeRoutes()
+	route := time.Since(t1)
+	h2 := heap()
+	nodes := len(n.Hosts) + len(n.Switches)
+	sc := scenario{
+		Name:   fmt.Sprintf("fat-tree-build-k%d", k),
+		Config: map[string]any{"k": k, "nodes": nodes},
+		Metrics: map[string]float64{
+			"build_ms":             float64(build.Nanoseconds()) / 1e6,
+			"route_ms":             float64(route.Nanoseconds()) / 1e6,
+			"build_bytes_per_node": float64(h1-h0) / float64(nodes),
+			"route_bytes_per_node": float64(h2-h1) / float64(nodes),
+			"route_entries":        float64(n.Switches[0].NumRoutes() * len(n.Switches)),
+		},
+	}
+	runtime.KeepAlive(n)
+	return sc
 }
 
 // telemetryScenario measures the export pipeline end to end: publish

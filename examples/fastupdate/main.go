@@ -27,7 +27,7 @@ func main() {
 	s1.AddRoute(h1.ID(), 1) // pin the initial path via s2
 
 	fmt.Printf("before: s1 routes h1 via port %v, table version %d\n",
-		s1.Route(h1.ID()).Ports, s1.Version())
+		s1.RoutePorts(h1.ID()), s1.Version())
 
 	// The update TPP: two STOREs carry (destination, port) — the paper's
 	// "only 64 bits of information per-hop". Targeted at s1 by addressing
@@ -55,6 +55,6 @@ func main() {
 	n.Run()
 
 	fmt.Printf("after:  s1 routes h1 via port %v, table version %d\n",
-		s1.Route(h1.ID()).Ports, s1.Version())
+		s1.RoutePorts(h1.ID()), s1.Version())
 	fmt.Println("route installed in half an RTT, in-band — no controller round trip")
 }

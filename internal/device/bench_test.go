@@ -89,12 +89,12 @@ func TestSwitchTCPUZeroAllocs(t *testing.T) {
 		TPP:  s,
 		TTL:  64,
 	}
-	entry := sw.Route(200)
-	sw.pktCtx = pktContext{pkt: p, inPort: 0, outPort: 1, entry: entry, altPorts: 1}
+	entry := *sw.Route(200)
+	sw.pktCtx = pktContext{pkt: p, inPort: 0, outPort: 1, entry: entry, hasEntry: true, altPorts: 1}
 	sw.tcpu.Exec(p.TPP) // warm the decoded-insn cache
 	if allocs := testing.AllocsPerRun(200, func() {
 		p.TPP.SetHopOrSP(0)
-		sw.pktCtx = pktContext{pkt: p, inPort: 0, outPort: 1, entry: entry, altPorts: 1}
+		sw.pktCtx = pktContext{pkt: p, inPort: 0, outPort: 1, entry: entry, hasEntry: true, altPorts: 1}
 		sw.curAppID = p.TPP.AppID()
 		sw.tcpu.Exec(p.TPP)
 	}); allocs != 0 {

@@ -38,15 +38,22 @@ func (p *Port) SetAppSpecific(i int, v uint32) { p.appSpec[i] = v }
 
 // RouteEntry is one routing-table entry: a destination bound to an ECMP
 // group of output ports, with the per-entry statistics block of Table 6.
+// Entries are stored by value in the switch's dense table, 20 bytes each:
+// the ECMP group is an index into the switch's interned group table (a
+// fat-tree needs only O(k) distinct groups however large the table), and
+// the statistics are 32-bit because every TPP register read of them is
+// 32-bit anyway (wrapping is the same truncation). An entry with id == 0 is
+// an empty table slot; installed entries always have id >= 1.
 type RouteEntry struct {
-	Dst   link.NodeID
-	Ports []int // ECMP group; selection hashes the flow key and path tag
-
 	id          uint32
-	insertClock sim.Time
-	matchPkts   uint64
-	matchBytes  uint64
+	insertClock uint32
+	matchPkts   uint32
+	matchBytes  uint32
+	group       uint32
 }
+
+// ID returns the entry's table-unique identifier ([FlowEntry:ID]).
+func (e *RouteEntry) ID() uint32 { return e.id }
 
 // DropReason classifies switch-local packet drops.
 type DropReason uint8
@@ -64,6 +71,10 @@ const (
 	// DropFaultLoss: the fault plane discarded the packet on the egress
 	// link (random or burst loss).
 	DropFaultLoss
+
+	// NumDropReasons sizes the switch's fixed drop-counter array; keep it
+	// last when adding reasons.
+	NumDropReasons
 )
 
 // String names the reason.
@@ -107,7 +118,21 @@ type Switch struct {
 
 	ports []Port
 
-	routes      map[link.NodeID]*RouteEntry
+	// The routing table is two dense slices of by-value entries indexed by
+	// destination NodeID: routesLow covers host IDs 1..len-1 and routesHigh
+	// covers switch IDs routeBase+1.., so the ID gap between the host range
+	// and the switch base costs no memory. With routeBase 0 (no shape hint;
+	// unit tests, ad-hoc switches) everything lands in routesLow. Slots with
+	// id == 0 are absent. portArena backs every entry's ECMP group;
+	// identical groups are interned, so a fat-tree switch stores O(k)
+	// distinct groups however many thousands of entries it holds.
+	routesLow  []RouteEntry
+	routesHigh []RouteEntry
+	routeBase  link.NodeID
+	numRoutes  int
+	portArena  []int
+	portGroups []portGroup
+
 	version     uint32 // forwarding-state generation ([Switch:Version])
 	nextEntryID uint32
 	lookupPkts  uint64
@@ -116,7 +141,9 @@ type Switch struct {
 	matchBytes  uint64
 
 	// vendorMem backs the platform-specific address space (§8), including
-	// the in-band route-update registers.
+	// the in-band route-update registers. Allocated lazily on the first
+	// vendor-space write — idle switches carry no map (nil-map reads are
+	// safe and return the unimplemented-address miss).
 	vendorMem map[mem.Addr]uint32
 	// pendingRouteDst holds the staged destination for an in-band route add.
 	pendingRouteDst uint32
@@ -137,7 +164,7 @@ type Switch struct {
 	// set FlagDropNotify (§2.6 loss localization).
 	DropCollector func(p *link.Packet, reason DropReason)
 
-	drops map[DropReason]uint64
+	drops [NumDropReasons]uint64
 
 	// The distributed TCPU of §3.5: one resident executor per switch, bound
 	// once to a packet-consistent memory view whose context is repointed per
@@ -154,12 +181,9 @@ func New(eng *sim.Engine, cfg Config) *Switch {
 		panic(fmt.Sprintf("device: invalid port count %d", cfg.NumPorts))
 	}
 	sw := &Switch{
-		eng:       eng,
-		cfg:       cfg,
-		ports:     make([]Port, cfg.NumPorts),
-		routes:    make(map[link.NodeID]*RouteEntry),
-		vendorMem: make(map[mem.Addr]uint32),
-		drops:     make(map[DropReason]uint64),
+		eng:   eng,
+		cfg:   cfg,
+		ports: make([]Port, cfg.NumPorts),
 	}
 	sw.view = memView{sw: sw, ctx: &sw.pktCtx}
 	sw.tcpu = *core.NewExecutor(core.Env{Mem: &sw.view, AllowWrite: sw.allowTPPWrite})
@@ -225,31 +249,156 @@ func (sw *Switch) SetHalted(v bool) { sw.halted = v }
 func (sw *Switch) Version() uint32 { return sw.version }
 
 // Drops returns the drop counter for a reason.
-func (sw *Switch) Drops(r DropReason) uint64 { return sw.drops[r] }
+func (sw *Switch) Drops(r DropReason) uint64 {
+	if r >= NumDropReasons {
+		return 0
+	}
+	return sw.drops[r]
+}
+
+// portGroup names one interned ECMP group inside the port arena.
+type portGroup struct{ off, n uint32 }
+
+// internPorts returns the index of the interned ECMP group equal to ports,
+// appending a new arena span only when no identical group exists. Dedup
+// keeps the arena at a handful of groups per switch (a k-ary fat-tree needs
+// at most k+O(1)), so the linear scan is cheap even while installing
+// thousands of routes.
+func (sw *Switch) internPorts(ports []int) uint32 {
+	want := len(ports)
+scan:
+	for gi, g := range sw.portGroups {
+		if int(g.n) != want || (want > 0 && sw.portArena[g.off] != ports[0]) {
+			continue
+		}
+		for j := 1; j < want; j++ {
+			if sw.portArena[int(g.off)+j] != ports[j] {
+				continue scan
+			}
+		}
+		return uint32(gi)
+	}
+	off := uint32(len(sw.portArena))
+	sw.portArena = append(sw.portArena, ports...)
+	sw.portGroups = append(sw.portGroups, portGroup{off: off, n: uint32(want)})
+	return uint32(len(sw.portGroups) - 1)
+}
+
+// PresizeRoutes shapes the dense routing table for a known address layout:
+// host destinations occupy IDs 1..maxHost and switch destinations
+// base+1..base+numSwitches. Topology builders call it once per switch
+// before installing routes; it allocates both regions at final size and
+// anchors the high region at base so the host-ID/switch-base gap costs
+// nothing. Ignored once entries exist (the split cannot move under a live
+// table).
+func (sw *Switch) PresizeRoutes(maxHost link.NodeID, base link.NodeID, numSwitches int) {
+	if sw.numRoutes != 0 || base == 0 || base < maxHost {
+		return
+	}
+	sw.routeBase = base
+	if need := int(maxHost) + 1; need > len(sw.routesLow) {
+		sw.routesLow = growEntries(sw.routesLow, need)
+	}
+	if numSwitches > len(sw.routesHigh) {
+		sw.routesHigh = growEntries(sw.routesHigh, numSwitches)
+	}
+}
+
+// growEntries extends a dense entry slice to at least need slots, keeping
+// existing entries and amortizing repeated growth.
+func growEntries(s []RouteEntry, need int) []RouteEntry {
+	if need <= cap(s) {
+		return s[:need]
+	}
+	newCap := need
+	if c := 2 * cap(s); c > newCap {
+		newCap = c
+	}
+	ns := make([]RouteEntry, need, newCap)
+	copy(ns, s)
+	return ns
+}
+
+// routeSlot returns dst's table slot, nil when dst lies outside the table's
+// current extent. The hot forward path uses it: two compares and an index.
+func (sw *Switch) routeSlot(dst link.NodeID) *RouteEntry {
+	if sw.routeBase != 0 && dst > sw.routeBase {
+		if i := int(dst - sw.routeBase - 1); i < len(sw.routesHigh) {
+			return &sw.routesHigh[i]
+		}
+		return nil
+	}
+	if i := int(dst); i < len(sw.routesLow) {
+		return &sw.routesLow[i]
+	}
+	return nil
+}
+
+// routeSlotAlloc returns dst's table slot, growing the owning region when
+// dst lies beyond it (unit tests and in-band route updates install routes
+// without a PresizeRoutes shape).
+func (sw *Switch) routeSlotAlloc(dst link.NodeID) *RouteEntry {
+	if sw.routeBase != 0 && dst > sw.routeBase {
+		i := int(dst - sw.routeBase - 1)
+		if i >= len(sw.routesHigh) {
+			sw.routesHigh = growEntries(sw.routesHigh, i+1)
+		}
+		return &sw.routesHigh[i]
+	}
+	i := int(dst)
+	if i >= len(sw.routesLow) {
+		sw.routesLow = growEntries(sw.routesLow, i+1)
+	}
+	return &sw.routesLow[i]
+}
 
 // AddRoute installs (or replaces) the route for dst, bumping the table
 // version — the counter NetSight-style applications read to detect
-// forwarding-state changes.
+// forwarding-state changes. Installing may grow the dense table; pointers
+// previously returned by Route are invalidated.
 func (sw *Switch) AddRoute(dst link.NodeID, ports ...int) {
 	for _, p := range ports {
 		if p < 0 || p >= len(sw.ports) {
 			panic(fmt.Sprintf("device: route port %d out of range", p))
 		}
 	}
+	group := sw.internPorts(ports)
+	slot := sw.routeSlotAlloc(dst)
+	if slot.id == 0 {
+		sw.numRoutes++
+	}
 	sw.nextEntryID++
-	sw.routes[dst] = &RouteEntry{
-		Dst:         dst,
-		Ports:       ports,
+	*slot = RouteEntry{
 		id:          sw.nextEntryID,
-		insertClock: sw.eng.Now(),
+		insertClock: uint32(uint64(sw.eng.Now())),
+		group:       group,
 	}
 	sw.version++
 }
 
-// Route returns the routing entry for dst, if any.
+// Route returns the routing entry for dst, if any. The pointer aliases the
+// dense table and is valid only until the next AddRoute. Use RoutePorts for
+// the entry's ECMP group.
 func (sw *Switch) Route(dst link.NodeID) *RouteEntry {
-	return sw.routes[dst]
+	if e := sw.routeSlot(dst); e != nil && e.id != 0 {
+		return e
+	}
+	return nil
 }
+
+// RoutePorts returns dst's ECMP port group (nil when no route exists). The
+// slice aliases the switch's port arena; callers must not modify it.
+func (sw *Switch) RoutePorts(dst link.NodeID) []int {
+	e := sw.routeSlot(dst)
+	if e == nil || e.id == 0 {
+		return nil
+	}
+	g := sw.portGroups[e.group]
+	return sw.portArena[g.off : g.off+g.n : g.off+g.n]
+}
+
+// NumRoutes returns the number of installed routing entries.
+func (sw *Switch) NumRoutes() int { return sw.numRoutes }
 
 // SetWritePolicy installs the per-application write filter used when TPPs
 // execute (§4.1's access-control table, enforced in the dataplane).
@@ -260,8 +409,12 @@ func (sw *Switch) SetWritePolicy(f func(appID uint16, a mem.Addr) bool) {
 // SetDenyAllWrites toggles the §4.3 kill switch for STORE/CSTORE/POP.
 func (sw *Switch) SetDenyAllWrites(v bool) { sw.denyAllWrites = v }
 
-// SetVendorReg sets a platform-specific register (§8).
+// SetVendorReg sets a platform-specific register (§8), allocating the
+// vendor space on first use.
 func (sw *Switch) SetVendorReg(a mem.Addr, v uint32) {
+	if sw.vendorMem == nil {
+		sw.vendorMem = make(map[mem.Addr]uint32)
+	}
 	sw.vendorMem[a] = v
 }
 
@@ -343,40 +496,46 @@ func (sw *Switch) Receive(p *link.Packet, inPort int) {
 		}
 	}
 
-	// Match-action stage 0: the routing table.
+	// Match-action stage 0: the routing table — two compares and a dense
+	// array index, no hashing.
 	sw.lookupPkts++
 	sw.lookupBytes += uint64(p.Size)
-	entry := sw.routes[p.Flow.Dst]
-	if entry == nil {
+	entry := sw.routeSlot(p.Flow.Dst)
+	if entry == nil || entry.id == 0 {
 		sw.drop(p, DropNoRoute)
 		return
 	}
 	sw.matchPkts++
 	sw.matchBytes += uint64(p.Size)
 	entry.matchPkts++
-	entry.matchBytes += uint64(p.Size)
+	entry.matchBytes += uint32(p.Size)
 
-	outPort := entry.Ports[0]
-	if len(entry.Ports) > 1 {
+	g := sw.portGroups[entry.group]
+	group := sw.portArena[g.off : g.off+g.n]
+	outPort := group[0]
+	if len(group) > 1 {
 		// Tagged packets are steered by the tag alone so end-hosts can pick
 		// paths deterministically; untagged traffic gets per-flow ECMP.
 		if p.PathTag != 0 {
-			outPort = entry.Ports[int(link.TagHash(p.PathTag)%uint32(len(entry.Ports)))]
+			outPort = group[int(link.TagHash(p.PathTag)%uint32(len(group)))]
 		} else {
-			outPort = entry.Ports[int(p.Flow.Hash(0)%uint32(len(entry.Ports)))]
+			outPort = group[int(p.Flow.Hash(0)%uint32(len(group)))]
 		}
 	}
 
 	// The TCPU: execute the TPP with a packet-consistent view. The context
-	// carries the very values the forwarding logic just produced. Echoed
-	// TPPs are "fully executed" (§4.2) and ride back untouched.
+	// carries the very values the forwarding logic just produced, with the
+	// matched entry snapshotted by value: an in-band route update during
+	// execution may grow the dense table, and the snapshot preserves the
+	// packet-consistent (pre-update) view a pointer cannot.
 	if p.TPP != nil && p.TPP.Flags()&core.FlagEchoed == 0 {
 		sw.pktCtx = pktContext{
 			pkt:      p,
 			inPort:   inPort,
 			outPort:  outPort,
-			entry:    entry,
-			altPorts: len(entry.Ports),
+			entry:    *entry,
+			hasEntry: true,
+			altPorts: len(group),
 		}
 		sw.curAppID = p.TPP.AppID()
 		sw.tcpu.Exec(p.TPP)

@@ -413,12 +413,11 @@ func TestInBandRouteUpdate(t *testing.T) {
 	eng.Run()
 
 	for _, sw := range []*Switch{sw1, sw2} {
-		e := sw.Route(777)
-		if e == nil {
+		if sw.Route(777) == nil {
 			t.Fatalf("switch %d: route not installed", sw.ID())
 		}
-		if len(e.Ports) != 1 || e.Ports[0] != 1 {
-			t.Errorf("switch %d: route ports %v", sw.ID(), e.Ports)
+		if ports := sw.RoutePorts(777); len(ports) != 1 || ports[0] != 1 {
+			t.Errorf("switch %d: route ports %v", sw.ID(), ports)
 		}
 	}
 	if sw1.Version() <= v1 {

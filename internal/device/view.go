@@ -6,12 +6,16 @@ import (
 )
 
 // pktContext is the per-packet metadata of appendix Tables 7-8: the values
-// the forwarding pipeline produced for the packet currently executing.
+// the forwarding pipeline produced for the packet currently executing. The
+// matched route entry is a by-value snapshot: the dense routing table may
+// grow (and move) if the executing TPP installs an in-band route update,
+// and the snapshot keeps the packet-consistent pre-update view.
 type pktContext struct {
 	pkt      *link.Packet
 	inPort   int
 	outPort  int
-	entry    *RouteEntry
+	entry    RouteEntry
+	hasEntry bool
 	altPorts int
 }
 
@@ -67,7 +71,7 @@ func (v *memView) Read(a mem.Addr) (uint32, bool) {
 		case mem.StageVersion:
 			return sw.version, true
 		case mem.StageRefCount:
-			return uint32(len(sw.routes)), true
+			return uint32(sw.numRoutes), true
 		case mem.StageLookupPkts:
 			return uint32(sw.lookupPkts), true
 		case mem.StageLookupBytes:
@@ -81,19 +85,19 @@ func (v *memView) Read(a mem.Addr) (uint32, bool) {
 
 	case mem.NSFlowEntry:
 		stage, reg := a.StageIndex()
-		if stage != 0 || v.ctx.entry == nil {
+		if stage != 0 || !v.ctx.hasEntry {
 			return 0, false
 		}
-		e := v.ctx.entry
+		e := &v.ctx.entry
 		switch reg {
 		case mem.EntryID:
 			return e.id, true
 		case mem.EntryInsertClock:
-			return uint32(uint64(e.insertClock)), true
+			return e.insertClock, true
 		case mem.EntryMatchPkts:
-			return uint32(e.matchPkts), true
+			return e.matchPkts, true
 		case mem.EntryMatchBytes:
-			return uint32(e.matchBytes), true
+			return e.matchBytes, true
 		}
 		return 0, false
 
@@ -213,7 +217,7 @@ func (v *memView) readPacketReg(reg mem.Addr) (uint32, bool) {
 	case mem.PktQueueID:
 		return 0, true
 	case mem.PktMatchedEntry:
-		if ctx.entry == nil {
+		if !ctx.hasEntry {
 			return 0, false
 		}
 		return ctx.entry.id, true
@@ -265,19 +269,19 @@ func (v *memView) Write(a mem.Addr, val uint32) bool {
 		switch a {
 		case RegRouteUpdateDst:
 			sw.pendingRouteDst = val
-			sw.vendorMem[a] = val
+			sw.SetVendorReg(a, val)
 			return true
 		case RegRouteUpdatePort:
 			// Committing the staged route: §2.6's half-RTT route install.
 			if int(val) >= len(sw.ports) {
 				return false
 			}
-			sw.vendorMem[a] = val
+			sw.SetVendorReg(a, val)
 			sw.AddRoute(link.NodeID(sw.pendingRouteDst), int(val))
 			return true
 		}
 		if a >= VendorScratchBase {
-			sw.vendorMem[a] = val
+			sw.SetVendorReg(a, val)
 			return true
 		}
 		return false

@@ -143,6 +143,9 @@ func (h *Host) ExecuteTPP(app *App, prog *core.Program, dst link.NodeID, opts Ex
 		pathTag: opts.PathTag, policy: opts.policy(),
 		appWire: app.Wire, cb: cb,
 	}
+	if h.pendingExec == nil {
+		h.pendingExec = make(map[uint16]*pendingExec)
+	}
 	h.pendingExec[pe.port] = pe
 	pe.sendAttempt()
 	return nil

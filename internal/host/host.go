@@ -128,14 +128,14 @@ type Host struct {
 
 // New creates a host with the given node ID, attached to a shared TPP-CP.
 func New(eng *sim.Engine, id link.NodeID, cp *ControlPlane) *Host {
+	// The three demux maps (binds, aggs, pendingExec) allocate lazily on
+	// first registration: nil-map reads are valid Go, and most hosts of a
+	// large fabric never bind a port or launch a reliable execution.
 	return &Host{
-		eng:         eng,
-		id:          id,
-		cp:          cp,
-		aggs:        make(map[uint16]Aggregator),
-		binds:       make(map[bindKey]func(*link.Packet)),
-		pendingExec: make(map[uint16]*pendingExec),
-		nextPort:    49152,
+		eng:      eng,
+		id:       id,
+		cp:       cp,
+		nextPort: 49152,
 	}
 }
 
@@ -168,6 +168,9 @@ func (h *Host) Stats() Stats { return h.stats }
 
 // Bind registers a receive handler for a destination port and protocol.
 func (h *Host) Bind(port uint16, proto uint8, fn func(*link.Packet)) {
+	if h.binds == nil {
+		h.binds = make(map[bindKey]func(*link.Packet))
+	}
 	h.binds[bindKey{port, proto}] = fn
 }
 
@@ -178,6 +181,9 @@ func (h *Host) Unbind(port uint16, proto uint8) {
 
 // RegisterAggregator installs the per-application consumer of executed TPPs.
 func (h *Host) RegisterAggregator(wireApp uint16, agg Aggregator) {
+	if h.aggs == nil {
+		h.aggs = make(map[uint16]Aggregator)
+	}
 	h.aggs[wireApp] = agg
 }
 

@@ -1,0 +1,64 @@
+package topo
+
+import (
+	"slices"
+	"testing"
+
+	"minions/internal/link"
+)
+
+// TestFatTreeArithmeticRoutesMatchBFS pins the arithmetic fat-tree route
+// builder to the generic BFS builder, table for table: same entries present,
+// same ECMP port groups in the same order, same entry IDs and same table
+// versions — the full observable surface, since entry IDs and versions leak
+// to TPPs through the [FlowEntry:ID] and [Switch:Version] registers.
+func TestFatTreeArithmeticRoutesMatchBFS(t *testing.T) {
+	for _, k := range []int{4, 6, 8} {
+		arith := New(1)
+		FatTree(arith, k, 1000)
+		bfs := New(1)
+		bfs.forceBFS = true
+		FatTree(bfs, k, 1000)
+
+		if arith.ftK != k || !bfs.forceBFS {
+			t.Fatal("test hooks not wired")
+		}
+		dests := make([]link.NodeID, 0, len(arith.Hosts)+len(arith.Switches))
+		for _, h := range arith.Hosts {
+			dests = append(dests, h.ID())
+		}
+		for _, sw := range arith.Switches {
+			dests = append(dests, sw.NodeID())
+		}
+		for si := range arith.Switches {
+			sa, sb := arith.Switches[si], bfs.Switches[si]
+			if sa.Version() != sb.Version() {
+				t.Errorf("k=%d switch %d: version %d (arith) != %d (bfs)",
+					k, si, sa.Version(), sb.Version())
+			}
+			if sa.NumRoutes() != sb.NumRoutes() {
+				t.Errorf("k=%d switch %d: %d routes (arith) != %d (bfs)",
+					k, si, sa.NumRoutes(), sb.NumRoutes())
+			}
+			for _, dst := range dests {
+				ea, eb := sa.Route(dst), sb.Route(dst)
+				if (ea == nil) != (eb == nil) {
+					t.Fatalf("k=%d switch %d dst %d: presence %v (arith) != %v (bfs)",
+						k, si, dst, ea != nil, eb != nil)
+				}
+				if ea == nil {
+					continue
+				}
+				if ea.ID() != eb.ID() {
+					t.Fatalf("k=%d switch %d dst %d: entry id %d (arith) != %d (bfs)",
+						k, si, dst, ea.ID(), eb.ID())
+				}
+				pa, pb := sa.RoutePorts(dst), sb.RoutePorts(dst)
+				if !slices.Equal(pa, pb) {
+					t.Fatalf("k=%d switch %d dst %d: ports %v (arith) != %v (bfs)",
+						k, si, dst, pa, pb)
+				}
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ package topo
 
 import (
 	"fmt"
+	"slices"
 
 	"minions/internal/device"
 	"minions/internal/host"
@@ -33,26 +34,37 @@ type Network struct {
 	Switches []*device.Switch
 	Hosts    []*host.Host
 
-	nextPort map[link.NodeID]int
-	edges    map[link.NodeID][]edge
+	nextPort []int32 // per-switch next free port, parallel to Switches
 	links    []*link.Link
 	linkEnds []LinkEnds // parallel to links: who transmits to whom
 	nextLink uint32
+
+	// The directed adjacency is an append-only edge log (two records per
+	// Connect); ComputeRoutes compacts it into a CSR once all wiring is
+	// known. Flat parallel slices instead of a map of edge lists keep a
+	// k=32 fat-tree's adjacency at a few hundred kilobytes.
+	edgeFrom []link.NodeID
+	edgeTo   []link.NodeID
+	edgePort []int32
 
 	engines []*sim.Engine
 	pools   []*link.Pool
 	group   *sim.ShardGroup // nil for single-shard networks
 
-	shardOf    map[link.NodeID]int
-	plan       []int // planned shard per upcoming node, in creation order
-	planNext   int
-	switchBase link.NodeID
-}
+	// Shard assignment, dense per node class: hostShard parallels Hosts,
+	// switchShard parallels Switches.
+	hostShard   []int32
+	switchShard []int32
+	plan        []int // planned shard per upcoming node, in creation order
+	planNext    int
+	switchBase  link.NodeID
 
-// edge records one directed adjacency for route computation.
-type edge struct {
-	peer link.NodeID
-	port int // sender-side port the edge leaves from
+	// ftK records the arity when the topology is a FatTree build, letting
+	// ComputeRoutes use the arithmetic pod-structure route builder instead
+	// of per-destination BFS. forceBFS is the equivalence-test hook that
+	// routes a fat-tree generically anyway.
+	ftK      int
+	forceBFS bool
 }
 
 // New creates an empty single-shard network with a deterministic engine.
@@ -90,11 +102,8 @@ func NewShardedScheduler(seed int64, shards int, sched sim.Scheduler) *Network {
 	n := &Network{
 		Eng:        engines[0],
 		CP:         host.NewControlPlane(),
-		nextPort:   make(map[link.NodeID]int),
-		edges:      make(map[link.NodeID][]edge),
 		engines:    engines,
 		pools:      pools,
-		shardOf:    make(map[link.NodeID]int),
 		switchBase: SwitchNodeBase,
 	}
 	if shards > 1 {
@@ -109,8 +118,36 @@ func (n *Network) Shards() int { return len(n.engines) }
 // ShardEngine returns shard i's engine.
 func (n *Network) ShardEngine(i int) *sim.Engine { return n.engines[i] }
 
-// ShardOf returns the shard a node was assigned to.
-func (n *Network) ShardOf(id link.NodeID) int { return n.shardOf[id] }
+// ShardOf returns the shard a node was assigned to (0 for unknown IDs).
+func (n *Network) ShardOf(id link.NodeID) int {
+	if id > n.switchBase {
+		if i := int(id - n.switchBase - 1); i < len(n.switchShard) {
+			return int(n.switchShard[i])
+		}
+		return 0
+	}
+	if i := int(id) - 1; i >= 0 && i < len(n.hostShard) {
+		return int(n.hostShard[i])
+	}
+	return 0
+}
+
+// Grow pre-sizes node, link and adjacency storage for a topology whose
+// dimensions are known up front: hosts and switches to be created and
+// connects bidirectional Connect calls. Builders with analytic sizes (the
+// fat-tree) use it so wiring a large fabric never re-grows a slice.
+func (n *Network) Grow(hosts, switches, connects int) {
+	n.Hosts = slices.Grow(n.Hosts, hosts)
+	n.hostShard = slices.Grow(n.hostShard, hosts)
+	n.Switches = slices.Grow(n.Switches, switches)
+	n.switchShard = slices.Grow(n.switchShard, switches)
+	n.nextPort = slices.Grow(n.nextPort, switches)
+	n.links = slices.Grow(n.links, 2*connects)
+	n.linkEnds = slices.Grow(n.linkEnds, 2*connects)
+	n.edgeFrom = slices.Grow(n.edgeFrom, 2*connects)
+	n.edgeTo = slices.Grow(n.edgeTo, 2*connects)
+	n.edgePort = slices.Grow(n.edgePort, 2*connects)
+}
 
 // Group returns the shard synchronizer, nil for single-shard networks.
 func (n *Network) Group() *sim.ShardGroup { return n.group }
@@ -195,7 +232,8 @@ func (n *Network) AddSwitch(numPorts int) *device.Switch {
 	})
 	sw.SetWritePolicy(n.CP.SwitchWritePolicy())
 	n.Switches = append(n.Switches, sw)
-	n.shardOf[sw.NodeID()] = shard
+	n.switchShard = append(n.switchShard, int32(shard))
+	n.nextPort = append(n.nextPort, 0)
 	return sw
 }
 
@@ -213,7 +251,7 @@ func (n *Network) AddHost() *host.Host {
 	h := host.New(n.engines[shard], id, n.CP)
 	h.SetPool(n.pools[shard])
 	n.Hosts = append(n.Hosts, h)
-	n.shardOf[id] = shard
+	n.hostShard = append(n.hostShard, int32(shard))
 	return h
 }
 
@@ -268,10 +306,12 @@ func (n *Network) allocPort(v any) int {
 	if _, ok := v.(*host.Host); ok {
 		return 0
 	}
-	id := nodeID(v)
-	p := n.nextPort[id]
-	n.nextPort[id] = p + 1
-	return p
+	// Switch NodeIDs are sequential above the base, so the ID recovers the
+	// switch's index into the per-switch port counters.
+	i := int(nodeID(v) - n.switchBase - 1)
+	p := n.nextPort[i]
+	n.nextPort[i] = p + 1
+	return int(p)
 }
 
 // Connect wires a and b with a bidirectional link pair of the given config
@@ -283,7 +323,7 @@ func (n *Network) Connect(a, b any, cfg link.Config) (*link.Link, *link.Link) {
 	pa, pb := n.allocPort(a), n.allocPort(b)
 
 	ida, idb := nodeID(a), nodeID(b)
-	sa, sb := n.shardOf[ida], n.shardOf[idb]
+	sa, sb := n.ShardOf(ida), n.ShardOf(idb)
 	lab := link.New(n.engines[sa], cfg, receiver(b), pb)
 	lba := link.New(n.engines[sb], cfg, receiver(a), pa)
 	if sa != sb {
@@ -295,8 +335,9 @@ func (n *Network) Connect(a, b any, cfg link.Config) (*link.Link, *link.Link) {
 	n.attach(a, pa, lab)
 	n.attach(b, pb, lba)
 
-	n.edges[ida] = append(n.edges[ida], edge{peer: idb, port: pa})
-	n.edges[idb] = append(n.edges[idb], edge{peer: ida, port: pb})
+	n.edgeFrom = append(n.edgeFrom, ida, idb)
+	n.edgeTo = append(n.edgeTo, idb, ida)
+	n.edgePort = append(n.edgePort, int32(pa), int32(pb))
 	n.links = append(n.links, lab, lba)
 	n.linkEnds = append(n.linkEnds, LinkEnds{Src: ida, Dst: idb}, LinkEnds{Src: idb, Dst: ida})
 	return lab, lba
@@ -333,7 +374,11 @@ func (n *Network) Links() []*link.Link { return n.links }
 // ComputeRoutes installs shortest-path routes with ECMP groups on every
 // switch, for every host and switch destination. Equal-cost next hops all
 // land in the route's port group; switches hash flows (and the path tag)
-// across them.
+// across them. Fat-trees built by FatTree are routed arithmetically from
+// their pod structure; everything else runs per-destination BFS over a CSR
+// compaction of the adjacency with flat reusable scratch. Both builders
+// install identical tables in identical order (entry IDs and table
+// versions included) — the equivalence tests pin this.
 //
 // It also closes out any pending partition plan: a plan is positional (the
 // i-th planned shard binds to the i-th node created), so a builder that
@@ -350,28 +395,88 @@ func (n *Network) ComputeRoutes() {
 		n.plan = nil
 		n.planNext = 0
 	}
-	dests := make([]link.NodeID, 0, len(n.Hosts)+len(n.Switches))
-	for _, h := range n.Hosts {
-		dests = append(dests, h.ID())
-	}
+	// Shape every switch's dense route table up front: hosts and switch
+	// count are final here, so both table regions allocate exactly once.
+	maxHost := link.NodeID(len(n.Hosts))
 	for _, sw := range n.Switches {
-		dests = append(dests, sw.NodeID())
+		sw.PresizeRoutes(maxHost, n.switchBase, len(n.Switches))
 	}
-	for _, dst := range dests {
-		dist := n.bfs(dst)
-		for _, sw := range n.Switches {
-			id := sw.NodeID()
-			if id == dst {
+	if n.ftK > 0 && !n.forceBFS {
+		n.fatTreeRoutes()
+		return
+	}
+	n.bfsRoutes()
+}
+
+// bfsRoutes is the generic route builder: one BFS per destination over the
+// CSR adjacency, reusing flat scratch (distance array, queue, port buffer)
+// across destinations so no per-destination map is ever allocated.
+func (n *Network) bfsRoutes() {
+	h, s := len(n.Hosts), len(n.Switches)
+	nn := h + s
+	// Compact node index: hosts 0..h-1, switches h..nn-1.
+	idx := func(id link.NodeID) int32 {
+		if id > n.switchBase {
+			return int32(h) + int32(id-n.switchBase) - 1
+		}
+		return int32(id) - 1
+	}
+	// CSR compaction of the edge log; the counting sort preserves each
+	// node's edge insertion order, which fixes ECMP group port order.
+	ne := len(n.edgeFrom)
+	start := make([]int32, nn+1)
+	for _, f := range n.edgeFrom {
+		start[idx(f)+1]++
+	}
+	for i := 1; i <= nn; i++ {
+		start[i] += start[i-1]
+	}
+	peer := make([]int32, ne)
+	port := make([]int32, ne)
+	cursor := make([]int32, nn)
+	copy(cursor, start[:nn])
+	for e := 0; e < ne; e++ {
+		f := idx(n.edgeFrom[e])
+		c := cursor[f]
+		cursor[f] = c + 1
+		peer[c] = idx(n.edgeTo[e])
+		port[c] = n.edgePort[e]
+	}
+
+	dist := make([]int32, nn)
+	queue := make([]int32, 0, nn)
+	ports := make([]int, 0, 16)
+	route := func(dst link.NodeID) {
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue = queue[:0]
+		d0 := idx(dst)
+		dist[d0] = 0
+		queue = append(queue, d0)
+		for qi := 0; qi < len(queue); qi++ {
+			cur := queue[qi]
+			dnext := dist[cur] + 1
+			for e := start[cur]; e < start[cur+1]; e++ {
+				if p := peer[e]; dist[p] < 0 {
+					dist[p] = dnext
+					queue = append(queue, p)
+				}
+			}
+		}
+		for si, sw := range n.Switches {
+			if sw.NodeID() == dst {
 				continue
 			}
-			d, ok := dist[id]
-			if !ok {
+			ni := int32(h + si)
+			d := dist[ni]
+			if d < 0 {
 				continue // unreachable
 			}
-			var ports []int
-			for _, e := range n.edges[id] {
-				if pd, ok := dist[e.peer]; ok && pd == d-1 {
-					ports = append(ports, e.port)
+			ports = ports[:0]
+			for e := start[ni]; e < start[ni+1]; e++ {
+				if dist[peer[e]] == d-1 {
+					ports = append(ports, int(port[e]))
 				}
 			}
 			if len(ports) > 0 {
@@ -379,23 +484,145 @@ func (n *Network) ComputeRoutes() {
 			}
 		}
 	}
+	for _, hst := range n.Hosts {
+		route(hst.ID())
+	}
+	for _, sw := range n.Switches {
+		route(sw.NodeID())
+	}
 }
 
-// bfs returns hop distances from dst over the undirected topology.
-func (n *Network) bfs(dst link.NodeID) map[link.NodeID]int {
-	dist := map[link.NodeID]int{dst: 0}
-	queue := []link.NodeID{dst}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, e := range n.edges[cur] {
-			if _, seen := dist[e.peer]; !seen {
-				dist[e.peer] = dist[cur] + 1
-				queue = append(queue, e.peer)
+// fatTreeRoutes installs the same tables BFS would produce on a FatTree
+// build, derived arithmetically from the pod structure: every (destination,
+// switch) pair's ECMP group is one of four precomputed shapes — a single
+// port, all downlinks/edge-uplinks [0, k/2), all core uplinks [k/2, k), or
+// every port. Near-linear in table size instead of O(N²·α) map-backed BFS.
+//
+// The coordinate system follows the FatTree wiring order exactly:
+//   - switch index: cores 0..(k/2)²-1 (core c attaches to aggregation
+//     position c/(k/2) in every pod); then per pod p the k switches
+//     alternate agg(p,0), edge(p,0), agg(p,1), edge(p,1), …
+//   - ports: agg(p,i) reaches edge(p,m) on port m and core i·(k/2)+j on
+//     port (k/2)+j; edge(p,m) reaches agg(p,i) on port i and its j-th host
+//     on port (k/2)+j; core c reaches pod p on port p.
+//   - host ID: pod q, edge m, slot j is 1 + q·(k/2)² + m·(k/2) + j.
+//
+// Destinations iterate hosts then switches in creation order, switches in
+// creation order within each destination — the BFS builder's exact order,
+// so entry IDs and table versions also match byte for byte.
+func (n *Network) fatTreeRoutes() {
+	k := n.ftK
+	half := k / 2
+	numCores := half * half
+	hostsPerPod := half * half
+
+	upLow := make([]int, half)  // ports [0, k/2): edge→aggs, agg→edges
+	upHigh := make([]int, half) // ports [k/2, k): agg→cores
+	all := make([]int, k)
+	singles := make([][]int, k)
+	for i := 0; i < k; i++ {
+		all[i] = i
+		singles[i] = []int{i}
+		if i < half {
+			upLow[i] = i
+		} else {
+			upHigh[i-half] = i
+		}
+	}
+
+	// routeOne installs dst's entry on every switch. dq/di/dj are the
+	// destination's coordinates: host (pod, edge, slot), edge (pod, m, -),
+	// agg (pod, i, -), core (-, c/(k/2), c%(k/2)).
+	const (
+		ftHost = iota
+		ftEdge
+		ftAgg
+		ftCore
+	)
+	routeOne := func(dst link.NodeID, dk, dq, di, dj int) {
+		for si, sw := range n.Switches {
+			if sw.NodeID() == dst {
+				continue
+			}
+			var g []int
+			if si < numCores {
+				// Core switch: one downlink per pod, pods on ports 0..k-1.
+				if dk == ftCore {
+					g = all // 2 hops down+up via any pod, or 4 via any pod
+				} else {
+					g = singles[dq] // straight down into the target pod
+				}
+			} else {
+				rem := si - numCores
+				p := rem / k
+				o := rem % k
+				i := o / 2
+				if o%2 == 0 {
+					// Aggregation switch agg(p, i).
+					switch dk {
+					case ftHost, ftEdge:
+						if p == dq {
+							g = singles[di] // down to the owning edge
+						} else {
+							g = upHigh // any core uplink
+						}
+					case ftAgg:
+						switch {
+						case p == dq:
+							g = upLow // down via any edge, back up
+						case i == di:
+							g = upHigh // shared cores, 2 hops
+						default:
+							// 4 hops whether it first goes down or up:
+							// every port is on a shortest path.
+							g = all
+						}
+					case ftCore:
+						if i == di {
+							g = singles[half+dj] // directly attached core
+						} else {
+							g = upLow // down, across an agg that owns it
+						}
+					}
+				} else {
+					// Edge switch edge(p, m=i).
+					switch dk {
+					case ftHost:
+						if p == dq && i == di {
+							g = singles[half+dj] // the host's own port
+						} else {
+							g = upLow
+						}
+					case ftEdge:
+						g = upLow // self was skipped above
+					case ftAgg, ftCore:
+						g = singles[di] // only agg position di leads there
+					}
+				}
+			}
+			sw.AddRoute(dst, g...)
+		}
+	}
+
+	for hid := 1; hid <= len(n.Hosts); hid++ {
+		h0 := hid - 1
+		routeOne(link.NodeID(hid), ftHost,
+			h0/hostsPerPod, (h0%hostsPerPod)/half, h0%half)
+	}
+	for si, sw := range n.Switches {
+		if si < numCores {
+			routeOne(sw.NodeID(), ftCore, -1, si/half, si%half)
+		} else {
+			rem := si - numCores
+			p := rem / k
+			o := rem % k
+			if o%2 == 0 {
+				routeOne(sw.NodeID(), ftAgg, p, o/2, -1)
+			} else {
+				routeOne(sw.NodeID(), ftEdge, p, o/2, -1)
 			}
 		}
 	}
-	return dist
 }
 
 // HostLink returns the 100 Mb/s-class config used for host attachments in
@@ -506,23 +733,37 @@ func Conga(n *Network, rateMbps int) (hosts []*host.Host, leaves, spines []*devi
 	n.ComputeRoutes()
 
 	// Pin L0 -> h2 to the S0 path: keep only the first uplink in the group.
-	if e := l0.Route(h2.ID()); e != nil && len(e.Ports) > 1 {
-		l0.AddRoute(h2.ID(), e.Ports[0])
+	if ports := l0.RoutePorts(h2.ID()); len(ports) > 1 {
+		l0.AddRoute(h2.ID(), ports[0])
 	}
 	return []*host.Host{h0, h1, h2}, []*device.Switch{l0, l1, l2}, []*device.Switch{s0, s1}
 }
 
 // FatTree builds a k-ary fat-tree (k even): (k/2)^2 core switches, k pods of
 // k/2 aggregation and k/2 edge switches, and k/2 hosts per edge switch. It
-// returns the network's hosts grouped by pod. Use small k (4) in tests; the
-// §2.5 sizing for k=64 is computed analytically by FatTreeDims.
+// returns the network's hosts grouped by pod. Routes are installed
+// arithmetically from the pod structure (see fatTreeRoutes); the §2.5
+// sizing for k=64 is computed analytically by FatTreeDims.
 func FatTree(n *Network, k, rateMbps int) [][]*host.Host {
+	pods := FatTreeBuild(n, k, rateMbps)
+	n.ComputeRoutes()
+	return pods
+}
+
+// FatTreeBuild wires a k-ary fat-tree without computing routes, so
+// benchmarks can time and account the build and route phases separately.
+// Callers must invoke ComputeRoutes before running traffic.
+func FatTreeBuild(n *Network, k, rateMbps int) [][]*host.Host {
 	if k%2 != 0 {
 		panic("topo: fat-tree arity must be even")
 	}
 	half := k / 2
 	hosts, _ := FatTreeDims(k)
+	numSwitches := 5 * half * half // (k/2)² cores + k pods × k switches
 	n.EnsureSwitchBase(hosts)
+	// 3·k³/4 bidirectional connects: k³/4 host links, k³/4 edge-agg links,
+	// k³/4 agg-core links.
+	n.Grow(hosts, numSwitches, 3*hosts)
 	if s := n.Shards(); s > 1 {
 		n.PlanPartition(FatTreePartition(k, s))
 	}
@@ -556,7 +797,7 @@ func FatTree(n *Network, k, rateMbps int) [][]*host.Host {
 			}
 		}
 	}
-	n.ComputeRoutes()
+	n.ftK = k
 	return pods
 }
 

@@ -70,14 +70,12 @@ func TestCongaTopology(t *testing.T) {
 		t.Fatal("conga shape wrong")
 	}
 	// L1 must have a 2-way ECMP group toward h2.
-	e := leaves[1].Route(hosts[2].ID())
-	if e == nil || len(e.Ports) != 2 {
-		t.Fatalf("L1->h2 route: %+v", e)
+	if ports := leaves[1].RoutePorts(hosts[2].ID()); len(ports) != 2 {
+		t.Fatalf("L1->h2 route ports: %v", ports)
 	}
 	// L0 is pinned to one path.
-	e0 := leaves[0].Route(hosts[2].ID())
-	if e0 == nil || len(e0.Ports) != 1 {
-		t.Fatalf("L0->h2 route not pinned: %+v", e0)
+	if ports := leaves[0].RoutePorts(hosts[2].ID()); len(ports) != 1 {
+		t.Fatalf("L0->h2 route not pinned: %v", ports)
 	}
 	// End-to-end delivery across the spine.
 	delivered := 0
@@ -115,12 +113,12 @@ func TestFatTreeSmall(t *testing.T) {
 	}
 	// Edge switches should have ECMP toward remote hosts.
 	sw := n.Switches[len(n.Switches)-1] // an edge switch
-	e := sw.Route(pods[0][0].ID())
-	if e == nil {
+	ports := sw.RoutePorts(pods[0][0].ID())
+	if ports == nil {
 		t.Fatal("edge switch missing route")
 	}
-	if len(e.Ports) < 2 {
-		t.Errorf("no ECMP at edge: %d ports", len(e.Ports))
+	if len(ports) < 2 {
+		t.Errorf("no ECMP at edge: %d ports", len(ports))
 	}
 }
 

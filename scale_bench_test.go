@@ -21,7 +21,9 @@ import (
 // per packet-hop (~0 in single-shard steady state). The k=8 sub-benchmarks
 // sweep the shard count — the parallel-scaling curve of the conservative
 // PDES runtime. Shard speedup requires real cores: with GOMAXPROCS=1 the
-// sharded runs measure pure barrier/re-homing overhead instead.
+// sharded runs measure pure barrier/re-homing overhead instead. The k=16
+// cases (1,024 hosts) exercise the dense split route tables at a size the
+// map representation could not build in benchmark-tolerable time.
 func BenchmarkScaleFatTree(b *testing.B) {
 	cases := []struct {
 		name   string
@@ -39,6 +41,8 @@ func BenchmarkScaleFatTree(b *testing.B) {
 		{"k8/shards=2", 8, 256, 2, testbed.SchedulerWheel, false},
 		{"k8/shards=4", 8, 256, 4, testbed.SchedulerWheel, false},
 		{"k8/shards=8", 8, 256, 8, testbed.SchedulerWheel, false},
+		{"k16/shards=1", 16, 512, 1, testbed.SchedulerWheel, false},
+		{"k16/shards=1/sched=heap", 16, 512, 1, testbed.SchedulerHeap, false},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {

@@ -93,7 +93,7 @@ func TestInBandRerouteObservedByHistories(t *testing.T) {
 	n.Connect(h1, s4, cfg)
 	n.ComputeRoutes()
 	// Pin the initial path via s2 (port 1 on s1).
-	if e := s1.Route(h1.ID()); e == nil || len(e.Ports) < 2 {
+	if ports := s1.RoutePorts(h1.ID()); len(ports) < 2 {
 		t.Fatal("expected ECMP at s1")
 	}
 	s1.AddRoute(h1.ID(), 1) // via s2
