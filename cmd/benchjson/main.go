@@ -62,7 +62,9 @@ func main() {
 	scaleFlows := flag.Int("scale-flows", 256, "flows for the shard-scaling sweep")
 	bigK := flag.Int("big-k", 16, "fat-tree arity for the single-shard large-fabric row (0 disables)")
 	schedName := flag.String("scheduler", "wheel", "engine event scheduler for the default scenarios: wheel or heap")
+	syncName := flag.String("sync", "channel", "shard synchronization mode for sharded scenarios: channel (async per-channel lookahead) or epoch (global-barrier reference)")
 	schedSweep := flag.Bool("sched-sweep", true, "record the A/B scenarios: heap-vs-wheel fat-tree and e2e hop, plus the PUSH-fusion curve")
+	syncSweep := flag.Bool("sync-sweep", true, "record the channel-vs-epoch sharded A/B rows (sync counters quantify synchronization saved)")
 	strictAllocs := flag.Bool("strict-allocs", false, "exit non-zero if any single-shard forward-path scenario reports allocs/op > 0")
 	buildKs := flag.String("build-k", "4,8,16", "comma-separated fat-tree arities for the topology build/route scenarios (empty disables)")
 	baseline := flag.String("baseline", "", "committed BENCH_*.json to hold the no-fault fat-tree rows against (2% tolerance on deterministic counters)")
@@ -75,6 +77,10 @@ func main() {
 	runs = *repeat
 
 	sched, err := tppnet.ParseScheduler(*schedName)
+	if err != nil {
+		fatal(err)
+	}
+	sync, err := tppnet.ParseSyncMode(*syncName)
 	if err != nil {
 		fatal(err)
 	}
@@ -100,6 +106,7 @@ func main() {
 			WithTPP:   withTPP,
 			Shards:    *shards,
 			Scheduler: sched,
+			Sync:      sync,
 		})
 		if err != nil {
 			fatal(err)
@@ -126,6 +133,7 @@ func main() {
 			WithTPP:   true,
 			Shards:    *shards,
 			Scheduler: sched,
+			Sync:      sync,
 			Faults:    benchFaultPlan(*seed, testbed.Time(*durationMs)*testbed.Millisecond),
 		})
 		if err != nil {
@@ -179,6 +187,7 @@ func main() {
 				Seed:     *seed,
 				WithTPP:  true,
 				Shards:   sh,
+				Sync:     sync,
 			})
 			if err != nil {
 				fatal(err)
@@ -190,7 +199,34 @@ func main() {
 				fmt.Sprintf("fat-tree-shards-%d", sh), res, map[string]any{
 					"k": *scaleK, "flows": *scaleFlows, "duration_ms": *durationMs,
 					"seed": *seed, "with_tpp": true, "shards": res.Shards,
-					"gomaxprocs": runtime.GOMAXPROCS(0),
+				}))
+		}
+	}
+
+	// The synchronization A/B pair: the 4-shard scale workload under the
+	// asynchronous per-channel-lookahead engine and under the global-epoch
+	// reference. Simulated behavior and sync_crossings are byte-identical
+	// (the sync-mode determinism guards pin it); sync_epochs quantifies the
+	// group-wide synchronization the asynchronous engine eliminates, and the
+	// wall-clock columns price what that synchronization cost on this host.
+	if *syncSweep && *scaleK > 0 {
+		for _, m := range []tppnet.SyncMode{tppnet.SyncChannel, tppnet.SyncEpoch} {
+			res, err := bestScale(testbed.ScaleConfig{
+				K:        *scaleK,
+				Flows:    *scaleFlows,
+				Duration: testbed.Time(*durationMs) * testbed.Millisecond,
+				Seed:     *seed,
+				WithTPP:  true,
+				Shards:   4,
+				Sync:     m,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			rep.Scenarios = append(rep.Scenarios, scaleScenario(
+				"fat-tree-sync-"+m.String(), res, map[string]any{
+					"k": *scaleK, "flows": *scaleFlows, "duration_ms": *durationMs,
+					"seed": *seed, "with_tpp": true, "shards": res.Shards,
 				}))
 		}
 	}
@@ -208,6 +244,7 @@ func main() {
 			WithTPP:   true,
 			Shards:    1,
 			Scheduler: sched,
+			Sync:      sync,
 		})
 		if err != nil {
 			fatal(err)
@@ -321,23 +358,40 @@ func bestScale(cfg testbed.ScaleConfig) (*testbed.ScaleResult, error) {
 	return best, nil
 }
 
-// scaleScenario flattens a ScaleResult into the report schema.
+// scaleScenario flattens a ScaleResult into the report schema. Every row is
+// stamped with the host parallelism it ran under (gomaxprocs, num_cpu) —
+// wall-clock columns are meaningless without it — and sharded rows whose
+// shard count exceeds the core count get single_core: true, because those
+// points measure synchronization overhead, not speedup, and a reader of the
+// committed JSON must not mistake one for the other. Sharded rows also carry
+// the sync-mode and window-delta synchronization counters (sync_epochs and
+// sync_crossings are deterministic; sync_drains and sync_idle_max move with
+// goroutine scheduling and are diagnostic only).
 func scaleScenario(name string, res *testbed.ScaleResult, cfg map[string]any) scenario {
-	return scenario{
-		Name:   name,
-		Config: cfg,
-		Metrics: map[string]float64{
-			"pkt_hops":           float64(res.PktHops),
-			"pkts_delivered":     float64(res.Delivered),
-			"drops":              float64(res.Drops),
-			"events":             float64(res.Events),
-			"tpp_hop_records":    float64(res.TPPHopRecords),
-			"pkt_hops_per_sec":   res.PktHopsPerSec(),
-			"events_per_sec":     res.EventsPerSec(),
-			"ns_per_pkt_hop":     res.NsPerPktHop(),
-			"allocs_per_pkt_hop": res.AllocsPerPktHop(),
-		},
+	cfg["gomaxprocs"] = runtime.GOMAXPROCS(0)
+	cfg["num_cpu"] = runtime.NumCPU()
+	m := map[string]float64{
+		"pkt_hops":           float64(res.PktHops),
+		"pkts_delivered":     float64(res.Delivered),
+		"drops":              float64(res.Drops),
+		"events":             float64(res.Events),
+		"tpp_hop_records":    float64(res.TPPHopRecords),
+		"pkt_hops_per_sec":   res.PktHopsPerSec(),
+		"events_per_sec":     res.EventsPerSec(),
+		"ns_per_pkt_hop":     res.NsPerPktHop(),
+		"allocs_per_pkt_hop": res.AllocsPerPktHop(),
 	}
+	if res.Shards > 1 {
+		cfg["sync"] = res.Sync.String()
+		if runtime.NumCPU() < res.Shards {
+			cfg["single_core"] = true
+		}
+		m["sync_epochs"] = float64(res.SyncEpochs)
+		m["sync_crossings"] = float64(res.SyncCrossings)
+		m["sync_drains"] = float64(res.SyncDrains)
+		m["sync_idle_max"] = float64(res.SyncIdleMax)
+	}
+	return scenario{Name: name, Config: cfg, Metrics: m}
 }
 
 // measureHop times n steady-state forward cycles through the end-to-end
@@ -591,7 +645,10 @@ func enforceBaseline(rep report, path string) {
 			continue
 		}
 		// JSON round-trips config numbers as float64; fmt.Sprint unifies.
-		if fmt.Sprint(toSorted(ref.Config)) != fmt.Sprint(toSorted(sc.Config)) {
+		// Environment stamps describe the host, not the workload — a
+		// snapshot taken on a different core count must still gate the
+		// deterministic counters.
+		if fmt.Sprint(toSorted(stripEnvStamps(ref.Config))) != fmt.Sprint(toSorted(stripEnvStamps(sc.Config))) {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: config differs from %s, skipping baseline check\n", sc.Name, path)
 			continue
 		}
@@ -614,6 +671,22 @@ func enforceBaseline(rep report, path string) {
 	if bad {
 		os.Exit(1)
 	}
+}
+
+// envStampKeys are config entries that describe the machine a snapshot was
+// taken on rather than the simulated workload. They are excluded from the
+// baseline config comparison: sim behavior is host-independent, so the
+// deterministic-counter gate must fire across hosts.
+var envStampKeys = map[string]bool{"gomaxprocs": true, "num_cpu": true, "single_core": true}
+
+func stripEnvStamps(m map[string]any) map[string]any {
+	out := make(map[string]any, len(m))
+	for k, v := range m {
+		if !envStampKeys[k] {
+			out[k] = v
+		}
+	}
+	return out
 }
 
 // toSorted renders a config map with deterministic key order for comparison.

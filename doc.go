@@ -15,10 +15,12 @@
 //     and end hosts, links, the TPP-CP control plane, and the paper's
 //     topologies, created with functional options
 //     (tppnet.NewNetwork(tppnet.WithSeed(1)), net.Dumbbell(6, 100)).
-//     tppnet.WithShards(n) runs the network as n topology shards under a
-//     conservative parallel discrete-event scheme with results
-//     byte-identical to the single-engine simulation; each engine schedules
-//     events on an amortized-O(1) hierarchical timing wheel
+//     tppnet.WithShards(n) runs the network as n topology shards under an
+//     asynchronous conservative parallel discrete-event scheme — per-channel
+//     lookahead, lock-free cross-shard mailboxes, persistent shard workers —
+//     with results byte-identical to the single-engine simulation
+//     (tppnet.WithSyncMode selects the global-epoch reference instead); each
+//     engine schedules events on an amortized-O(1) hierarchical timing wheel
 //     (tppnet.WithScheduler selects the binary-heap reference instead).
 //     Its subpackage minions/tppnet/app is the application framework: the
 //     app.App contract every minion application implements (Attach → Start

@@ -6,35 +6,42 @@ import (
 
 // Boundary turns a Link into a shard-crossing: the transmitter (and the
 // link's queue, serialization events and statistics) stay in the source
-// shard, but completed transmissions are parked in a mailbox instead of
-// being scheduled for delivery directly, because the receiver's state lives
-// in another shard's engine. The sim.ShardGroup drains the mailbox at every
-// epoch barrier (see sim.BoundaryPort) and the propagation delay of the
-// link provides the conservative lookahead that makes the barrier safe.
+// shard, but completed transmissions are parked in the crossing's lock-free
+// mailbox instead of being scheduled for delivery directly, because the
+// receiver's state lives in another shard's engine. The destination shard
+// drains the mailbox whenever its channel clocks permit (see sim.Channel);
+// the propagation delay of the link is the crossing's conservative
+// lookahead.
 //
-// Packets are re-homed as they cross: the original (owned by the source
-// shard's Pool) is released at the barrier and its contents copied into a
-// packet drawn from the destination shard's Pool, so each Pool and Ring
-// keeps exactly one owning shard and the zero-allocation steady state of
-// intra-shard forwarding is undisturbed. Only boundary crossings pay the
-// copy.
+// Packets are re-homed as they cross: the source-shard packet's contents
+// are copied into the mailbox slot at park time and the original released
+// to the source shard's Pool immediately; the delivery event then draws a
+// packet from the destination shard's Pool and copies the contents in.
+// Each Pool and Ring keeps exactly one owning shard — the mailbox slot in
+// between is plain value state synchronized by the SPSC queue itself — and
+// the zero-allocation steady state of intra-shard forwarding is
+// undisturbed: slots retain their TPP buffers across recycling, so only
+// cold-start crossings allocate.
 type Boundary struct {
 	l        *Link
 	srcShard int
 	dstShard int
 	dstPool  *Pool
-	dirty    *sim.Dirty // barrier-drain registration, set by SetDirty
+	ch       *sim.Channel
 
-	// Mailbox, filled by the source shard during an epoch and emptied by
-	// the group at barriers. stamps and out advance in lockstep FIFO order.
-	stamps []sim.BoundaryStamp
-	out    []*Packet
-	head   int
+	// payload carries the packets matching the channel's crossing events,
+	// in the same per-channel FIFO order.
+	payload sim.SPSC[pktEntry]
+}
 
-	// inbox holds re-homed packets awaiting their delivery event in the
-	// destination shard. Deliveries of one link complete in transmission
-	// order (constant delay), so the FIFO head is always the next due.
-	inbox Ring
+// pktEntry is one parked crossing's packet payload. With a destination
+// pool, pkt holds a value copy of the packet (TPP re-pointed into buf,
+// which the slot retains across recycling); without one — single-pool
+// tests — ptr carries the original packet pointer across untouched.
+type pktEntry struct {
+	pkt Packet
+	buf []byte
+	ptr *Packet
 }
 
 // BindBoundary marks l as crossing from srcShard to dstShard, re-homing
@@ -45,6 +52,7 @@ func (l *Link) BindBoundary(srcShard, dstShard int, dstPool *Pool) *Boundary {
 		panic("link: boundary link needs positive propagation delay for lookahead")
 	}
 	b := &Boundary{l: l, srcShard: srcShard, dstShard: dstShard, dstPool: dstPool}
+	b.payload.Init()
 	l.boundary = b
 	return b
 }
@@ -52,78 +60,69 @@ func (l *Link) BindBoundary(srcShard, dstShard int, dstPool *Pool) *Boundary {
 // Boundary returns the link's shard-crossing binding, nil for ordinary links.
 func (l *Link) Boundary() *Boundary { return l.boundary }
 
-// SetDirty installs the group's barrier-drain registration handle (from
-// sim.ShardGroup.AddBoundary); parking then flags the port for the next
-// barrier. Tests that drain a Boundary by hand may leave it unset.
-func (b *Boundary) SetDirty(d *sim.Dirty) { b.dirty = d }
+// Register wires the boundary into the group as a crossing channel. Must be
+// called once, before traffic flows.
+func (b *Boundary) Register(g *sim.ShardGroup) {
+	b.ch = g.AddChannel(b.srcShard, b.dstShard, b.l.cfg.Delay)
+}
 
-// park queues a transmission-complete packet for the next barrier drain.
+// park hands a transmission-complete packet to the destination shard: copy
+// it into the mailbox slot, release the original to the source pool, and
+// book the delivery event on the crossing channel. Runs in the source shard
+// (the mailbox's single producer).
 func (b *Boundary) park(p *Packet, now sim.Time) {
-	b.stamps = append(b.stamps, sim.BoundaryStamp{At: now + b.l.cfg.Delay, Ins: now})
-	b.out = append(b.out, p)
-	if b.dirty != nil {
-		b.dirty.Mark()
-	}
-}
-
-// SrcShard implements sim.BoundaryPort.
-func (b *Boundary) SrcShard() int { return b.srcShard }
-
-// DestShard implements sim.BoundaryPort.
-func (b *Boundary) DestShard() int { return b.dstShard }
-
-// Delay implements sim.BoundaryPort: the crossing's lookahead contribution.
-func (b *Boundary) Delay() sim.Time { return b.l.cfg.Delay }
-
-// FlushStamps implements sim.BoundaryPort.
-func (b *Boundary) FlushStamps(buf []sim.BoundaryStamp) []sim.BoundaryStamp {
-	buf = append(buf, b.stamps...)
-	b.stamps = b.stamps[:0]
-	return buf
-}
-
-// Transfer implements sim.BoundaryPort: re-home the FIFO-next packet into
-// the destination shard and hand back the delivery handler. Runs only at
-// barriers, where both shards' pools are safe to touch.
-func (b *Boundary) Transfer() (sim.Handler, uint64) {
-	p := b.out[b.head]
-	b.out[b.head] = nil
-	b.head++
-	if b.head == len(b.out) {
-		b.out = b.out[:0]
-		b.head = 0
-	}
-
-	np := p
-	if b.dstPool != nil {
+	ent := b.payload.Reserve()
+	if b.dstPool == nil {
+		ent.ptr = p
+	} else {
 		// Whole-struct copy (like Packet.Clone) so future Packet fields
-		// cross shards without this site needing to know them; only the
-		// pool bookkeeping stays the destination packet's own, and the TPP
-		// is deep-copied into its retained buffer.
-		np = b.dstPool.Get()
-		pool, buf := np.pool, np.tppBuf
-		*np = *p
-		np.pool, np.inPool, np.tppBuf = pool, false, buf
-		np.TPP = nil
+		// cross shards without this site needing to know them; the pool
+		// bookkeeping is cleared — the slot owns nothing — and the TPP is
+		// deep-copied into the slot's retained buffer.
+		ent.ptr = nil
+		ent.pkt = *p
+		ent.pkt.pool, ent.pkt.inPool, ent.pkt.tppBuf = nil, false, nil
+		ent.pkt.TPP = nil
 		if p.TPP != nil {
-			tpp := np.SectionBuf(len(p.TPP))
-			copy(tpp, p.TPP)
-			np.TPP = tpp
+			if cap(ent.buf) < len(p.TPP) {
+				ent.buf = make([]byte, len(p.TPP))
+			}
+			ent.buf = ent.buf[:len(p.TPP)]
+			copy(ent.buf, p.TPP)
+			ent.pkt.TPP = ent.buf
 		}
 		p.Release()
 	}
-	b.inbox.Push(np)
-	return b, 0
+	b.payload.Commit()
+	b.ch.Send(now, b, 0)
 }
 
 // Handle implements sim.Handler: one delivery event in the destination
-// shard. Deliveries fire in the order Transfer enqueued them.
+// shard. The channel delivers crossings in park order, matching the
+// payload FIFO.
 func (b *Boundary) Handle(uint64) {
-	b.l.dst.Receive(b.inbox.Pop(), b.l.dstPort)
+	ent := b.payload.Front()
+	np := ent.ptr
+	if np == nil {
+		np = b.dstPool.Get()
+		pool, buf := np.pool, np.tppBuf
+		*np = ent.pkt
+		np.pool, np.inPool, np.tppBuf = pool, false, buf
+		np.TPP = nil
+		if ent.pkt.TPP != nil {
+			tpp := np.SectionBuf(len(ent.pkt.TPP))
+			copy(tpp, ent.pkt.TPP)
+			np.TPP = tpp
+		}
+	} else {
+		ent.ptr = nil
+	}
+	b.payload.Advance()
+	b.l.dst.Receive(np, b.l.dstPort)
 }
 
-// PendingCrossings returns packets parked for the next barrier plus those
-// re-homed but not yet delivered.
+// PendingCrossings returns packets parked but not yet delivered in the
+// destination shard. Call between runs.
 func (b *Boundary) PendingCrossings() int {
-	return len(b.out) - b.head + b.inbox.Len()
+	return b.payload.Avail()
 }

@@ -4,12 +4,17 @@
 // run against a virtual clock, so Go's garbage collector and scheduler can
 // never distort latencies — the main fidelity risk of wall-clock emulation.
 //
-// One Engine simulates one topology shard. A ShardGroup runs N engines as a
-// conservative parallel discrete-event simulation (PDES): shards advance in
-// lookahead epochs bounded by the minimum propagation delay of any
-// shard-crossing link and exchange boundary traffic at deterministic epoch
-// barriers, so a sharded run produces the same results as a single-engine
-// run of the same seed — on as many cores as there are shards.
+// One Engine simulates one topology shard. A ShardGroup runs N engines as an
+// asynchronous conservative parallel discrete-event simulation (PDES):
+// every shard-crossing link is a lock-free single-producer/single-consumer
+// Channel, each shard independently advances to its per-channel lookahead
+// horizon (the minimum over incoming channels of the source's published
+// clock plus the channel delay) on a persistent worker goroutine, and
+// crossings merge in a deterministic order that makes the drain instant
+// unobservable — so a sharded run produces the same results as a
+// single-engine run of the same seed, on as many cores as there are
+// shards. SyncEpoch selects the global-barrier reference engine, pinned
+// byte-identical to the asynchronous one.
 //
 // Pending events live in a pluggable scheduler. The default is a
 // hierarchical timing wheel (wheel.go) with amortized O(1) push/pop; a
@@ -54,9 +59,14 @@ type Handler interface {
 // redundant (seq order already refines insertion-time order, since seq only
 // grows as virtual time advances), so single-engine behavior is unchanged —
 // but sharded runs depend on ins: a packet crossing shards is re-scheduled in
-// its destination shard at an epoch barrier, long after same-instant local
-// events were enqueued, and carrying the original emission time as ins
-// restores the tie-break order the lone-engine run would have produced.
+// its destination shard whenever the conservative sync permits, long after
+// same-instant local events were enqueued, and carrying the original
+// emission time as ins restores the tie-break order the lone-engine run
+// would have produced. Crossings do not consume local seq numbers; they
+// carry an explicit key with the high bit set (see crossKey in channel.go),
+// so the firing order is independent of *when* a crossing was drained —
+// the property that lets the asynchronous engine drain mailboxes at
+// arbitrary instants and still match the barrier engine byte for byte.
 // Exactly one of h and fn is set: h+arg is the typed zero-allocation form,
 // fn the closure compatibility form used by At/After.
 type event struct {
@@ -237,17 +247,25 @@ func (e *Engine) Schedule(t Time, h Handler, arg uint64) {
 }
 
 // scheduleCrossing enqueues an event whose insertion stamp is in this
-// engine's past: a shard-crossing delivery drained from a mailbox at an
-// epoch barrier. ins is the emission time in the source shard, which slots
-// the event into the same tie-break position a lone engine would have given
-// it (where the delivery would have been scheduled the instant transmission
-// completed).
-func (e *Engine) scheduleCrossing(at, ins Time, h Handler, arg uint64) {
+// engine's past: a shard-crossing delivery drained from a mailbox. ins is
+// the emission time in the source shard, which slots the event into the
+// same tie-break position a lone engine would have given it (where the
+// delivery would have been scheduled the instant transmission completed).
+//
+// Crossings carry an explicit tie-break key (crossKey: high bit set, then
+// source shard, channel, FIFO index) instead of consuming a local sequence
+// number. Two consequences make the asynchronous conservative engine
+// possible: local events always precede crossings at an equal (at, ins) —
+// exactly what the barrier engine produced, since a crossing was always
+// drained after every same-instant local event had been scheduled — and the
+// firing order no longer depends on *when* the crossing was drained, so
+// mailboxes can be emptied incrementally at any instant the channel clocks
+// permit without perturbing a single local seq number.
+func (e *Engine) scheduleCrossing(at, ins Time, key uint64, h Handler, arg uint64) {
 	if at < e.now {
 		at = e.now
 	}
-	e.seq++
-	e.sched.push(event{at: at, ins: ins, seq: e.seq, h: h, arg: arg})
+	e.sched.push(event{at: at, ins: ins, seq: key, h: h, arg: arg})
 }
 
 // ScheduleAfter schedules h.Handle(arg) d nanoseconds from now.

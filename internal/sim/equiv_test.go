@@ -81,7 +81,7 @@ func runScript(sched Scheduler, seed int64, rootN int, stopAt int) []traceRec {
 			for i := r.Intn(4); i > 0; i-- {
 				at := deadline + Time(r.Int63n(2048))
 				ins := deadline - Time(r.Int63n(int64(Millisecond)))
-				e.scheduleCrossing(at, ins, c, uint64(seg)<<32|uint64(i))
+				e.scheduleCrossing(at, ins, crossKey(0, seg, uint32(i)), c, uint64(seg)<<32|uint64(i))
 			}
 		} else {
 			e.RunUntil(deadline)

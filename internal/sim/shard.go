@@ -2,163 +2,228 @@ package sim
 
 // Conservative parallel discrete-event simulation (PDES) across topology
 // shards. Each shard owns one Engine and all state of the nodes assigned to
-// it; shards advance in lookahead epochs bounded by the minimum propagation
-// delay of any shard-crossing link — the classic conservative synchronization
-// window: nothing a shard does during an epoch can affect another shard
-// before the epoch ends, because influence only travels over boundary links
-// and those take at least one lookahead of virtual time.
+// it; shards exchange boundary traffic over directed Channels (one per
+// shard-crossing link) whose propagation delays provide the conservative
+// lookahead: nothing a shard does at virtual time t can affect another
+// shard before t + the channel's delay.
 //
-// An epoch runs every engine (in parallel goroutines when allowed) up to,
-// but excluding, the epoch boundary. At the barrier the group drains every
-// boundary port's mailbox in one deterministic merge — sorted by
-// (deliver time, emission time, source shard, port, FIFO index) — and
-// schedules the crossings into their destination engines before any shard
-// processes the boundary instant. Determinism therefore does not depend on
-// goroutine scheduling: for a given seed and shard count, results are
-// reproducible, and because crossings carry their emission time as the
-// event-ordering tie-break (see Engine.scheduleCrossing), results match the
-// single-engine run except for the measure-zero case of two causally
-// unrelated events in different shards colliding on both firing and
-// insertion instants.
+// Two synchronization algorithms share this machinery (SyncMode):
+//
+//   - SyncChannel (default) is asynchronous and CMB-style: each shard
+//     independently advances to the minimum over its incoming channels of
+//     (source-shard published clock + channel delay), draining that
+//     channel's lock-free mailbox incrementally as it goes. Shards never
+//     rendezvous inside a run — the only group-wide sync points are the
+//     dispatch and join of the run itself — so a shard pair joined only by
+//     slow links never throttles the rest.
+//   - SyncEpoch is the global-epoch reference: shards advance in lockstep
+//     windows bounded by the group-wide minimum channel delay, with a full
+//     barrier and mailbox drain per epoch. It exists as the measurable
+//     baseline for the sync counters (SyncStats), the way the binary heap
+//     backs the timing wheel.
+//
+// Both produce byte-identical simulations, and both match the old
+// single-threaded barrier merge: every crossing carries a deterministic
+// event key — (high bit, source shard, channel, FIFO index) in the seq
+// field, ordered after same-(at, ins) local events — so the instant a
+// mailbox happens to be drained is unobservable (see Engine.scheduleCrossing
+// and crossKey). Determinism therefore does not depend on goroutine
+// scheduling: for a given seed and shard count, results are reproducible
+// and match the single-engine run except for the measure-zero case of two
+// causally unrelated events in different shards colliding on both firing
+// and insertion instants.
+//
+// Shard workers are persistent: the first parallel run spawns one goroutine
+// per shard, parked on a command channel between runs, so the per-RunUntil
+// cost of the testbed's epoch-sized run pattern is a channel send and a
+// WaitGroup join, not a spawn.
 
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 )
 
-// BoundaryStamp is the (deliver time, emission time) pair of one queued
-// shard crossing.
-type BoundaryStamp struct {
-	At  Time // delivery instant in the destination shard
-	Ins Time // emission instant in the source shard (transmit completion)
-}
-
-// BoundaryPort is one directed shard-crossing channel — in the network
-// substrate, a link whose transmitter and receiver live in different shards.
-// The port's source shard fills a private mailbox during an epoch; the group
-// drains it at the barrier, single-threaded, in deterministic merge order.
-//
-// Registration (AddBoundary) returns a Dirty handle the port MUST invoke
-// when it parks a crossing: barriers only drain ports that marked
-// themselves since the last drain, so an unmarked park is never delivered.
-type BoundaryPort interface {
-	// SrcShard and DestShard identify the crossing's direction.
-	SrcShard() int
-	DestShard() int
-	// Delay is the crossing's propagation delay; the group's lookahead is
-	// the minimum Delay over all registered ports.
-	Delay() Time
-	// FlushStamps appends the stamps of all queued crossings in FIFO order
-	// and clears the stamp queue. Called only at barriers.
-	FlushStamps(buf []BoundaryStamp) []BoundaryStamp
-	// Transfer moves the next queued crossing (FIFO) into the destination
-	// shard — for packets, re-homing them into the destination's pool — and
-	// returns the handler to schedule for the delivery. Called only at
-	// barriers, once per stamp flushed, in merge order.
-	Transfer() (Handler, uint64)
-}
-
-// ShardGroup synchronizes N engines in conservative lookahead epochs.
+// ShardGroup synchronizes N engines conservatively (see the package
+// comment for the two SyncModes).
 type ShardGroup struct {
-	engines []*Engine
-	ports   []BoundaryPort
-	marks   []*Dirty
-
-	// dirty[s] lists ports in source shard s that parked crossings since
-	// the last barrier. Each list is appended to only by its own shard's
-	// goroutine (via Dirty.Mark) and consumed single-threaded at barriers,
-	// so barriers cost O(active ports), not O(all ports) — on a big
-	// fat-tree cut, most ports are idle in any given 5 µs epoch.
-	dirty [][]int
-
-	// Parallel controls whether epochs run shards on separate goroutines.
-	// Determinism holds either way; sequential epochs are only useful to
-	// debug or to measure barrier overhead in isolation.
+	// Parallel controls whether runs execute shards on the persistent
+	// worker goroutines. Determinism holds either way; sequential runs are
+	// useful to debug, and they make even the scheduling-sensitive
+	// diagnostics in SyncStats deterministic.
 	Parallel bool
 
-	// drain scratch, reused across barriers.
-	evts     []crossEvt
-	stampBuf []BoundaryStamp
+	// Mode selects the synchronization algorithm. Switching between runs
+	// is allowed; simulated behavior is identical in both modes.
+	Mode SyncMode
+
+	st *groupState
 }
 
-// Dirty marks one boundary port as holding undrained crossings. The owning
-// port calls Mark from its source shard whenever it parks a crossing; Mark
-// deduplicates, so calling it per crossing is fine.
-type Dirty struct {
-	g      *ShardGroup
-	src    int
-	idx    int
-	marked bool
+// groupState is everything the persistent shard workers touch. It is split
+// from ShardGroup so worker goroutines hold no reference to the group
+// itself: when the group becomes unreachable its finalizer closes the
+// command channels and the workers exit, instead of leaking one parked
+// goroutine per shard per group a test suite ever created.
+type groupState struct {
+	engines  []*Engine
+	channels []*Channel
+	in       [][]*Channel // incoming channels per destination shard
+	down     [][]int      // downstream shards per source shard (dedup)
+
+	// lookahead is the group-wide minimum channel delay (the SyncEpoch
+	// window); minIn is the per-shard minimum incoming delay. Both are
+	// maintained by AddChannel — deriving them per run was measurable
+	// overhead in the old epoch engine.
+	lookahead Time
+	minIn     []Time
+
+	// clocks are the per-shard published virtual clocks the asynchronous
+	// engine computes its per-channel horizons from; wake holds one sticky
+	// wake token per shard (capacity 1, non-blocking sends), so a shard
+	// that parks after an upstream publish still observes it.
+	clocks []shardClock
+	wake   []chan struct{}
+
+	// Persistent worker plumbing, spawned on the first parallel run.
+	cmds   []chan workerCmd
+	wg     sync.WaitGroup
+	counts []int
+
+	// Sync counters (see SyncStats). epochs is coordinator-owned; the
+	// per-shard arrays are each written by one goroutine at a time.
+	epochs    uint64
+	crossings []padCounter
+	drains    []padCounter
+	parks     []padCounter
+
+	// seqDone is scratch for the sequential asynchronous loop.
+	seqDone []bool
 }
 
-// Mark flags the port for the next barrier drain.
-func (d *Dirty) Mark() {
-	if !d.marked {
-		d.marked = true
-		d.g.dirty[d.src] = append(d.g.dirty[d.src], d.idx)
-	}
+// workerCmd is one run-quantum request to a persistent shard worker.
+type workerCmd struct {
+	kind      uint8
+	deadline  Time
+	inclusive bool
 }
 
-// crossEvt is one drained crossing with its deterministic merge key.
-type crossEvt struct {
-	at, ins   Time
-	src, port int
-	idx       int
-}
+const (
+	cmdEpoch  uint8 = iota // runTo(deadline, inclusive)
+	cmdRunAll              // Engine.Run (epoch mode with no channels)
+	cmdAsync               // asynchronous per-channel-lookahead loop
+)
 
 // NewShardGroup creates a group over the given engines. Engines are indexed
-// by shard number; boundary ports are registered as the topology is wired.
+// by shard number; boundary channels are registered as the topology is
+// wired (AddChannel).
 func NewShardGroup(engines []*Engine) *ShardGroup {
+	if len(engines) > maxKeyShards {
+		panic(fmt.Sprintf("sim: %d shards exceed the crossing-key limit (%d)",
+			len(engines), maxKeyShards))
+	}
+	n := len(engines)
+	st := &groupState{
+		engines:   engines,
+		in:        make([][]*Channel, n),
+		down:      make([][]int, n),
+		minIn:     make([]Time, n),
+		clocks:    make([]shardClock, n),
+		wake:      make([]chan struct{}, n),
+		counts:    make([]int, n),
+		crossings: make([]padCounter, n),
+		drains:    make([]padCounter, n),
+		parks:     make([]padCounter, n),
+		seqDone:   make([]bool, n),
+	}
+	for i := range st.wake {
+		st.wake[i] = make(chan struct{}, 1)
+	}
 	return &ShardGroup{
-		engines:  engines,
-		dirty:    make([][]int, len(engines)),
 		Parallel: runtime.GOMAXPROCS(0) > 1,
+		st:       st,
 	}
 }
 
 // Engines returns the per-shard engines.
-func (g *ShardGroup) Engines() []*Engine { return g.engines }
+func (g *ShardGroup) Engines() []*Engine { return g.st.engines }
 
-// AddBoundary registers a shard-crossing port and returns its Dirty handle,
-// which the port must invoke whenever it parks a crossing.
-func (g *ShardGroup) AddBoundary(p BoundaryPort) *Dirty {
-	if p.SrcShard() < 0 || p.SrcShard() >= len(g.engines) ||
-		p.DestShard() < 0 || p.DestShard() >= len(g.engines) {
-		panic(fmt.Sprintf("sim: boundary port shards (%d->%d) out of range",
-			p.SrcShard(), p.DestShard()))
+// AddChannel registers a directed shard-crossing channel with the given
+// propagation delay (its lookahead contribution) and returns it; the
+// source shard parks crossings with Channel.Send.
+func (g *ShardGroup) AddChannel(src, dst int, delay Time) *Channel {
+	st := g.st
+	if src < 0 || src >= len(st.engines) || dst < 0 || dst >= len(st.engines) {
+		panic(fmt.Sprintf("sim: boundary channel shards (%d->%d) out of range", src, dst))
 	}
-	if p.Delay() <= 0 {
-		panic("sim: boundary port needs positive propagation delay for lookahead")
+	if delay <= 0 {
+		panic("sim: boundary channel needs positive propagation delay for lookahead")
 	}
-	g.ports = append(g.ports, p)
-	d := &Dirty{g: g, src: p.SrcShard(), idx: len(g.ports) - 1}
-	g.marks = append(g.marks, d)
-	return d
-}
-
-// NumBoundaries returns the number of registered crossing ports.
-func (g *ShardGroup) NumBoundaries() int { return len(g.ports) }
-
-// Lookahead returns the conservative synchronization window: the minimum
-// propagation delay over all boundary ports, or 0 if there are none (shards
-// are then fully independent and epochs are unbounded).
-func (g *ShardGroup) Lookahead() Time {
-	var la Time
-	for _, p := range g.ports {
-		if d := p.Delay(); la == 0 || d < la {
-			la = d
+	if len(st.channels) >= maxKeyChannels {
+		panic(fmt.Sprintf("sim: %d boundary channels exceed the crossing-key limit", len(st.channels)))
+	}
+	c := &Channel{st: st, idx: len(st.channels), src: src, dst: dst, delay: delay}
+	c.q.Init()
+	st.channels = append(st.channels, c)
+	st.in[dst] = append(st.in[dst], c)
+	known := false
+	for _, d := range st.down[src] {
+		if d == dst {
+			known = true
+			break
 		}
 	}
-	return la
+	if !known {
+		st.down[src] = append(st.down[src], dst)
+	}
+	if st.lookahead == 0 || delay < st.lookahead {
+		st.lookahead = delay
+	}
+	if st.minIn[dst] == 0 || delay < st.minIn[dst] {
+		st.minIn[dst] = delay
+	}
+	return c
 }
 
-// Now returns the group's common barrier time (the maximum engine clock;
-// engines share it at every barrier).
+// NumChannels returns the number of registered crossing channels.
+func (g *ShardGroup) NumChannels() int { return len(g.st.channels) }
+
+// Lookahead returns the group-wide conservative window: the minimum
+// propagation delay over all boundary channels, or 0 if there are none
+// (shards are then fully independent). Cached at registration — the old
+// engine re-derived it on every run.
+func (g *ShardGroup) Lookahead() Time { return g.st.lookahead }
+
+// MinIncomingDelay returns shard's per-channel lookahead floor — the
+// minimum delay over its incoming channels — and whether it has any. The
+// asynchronous engine advances each shard at least this far beyond the
+// slowest upstream clock, which is never less than the global Lookahead
+// and usually more: that inequality is what the per-channel engine buys.
+func (g *ShardGroup) MinIncomingDelay(shard int) (Time, bool) {
+	d := g.st.minIn[shard]
+	return d, d > 0
+}
+
+// Stats returns the group's synchronization counters. Call between runs
+// (counters are written by shard workers while a run is in flight).
+func (g *ShardGroup) Stats() SyncStats {
+	st := g.st
+	s := SyncStats{Mode: g.Mode, Epochs: st.epochs}
+	for i := range st.engines {
+		s.Crossings += st.crossings[i].v
+		s.Drains += st.drains[i].v
+		if st.parks[i].v > s.MaxIdleParks {
+			s.MaxIdleParks = st.parks[i].v
+		}
+	}
+	return s
+}
+
+// Now returns the group's common run-end time (the maximum engine clock;
+// engines share it at the end of every RunUntil).
 func (g *ShardGroup) Now() Time {
 	var t Time
-	for _, e := range g.engines {
+	for _, e := range g.st.engines {
 		if e.Now() > t {
 			t = e.Now()
 		}
@@ -166,92 +231,27 @@ func (g *ShardGroup) Now() Time {
 	return t
 }
 
-// Pending returns the number of scheduled events across all shards.
+// Pending returns the number of scheduled events across all shards plus
+// crossings parked in channel mailboxes. Call between runs.
 func (g *ShardGroup) Pending() int {
 	n := 0
-	for _, e := range g.engines {
+	for _, e := range g.st.engines {
 		n += e.Pending()
+	}
+	for _, c := range g.st.channels {
+		n += c.q.Avail()
 	}
 	return n
 }
 
-// drain merges every boundary mailbox into the destination engines in
-// deterministic order. Runs single-threaded at a barrier: all shard
-// goroutines are parked, so touching any shard's engine and packet pool is
-// safe, and the barrier's synchronization orders these writes before the
-// next epoch's reads.
-func (g *ShardGroup) drain() {
-	evts := g.evts[:0]
-	for src, list := range g.dirty {
-		for _, pi := range list {
-			// Re-arm the mark before flushing so the port re-registers for
-			// the next barrier when it parks again.
-			g.marks[pi].marked = false
-			p := g.ports[pi]
-			g.stampBuf = p.FlushStamps(g.stampBuf[:0])
-			for i, s := range g.stampBuf {
-				evts = append(evts, crossEvt{at: s.At, ins: s.Ins, src: src, port: pi, idx: i})
-			}
-		}
-		g.dirty[src] = list[:0]
-	}
-	sortCross(evts)
-	for _, ev := range evts {
-		p := g.ports[ev.port]
-		h, arg := p.Transfer()
-		g.engines[p.DestShard()].scheduleCrossing(ev.at, ev.ins, h, arg)
-	}
-	g.evts = evts[:0]
-}
-
-// crossLess orders crossings by (deliver time, emission time, source shard,
-// port, FIFO index) — a total order independent of goroutine scheduling.
-// Per-port stamps are monotone in (at, ins), so the merge preserves each
-// port's FIFO order and Transfer can pop sequentially.
-func crossLess(a, b crossEvt) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	if a.ins != b.ins {
-		return a.ins < b.ins
-	}
-	if a.src != b.src {
-		return a.src < b.src
-	}
-	if a.port != b.port {
-		return a.port < b.port
-	}
-	return a.idx < b.idx
-}
-
-// sortCross sorts a barrier's crossings. Typical barriers carry a handful,
-// so insertion sort runs allocation-free; big fan-in barriers fall back to
-// the standard sort.
-func sortCross(evts []crossEvt) {
-	if len(evts) <= 32 {
-		for i := 1; i < len(evts); i++ {
-			for j := i; j > 0 && crossLess(evts[j], evts[j-1]); j-- {
-				evts[j], evts[j-1] = evts[j-1], evts[j]
-			}
-		}
-		return
-	}
-	sort.Slice(evts, func(i, j int) bool { return crossLess(evts[i], evts[j]) })
-}
-
-// earliest returns the minimum pending-event time across shards — the
-// "earliest pending <= deadline" query every epoch starts with. It runs
-// once per epoch on every engine, so it must not sort or drain anything:
-// the heap answers from its root, the timing wheel from its occupancy
-// bitmaps and per-bucket minima (peek may refill the wheel's ready run,
-// which is safe here — barriers are single-threaded, all shard goroutines
-// parked). Stopped engines are skipped: their events will never run
-// (matching Engine.Run's prompt return after Stop), so counting them would
-// spin the epoch loop without progress.
+// earliest returns the minimum pending-event time across shard schedulers.
+// Stopped engines are skipped: their events will never run (matching
+// Engine.Run's prompt return after Stop), so counting them would spin the
+// run loop without progress.
 func (g *ShardGroup) earliest() (Time, bool) {
 	var min Time
 	found := false
-	for _, e := range g.engines {
+	for _, e := range g.st.engines {
 		if e.stopped {
 			continue
 		}
@@ -262,97 +262,256 @@ func (g *ShardGroup) earliest() (Time, bool) {
 	return min, found
 }
 
+// earliestAnywhere extends earliest with crossings still parked in
+// mailboxes (skipping channels into stopped shards, whose deliveries would
+// never fire). Call between run quanta, with all workers parked.
+func (g *ShardGroup) earliestAnywhere() (Time, bool) {
+	min, found := g.earliest()
+	for _, c := range g.st.channels {
+		if g.st.engines[c.dst].stopped {
+			continue
+		}
+		if t, ok := c.earliestPending(); ok && (!found || t < min) {
+			min, found = t, true
+		}
+	}
+	return min, found
+}
+
 // advanceAll moves every running engine clock forward to t (never
 // backward; stopped engines keep their clocks, like Engine.RunUntil).
 func (g *ShardGroup) advanceAll(t Time) {
-	for _, e := range g.engines {
+	for _, e := range g.st.engines {
 		if !e.stopped && e.now < t {
 			e.now = t
 		}
 	}
 }
 
-// epochRunner runs one epoch on every shard, on parked worker goroutines
-// when parallelism is enabled. Workers live for one Run/RunUntil call.
-type epochRunner struct {
-	g      *ShardGroup
-	reqs   []chan epochReq
-	counts []int
-	wg     sync.WaitGroup
-}
-
-type epochReq struct {
-	deadline  Time
-	inclusive bool
-	runAll    bool // drain the shard completely (Engine.Run) instead
-}
-
-func (g *ShardGroup) newRunner() *epochRunner {
-	r := &epochRunner{g: g, counts: make([]int, len(g.engines))}
-	if !g.Parallel || len(g.engines) < 2 {
-		return r
+// publish raises shard i's published clock to t (monotone) — the value
+// downstream shards compute their horizons from. Producer-exclusive per
+// shard: only i's worker (or the coordinator between runs) calls it.
+func (st *groupState) publish(i int, t Time) {
+	if Time(st.clocks[i].v.Load()) < t {
+		st.clocks[i].v.Store(int64(t))
 	}
-	r.reqs = make([]chan epochReq, len(g.engines))
-	for i := range g.engines {
-		ch := make(chan epochReq, 1)
-		r.reqs[i] = ch
-		// The worker ranges over its captured channel, never over r.reqs:
-		// stop() nils r.reqs concurrently with worker startup.
-		go func(i int, e *Engine, ch chan epochReq) {
-			for req := range ch {
-				if req.runAll {
-					r.counts[i] += e.Run()
-				} else {
-					r.counts[i] += e.runTo(req.deadline, req.inclusive)
-				}
-				r.wg.Done()
+}
+
+// notify nudges every shard downstream of i: a sticky token per shard, so
+// a consumer that checked its horizon before this publish and parks after
+// it still wakes. Non-blocking — an already-pending token is enough.
+func (st *groupState) notify(i int) {
+	for _, d := range st.down[i] {
+		select {
+		case st.wake[d] <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// syncClocks aligns published clocks with the engines before an
+// asynchronous run (engines may have advanced under the other mode, or
+// via advanceAll, since the last publish).
+func (st *groupState) syncClocks() {
+	for i, e := range st.engines {
+		st.publish(i, e.now)
+	}
+}
+
+// drainAll empties every channel mailbox into the destination engines —
+// the SyncEpoch barrier drain. Runs on the coordinator with all workers
+// parked, so it is the consumer of every mailbox; the crossings' keys make
+// any drain order correct.
+func (st *groupState) drainAll() {
+	for _, c := range st.channels {
+		if c.q.Avail() == 0 {
+			continue
+		}
+		if c.drainInto(st.engines[c.dst]) > 0 {
+			st.drains[c.dst].v++
+		}
+	}
+}
+
+// step runs one conservative quantum for shard i under the asynchronous
+// engine: snapshot the incoming clocks, drain what is visible, then run to
+// the per-channel horizon. It returns events processed, whether the shard
+// completed the run (reached the deadline, or stopped), and whether any
+// progress was made.
+//
+// The snapshot MUST precede the drain: a crossing not yet visible to the
+// drain was emitted at or after its source's snapshot clock, so its
+// delivery time is at or beyond the horizon computed here — running to
+// that horizon exclusively can never miss it.
+func (st *groupState) step(i int, deadline Time) (n int, done, progress bool) {
+	e := st.engines[i]
+	if e.stopped {
+		// A stopped shard abandons its events, but its clock must still
+		// reach the deadline for downstream horizons — publish it, or every
+		// shard it feeds would stall forever.
+		st.publish(i, deadline)
+		st.notify(i)
+		return 0, true, true
+	}
+	horizon := Time(0)
+	bounded := false
+	for _, c := range st.in[i] {
+		t := Time(st.clocks[c.src].v.Load()) + c.delay
+		if !bounded || t < horizon {
+			horizon, bounded = t, true
+		}
+	}
+	drained := 0
+	for _, c := range st.in[i] {
+		drained += c.drainInto(e)
+	}
+	if drained > 0 {
+		st.drains[i].v++
+		progress = true
+	}
+	if !bounded || horizon > deadline {
+		// No crossing can land at or before the deadline anymore (anything
+		// still invisible delivers at or beyond the horizon): finish the
+		// run inclusively.
+		n = e.runTo(deadline, true)
+		st.publish(i, deadline)
+		st.notify(i)
+		return n, true, true
+	}
+	if horizon > e.now {
+		// Run exclusively to the horizon — a crossing can still deliver at
+		// exactly that instant and must be drained first.
+		n = e.runTo(horizon, false)
+		if e.stopped {
+			st.publish(i, deadline)
+		} else {
+			st.publish(i, horizon)
+		}
+		st.notify(i)
+		return n, e.stopped, true
+	}
+	return 0, false, progress
+}
+
+// asyncWorker is the persistent worker's asynchronous run loop: quanta
+// until done, parking on the wake token when no upstream clock permits
+// progress. Liveness: the globally minimum running clock always has a
+// horizon strictly beyond itself (all delays are positive), so some shard
+// can always advance, and every publish notifies its downstream shards.
+func (st *groupState) asyncWorker(i int, deadline Time) int {
+	n := 0
+	var idle uint64
+	for {
+		ev, done, progress := st.step(i, deadline)
+		n += ev
+		if done {
+			break
+		}
+		if !progress {
+			idle++
+			<-st.wake[i]
+		}
+	}
+	if idle > 0 {
+		st.parks[i].v += idle
+	}
+	return n
+}
+
+// seqAsync is the asynchronous engine on the caller's goroutine
+// (Parallel=false): deterministic round-robin quanta. A shard that cannot
+// advance counts an idle quantum, mirroring the parallel workers' parks.
+func (st *groupState) seqAsync(deadline Time) int {
+	n, doneCount := 0, 0
+	for i := range st.seqDone {
+		st.seqDone[i] = false
+	}
+	for doneCount < len(st.engines) {
+		progressed := false
+		for i := range st.engines {
+			if st.seqDone[i] {
+				continue
 			}
-		}(i, g.engines[i], ch)
-	}
-	return r
-}
-
-// epoch advances every shard to deadline and returns at the barrier.
-func (r *epochRunner) epoch(deadline Time, inclusive bool) {
-	r.dispatch(epochReq{deadline: deadline, inclusive: inclusive})
-}
-
-// epochAll drains every shard completely — only valid with no boundaries.
-func (r *epochRunner) epochAll() {
-	r.dispatch(epochReq{runAll: true})
-}
-
-func (r *epochRunner) dispatch(req epochReq) {
-	if r.reqs == nil {
-		for i, e := range r.g.engines {
-			if req.runAll {
-				r.counts[i] += e.Run()
-			} else {
-				r.counts[i] += e.runTo(req.deadline, req.inclusive)
+			ev, done, progress := st.step(i, deadline)
+			n += ev
+			if done {
+				st.seqDone[i] = true
+				doneCount++
+			} else if !progress {
+				st.parks[i].v++
+			}
+			if done || progress {
+				progressed = true
 			}
 		}
+		if !progressed {
+			panic("sim: shard group deadlocked (no shard can advance; zero-delay channel?)")
+		}
+	}
+	return n
+}
+
+// ensureWorkers spawns the persistent per-shard worker goroutines once.
+// They park on their command channels between runs; a finalizer on the
+// group closes the channels when the group becomes unreachable, so worker
+// goroutines live exactly as long as their group.
+func (g *ShardGroup) ensureWorkers() {
+	st := g.st
+	if st.cmds != nil {
 		return
 	}
-	r.wg.Add(len(r.reqs))
-	for _, ch := range r.reqs {
-		ch <- req
+	st.cmds = make([]chan workerCmd, len(st.engines))
+	for i := range st.engines {
+		ch := make(chan workerCmd, 1)
+		st.cmds[i] = ch
+		go func(i int, e *Engine, ch chan workerCmd) {
+			for cmd := range ch {
+				switch cmd.kind {
+				case cmdEpoch:
+					st.counts[i] = e.runTo(cmd.deadline, cmd.inclusive)
+				case cmdRunAll:
+					st.counts[i] = e.Run()
+				case cmdAsync:
+					st.counts[i] = st.asyncWorker(i, cmd.deadline)
+				}
+				st.wg.Done()
+			}
+		}(i, st.engines[i], ch)
 	}
-	r.wg.Wait()
-}
-
-// stop releases the worker goroutines and returns the total event count.
-// It is idempotent and runs deferred, so workers are not leaked when a
-// simulation event handler panics out of an epoch.
-func (r *epochRunner) stop() int {
-	if r.reqs != nil {
-		for _, ch := range r.reqs {
+	runtime.SetFinalizer(g, func(fg *ShardGroup) {
+		for _, ch := range fg.st.cmds {
 			close(ch)
 		}
-		r.reqs = nil
+	})
+}
+
+// dispatch runs one command on every shard — on the persistent workers
+// when parallel, inline otherwise — and returns the events processed.
+func (g *ShardGroup) dispatch(cmd workerCmd) int {
+	st := g.st
+	if g.Parallel && len(st.engines) > 1 {
+		g.ensureWorkers()
+		st.wg.Add(len(st.cmds))
+		for _, ch := range st.cmds {
+			ch <- cmd
+		}
+		st.wg.Wait()
+		n := 0
+		for _, c := range st.counts {
+			n += c
+		}
+		return n
+	}
+	if cmd.kind == cmdAsync {
+		return st.seqAsync(cmd.deadline)
 	}
 	n := 0
-	for _, c := range r.counts {
-		n += c
+	for _, e := range st.engines {
+		if cmd.kind == cmdRunAll {
+			n += e.Run()
+		} else {
+			n += e.runTo(cmd.deadline, cmd.inclusive)
+		}
 	}
 	return n
 }
@@ -362,62 +521,98 @@ func (r *epochRunner) stop() int {
 // and every engine clock ends at the deadline. It returns the number of
 // events processed, which matches what a single merged engine would report.
 func (g *ShardGroup) RunUntil(deadline Time) int {
-	la := g.Lookahead()
-	r := g.newRunner()
-	defer r.stop() // idempotent: releases workers even if a handler panics
+	if g.Mode == SyncEpoch {
+		return g.runUntilEpoch(deadline)
+	}
+	st := g.st
+	// The dispatch-join below is the asynchronous engine's only group-wide
+	// synchronization point: shards coordinate pairwise through published
+	// clocks, never all-stop.
+	st.epochs++
+	st.syncClocks()
+	n := g.dispatch(workerCmd{kind: cmdAsync, deadline: deadline})
+	g.advanceAll(deadline)
+	return n
+}
+
+// runUntilEpoch is RunUntil under the global-epoch reference engine: the
+// classic conservative window loop, one barrier drain per epoch.
+func (g *ShardGroup) runUntilEpoch(deadline Time) int {
+	st := g.st
+	la := st.lookahead
+	n := 0
 	for {
-		g.drain()
+		st.drainAll()
 		next, ok := g.earliest()
 		if !ok || next > deadline {
 			break
 		}
+		st.epochs++
 		if la == 0 {
-			// No boundaries: shards are independent; one inclusive epoch.
-			r.epoch(deadline, true)
+			// No channels: shards are independent; one inclusive epoch.
+			n += g.dispatch(workerCmd{kind: cmdEpoch, deadline: deadline, inclusive: true})
 			continue
 		}
 		// The epoch may extend a full lookahead past the first pending
 		// event: nothing can be emitted before that event fires, so no
-		// crossing can deliver before next+la. Idle stretches thus cost one
-		// barrier per lookahead of *busy* time, not of wall virtual time.
-		// An epoch boundary falling exactly on the deadline still runs
-		// exclusive: a crossing can deliver at that very instant and must be
-		// drained before any shard processes it, or same-instant events
-		// would fire out of insertion order. Only when no crossing can land
-		// at or before the deadline (next+la > deadline) is the final
-		// inclusive epoch safe.
+		// crossing can deliver before next+la. An epoch boundary falling
+		// exactly on the deadline still runs exclusive: a crossing can
+		// deliver at that very instant and must be drained before any shard
+		// processes it. Only when no crossing can land at or before the
+		// deadline (next+la > deadline) is the final inclusive epoch safe.
 		if end := next + la; end <= deadline {
-			r.epoch(end, false)
+			n += g.dispatch(workerCmd{kind: cmdEpoch, deadline: end})
 		} else {
-			r.epoch(deadline, true)
+			n += g.dispatch(workerCmd{kind: cmdEpoch, deadline: deadline, inclusive: true})
 		}
 	}
 	g.advanceAll(deadline)
-	return r.stop()
+	return n
 }
 
 // Run processes events until no shard has any left and all mailboxes are
 // empty, then aligns every engine clock to the time of the last event. It
 // returns the number of events processed.
 func (g *ShardGroup) Run() int {
-	la := g.Lookahead()
-	r := g.newRunner()
-	defer r.stop() // idempotent: releases workers even if a handler panics
+	if g.Mode == SyncEpoch {
+		return g.runEpochAll()
+	}
+	// Asynchronous full drain: rounds of RunUntil to the next pending
+	// instant anywhere (scheduled or still parked in a mailbox). Each round
+	// is one dispatch-join; the tail of a drained simulation is short, so
+	// the rendezvous cost stays negligible.
+	n := 0
 	for {
-		g.drain()
+		t, ok := g.earliestAnywhere()
+		if !ok {
+			break
+		}
+		n += g.RunUntil(t)
+	}
+	return n
+}
+
+// runEpochAll is Run under the global-epoch reference engine.
+func (g *ShardGroup) runEpochAll() int {
+	st := g.st
+	la := st.lookahead
+	n := 0
+	for {
+		st.drainAll()
 		next, ok := g.earliest()
 		if !ok {
 			break
 		}
+		st.epochs++
 		if la == 0 {
-			r.epochAll()
+			n += g.dispatch(workerCmd{kind: cmdRunAll})
 			continue
 		}
-		r.epoch(next+la, false)
+		n += g.dispatch(workerCmd{kind: cmdEpoch, deadline: next + la})
 	}
-	// Align every clock to the group's last barrier (with boundaries) or the
-	// latest shard clock (without); unlike Engine.Run, the group's clocks end
-	// epoch-aligned rather than exactly at the last event's timestamp.
+	// Align every clock to the group's end time; unlike Engine.Run, the
+	// epoch engine's clocks end epoch-aligned rather than exactly at the
+	// last event's timestamp.
 	g.advanceAll(g.Now())
-	return r.stop()
+	return n
 }

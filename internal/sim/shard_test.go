@@ -2,79 +2,38 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 )
 
-// fakePort is a minimal BoundaryPort: crossings carry an int payload and a
-// recording handler fires in the destination shard.
-type fakePort struct {
-	src, dst int
-	delay    Time
-	stamps   []BoundaryStamp
-	payload  []int
-	head     int
-	sink     *crossSink
-	dirty    *Dirty
-}
-
+// crossSink records crossing deliveries; the int payload travels in the
+// event arg.
 type crossSink struct {
 	eng *Engine
 	log *[]string
-	// next payload handed over by Transfer, consumed by Handle.
-	queue []int
 }
 
-func (p *fakePort) SrcShard() int  { return p.src }
-func (p *fakePort) DestShard() int { return p.dst }
-func (p *fakePort) Delay() Time    { return p.delay }
-
-func (p *fakePort) FlushStamps(buf []BoundaryStamp) []BoundaryStamp {
-	buf = append(buf, p.stamps...)
-	p.stamps = p.stamps[:0]
-	return buf
+func (s *crossSink) Handle(arg uint64) {
+	*s.log = append(*s.log, fmt.Sprintf("recv %d @%d", arg, s.eng.Now()))
 }
 
-func (p *fakePort) Transfer() (Handler, uint64) {
-	v := p.payload[p.head]
-	p.head++
-	if p.head == len(p.payload) {
-		p.payload = p.payload[:0]
-		p.head = 0
-	}
-	p.sink.queue = append(p.sink.queue, v)
-	return p.sink, 0
-}
-
-func (s *crossSink) Handle(uint64) {
-	v := s.queue[0]
-	s.queue = s.queue[1:]
-	*s.log = append(*s.log, fmt.Sprintf("recv %d @%d", v, s.eng.Now()))
-}
-
-func (p *fakePort) send(now Time, v int) {
-	p.stamps = append(p.stamps, BoundaryStamp{At: now + p.delay, Ins: now})
-	p.payload = append(p.payload, v)
-	p.dirty.Mark()
-}
-
-// TestShardGroupCrossing ping-pongs a value between two shards over a
-// 10 ns-lookahead boundary and checks delivery times and determinism.
+// TestShardGroupCrossing sends values between two shards over a
+// 10 ns-lookahead channel and checks delivery times and determinism, under
+// both sync modes and both execution modes.
 func TestShardGroupCrossing(t *testing.T) {
-	run := func(parallel bool) []string {
+	run := func(parallel bool, mode SyncMode) []string {
 		var log []string
 		e0, e1 := New(1), New(2)
 		g := NewShardGroup([]*Engine{e0, e1})
 		g.Parallel = parallel
-		p01 := &fakePort{src: 0, dst: 1, delay: 10}
-		p10 := &fakePort{src: 1, dst: 0, delay: 10}
-		p01.sink = &crossSink{eng: e1, log: &log}
-		p10.sink = &crossSink{eng: e0, log: &log}
-		p01.dirty = g.AddBoundary(p01)
-		p10.dirty = g.AddBoundary(p10)
+		g.Mode = mode
+		c01 := g.AddChannel(0, 1, 10)
+		g.AddChannel(1, 0, 10)
+		sink1 := &crossSink{eng: e1, log: &log}
 
-		// Shard 0 emits at t=5 and t=7; shard 1 bounces every arrival back.
-		e0.At(5, func() { p01.send(e0.Now(), 100) })
-		e0.At(7, func() { p01.send(e0.Now(), 200) })
+		// Shard 0 emits at t=5 and t=7.
+		e0.At(5, func() { c01.Send(e0.Now(), sink1, 100) })
+		e0.At(7, func() { c01.Send(e0.Now(), sink1, 200) })
 		// A local shard-1 event at the exact arrival instant of value 100,
 		// inserted earlier in virtual time (ins=0): must fire before it.
 		e1.At(15, func() { log = append(log, fmt.Sprintf("local @%d", e1.Now())) })
@@ -82,72 +41,76 @@ func TestShardGroupCrossing(t *testing.T) {
 		return log
 	}
 
-	seq := run(false)
 	want := []string{"local @15", "recv 100 @15", "recv 200 @17"}
-	if fmt.Sprint(seq) != fmt.Sprint(want) {
-		t.Fatalf("sequential crossing log = %v, want %v", seq, want)
-	}
-	if par := run(true); fmt.Sprint(par) != fmt.Sprint(seq) {
-		t.Fatalf("parallel log %v != sequential log %v", par, seq)
+	for _, mode := range []SyncMode{SyncChannel, SyncEpoch} {
+		seq := run(false, mode)
+		if fmt.Sprint(seq) != fmt.Sprint(want) {
+			t.Fatalf("%v sequential crossing log = %v, want %v", mode, seq, want)
+		}
+		if par := run(true, mode); fmt.Sprint(par) != fmt.Sprint(seq) {
+			t.Fatalf("%v parallel log %v != sequential log %v", mode, par, seq)
+		}
 	}
 }
 
 // TestShardGroupMergeOrder drains simultaneous crossings from two source
-// shards and checks the deterministic (at, ins, src, port, idx) merge.
+// shards and checks the deterministic (at, ins, src, channel, fifo) merge.
 func TestShardGroupMergeOrder(t *testing.T) {
-	var log []string
-	e0, e1, e2 := New(1), New(2), New(3)
-	g := NewShardGroup([]*Engine{e0, e1, e2})
-	g.Parallel = false
-	p02 := &fakePort{src: 0, dst: 2, delay: 10}
-	p12 := &fakePort{src: 1, dst: 2, delay: 10}
-	p02.sink = &crossSink{eng: e2, log: &log}
-	p12.sink = &crossSink{eng: e2, log: &log}
-	p02.dirty = g.AddBoundary(p02)
-	p12.dirty = g.AddBoundary(p12)
+	for _, mode := range []SyncMode{SyncChannel, SyncEpoch} {
+		var log []string
+		e0, e1, e2 := New(1), New(2), New(3)
+		g := NewShardGroup([]*Engine{e0, e1, e2})
+		g.Parallel = false
+		g.Mode = mode
+		c02 := g.AddChannel(0, 2, 10)
+		c12 := g.AddChannel(1, 2, 10)
+		sink := &crossSink{eng: e2, log: &log}
 
-	// Both shards emit at t=3 (same At, same Ins): source shard breaks the
-	// tie, so shard 0's value delivers first; the t=2 emission from shard 1
-	// has an earlier Ins and beats both despite equal delivery... it has
-	// At=12 < 13, so it simply delivers first by time.
-	e1.At(2, func() { p12.send(e1.Now(), 902) })
-	e0.At(3, func() { p02.send(e0.Now(), 3) })
-	e1.At(3, func() { p12.send(e1.Now(), 903) })
-	g.RunUntil(30)
+		// Both shards emit at t=3 (same at, same ins): source shard breaks
+		// the tie, so shard 0's value delivers first; the t=2 emission from
+		// shard 1 delivers first outright (at=12 < 13).
+		e1.At(2, func() { c12.Send(e1.Now(), sink, 902) })
+		e0.At(3, func() { c02.Send(e0.Now(), sink, 3) })
+		e1.At(3, func() { c12.Send(e1.Now(), sink, 903) })
+		g.RunUntil(30)
 
-	want := []string{"recv 902 @12", "recv 3 @13", "recv 903 @13"}
-	if fmt.Sprint(log) != fmt.Sprint(want) {
-		t.Fatalf("merge order = %v, want %v", log, want)
+		want := []string{"recv 902 @12", "recv 3 @13", "recv 903 @13"}
+		if fmt.Sprint(log) != fmt.Sprint(want) {
+			t.Fatalf("%v merge order = %v, want %v", mode, log, want)
+		}
 	}
 }
 
 // TestShardGroupDeadlineOnEpochBoundary pins the end==deadline case: a
 // crossing delivering exactly at the RunUntil deadline must still be
 // ordered by insertion stamp against local events of that instant (the
-// barrier drain has to happen before the instant is processed).
+// drain has to happen before the instant is processed).
 func TestShardGroupDeadlineOnEpochBoundary(t *testing.T) {
-	var log []string
-	e0, e1 := New(1), New(2)
-	g := NewShardGroup([]*Engine{e0, e1})
-	g.Parallel = false
-	p01 := &fakePort{src: 0, dst: 1, delay: 10}
-	p01.sink = &crossSink{eng: e1, log: &log}
-	p01.dirty = g.AddBoundary(p01)
+	for _, mode := range []SyncMode{SyncChannel, SyncEpoch} {
+		var log []string
+		e0, e1 := New(1), New(2)
+		g := NewShardGroup([]*Engine{e0, e1})
+		g.Parallel = false
+		g.Mode = mode
+		c01 := g.AddChannel(0, 1, 10)
+		sink := &crossSink{eng: e1, log: &log}
 
-	// Crossing emitted at t=5 delivers at t=15 with ins=5; the local event
-	// at t=15 is inserted at t=10 (ins=10), so the crossing fires first.
-	e0.At(5, func() { p01.send(e0.Now(), 1) })
-	e1.At(10, func() {
-		e1.At(15, func() { log = append(log, fmt.Sprintf("local @%d", e1.Now())) })
-	})
-	g.RunUntil(15) // deadline == 5 + lookahead: epoch boundary on the deadline
-	want := []string{"recv 1 @15", "local @15"}
-	if fmt.Sprint(log) != fmt.Sprint(want) {
-		t.Fatalf("deadline-on-boundary order = %v, want %v", log, want)
+		// Crossing emitted at t=5 delivers at t=15 with ins=5; the local
+		// event at t=15 is inserted at t=10 (ins=10), so the crossing fires
+		// first.
+		e0.At(5, func() { c01.Send(e0.Now(), sink, 1) })
+		e1.At(10, func() {
+			e1.At(15, func() { log = append(log, fmt.Sprintf("local @%d", e1.Now())) })
+		})
+		g.RunUntil(15) // deadline == 5 + lookahead: horizon lands on the deadline
+		want := []string{"recv 1 @15", "local @15"}
+		if fmt.Sprint(log) != fmt.Sprint(want) {
+			t.Fatalf("%v deadline-on-boundary order = %v, want %v", mode, log, want)
+		}
 	}
 }
 
-// TestShardGroupRunIndependent covers the no-boundary path: shards drain
+// TestShardGroupRunIndependent covers the no-channel path: shards drain
 // fully and clocks settle at the latest shard's last event.
 func TestShardGroupRunIndependent(t *testing.T) {
 	e0, e1 := New(1), New(2)
@@ -167,31 +130,57 @@ func TestShardGroupRunIndependent(t *testing.T) {
 // livelock the group loop — its remaining events are abandoned (as with
 // Engine.Run after Stop) while other shards keep running to the deadline.
 func TestShardGroupStoppedShard(t *testing.T) {
-	e0, e1 := New(1), New(2)
-	g := NewShardGroup([]*Engine{e0, e1})
-	g.Parallel = false
-	p01 := &fakePort{src: 0, dst: 1, delay: 10}
-	var log []string
-	p01.sink = &crossSink{eng: e1, log: &log}
-	p01.dirty = g.AddBoundary(p01)
+	for _, mode := range []SyncMode{SyncChannel, SyncEpoch} {
+		for _, parallel := range []bool{false, true} {
+			e0, e1 := New(1), New(2)
+			g := NewShardGroup([]*Engine{e0, e1})
+			g.Parallel = parallel
+			g.Mode = mode
+			c01 := g.AddChannel(0, 1, 10)
+			var log []string
+			sink := &crossSink{eng: e1, log: &log}
+			_ = c01
 
-	fired := 0
-	e0.At(5, func() { e0.Stop() })
-	e0.At(6, func() { fired++ }) // never runs: the shard stopped
-	e1.At(8, func() { fired++ })
-	g.RunUntil(20) // must return despite shard 0's abandoned event
-	if fired != 1 {
-		t.Fatalf("fired = %d, want only shard 1's event", fired)
+			fired := 0
+			e0.At(5, func() { e0.Stop() })
+			e0.At(6, func() { fired++ }) // never runs: the shard stopped
+			e1.At(8, func() { fired++ })
+			g.RunUntil(20) // must return despite shard 0's abandoned event
+			if fired != 1 {
+				t.Fatalf("%v parallel=%v: fired = %d, want only shard 1's event", mode, parallel, fired)
+			}
+			if e1.Now() != 20 {
+				t.Fatalf("%v parallel=%v: running shard clock = %d, want 20", mode, parallel, e1.Now())
+			}
+			_ = sink
+		}
 	}
-	if e1.Now() != 20 {
-		t.Fatalf("running shard clock = %d, want 20", e1.Now())
+}
+
+// TestShardGroupStoppedDest: crossings parked toward a stopped shard must
+// not hang the full-drain Run loop — they are simply never delivered.
+func TestShardGroupStoppedDest(t *testing.T) {
+	for _, mode := range []SyncMode{SyncChannel, SyncEpoch} {
+		var log []string
+		e0, e1 := New(1), New(2)
+		g := NewShardGroup([]*Engine{e0, e1})
+		g.Parallel = false
+		g.Mode = mode
+		c01 := g.AddChannel(0, 1, 10)
+		sink := &crossSink{eng: e1, log: &log}
+
+		e1.At(1, func() { e1.Stop() })
+		e0.At(5, func() { c01.Send(e0.Now(), sink, 42) })
+		g.Run() // must terminate with the crossing undelivered or abandoned
+		if fmt.Sprint(log) != "[]" {
+			t.Fatalf("%v: stopped shard delivered crossings: %v", mode, log)
+		}
 	}
 }
 
 // TestShardGroupParallelEmptyRun: a parallel group with nothing to do must
-// return cleanly — stop() races worker startup if workers re-read shared
-// state instead of their captured channel (regression: index-out-of-range
-// on zero-epoch runs).
+// return cleanly and repeatedly (regression for worker-startup races on
+// zero-epoch runs).
 func TestShardGroupParallelEmptyRun(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		g := NewShardGroup([]*Engine{New(1), New(2)})
@@ -207,27 +196,123 @@ func TestShardGroupParallelEmptyRun(t *testing.T) {
 	}
 }
 
+// TestShardGroupNoGoroutineGrowth pins the persistent-worker contract: the
+// testbed pattern of thousands of short RunUntil calls must not spawn a
+// goroutine per call — workers are created once at warm-up and parked
+// between runs.
+func TestShardGroupNoGoroutineGrowth(t *testing.T) {
+	e0, e1 := New(1), New(2)
+	g := NewShardGroup([]*Engine{e0, e1})
+	g.Parallel = true
+	c01 := g.AddChannel(0, 1, 10)
+	var log []string
+	sink := &crossSink{eng: e1, log: &log}
+	tick := Time(0)
+	e0.Every(5, 5, func() { c01.Send(e0.Now(), sink, uint64(tick)); tick++ })
+
+	g.RunUntil(10) // warm-up: spawns the two persistent workers
+	base := runtime.NumGoroutine()
+	for d := Time(20); d <= 5000; d += 10 {
+		g.RunUntil(d)
+	}
+	// Other tests' finalized groups may retire workers concurrently, so
+	// only growth is a failure.
+	if now := runtime.NumGoroutine(); now > base {
+		t.Fatalf("goroutines grew across RunUntil calls: %d -> %d", base, now)
+	}
+	if len(log) == 0 {
+		t.Fatal("crossings never delivered")
+	}
+}
+
 // TestShardGroupResume checks that RunUntil is resumable: crossings parked
 // near a deadline deliver correctly on the next call.
 func TestShardGroupResume(t *testing.T) {
-	var log []string
-	e0, e1 := New(1), New(2)
-	g := NewShardGroup([]*Engine{e0, e1})
-	p01 := &fakePort{src: 0, dst: 1, delay: 10}
-	p01.sink = &crossSink{eng: e1, log: &log}
-	p01.dirty = g.AddBoundary(p01)
+	for _, mode := range []SyncMode{SyncChannel, SyncEpoch} {
+		var log []string
+		e0, e1 := New(1), New(2)
+		g := NewShardGroup([]*Engine{e0, e1})
+		g.Mode = mode
+		c01 := g.AddChannel(0, 1, 10)
+		sink := &crossSink{eng: e1, log: &log}
 
-	e0.At(18, func() { p01.send(e0.Now(), 7) }) // delivers at 28
-	g.RunUntil(20)
-	if len(log) != 0 {
-		t.Fatalf("crossing delivered early: %v", log)
+		e0.At(18, func() { c01.Send(e0.Now(), sink, 7) }) // delivers at 28
+		g.RunUntil(20)
+		if len(log) != 0 {
+			t.Fatalf("%v: crossing delivered early: %v", mode, log)
+		}
+		if e0.Now() != 20 || e1.Now() != 20 {
+			t.Fatalf("%v: clocks at (%d,%d), want (20,20)", mode, e0.Now(), e1.Now())
+		}
+		g.RunUntil(30)
+		if want := []string{"recv 7 @28"}; fmt.Sprint(log) != fmt.Sprint(want) {
+			t.Fatalf("%v: after resume log = %v, want %v", mode, log, want)
+		}
 	}
-	if e0.Now() != 20 || e1.Now() != 20 {
-		t.Fatalf("clocks at (%d,%d), want (20,20)", e0.Now(), e1.Now())
+}
+
+// TestShardGroupLookaheadCached pins the cached lookahead derivations the
+// old engine recomputed per run: group-wide minimum and per-shard incoming
+// minima maintained incrementally by AddChannel.
+func TestShardGroupLookaheadCached(t *testing.T) {
+	g := NewShardGroup([]*Engine{New(1), New(2), New(3)})
+	if g.Lookahead() != 0 {
+		t.Fatalf("empty group lookahead = %d, want 0", g.Lookahead())
 	}
-	g.RunUntil(30)
-	if want := []string{"recv 7 @28"}; fmt.Sprint(log) != fmt.Sprint(want) {
-		t.Fatalf("after resume log = %v, want %v", log, want)
+	g.AddChannel(0, 1, 50)
+	g.AddChannel(1, 2, 20)
+	g.AddChannel(2, 0, 80)
+	if g.Lookahead() != 20 {
+		t.Fatalf("lookahead = %d, want 20", g.Lookahead())
+	}
+	if d, ok := g.MinIncomingDelay(1); !ok || d != 50 {
+		t.Fatalf("minIn(1) = %d,%v, want 50", d, ok)
+	}
+	if d, ok := g.MinIncomingDelay(2); !ok || d != 20 {
+		t.Fatalf("minIn(2) = %d,%v, want 20", d, ok)
+	}
+	// Per-channel floors dominate the global window — the asynchronous
+	// engine's advantage in one inequality.
+	for i := 0; i < 3; i++ {
+		if d, ok := g.MinIncomingDelay(i); ok && d < g.Lookahead() {
+			t.Fatalf("minIn(%d)=%d below global lookahead %d", i, d, g.Lookahead())
+		}
+	}
+}
+
+// TestShardGroupSyncStats checks the deterministic counters: channel mode
+// must sync far less often than epoch mode on the same workload.
+func TestShardGroupSyncStats(t *testing.T) {
+	build := func(mode SyncMode) (*ShardGroup, *[]string) {
+		var log []string
+		e0, e1 := New(1), New(2)
+		g := NewShardGroup([]*Engine{e0, e1})
+		g.Parallel = false
+		g.Mode = mode
+		c01 := g.AddChannel(0, 1, 10)
+		g.AddChannel(1, 0, 10)
+		sink := &crossSink{eng: e1, log: &log}
+		tick := uint64(0)
+		e0.Every(3, 3, func() { c01.Send(e0.Now(), sink, tick); tick++ })
+		return g, &log
+	}
+
+	gc, logc := build(SyncChannel)
+	ge, loge := build(SyncEpoch)
+	gc.RunUntil(3000)
+	ge.RunUntil(3000)
+	if fmt.Sprint(*logc) != fmt.Sprint(*loge) {
+		t.Fatalf("modes disagree:\nchannel %v\nepoch   %v", *logc, *loge)
+	}
+	sc, se := gc.Stats(), ge.Stats()
+	if sc.Crossings != se.Crossings || sc.Crossings == 0 {
+		t.Fatalf("crossings: channel %d, epoch %d", sc.Crossings, se.Crossings)
+	}
+	if sc.Epochs != 1 {
+		t.Fatalf("channel mode epochs = %d, want 1 (one dispatch-join)", sc.Epochs)
+	}
+	if se.Epochs < 5*sc.Epochs {
+		t.Fatalf("epoch mode synced only %d times vs channel's %d — counters broken", se.Epochs, sc.Epochs)
 	}
 }
 
@@ -253,8 +338,8 @@ func TestRunToExclusive(t *testing.T) {
 }
 
 // TestCrossingInsertionOrder pins the tie-break the sharded runtime relies
-// on: an event re-scheduled late (at a barrier) with an early insertion
-// stamp fires before same-instant events inserted later in virtual time.
+// on: a crossing drained late with an early insertion stamp fires before
+// same-instant events inserted later in virtual time.
 func TestCrossingInsertionOrder(t *testing.T) {
 	e := New(1)
 	var order []string
@@ -262,11 +347,58 @@ func TestCrossingInsertionOrder(t *testing.T) {
 		e.At(20, func() { order = append(order, "ins4") })
 	})
 	e.RunUntil(10)
-	// Simulates a barrier drain: the crossing was emitted at time 2.
-	e.scheduleCrossing(20, 2, handlerFunc(func() { order = append(order, "crossing-ins2") }), 0)
+	// Simulates a drain: the crossing was emitted at time 2.
+	e.scheduleCrossing(20, 2, crossKey(0, 0, 0), handlerFunc(func() { order = append(order, "crossing-ins2") }), 0)
 	e.Run()
 	if fmt.Sprint(order) != "[crossing-ins2 ins4]" {
 		t.Fatalf("order = %v, want crossing first (earlier insertion stamp)", order)
+	}
+}
+
+// TestCrossingKeyOrder pins the key layout: locals before crossings at an
+// equal (at, ins); crossings among themselves by (src, channel, fifo).
+func TestCrossingKeyOrder(t *testing.T) {
+	e := New(1)
+	var order []uint64
+	rec := func(id uint64) Handler { return handlerFunc(func() { order = append(order, id) }) }
+	// All fire at t=20 with ins=0. Locals get seq 1,2; crossings get keys.
+	e.Schedule(20, rec(1), 0)
+	e.scheduleCrossing(20, 0, crossKey(1, 3, 0), rec(130), 0)
+	e.scheduleCrossing(20, 0, crossKey(0, 7, 1), rec(71), 0)
+	e.scheduleCrossing(20, 0, crossKey(0, 7, 0), rec(70), 0)
+	e.Schedule(20, rec(2), 0)
+	e.Run()
+	want := "[1 2 70 71 130]"
+	if fmt.Sprint(order) != want {
+		t.Fatalf("key order = %v, want %s", order, want)
+	}
+}
+
+// TestSPSC exercises the mailbox queue across segment boundaries and spare
+// recycling (single-threaded: the SPSC contract is per-side single-owner,
+// and the shard runtime's dispatch edges provide the cross-side ordering).
+func TestSPSC(t *testing.T) {
+	var q SPSC[int]
+	q.Init()
+	next := 0
+	for round := 0; round < 5; round++ {
+		n := spscSegCap*2 + 17 // force segment hops and spare reuse
+		for i := 0; i < n; i++ {
+			q.Push(round*1000 + i)
+		}
+		if q.Avail() != n {
+			t.Fatalf("avail = %d, want %d", q.Avail(), n)
+		}
+		for i := 0; i < n; i++ {
+			if got := *q.Front(); got != round*1000+i {
+				t.Fatalf("front = %d, want %d", got, round*1000+i)
+			}
+			q.Advance()
+			next++
+		}
+		if q.Avail() != 0 {
+			t.Fatalf("drained queue has %d pending", q.Avail())
+		}
 	}
 }
 

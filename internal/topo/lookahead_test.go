@@ -1,0 +1,144 @@
+package topo
+
+// Per-channel lookahead property guard: on any partitioned topology, every
+// shard's per-channel lookahead floor (minimum incoming crossing delay)
+// must be at least the group-wide global lookahead (minimum crossing delay
+// anywhere) — the inequality the asynchronous conservative engine exploits
+// — and with heterogeneous cut-link delays it must be strictly greater for
+// some shard, or the per-channel engine would buy nothing over global
+// epochs.
+
+import (
+	"math/rand"
+	"testing"
+
+	"minions/internal/link"
+	"minions/internal/sim"
+)
+
+// wireGraph builds a sharded network of switches from g's edge list using
+// the given assignment, with per-edge delays from delayOf. Returns the
+// network and the minimum delay over cut edges (0 when nothing crosses).
+func wireGraph(t *testing.T, g PartGraph, assign []int, shards int, delayOf func(i int) sim.Time) (*Network, sim.Time) {
+	t.Helper()
+	degree := make([]int, g.N)
+	for _, e := range g.Edges {
+		degree[e[0]]++
+		degree[e[1]]++
+	}
+	n := NewSharded(1, shards)
+	n.PlanPartition(assign)
+	sws := make([]any, g.N)
+	for i := 0; i < g.N; i++ {
+		d := degree[i]
+		if d == 0 {
+			d = 1
+		}
+		sws[i] = n.AddSwitch(d)
+	}
+	var minCut sim.Time
+	for i, e := range g.Edges {
+		d := delayOf(i)
+		n.Connect(sws[e[0]], sws[e[1]], link.Config{RateBps: 1_000_000_000, Delay: d})
+		if assign[e[0]] != assign[e[1]] && (minCut == 0 || d < minCut) {
+			minCut = d
+		}
+	}
+	return n, minCut
+}
+
+// checkLookaheadProperty asserts the per-channel vs global lookahead
+// invariants on a wired group and returns how many shards beat the global
+// window strictly.
+func checkLookaheadProperty(t *testing.T, n *Network, minCut sim.Time) int {
+	t.Helper()
+	grp := n.Group()
+	if grp == nil {
+		t.Fatal("sharded network missing group")
+	}
+	if la := grp.Lookahead(); la != minCut {
+		t.Fatalf("global lookahead = %d, want min cut-link delay %d", la, minCut)
+	}
+	strictly := 0
+	for i := range grp.Engines() {
+		d, ok := grp.MinIncomingDelay(i)
+		if !ok {
+			continue // no incoming crossings: the shard is unconstrained
+		}
+		if d < grp.Lookahead() {
+			t.Fatalf("shard %d per-channel lookahead %d below global %d", i, d, grp.Lookahead())
+		}
+		if d > grp.Lookahead() {
+			strictly++
+		}
+	}
+	return strictly
+}
+
+// TestLookaheadPerChannelOnPartitionGraph runs the property over random
+// graphs partitioned by PartitionGraph with heterogeneous link delays.
+func TestLookaheadPerChannelOnPartitionGraph(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		nodes := 8 + r.Intn(10)
+		g := PartGraph{N: nodes}
+		// Connected ring plus random chords.
+		for i := 0; i < nodes; i++ {
+			g.Edges = append(g.Edges, [2]int{i, (i + 1) % nodes})
+		}
+		for i := 0; i < nodes/2; i++ {
+			a, b := r.Intn(nodes), r.Intn(nodes)
+			if a != b {
+				g.Edges = append(g.Edges, [2]int{a, b})
+			}
+		}
+		shards := 2 + r.Intn(3)
+		assign := PartitionGraph(g, shards)
+		delays := make([]sim.Time, len(g.Edges))
+		for i := range delays {
+			delays[i] = sim.Time(1+r.Intn(100)) * sim.Microsecond
+		}
+		n, minCut := wireGraph(t, g, assign, shards, func(i int) sim.Time { return delays[i] })
+		if minCut == 0 {
+			continue // partition cut nothing (all shards but one empty of edges)
+		}
+		checkLookaheadProperty(t, n, minCut)
+	}
+}
+
+// TestLookaheadPerChannelBeatsGlobal pins the strict case on a crafted
+// chain: with heterogeneous cut delays, the shard behind the slow link gets
+// a lookahead floor far beyond the global window.
+func TestLookaheadPerChannelBeatsGlobal(t *testing.T) {
+	// Three shards in a chain; the 0-1 cut is 10 µs, the 1-2 cut 50 µs.
+	g := PartGraph{N: 3, Edges: [][2]int{{0, 1}, {1, 2}}}
+	assign := []int{0, 1, 2}
+	delays := []sim.Time{10 * sim.Microsecond, 50 * sim.Microsecond}
+	n, minCut := wireGraph(t, g, assign, 3, func(i int) sim.Time { return delays[i] })
+	if strictly := checkLookaheadProperty(t, n, minCut); strictly == 0 {
+		t.Fatal("no shard's per-channel lookahead beat the global window despite heterogeneous cut delays")
+	}
+	if d, ok := n.Group().MinIncomingDelay(2); !ok || d != 50*sim.Microsecond {
+		t.Fatalf("shard 2 lookahead floor = %d,%v, want the slow link's 50 µs", d, ok)
+	}
+}
+
+// TestLookaheadPerChannelOnFatTree runs the property on the pod-aligned
+// fat-tree partition (uniform delays: every floor equals the global
+// window, never below it).
+func TestLookaheadPerChannelOnFatTree(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		n := NewSharded(1, shards)
+		FatTree(n, 4, 1000)
+		grp := n.Group()
+		for i := range grp.Engines() {
+			d, ok := grp.MinIncomingDelay(i)
+			if !ok {
+				t.Fatalf("fat-tree shard %d has no incoming crossings", i)
+			}
+			if d != grp.Lookahead() {
+				t.Fatalf("uniform fat-tree: shard %d floor %d != global %d", i, d, grp.Lookahead())
+			}
+		}
+	}
+}

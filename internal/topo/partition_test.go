@@ -149,7 +149,7 @@ func TestFatTreeShardedCutIsAggCoreOnly(t *testing.T) {
 	// k=4, 2 shards: each of the 8 aggs has 2 core uplinks and cores
 	// alternate shards, so 8 agg-core pairs cross — 16 unidirectional
 	// boundary links — and no intra-pod link is cut.
-	if got := n.Group().NumBoundaries(); got != 16 {
+	if got := n.Group().NumChannels(); got != 16 {
 		t.Fatalf("boundary links = %d, want 16 (agg-core only)", got)
 	}
 	// Every host of a pod shares the pod's shard.

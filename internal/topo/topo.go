@@ -317,8 +317,9 @@ func (n *Network) allocPort(v any) int {
 // Connect wires a and b with a bidirectional link pair of the given config
 // and returns the two unidirectional links (a->b, b->a). Each unidirectional
 // link lives in its transmitter's shard; when the endpoints sit in different
-// shards, both directions become boundary links whose deliveries cross at
-// epoch barriers (and whose propagation delay feeds the group's lookahead).
+// shards, both directions become boundary links whose deliveries cross over
+// per-direction sim.Channels (and whose propagation delay is each
+// crossing's conservative lookahead).
 func (n *Network) Connect(a, b any, cfg link.Config) (*link.Link, *link.Link) {
 	pa, pb := n.allocPort(a), n.allocPort(b)
 
@@ -327,10 +328,8 @@ func (n *Network) Connect(a, b any, cfg link.Config) (*link.Link, *link.Link) {
 	lab := link.New(n.engines[sa], cfg, receiver(b), pb)
 	lba := link.New(n.engines[sb], cfg, receiver(a), pa)
 	if sa != sb {
-		bab := lab.BindBoundary(sa, sb, n.pools[sb])
-		bab.SetDirty(n.group.AddBoundary(bab))
-		bba := lba.BindBoundary(sb, sa, n.pools[sa])
-		bba.SetDirty(n.group.AddBoundary(bba))
+		lab.BindBoundary(sa, sb, n.pools[sb]).Register(n.group)
+		lba.BindBoundary(sb, sa, n.pools[sa]).Register(n.group)
 	}
 	n.attach(a, pa, lab)
 	n.attach(b, pb, lba)

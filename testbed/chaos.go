@@ -41,6 +41,9 @@ type ChaosConfig struct {
 	Seed      int64
 	Shards    int
 	Scheduler Scheduler
+	// Sync selects the shard synchronization algorithm; like Scheduler it
+	// never moves the fingerprint (the chaos determinism tests pin it).
+	Sync SyncMode
 	// MaxRecoveryEpochs bounds how many RCP* control periods (10 ms) after
 	// the restore instant the aggregate rate may take to regain 90% of its
 	// pre-fault baseline (default 60). Exceeding it is an error: the system
@@ -187,14 +190,14 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	// once and arm through SimOpts by constructing the plan from a throwaway
 	// twin topology. The twin is cheap (no traffic) and keeps NewNet the
 	// single constructor path.
-	twin := NewNet(SimOpts{Seed: cfg.Seed, Shards: cfg.Shards, Scheduler: cfg.Scheduler})
+	twin := NewNet(SimOpts{Seed: cfg.Seed, Shards: cfg.Shards, Scheduler: cfg.Scheduler, Sync: cfg.Sync})
 	twin.FatTree(4, 100)
 	plan, err := chaosPlan(twin, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 
-	net := NewNet(SimOpts{Seed: cfg.Seed, Shards: cfg.Shards, Scheduler: cfg.Scheduler, Faults: plan})
+	net := NewNet(SimOpts{Seed: cfg.Seed, Shards: cfg.Shards, Scheduler: cfg.Scheduler, Sync: cfg.Sync, Faults: plan})
 	pods := net.FatTree(4, 100)
 
 	res := &ChaosResult{

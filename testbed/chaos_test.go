@@ -79,6 +79,20 @@ func TestChaosDeterminism(t *testing.T) {
 		t.Errorf("shards=2 diverges:\n  1: %s\n  2: %s", fp, got)
 	}
 
+	// The sharded chaos scenario — scripted switch halt included — must be
+	// byte-identical under the global-epoch reference sync too: sync mode,
+	// like the scheduler, may never move the fingerprint.
+	epoch, err := RunChaos(ChaosConfig{Seed: 3, Shards: 2, Sync: SyncEpoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := epoch.Fingerprint(); got != fp {
+		t.Errorf("shards=2 epoch sync diverges:\n  channel: %s\n  epoch:   %s", fp, got)
+	}
+	if epoch.Faults.Halts != 1 {
+		t.Errorf("epoch-sync chaos run lost the scripted halt: %+v", epoch.Faults)
+	}
+
 	if other, err := RunChaos(ChaosConfig{Seed: 9}); err != nil {
 		t.Fatal(err)
 	} else if other.Fingerprint() == fp {

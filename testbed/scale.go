@@ -52,6 +52,11 @@ type ScaleConfig struct {
 	// timing wheel). Simulated behavior is identical across schedulers —
 	// the determinism guards pin it — only wall-clock metrics move.
 	Scheduler Scheduler
+	// Sync selects the shard synchronization algorithm (default: the
+	// asynchronous per-channel-lookahead engine; SyncEpoch is the
+	// global-barrier reference). Behavior is byte-identical across modes;
+	// the ScaleResult sync counters quantify the synchronization saved.
+	Sync SyncMode
 	// Faults optionally arms a deterministic fault plan on the fat-tree
 	// (see tppnet.WithFaults). Nil keeps the hot path fault-free: the
 	// forwarding cost of an unarmed network is a single nil check, a
@@ -86,6 +91,20 @@ type ScaleResult struct {
 	Mallocs  uint64        // heap allocations during the window
 	PoolGets uint64        // packet-pool draws during the window
 	PoolNews uint64        // pool draws that had to allocate
+
+	// Sharded-sync diagnostics for the measured window (all zero at one
+	// shard). SyncEpochs — group-wide synchronization points entered — and
+	// SyncCrossings — shard-crossing deliveries drained — are deterministic
+	// for a given (seed, shards, sync mode); they are how shard overhead is
+	// diagnosed from committed JSON instead of noisy wall-clock. SyncDrains
+	// (non-empty mailbox sweeps) and SyncIdleMax (largest per-shard count
+	// of idle-wait quanta) depend on goroutine interleaving when shards run
+	// in parallel.
+	Sync          SyncMode
+	SyncEpochs    uint64
+	SyncCrossings uint64
+	SyncDrains    uint64
+	SyncIdleMax   uint64
 }
 
 // PktHopsPerSec returns simulated packet-hops processed per wall-clock second.
@@ -125,6 +144,10 @@ func (r *ScaleResult) Table() string {
 	fmt.Fprintf(&b, "wall %.1f ms: %.2fM pkt-hops/s, %.2fM events/s, %.0f ns/pkt-hop, %.4f allocs/pkt-hop\n",
 		float64(r.Wall.Microseconds())/1e3, r.PktHopsPerSec()/1e6, r.EventsPerSec()/1e6,
 		r.NsPerPktHop(), r.AllocsPerPktHop())
+	if r.Shards > 1 {
+		fmt.Fprintf(&b, "sync %s: %d sync points, %d crossings, %d drains, max idle waits %d\n",
+			r.Sync, r.SyncEpochs, r.SyncCrossings, r.SyncDrains, r.SyncIdleMax)
+	}
 	return b.String()
 }
 
@@ -189,7 +212,7 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 		}
 	}
 
-	net := NewNet(SimOpts{Seed: cfg.Seed, Shards: cfg.Shards, Scheduler: cfg.Scheduler, Faults: cfg.Faults})
+	net := NewNet(SimOpts{Seed: cfg.Seed, Shards: cfg.Shards, Scheduler: cfg.Scheduler, Sync: cfg.Sync, Faults: cfg.Faults})
 	pods := net.FatTree(cfg.K, cfg.RateMbps)
 	var hosts []*Host
 	for _, pod := range pods {
@@ -274,6 +297,11 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 	// The aggregator accumulates from time zero; baseline it so
 	// TPPHopRecords covers the measured window like every other counter.
 	hopRecordsBefore := hopRecords.Load()
+	res.Sync = cfg.Sync
+	var syncBefore SyncStats
+	if g := net.Group(); g != nil {
+		syncBefore = g.Stats()
+	}
 
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
@@ -296,6 +324,13 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 	getsAfter, _, newsAfter := net.PoolStats()
 	res.PoolGets = getsAfter - getsBefore
 	res.PoolNews = newsAfter - newsBefore
+	if g := net.Group(); g != nil {
+		s := g.Stats()
+		res.SyncEpochs = s.Epochs - syncBefore.Epochs
+		res.SyncCrossings = s.Crossings - syncBefore.Crossings
+		res.SyncDrains = s.Drains - syncBefore.Drains
+		res.SyncIdleMax = s.MaxIdleParks
+	}
 	if cfg.Export != nil {
 		cfg.Export.Flush()
 		if err := cfg.Export.Err(); err != nil {

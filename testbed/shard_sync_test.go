@@ -1,0 +1,95 @@
+package testbed
+
+// Sync-mode guards for the asynchronous conservative engine: the
+// per-channel-lookahead engine (SyncChannel) and the global-epoch reference
+// (SyncEpoch) must produce byte-identical simulations, and the deterministic
+// sync counters must show the asynchronous engine synchronizing at least 5×
+// less — the acceptance metric that makes the win measurable without
+// trusting wall-clock on a 1-CPU box.
+
+import "testing"
+
+// TestSyncModeDeterminismScaleFatTree pins byte-identical fingerprints and
+// crossing counts between sync modes at k=4, shards 2 and 4.
+func TestSyncModeDeterminismScaleFatTree(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		run := func(mode SyncMode) *ScaleResult {
+			res, err := RunScaleFatTree(ScaleConfig{
+				K: 4, Flows: 64, Duration: 30 * Millisecond,
+				WithTPP: true, Seed: 1, Shards: shards, Sync: mode,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		ch, ep := run(SyncChannel), run(SyncEpoch)
+		if a, b := scaleFingerprint(ch), scaleFingerprint(ep); a != b {
+			t.Errorf("shards=%d sync modes diverge:\n  channel: %s\n  epoch:   %s", shards, a, b)
+		}
+		if ch.SyncCrossings != ep.SyncCrossings || ch.SyncCrossings == 0 {
+			t.Errorf("shards=%d crossings: channel %d, epoch %d (want equal, nonzero)",
+				shards, ch.SyncCrossings, ep.SyncCrossings)
+		}
+	}
+}
+
+// TestSyncPointReduction is the tentpole's acceptance metric at k=16,
+// shards=4: the asynchronous engine must enter at least 5× fewer
+// group-wide synchronization points than the global-epoch engine on the
+// same workload, with identical simulated behavior. (In practice the gap
+// is orders of magnitude: the measured window is one dispatch-join under
+// SyncChannel versus one barrier per lookahead window under SyncEpoch.)
+func TestSyncPointReduction(t *testing.T) {
+	run := func(mode SyncMode) *ScaleResult {
+		res, err := RunScaleFatTree(ScaleConfig{
+			K: 16, Flows: 256, Duration: 10 * Millisecond,
+			WithTPP: true, Seed: 1, Shards: 4, Sync: mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ch, ep := run(SyncChannel), run(SyncEpoch)
+	if a, b := scaleFingerprint(ch), scaleFingerprint(ep); a != b {
+		t.Fatalf("k=16 shards=4 sync modes diverge:\n  channel: %s\n  epoch:   %s", a, b)
+	}
+	if ch.SyncEpochs == 0 || ep.SyncEpochs == 0 {
+		t.Fatalf("sync counters dead: channel %d, epoch %d", ch.SyncEpochs, ep.SyncEpochs)
+	}
+	if ep.SyncEpochs < 5*ch.SyncEpochs {
+		t.Errorf("async engine saved too little: %d sync points vs epoch engine's %d (want ≥5× fewer)",
+			ch.SyncEpochs, ep.SyncEpochs)
+	}
+	if ch.SyncCrossings != ep.SyncCrossings {
+		t.Errorf("crossings differ across modes: channel %d, epoch %d", ch.SyncCrossings, ep.SyncCrossings)
+	}
+	t.Logf("k=16 shards=4: channel %d sync points / epoch %d (%.0f× fewer), %d crossings",
+		ch.SyncEpochs, ep.SyncEpochs, float64(ep.SyncEpochs)/float64(ch.SyncEpochs), ch.SyncCrossings)
+}
+
+// TestSyncCountersDeterministic pins run-to-run reproducibility of the
+// deterministic counter subset (epochs, crossings) — the committed-JSON
+// diagnosability contract. Drains and idle waits may move with goroutine
+// scheduling and are deliberately excluded.
+func TestSyncCountersDeterministic(t *testing.T) {
+	for _, mode := range []SyncMode{SyncChannel, SyncEpoch} {
+		var epochs, crossings uint64
+		for i := 0; i < 3; i++ {
+			res, err := RunScaleFatTree(ScaleConfig{
+				K: 4, Flows: 64, Duration: 20 * Millisecond,
+				WithTPP: true, Seed: 3, Shards: 4, Sync: mode,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				epochs, crossings = res.SyncEpochs, res.SyncCrossings
+			} else if res.SyncEpochs != epochs || res.SyncCrossings != crossings {
+				t.Fatalf("%v run %d counter drift: epochs %d->%d, crossings %d->%d",
+					mode, i, epochs, res.SyncEpochs, crossings, res.SyncCrossings)
+			}
+		}
+	}
+}

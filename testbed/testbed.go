@@ -41,6 +41,10 @@ type (
 	Time = tppnet.Time
 	// Scheduler selects the engine's pending-event structure.
 	Scheduler = tppnet.Scheduler
+	// SyncMode selects the sharded engine's synchronization algorithm.
+	SyncMode = tppnet.SyncMode
+	// SyncStats are the sharded engine's synchronization counters.
+	SyncStats = tppnet.SyncStats
 	// UDPFlow is a rate-limited CBR sender.
 	UDPFlow = tppnet.UDPFlow
 	// TCPFlow is the TCP-like AIMD transport.
@@ -64,17 +68,28 @@ const (
 	SchedulerHeap  = tppnet.SchedulerHeap
 )
 
+// Sync mode choices, re-exported for experiment configs and benchmarks:
+// the default asynchronous per-channel-lookahead engine, and the
+// global-epoch reference baseline.
+const (
+	SyncChannel = tppnet.SyncChannel
+	SyncEpoch   = tppnet.SyncEpoch
+)
+
 // SimOpts bundles the simulation-substrate options every runner shares:
 // the deterministic seed, the topology shard count, the engine's event
-// scheduler, and an optional fault plan. The zero value means seed 0,
-// single shard, timing wheel, no faults. Shards and Scheduler never change
+// scheduler, the shard synchronization mode, and an optional fault plan.
+// The zero value means seed 0, single shard, timing wheel, asynchronous
+// channel sync, no faults. Shards, Scheduler and Sync never change
 // simulated behavior — the determinism guard tests pin byte-identical
-// results across both — only wall-clock performance. Faults DOES change
-// simulated behavior, deterministically: the plan carries its own seed.
+// results across all of them — only wall-clock performance. Faults DOES
+// change simulated behavior, deterministically: the plan carries its own
+// seed.
 type SimOpts struct {
 	Seed      int64
 	Shards    int       // topology shards simulated in parallel (default 1)
 	Scheduler Scheduler // pending-event structure (default timing wheel)
+	Sync      SyncMode  // shard sync algorithm (default asynchronous channel)
 	// Faults, when non-nil, arms the deterministic fault plan on the
 	// network (link flaps, loss, corruption, jitter, switch halts); see
 	// tppnet.WithFaults and testbed.RunChaos.
@@ -88,6 +103,7 @@ func NewNet(o SimOpts) *Network {
 		tppnet.WithSeed(o.Seed),
 		tppnet.WithShards(o.Shards),
 		tppnet.WithScheduler(o.Scheduler),
+		tppnet.WithSyncMode(o.Sync),
 		tppnet.WithFaults(o.Faults),
 	)
 }

@@ -34,7 +34,7 @@ func TestWithShardsMatchesSingleEngine(t *testing.T) {
 		if net.Shards() != shards {
 			t.Fatalf("Shards() = %d, want %d", net.Shards(), shards)
 		}
-		if net.Group() == nil || net.Group().NumBoundaries() == 0 {
+		if net.Group() == nil || net.Group().NumChannels() == 0 {
 			t.Fatalf("shards=%d: expected boundary links, got none", shards)
 		}
 		for i := range base {

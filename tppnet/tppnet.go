@@ -166,11 +166,35 @@ const (
 // ParseScheduler resolves a -scheduler flag value ("wheel" or "heap").
 func ParseScheduler(name string) (Scheduler, error) { return sim.ParseScheduler(name) }
 
+// SyncMode selects the sharded engine's conservative synchronization
+// algorithm (see WithSyncMode).
+type SyncMode = sim.SyncMode
+
+// Sync mode choices.
+const (
+	// SyncChannel is the default asynchronous conservative engine:
+	// per-channel lookahead and incrementally drained lock-free mailboxes,
+	// with no global barriers inside a run.
+	SyncChannel = sim.SyncChannel
+	// SyncEpoch is the global-epoch reference engine: lockstep lookahead
+	// windows with a full barrier per epoch. Byte-identical behavior; kept
+	// as the measurable baseline for sync-overhead counters.
+	SyncEpoch = sim.SyncEpoch
+)
+
+// ParseSyncMode resolves a -sync flag value ("channel" or "epoch").
+func ParseSyncMode(name string) (SyncMode, error) { return sim.ParseSyncMode(name) }
+
+// SyncStats are the sharded engine's synchronization counters (see
+// sim.SyncStats); read them from Group().Stats() between runs.
+type SyncStats = sim.SyncStats
+
 // options collects functional-option state for NewNetwork.
 type options struct {
 	seed   int64
 	shards int
 	sched  Scheduler
+	sync   SyncMode
 	faults *faults.Plan
 }
 
@@ -193,9 +217,12 @@ func WithScheduler(s Scheduler) Option {
 }
 
 // WithShards splits the network across n topology shards, each simulated by
-// its own engine (and goroutine, when GOMAXPROCS allows) and synchronized in
-// conservative lookahead epochs bounded by the minimum propagation delay of
-// any shard-crossing link. The default, 1, is the classic single-engine
+// its own engine (and persistent worker goroutine, when GOMAXPROCS allows)
+// and synchronized conservatively: by default each shard advances
+// asynchronously to the minimum over its incoming shard-crossing links of
+// (source-shard clock + link propagation delay), draining lock-free
+// crossing mailboxes as it goes (see WithSyncMode for the global-epoch
+// reference engine). The default, 1, is the classic single-engine
 // simulator. The built-in topology methods partition automatically
 // (pod-aligned for fat-trees, min-cut-ish otherwise); manually wired nodes
 // land in shard 0 unless a partition is planned via PlanPartition.
@@ -206,6 +233,16 @@ func WithScheduler(s Scheduler) Option {
 // colliding on both firing and insertion instants (see sim.ShardGroup).
 func WithShards(n int) Option {
 	return func(o *options) { o.shards = n }
+}
+
+// WithSyncMode selects the sharded engine's synchronization algorithm: the
+// default asynchronous per-channel-lookahead engine, or the global-epoch
+// reference. Like WithScheduler, the choice moves synchronization cost
+// only — simulated behavior is byte-identical either way, pinned by the
+// shard-sync equivalence tests and the testbed goldens. Single-shard
+// networks ignore it.
+func WithSyncMode(m SyncMode) Option {
+	return func(o *options) { o.sync = m }
 }
 
 // WithFaults arms a fault plan on the network: the plan's fault events are
@@ -234,10 +271,14 @@ func NewNetwork(opts ...Option) *Network {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return &Network{
+	net := &Network{
 		Network:   topo.NewShardedScheduler(o.seed, o.shards, o.sched),
 		faultPlan: o.faults,
 	}
+	if g := net.Group(); g != nil {
+		g.Mode = o.sync
+	}
+	return net
 }
 
 // ArmFaults arms the WithFaults plan now (idempotent): topology wiring must
