@@ -30,6 +30,7 @@ import (
 	"minions/testbed"
 	"minions/tppnet"
 	"minions/tppnet/faults"
+	"minions/workload"
 )
 
 // report is the file schema. Metrics are flat key→value so downstream
@@ -66,6 +67,8 @@ func main() {
 	schedSweep := flag.Bool("sched-sweep", true, "record the A/B scenarios: heap-vs-wheel fat-tree and e2e hop, plus the PUSH-fusion curve")
 	syncSweep := flag.Bool("sync-sweep", true, "record the channel-vs-epoch sharded A/B rows (sync counters quantify synchronization saved)")
 	strictAllocs := flag.Bool("strict-allocs", false, "exit non-zero if any single-shard forward-path scenario reports allocs/op > 0")
+	workloadBench := flag.Bool("workload", true, "record the workload-engine scenarios: fat-tree-incast and fat-tree-heavytail (single shard, so -strict-allocs gates them)")
+	workloadWarmupMs := flag.Int("workload-warmup", 1000, "simulated warmup for the workload-engine scenarios, ms (heavy-tailed specs set record depths for longer than the CBR default warmup)")
 	buildKs := flag.String("build-k", "4,8,16", "comma-separated fat-tree arities for the topology build/route scenarios (empty disables)")
 	baseline := flag.String("baseline", "", "committed BENCH_*.json to hold the no-fault fat-tree rows against (2% tolerance on deterministic counters)")
 	repeat := flag.Int("repeat", 3, "runs per scenario; the fastest is recorded (wall-clock noise rejection)")
@@ -144,6 +147,42 @@ func main() {
 			"seed": *seed, "with_tpp": true, "shards": *shards,
 			"scheduler": sched.String(), "faults": true,
 		}))
+	}
+
+	// The workload-engine scenarios: the same fat-tree under the canned
+	// partition-aggregate incast and elephant/mice heavy-tail specs from the
+	// public workload package, replacing the uniform CBR flows. Single
+	// shard, so -strict-allocs holds the compiled generators to the
+	// 0 allocs/pkt-hop contract; the deterministic runner fingerprint is
+	// recorded in the config for cross-snapshot diffing.
+	if *workloadBench {
+		for _, w := range []struct {
+			name string
+			spec *workload.Spec
+		}{
+			{"fat-tree-incast", testbed.WorkloadIncastFatTree(*k)},
+			{"fat-tree-heavytail", testbed.WorkloadHeavyTail(0.15)},
+		} {
+			res, err := bestScale(testbed.ScaleConfig{
+				K:         *k,
+				Duration:  testbed.Time(*durationMs) * testbed.Millisecond,
+				Warmup:    testbed.Time(*workloadWarmupMs) * testbed.Millisecond,
+				Seed:      *seed,
+				WithTPP:   true,
+				Shards:    1,
+				Scheduler: sched,
+				Workload:  w.spec,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			rep.Scenarios = append(rep.Scenarios, scaleScenario(w.name, res, map[string]any{
+				"k": *k, "duration_ms": *durationMs, "warmup_ms": *workloadWarmupMs,
+				"seed": *seed, "with_tpp": true, "shards": 1,
+				"scheduler": sched.String(),
+				"workload":  w.name, "workload_fp": res.WorkloadFingerprint,
+			}))
+		}
 	}
 
 	// The engine-core comparison: the same single-shard fat-tree workload on

@@ -5,6 +5,7 @@
 //
 //	experiments -run all
 //	experiments -run fig1,fig2,fig4,fig10,tbl3,tbl4,tbl5,sec21,sec22,sec23,sec25
+//	experiments -run wl-fig1,wl-rcp   # paper apps under minions/workload specs
 //	experiments -quick        # smaller workloads for a fast pass
 //	experiments -run fig1 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
@@ -19,6 +20,7 @@ import (
 
 	"minions/testbed"
 	"minions/tppnet"
+	"minions/workload"
 )
 
 func main() { os.Exit(run()) }
@@ -107,6 +109,36 @@ func run() int {
 	})
 	section("fig2", func() (string, error) {
 		r, err := testbed.RunFig2With(simSecs, testbed.SimOpts{Seed: 1, Shards: *shards, Scheduler: sched})
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	})
+	// Workload-axis reruns: the same paper apps driven by minions/workload
+	// specs instead of the paper's all-to-all pattern. EXPERIMENTS.md's
+	// "Workloads" section records these tables and explains the shifts.
+	section("wl-fig1", func() (string, error) {
+		incast := &workload.Spec{Groups: []workload.Group{{
+			Name: "incast",
+			Incast: &workload.IncastSpec{
+				Aggregators:   []int{0, 1},
+				FanIn:         3,
+				ResponseBytes: 20_000,
+				Period:        2 * testbed.Millisecond,
+				Jitter:        500 * testbed.Microsecond,
+			},
+		}}}
+		r, err := testbed.RunFig1Workload(incast, testbed.Fig1Config{
+			Duration: simSecs / 4, Shards: *shards, Scheduler: sched})
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	})
+	section("wl-rcp", func() (string, error) {
+		r, err := testbed.RunRCPWorkload(simSecs/2,
+			testbed.SimOpts{Seed: 1, Shards: *shards, Scheduler: sched},
+			testbed.WorkloadHeavyTail(0.15))
 		if err != nil {
 			return "", err
 		}

@@ -2,7 +2,7 @@
 // Minions: Using Packets for Low Latency Network Programming and Visibility"
 // (Jeyakumar, Alizadeh, Geng, Kim, Mazières — SIGCOMM 2014).
 //
-// The public API is layered across six package groups, lowest first:
+// The public API is layered across seven package groups, lowest first:
 //
 //   - minions/tpp — the tiny packet program itself: wire format and
 //     instruction set, the typed Builder and exported switch-memory address
@@ -64,11 +64,26 @@
 //     topology with byte-identical results. cmd/tppdump decodes, filters
 //     and summarizes trace files.
 //
-//   - minions/testbed — the reproduction harness on top of all four: one
-//     runner per table/figure of the evaluation, parameterized by a single
-//     SimOpts option struct (seed, shards, scheduler), with trace-captured
-//     and replayed variants of the Figure 2 and Figure 4 runners and a
-//     telemetry-export hook on the fat-tree scale harness.
+//   - minions/workload — the scriptable traffic engine that feeds all of
+//     the above: a declarative, seedable workload.Spec (heavy-tailed
+//     flow-size distributions with the empirical web-search/data-mining
+//     CDFs, lognormal and bounded-Pareto families; elephant/mice message
+//     mixes; partition-aggregate incast; ON/OFF bursty sources;
+//     token-bucket pacing) compiled by Spec.Attach into resident,
+//     allocation-free simulator handlers. Sampling is O(1) inverse-CDF /
+//     alias tables; the compiled runner pre-commits pool, queue-ring and
+//     TPP-buffer headroom so warmed runs hold 0 allocs/pkt-hop, and its
+//     Fingerprint is byte-identical across shard counts, sync modes and
+//     schedulers.
+//
+//   - minions/testbed — the reproduction harness on top of all of the
+//     above: one runner per table/figure of the evaluation, parameterized
+//     by a single SimOpts option struct (seed, shards, scheduler), with
+//     trace-captured and replayed variants of the Figure 2 and Figure 4
+//     runners, a telemetry-export hook on the fat-tree scale harness,
+//     canned workload specs (WorkloadHeavyTail, WorkloadIncastFatTree)
+//     accepted by ScaleConfig/ChaosConfig, and workload-axis reruns of the
+//     paper apps (RunFig1Workload, RunRCPWorkload).
 //
 // The benchmarks in bench_test.go regenerate every table and figure; run
 //

@@ -1,0 +1,95 @@
+// Workload: the scriptable traffic engine driving the paper's microburst
+// detector. One dumbbell, two phases:
+//
+//  1. An elephant/mice mix — 90% bursty web-search mice, 10% token-bucket-
+//     paced data-mining elephants — the smooth-but-heavy-tailed background a
+//     datacenter fabric actually carries.
+//  2. A partition-aggregate incast — two aggregators fan requests to the
+//     other hosts every 2 ms and the synchronized responses collide at the
+//     bottleneck — the §2.1 regime where sampling misses the burst but
+//     per-packet TPP telemetry does not.
+//
+// Both phases run the same microburst monitor (apps/microburst) and render
+// the same Figure 1 panels, so the queue-occupancy CDFs are directly
+// comparable: the mix keeps most queues mostly-empty; the incast phase
+// drives the burst-queue count up. Everything is seeded — same -seed, same
+// tables, same fingerprints, across any -shards count.
+//
+//	go run ./examples/workload
+//	go run ./examples/workload -seed 42 -k 8
+//
+// With -k > 0 the example additionally compiles the canned incast spec onto
+// a k-ary fat-tree and prints the workload runner's deterministic
+// fingerprint — the line the workload-smoke CI step diffs across reruns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"minions/testbed"
+	"minions/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "workload seed; same seed, same tables")
+	shards := flag.Int("shards", 1, "topology shards (behavior is identical across counts)")
+	k := flag.Int("k", 0, "also run the canned incast spec on a k-ary fat-tree and print its fingerprint (0 skips)")
+	flag.Parse()
+
+	// Phase 1: elephant/mice message mix on the Figure 1 dumbbell.
+	mix := &workload.Spec{Groups: []workload.Group{{
+		Name: "mix",
+		Messages: &workload.MessageSpec{
+			Classes: []workload.Class{
+				{Name: "mice", Weight: 0.9,
+					Sizes: workload.WebSearch().Clamped(500, 60_000)},
+				{Name: "elephants", Weight: 0.1,
+					Sizes:   workload.DataMining().Clamped(200_000, 5_000_000),
+					RateBps: 40_000_000},
+			},
+			Load: 0.20,
+		},
+	}}}
+	cfg := testbed.Fig1Config{Duration: 1 * testbed.Second, Seed: *seed, Shards: *shards}
+	r1, err := testbed.RunFig1Workload(mix, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== phase 1: elephant/mice mix (web-search + data-mining) ==")
+	fmt.Print(r1.Table())
+
+	// Phase 2: partition-aggregate incast on the same dumbbell.
+	incast := &workload.Spec{Groups: []workload.Group{{
+		Name: "incast",
+		Incast: &workload.IncastSpec{
+			Aggregators:   []int{0, 1},
+			FanIn:         3,
+			ResponseBytes: 20_000,
+			Period:        2 * testbed.Millisecond,
+			Jitter:        200 * testbed.Microsecond,
+		},
+	}}}
+	r2, err := testbed.RunFig1Workload(incast, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== phase 2: partition-aggregate incast (fan-in 3, 2 ms rounds) ==")
+	fmt.Print(r2.Table())
+	fmt.Printf("\nburst queues: mix %d -> incast %d (synchronized responses collide)\n",
+		r1.BurstQueues, r2.BurstQueues)
+
+	if *k > 0 {
+		res, err := testbed.RunScaleFatTree(testbed.ScaleConfig{
+			K: *k, Duration: 50 * testbed.Millisecond, WithTPP: true,
+			Seed: *seed, Shards: *shards,
+			Workload: testbed.WorkloadIncastFatTree(*k),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ncanned incast on k=%d fat-tree (seed %d):\n%s\n",
+			*k, *seed, res.WorkloadFingerprint)
+	}
+}

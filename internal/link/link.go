@@ -297,6 +297,23 @@ func (l *Link) dropPacket(p *Packet, reason DropReason) {
 	p.Release()
 }
 
+// PresizeQueues grows the output and inflight rings to the drop-tail-bounded
+// worst case for the smallest wire frame the traffic can carry (minWire <= 0
+// assumes a 55-byte frame: 1 payload byte plus transport framing). Queue
+// occupancy is byte-capped, so this bound is exact — after it, record-depth
+// bursts never reallocate. Purely a memory pre-commitment; behavior,
+// counters and fingerprints are unchanged.
+func (l *Link) PresizeQueues(minWire int) {
+	if minWire <= 0 {
+		minWire = 55
+	}
+	l.queue.Reserve(l.cfg.QueueBytes/minWire + 1)
+	// The inflight ring holds packets between serialization and delivery:
+	// at most a bandwidth-delay product's worth of minimum-size frames.
+	bdpBits := float64(l.cfg.Delay) * float64(l.cfg.RateBps) / 1e9
+	l.inflight.Reserve(int(bdpBits/float64(minWire*8)) + 2)
+}
+
 // QueueLenPackets returns the current queue occupancy in packets.
 func (l *Link) QueueLenPackets() int { return l.queue.Len() }
 

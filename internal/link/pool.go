@@ -87,6 +87,31 @@ func (pl *Pool) Put(p *Packet) {
 	pl.free = append(pl.free, p)
 }
 
+// Reserve grows the free list until it holds at least n idle packets, so a
+// traffic source whose worst-case in-flight burst is known up front (the
+// workload compiler's specs) never allocates on the hot path — not even on
+// the first record-depth burst. Reserved packets are ordinary pool packets;
+// gets/puts (and therefore Outstanding) are untouched, so the leak
+// invariant and every fingerprint are unaffected.
+func (pl *Pool) Reserve(n int) {
+	for len(pl.free) < n {
+		pl.free = append(pl.free, &Packet{pool: pl, inPool: true})
+	}
+}
+
+// WarmBuffers pre-sizes the TPP section buffer of every idle packet to n
+// bytes. Reserved packets are born buffer-less; without this, the first
+// record-depth burst that digs into them pays one SectionBuf allocation per
+// packet inside the measured window. Call after Reserve, with the encoded
+// length of the largest TPP the run attaches.
+func (pl *Pool) WarmBuffers(n int) {
+	for _, p := range pl.free {
+		if cap(p.tppBuf) < n {
+			p.tppBuf = make([]byte, n)
+		}
+	}
+}
+
 // Stats returns (gets, puts, news): total draws, total returns, and draws
 // that had to allocate because the free list was empty.
 func (pl *Pool) Stats() (gets, puts, news uint64) { return pl.gets, pl.puts, pl.news }

@@ -48,6 +48,21 @@ func (r *Ring) Peek() *Packet {
 	return r.buf[r.head]
 }
 
+// Reserve grows the backing array to at least n slots without changing the
+// queued contents — used to pre-size queues to their drop-tail-bounded
+// worst case so record-depth bursts never reallocate mid-measurement.
+func (r *Ring) Reserve(n int) {
+	if n <= len(r.buf) {
+		return
+	}
+	buf := make([]*Packet, n)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
 // grow doubles the ring's capacity, unwrapping the elements into the new
 // backing array.
 func (r *Ring) grow() {

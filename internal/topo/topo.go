@@ -174,6 +174,25 @@ func (n *Network) nextShard() int {
 	return s
 }
 
+// Prewarm pre-commits the data path's growth headroom for workload-driven
+// measurement runs: every link's queue rings are sized to their drop-tail
+// worst case for minWire-byte frames (<= 0 assumes the 55-byte minimum),
+// and when tppBytes > 0 every idle pool packet gets a TPP section buffer of
+// that size. Heavy-tailed workloads otherwise keep setting record depths —
+// each a mid-window allocation — long after any reasonable warmup. Purely
+// allocation hygiene: simulated behavior, counters and fingerprints are
+// byte-identical with or without it.
+func (n *Network) Prewarm(minWire, tppBytes int) {
+	for _, l := range n.links {
+		l.PresizeQueues(minWire)
+	}
+	if tppBytes > 0 {
+		for _, p := range n.pools {
+			p.WarmBuffers(tppBytes)
+		}
+	}
+}
+
 // PacketPool returns shard 0's packet free list — the network-wide list for
 // single-shard networks. Steady-state traffic recycles packets through the
 // per-shard pools, so the forward path allocates nothing per packet (see

@@ -2,15 +2,20 @@
 // the all-to-all short-message pattern of §2.1 ("each node sends a small
 // 10kB message to every other node ... total application-level offered load
 // is 30%"), plus Poisson variants for longer runs.
+//
+// Deprecated: the generators here are now thin bridges over the public
+// minions/workload engine — AllToAll and UniformRandomFlows compile the
+// canned workload.AllToAll / workload.UniformRandom Specs, byte-identically
+// to the historical implementations (the testbed golden tables pin this).
+// New code should build a workload.Spec directly; only Permutation and the
+// trace replay entry points remain native here.
 package trafficgen
 
 import (
-	"math/rand"
-
 	"minions/internal/host"
-	"minions/internal/link"
 	"minions/internal/sim"
 	"minions/internal/transport"
+	"minions/workload"
 )
 
 // AllToAllConfig parameterizes the Figure 1 workload.
@@ -23,83 +28,24 @@ type AllToAllConfig struct {
 	Seed     int64
 }
 
-// allToAllSender is one host's Poisson message generator, resident in the
-// engine as its own typed Handler: each firing picks a destination, bursts
-// one message, and re-arms itself — no per-message closure allocation, so a
-// warmed all-to-all workload runs the engine's zero-allocation fast path
-// (guarded by TestTrafficgenZeroAllocs).
-type allToAllSender struct {
-	eng      *sim.Engine
-	hosts    []*host.Host
-	src      *host.Host
-	rng      *rand.Rand
-	meanGap  float64
-	msgBytes int
-	pktSize  int
-	sport    uint16
-	dport    uint16
-	duration sim.Time
-}
-
-// arm schedules the next message arrival with an exponential gap.
-func (s *allToAllSender) arm() {
-	gap := sim.Time(s.rng.ExpFloat64() * s.meanGap)
-	if gap < 1 {
-		gap = 1
-	}
-	s.eng.ScheduleAfter(gap, s, 0)
-}
-
-// Handle implements sim.Handler: burst one message to a uniformly random
-// other host and re-arm, stopping once the configured duration has passed.
-func (s *allToAllSender) Handle(uint64) {
-	if s.eng.Now() >= s.duration {
-		return
-	}
-	dst := s.hosts[s.rng.Intn(len(s.hosts))]
-	for dst == s.src {
-		dst = s.hosts[s.rng.Intn(len(s.hosts))]
-	}
-	transport.SendBurst(s.src, dst.ID(), s.sport, s.dport, s.msgBytes, s.pktSize)
-	s.arm()
-}
-
 // AllToAll schedules Poisson message arrivals on every host, each message
 // bursted to a uniformly random other host, and returns the sinks (one per
 // host) counting deliveries.
+//
+// Deprecated: bridge over workload.AllToAll; build the Spec directly.
 func AllToAll(hosts []*host.Host, cfg AllToAllConfig) []*transport.Sink {
-	if cfg.PktSize == 0 {
-		cfg.PktSize = 1440
+	r, err := workload.AllToAll(workload.AllToAllConfig{
+		MsgBytes: cfg.MsgBytes,
+		Load:     cfg.Load,
+		PktSize:  cfg.PktSize,
+		DstPort:  cfg.DstPort,
+		Duration: cfg.Duration,
+		Seed:     cfg.Seed,
+	}).Attach(hosts)
+	if err != nil {
+		panic("trafficgen: " + err.Error())
 	}
-	if cfg.DstPort == 0 {
-		cfg.DstPort = 9000
-	}
-	sinks := make([]*transport.Sink, len(hosts))
-	for i, h := range hosts {
-		sinks[i] = transport.NewSink(h, cfg.DstPort, 17)
-	}
-	for i, h := range hosts {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
-		nicBps := float64(h.NIC().RateBps())
-		msgsPerSec := cfg.Load * nicBps / (float64(cfg.MsgBytes) * 8)
-		if msgsPerSec <= 0 {
-			continue
-		}
-		s := &allToAllSender{
-			eng:      h.Engine(),
-			hosts:    hosts,
-			src:      h,
-			rng:      rng,
-			meanGap:  float64(sim.Second) / msgsPerSec,
-			msgBytes: cfg.MsgBytes,
-			pktSize:  cfg.PktSize,
-			sport:    uint16(10000 + i),
-			dport:    cfg.DstPort,
-			duration: cfg.Duration,
-		}
-		s.arm()
-	}
-	return sinks
+	return r.Sinks
 }
 
 // RandomFlowsConfig parameterizes UniformRandomFlows.
@@ -114,42 +60,24 @@ type RandomFlowsConfig struct {
 
 // UniformRandomFlows starts long-lived CBR flows between uniformly random
 // distinct host pairs — the many-flow workload for fat-tree scale tests.
-// Starts are jittered so paced flows do not phase-lock, and every host gets
-// a sink so all deliveries are counted (and pooled packets recycled). The
-// per-packet path is allocation-free in steady state: flows pace themselves
-// as resident engine events and draw packets from the hosts' shared pool.
+//
+// Deprecated: bridge over workload.UniformRandom; build the Spec directly.
 func UniformRandomFlows(hosts []*host.Host, cfg RandomFlowsConfig) ([]*transport.UDPFlow, []*transport.Sink) {
 	if len(hosts) < 2 {
 		panic("trafficgen: UniformRandomFlows needs at least 2 hosts")
 	}
-	if cfg.PktSize == 0 {
-		cfg.PktSize = 1500
+	r, err := workload.UniformRandom(workload.UniformRandomConfig{
+		Flows:    cfg.Flows,
+		RateBps:  cfg.RateBps,
+		PktSize:  cfg.PktSize,
+		DstPort:  cfg.DstPort,
+		Seed:     cfg.Seed,
+		MaxStart: cfg.MaxStart,
+	}).Attach(hosts)
+	if err != nil {
+		panic("trafficgen: " + err.Error())
 	}
-	if cfg.DstPort == 0 {
-		cfg.DstPort = 9100
-	}
-	if cfg.MaxStart == 0 {
-		cfg.MaxStart = sim.Millisecond
-	}
-	sinks := make([]*transport.Sink, len(hosts))
-	for i, h := range hosts {
-		sinks[i] = transport.NewSink(h, cfg.DstPort, link.ProtoUDP)
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	flows := make([]*transport.UDPFlow, 0, cfg.Flows)
-	for i := 0; i < cfg.Flows; i++ {
-		si := rng.Intn(len(hosts))
-		di := rng.Intn(len(hosts))
-		for di == si {
-			di = rng.Intn(len(hosts))
-		}
-		src := hosts[si]
-		f := transport.NewUDPFlow(src, hosts[di].ID(), uint16(20000+i), cfg.DstPort, cfg.PktSize)
-		f.SetRateBps(cfg.RateBps)
-		flows = append(flows, f)
-		src.Engine().At(sim.Time(rng.Int63n(int64(cfg.MaxStart))), f.Start)
-	}
-	return flows, sinks
+	return r.UDPFlows, r.Sinks
 }
 
 // Permutation starts one long-lived TCP flow per host toward the next host

@@ -24,6 +24,7 @@ import (
 	"minions/apps/rcp"
 	"minions/tppnet"
 	"minions/tppnet/faults"
+	"minions/workload"
 )
 
 // Chaos timeline (virtual time). The plan's horizon doubles as the restore
@@ -49,6 +50,14 @@ type ChaosConfig struct {
 	// pre-fault baseline (default 60). Exceeding it is an error: the system
 	// failed to recover.
 	MaxRecoveryEpochs int
+	// Workload optionally layers a background workload.Spec over the
+	// chaos scenario's control loops — how RCP*/CONGA* recovery behaves
+	// when the fabric also carries heavy-tailed or incast traffic. The
+	// Spec attaches to every fat-tree host (pod-major order); a zero
+	// Spec.Seed inherits Seed+17. The runner is stopped with the other
+	// sources before the final drain, so the pool-leak invariant still
+	// holds, and its counters append to the result fingerprint.
+	Workload *workload.Spec
 }
 
 // ChaosResult is one chaos run's measurement.
@@ -84,18 +93,26 @@ type ChaosResult struct {
 
 	Events          int
 	PoolOutstanding int64 // leaked pool packets after the drain (must be 0)
+
+	// WorkloadFP is the background workload.Runner's deterministic counter
+	// line when ChaosConfig.Workload was set (empty otherwise).
+	WorkloadFP string
 }
 
 // Fingerprint renders every simulated-behavior field — the string two runs
 // with the same seed must agree on byte-for-byte, regardless of shard count
 // or engine scheduler.
 func (r *ChaosResult) Fingerprint() string {
-	return fmt.Sprintf(
+	fp := fmt.Sprintf(
 		"base=%.6f floor=%.6f rec=%.6f epochs=%d faults=%+v deaths=%d revives=%d detect=%d missed=%d decays=%d execfail=%d delivered=%d events=%d leaked=%d",
 		r.BaselineMbps, r.FloorMbps, r.RecoveredMbps, r.RecoveryEpochs,
 		r.Faults, r.CongaDeaths, r.CongaRevives, int64(r.CongaDetect),
 		r.RCPMissed, r.RCPDecays, r.ExecFailures, r.DeliveredPkts,
 		r.Events, r.PoolOutstanding)
+	if r.WorkloadFP != "" {
+		fp += " wl{" + r.WorkloadFP + "}"
+	}
+	return fp
 }
 
 // Table renders the result for humans.
@@ -260,6 +277,22 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		subs = append(subs, f)
 	}
 
+	// Optional background workload under the control loops.
+	var wr *workload.Runner
+	if cfg.Workload != nil {
+		spec := *cfg.Workload
+		if spec.Seed == 0 {
+			spec.Seed = cfg.Seed + 17
+		}
+		var hostsAll []*Host
+		for _, p := range pods {
+			hostsAll = append(hostsAll, p...)
+		}
+		if wr, err = spec.Attach(hostsAll); err != nil {
+			return nil, err
+		}
+	}
+
 	agg := func() float64 {
 		var sum float64
 		for _, f := range sys.Flows() {
@@ -308,8 +341,14 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	for _, f := range subs {
 		f.Stop()
 	}
+	if wr != nil {
+		wr.Stop()
+	}
 	events += net.Run()
 	res.Events = events
+	if wr != nil {
+		res.WorkloadFP = wr.Fingerprint()
+	}
 
 	res.Faults = net.Faults().Counts()
 	res.CongaDeaths = bal.PathDeaths

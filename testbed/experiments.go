@@ -91,7 +91,12 @@ func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
 		Seed:     cfg.Seed + 11,
 	})
 	n.RunUntil(cfg.Duration + 100*Millisecond)
+	return fig1Summarize(mon), nil
+}
 
+// fig1Summarize folds a microburst monitor into the Figure 1 panels; shared
+// by RunFig1 and RunFig1Workload.
+func fig1Summarize(mon *microburst.Monitor) *Fig1Result {
 	res := &Fig1Result{TotalSamples: mon.Samples(), OverheadBytes: mon.Overhead()}
 	for _, q := range mon.Queues() {
 		c := mon.CDF(q)
@@ -114,7 +119,7 @@ func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
 			res.BurstQueues++
 		}
 	}
-	return res, nil
+	return res
 }
 
 // Table renders the result like Figure 1b's panels.

@@ -19,6 +19,7 @@ import (
 	"minions/telemetry"
 	"minions/tpp"
 	"minions/tppnet"
+	"minions/workload"
 )
 
 // RandomFlowsConfig parameterizes UniformRandomFlows.
@@ -62,6 +63,14 @@ type ScaleConfig struct {
 	// forwarding cost of an unarmed network is a single nil check, a
 	// contract cmd/benchjson's fat-tree-faults scenario pins.
 	Faults *tppnet.FaultPlan
+	// Workload, when non-nil, replaces the default uniform-random CBR
+	// flows: the Spec is compiled onto the fat-tree's hosts (pod-major
+	// order — the order FatTree returns them) and Flows/FlowRateMbps are
+	// ignored. A zero Spec.Seed inherits cfg.Seed. With WithTPP, every
+	// UDP packet is instrumented (workload groups use several ports).
+	// The runner's deterministic counters land in
+	// ScaleResult.WorkloadFingerprint.
+	Workload *workload.Spec
 	// Export, when non-nil, publishes one telemetry Record per collected
 	// TPP hop sample into the pipeline (App "scale", Kind "hop", Node the
 	// switch ID, Val the queue occupancy, Aux the hop index and flow
@@ -105,6 +114,11 @@ type ScaleResult struct {
 	SyncCrossings uint64
 	SyncDrains    uint64
 	SyncIdleMax   uint64
+
+	// WorkloadFingerprint is the workload.Runner's deterministic counter
+	// line when ScaleConfig.Workload drove the run (empty otherwise) —
+	// the cross-shard/scheduler/sync determinism guards compare it.
+	WorkloadFingerprint string
 }
 
 // PktHopsPerSec returns simulated packet-hops processed per wall-clock second.
@@ -230,10 +244,17 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 	}
 
 	const dstPort = 9100
+	// The default workload sends everything to one well-known port; a
+	// workload.Spec spreads groups across ports, so instrument all UDP.
+	filter := FilterSpec{Proto: tppnet.ProtoUDP, DstPort: dstPort}
+	if cfg.Workload != nil {
+		filter = FilterSpec{Proto: tppnet.ProtoUDP}
+	}
 	// Aggregators run on every shard's goroutine; the hop-record tally is an
 	// atomic because additions commute — the sum is deterministic no matter
 	// how shard execution interleaves.
 	var hopRecords atomic.Uint64
+	tppEncLen := 0
 	if cfg.WithTPP {
 		// Longest fat-tree path is edge-agg-core-agg-edge = 5 switch hops;
 		// size one extra so resized topologies don't silently truncate.
@@ -241,10 +262,13 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		if enc, err := prog.Encode(); err == nil {
+			tppEncLen = len(enc)
+		}
 		app := net.CP.RegisterApp("scale-telemetry")
 		pipe := cfg.Export
 		for _, h := range hosts {
-			if _, err := h.AddTPP(app, FilterSpec{Proto: tppnet.ProtoUDP, DstPort: dstPort}, prog, 1, 0); err != nil {
+			if _, err := h.AddTPP(app, filter, prog, 1, 0); err != nil {
 				return nil, err
 			}
 			// Consume views without copying: count collected hop records,
@@ -275,13 +299,32 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 		}
 	}
 
-	_, sinks := trafficgen.UniformRandomFlows(hosts, trafficgen.RandomFlowsConfig{
-		Flows:   cfg.Flows,
-		RateBps: int64(cfg.FlowRateMbps) * 1_000_000,
-		PktSize: cfg.PktSize,
-		DstPort: dstPort,
-		Seed:    cfg.Seed,
-	})
+	var sinks []*Sink
+	var wr *workload.Runner
+	if cfg.Workload != nil {
+		spec := *cfg.Workload
+		if spec.Seed == 0 {
+			spec.Seed = cfg.Seed
+		}
+		var err error
+		if wr, err = spec.Attach(hosts); err != nil {
+			return nil, err
+		}
+		sinks = wr.Sinks
+		res.Flows = wr.Sources()
+		// Heavy-tailed specs keep setting record queue depths long after any
+		// reasonable warmup; pre-commit the growth headroom so the measured
+		// window holds the zero-alloc contract (behavior is unchanged).
+		net.Prewarm(0, tppEncLen)
+	} else {
+		_, sinks = trafficgen.UniformRandomFlows(hosts, trafficgen.RandomFlowsConfig{
+			Flows:   cfg.Flows,
+			RateBps: int64(cfg.FlowRateMbps) * 1_000_000,
+			PktSize: cfg.PktSize,
+			DstPort: dstPort,
+			Seed:    cfg.Seed,
+		})
+	}
 
 	// Warm up: fill pools, rings and the event heap so the measured window
 	// reflects steady state.
@@ -330,6 +373,9 @@ func RunScaleFatTree(cfg ScaleConfig) (*ScaleResult, error) {
 		res.SyncCrossings = s.Crossings - syncBefore.Crossings
 		res.SyncDrains = s.Drains - syncBefore.Drains
 		res.SyncIdleMax = s.MaxIdleParks
+	}
+	if wr != nil {
+		res.WorkloadFingerprint = wr.Fingerprint()
 	}
 	if cfg.Export != nil {
 		cfg.Export.Flush()

@@ -29,6 +29,7 @@ import (
 	"minions/internal/sim"
 	"minions/internal/topo"
 	"minions/internal/transport"
+	"minions/workload"
 )
 
 // Substrate types, the stable public names for the network layer.
@@ -349,3 +350,12 @@ func HostLink(rateMbps int) LinkConfig { return topo.HostLink(rateMbps) }
 // FatTreeDims returns (hosts, coreLinks) for a k-ary fat-tree analytically,
 // the §2.5 sizing arithmetic.
 func FatTreeDims(k int) (hosts, coreLinks int) { return topo.FatTreeDims(k) }
+
+// AttachWorkload compiles a workload.Spec onto every host of the wired
+// network (creation order) and arms its generators — the facade entry to
+// the scriptable workload engine in package minions/workload. Call after
+// the topology is built and before running; the returned Runner exposes
+// sinks, per-group counters and a deterministic fingerprint.
+func (n *Network) AttachWorkload(spec workload.Spec) (*workload.Runner, error) {
+	return spec.Attach(n.Hosts)
+}

@@ -1,0 +1,448 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"minions/internal/sim"
+)
+
+// quantN is the resolution of the pre-built inverse-CDF tables: sampling
+// interpolates between quantN+1 pre-computed quantiles with a single uniform
+// draw, so every distribution samples in O(1) with zero allocations
+// regardless of how it was specified.
+const quantN = 1024
+
+// CDFPoint is one point of an empirical flow-size CDF:
+// P(size <= Bytes) == P. Points must be strictly increasing in both fields
+// and end at P == 1.
+type CDFPoint struct {
+	Bytes float64
+	P     float64
+}
+
+type sizeKind uint8
+
+const (
+	sizeFixed sizeKind = iota
+	sizeTable
+	sizePareto
+)
+
+// SizeDist is a flow/message size distribution. The zero value is invalid;
+// build one with Fixed, WebSearch, DataMining, Lognormal, Pareto or
+// Empirical. All constructors pre-compute their inverse-CDF tables, so the
+// value is cheap to copy and sampling never allocates.
+type SizeDist struct {
+	kind  sizeKind
+	name  string
+	fixed int
+	table []float64 // quantN+1 size quantiles at u = i/quantN
+	alpha float64   // pareto shape
+	xm    float64   // pareto scale (minimum)
+	lo    int       // clamp floor (>= 1)
+	hi    int       // clamp ceiling
+	mean  float64
+}
+
+// Name returns the distribution's human-readable name.
+func (d SizeDist) Name() string { return d.name }
+
+// Mean returns the expected size in bytes under the configured clamp. It is
+// what Load-based arrival rates divide by.
+func (d SizeDist) Mean() float64 { return d.mean }
+
+// MaxBytes returns the largest size the distribution can emit under its
+// clamp — the bound the compiler uses to pre-size packet pools so burst
+// sources never allocate, even on their first record-size message.
+func (d SizeDist) MaxBytes() int {
+	switch d.kind {
+	case sizeFixed:
+		return d.clamp(float64(d.fixed))
+	case sizePareto:
+		return d.hi
+	default:
+		return d.clamp(d.table[quantN])
+	}
+}
+
+// sample draws one size. Single uniform draw, O(1), zero allocations.
+func (d SizeDist) sample(rng *rand.Rand) int {
+	switch d.kind {
+	case sizeFixed:
+		return d.fixed
+	case sizePareto:
+		u := rng.Float64()
+		v := d.xm * math.Pow(1-u, -1/d.alpha)
+		return d.clamp(v)
+	default:
+		u := rng.Float64() * quantN
+		i := int(u)
+		if i >= quantN {
+			i = quantN - 1
+		}
+		frac := u - float64(i)
+		v := d.table[i] + frac*(d.table[i+1]-d.table[i])
+		return d.clamp(v)
+	}
+}
+
+func (d SizeDist) clamp(v float64) int {
+	n := int(v)
+	if n < d.lo {
+		return d.lo
+	}
+	if d.hi > 0 && n > d.hi {
+		return d.hi
+	}
+	return n
+}
+
+// quantile evaluates the inverse CDF at u in [0,1] (pre-clamp) — used only
+// at construction time to integrate the mean numerically.
+func (d SizeDist) quantileRaw(u float64) float64 {
+	switch d.kind {
+	case sizeFixed:
+		return float64(d.fixed)
+	case sizePareto:
+		if u >= 1 {
+			u = 1 - 1/float64(4*quantN)
+		}
+		return d.xm * math.Pow(1-u, -1/d.alpha)
+	default:
+		x := u * quantN
+		i := int(x)
+		if i >= quantN {
+			i = quantN - 1
+		}
+		return d.table[i] + (x-float64(i))*(d.table[i+1]-d.table[i])
+	}
+}
+
+// finish computes the clamped mean by midpoint integration over the
+// quantile grid — uniform across kinds, so Clamped stays consistent.
+func (d SizeDist) finish() SizeDist {
+	if d.lo < 1 {
+		d.lo = 1
+	}
+	if d.kind == sizeFixed {
+		d.mean = float64(d.clamp(float64(d.fixed)))
+		return d
+	}
+	sum := 0.0
+	for i := 0; i < quantN; i++ {
+		u := (float64(i) + 0.5) / quantN
+		sum += float64(d.clamp(d.quantileRaw(u)))
+	}
+	d.mean = sum / quantN
+	return d
+}
+
+// Clamped returns a copy of the distribution truncated to [lo, hi] bytes
+// (hi <= 0 means unbounded above); the mean is recomputed under the clamp.
+func (d SizeDist) Clamped(lo, hi int) SizeDist {
+	d.lo, d.hi = lo, hi
+	return d.finish()
+}
+
+// Fixed returns a degenerate distribution: every draw is exactly n bytes
+// (and consumes no randomness).
+func Fixed(n int) SizeDist {
+	return SizeDist{kind: sizeFixed, name: "fixed", fixed: n}.finish()
+}
+
+// Pareto returns a Pareto (power-law) size distribution with shape alpha
+// and minimum minBytes, clamped above at 1 GB by default (re-clamp with
+// Clamped). Shapes near 1 give the classic heavy tail where a tiny
+// fraction of flows carries most of the bytes.
+func Pareto(alpha float64, minBytes int) SizeDist {
+	if alpha <= 0 {
+		panic("workload: Pareto shape must be > 0")
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	return SizeDist{
+		kind: sizePareto, name: "pareto", alpha: alpha, xm: float64(minBytes),
+		lo: minBytes, hi: 1 << 30,
+	}.finish()
+}
+
+// Lognormal returns a lognormal size distribution: ln(bytes) ~ N(mu, sigma²).
+// E.g. Lognormal(math.Log(10_000), 2) centers the body near 10 kB with a
+// multi-decade tail. Clamped above at 1 GB by default.
+func Lognormal(mu, sigma float64) SizeDist {
+	if sigma <= 0 {
+		panic("workload: Lognormal sigma must be > 0")
+	}
+	d := SizeDist{kind: sizeTable, name: "lognormal", hi: 1 << 30}
+	d.table = make([]float64, quantN+1)
+	for i := 0; i <= quantN; i++ {
+		u := float64(i) / quantN
+		// Pin the table ends away from the +-inf quantiles.
+		if u < 0.5/quantN {
+			u = 0.5 / quantN
+		}
+		if u > 1-0.5/quantN {
+			u = 1 - 0.5/quantN
+		}
+		d.table[i] = math.Exp(mu + sigma*invNorm(u))
+	}
+	return d.finish()
+}
+
+// Empirical builds a size distribution from explicit CDF points — the
+// scriptable escape hatch: any measured trace CDF becomes an O(1) sampler.
+// Sizes interpolate log-linearly between points (flow sizes span decades).
+func Empirical(name string, points []CDFPoint) SizeDist {
+	if err := validateCDF(points); err != nil {
+		panic("workload: " + err.Error())
+	}
+	d := SizeDist{kind: sizeTable, name: name}
+	d.table = make([]float64, quantN+1)
+	j := 0
+	for i := 0; i <= quantN; i++ {
+		u := float64(i) / quantN
+		for j < len(points)-1 && points[j+1].P < u {
+			j++
+		}
+		switch {
+		case u <= points[0].P:
+			d.table[i] = points[0].Bytes
+		case j == len(points)-1:
+			d.table[i] = points[j].Bytes
+		default:
+			a, b := points[j], points[j+1]
+			t := (u - a.P) / (b.P - a.P)
+			d.table[i] = math.Exp(math.Log(a.Bytes) + t*(math.Log(b.Bytes)-math.Log(a.Bytes)))
+		}
+	}
+	return d.finish()
+}
+
+func validateCDF(points []CDFPoint) error {
+	if len(points) < 2 {
+		return fmt.Errorf("empirical CDF needs >= 2 points, got %d", len(points))
+	}
+	for i, p := range points {
+		if p.Bytes < 1 || p.P < 0 || p.P > 1 {
+			return fmt.Errorf("empirical CDF point %d out of range: %+v", i, p)
+		}
+		if i > 0 && (p.Bytes <= points[i-1].Bytes || p.P <= points[i-1].P) {
+			return fmt.Errorf("empirical CDF must be strictly increasing at point %d", i)
+		}
+	}
+	if points[len(points)-1].P != 1 {
+		return fmt.Errorf("empirical CDF must end at P=1, got %g", points[len(points)-1].P)
+	}
+	return nil
+}
+
+// WebSearch returns the web-search workload flow-size CDF (the
+// query/response-dominated mix popularized by the DCTCP evaluation):
+// mostly sub-100 kB query traffic with ~30%% of flows between 1 and 30 MB
+// carrying the bulk of the bytes.
+func WebSearch() SizeDist {
+	return Empirical("web-search", []CDFPoint{
+		{Bytes: 6e3, P: 0.15},
+		{Bytes: 13e3, P: 0.2},
+		{Bytes: 19e3, P: 0.3},
+		{Bytes: 33e3, P: 0.4},
+		{Bytes: 53e3, P: 0.53},
+		{Bytes: 133e3, P: 0.6},
+		{Bytes: 667e3, P: 0.7},
+		{Bytes: 1333e3, P: 0.8},
+		{Bytes: 3333e3, P: 0.9},
+		{Bytes: 6667e3, P: 0.97},
+		{Bytes: 20e6, P: 1},
+	})
+}
+
+// DataMining returns the data-mining workload flow-size CDF (the
+// map-reduce-style mix popularized by the VL2 measurement study): over half
+// the flows are tiny (< 100 kB) control/lookup traffic while a ~4%% elephant
+// tail reaches into the hundreds of megabytes.
+func DataMining() SizeDist {
+	return Empirical("data-mining", []CDFPoint{
+		{Bytes: 100, P: 0.1},
+		{Bytes: 300, P: 0.2},
+		{Bytes: 1e3, P: 0.3},
+		{Bytes: 2e3, P: 0.4},
+		{Bytes: 10e3, P: 0.53},
+		{Bytes: 100e3, P: 0.6},
+		{Bytes: 1e6, P: 0.7},
+		{Bytes: 10e6, P: 0.8},
+		{Bytes: 100e6, P: 0.9},
+		{Bytes: 250e6, P: 0.95},
+		{Bytes: 1e9, P: 1},
+	})
+}
+
+// invNorm is the Acklam rational approximation of the standard normal
+// inverse CDF (|relative error| < 1.15e-9) — used only at table-build time.
+func invNorm(p float64) float64 {
+	const (
+		a1 = -3.969683028665376e+01
+		a2 = 2.209460984245205e+02
+		a3 = -2.759285104469687e+02
+		a4 = 1.383577518672690e+02
+		a5 = -3.066479806614716e+01
+		a6 = 2.506628277459239e+00
+		b1 = -5.447609879822406e+01
+		b2 = 1.615858368580409e+02
+		b3 = -1.556989798598866e+02
+		b4 = 6.680131188771972e+01
+		b5 = -1.328068155288572e+01
+		c1 = -7.784894002430293e-03
+		c2 = -3.223964580411365e-01
+		c3 = -2.400758277161838e+00
+		c4 = -2.549732539343734e+00
+		c5 = 4.374664141464968e+00
+		c6 = 2.938163982698783e+00
+		d1 = 7.784695709041462e-03
+		d2 = 3.224671290700398e-01
+		d3 = 2.445134137142996e+00
+		d4 = 3.754408661907416e+00
+		plow = 0.02425
+	)
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	case p > 1-plow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	}
+}
+
+type durKind uint8
+
+const (
+	durFixed durKind = iota
+	durExp
+	durPareto
+)
+
+// DurDist is a duration distribution for ON/OFF dwell times. Build with
+// FixedDur, ExpDur or ParetoDur; sampling is O(1) and allocation-free.
+type DurDist struct {
+	kind  durKind
+	mean  float64 // ns (fixed value for durFixed, mean for durExp)
+	alpha float64
+	min   float64 // ns, pareto scale
+}
+
+// FixedDur returns a degenerate duration distribution (no randomness).
+func FixedDur(d sim.Time) DurDist { return DurDist{kind: durFixed, mean: float64(d)} }
+
+// ExpDur returns an exponential duration distribution with the given mean.
+func ExpDur(mean sim.Time) DurDist { return DurDist{kind: durExp, mean: float64(mean)} }
+
+// ParetoDur returns a Pareto duration distribution with shape alpha and
+// minimum min — heavy-tailed dwell times produce the long-range-dependent
+// burstiness of aggregated ON/OFF sources.
+func ParetoDur(alpha float64, min sim.Time) DurDist {
+	if alpha <= 0 {
+		panic("workload: ParetoDur shape must be > 0")
+	}
+	return DurDist{kind: durPareto, alpha: alpha, min: float64(min)}
+}
+
+func (d DurDist) valid() bool {
+	switch d.kind {
+	case durFixed, durExp:
+		return d.mean > 0
+	default:
+		return d.min > 0
+	}
+}
+
+// sample draws one duration (always >= 1 ns).
+func (d DurDist) sample(rng *rand.Rand) sim.Time {
+	var v float64
+	switch d.kind {
+	case durFixed:
+		return sim.Time(d.mean)
+	case durExp:
+		v = rng.ExpFloat64() * d.mean
+	default:
+		v = d.min * math.Pow(1-rng.Float64(), -1/d.alpha)
+		// Cap pathological tail draws at 1000x the minimum so a single
+		// source cannot sleep (or blast) past any realistic run length.
+		if v > d.min*1000 {
+			v = d.min * 1000
+		}
+	}
+	if v < 1 {
+		v = 1
+	}
+	return sim.Time(v)
+}
+
+// aliasTable is a Vose alias table over class weights: picking a class is
+// one uniform draw, O(1), allocation-free.
+type aliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+func newAlias(w []float64) aliasTable {
+	n := len(w)
+	t := aliasTable{prob: make([]float64, n), alias: make([]int32, n)}
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, x := range w {
+		scaled[i] = x * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+	}
+	return t
+}
+
+func (t aliasTable) pick(rng *rand.Rand) int {
+	u := rng.Float64() * float64(len(t.prob))
+	i := int(u)
+	if i >= len(t.prob) {
+		i = len(t.prob) - 1
+	}
+	if u-float64(i) < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
